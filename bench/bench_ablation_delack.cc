@@ -1,0 +1,68 @@
+// Ablation 1 (DESIGN.md): receiver ACK policy — delayed ACKs and GRO/LRO
+// aggregation — and its effect on the loss-to-halving ratio (Finding 3).
+//
+// Hypothesis: ACK aggregation makes senders burstier, so losses cluster
+// per flow and the packet-loss rate diverges further from the CWND-halving
+// rate at CoreScale. With per-packet ACKs the two stay close.
+#include "bench/bench_common.h"
+#include "src/stats/mathis_fit.h"
+
+namespace ccas::bench {
+namespace {
+
+ResultLog& log() {
+  static ResultLog log("bench_ablation_delack",
+                       {"delayed ack", "gro", "loss/halving ratio",
+                        "C(loss)", "C(halving)", "util"});
+  return log;
+}
+
+void BM_AblationDelack(benchmark::State& state) {
+  const bool delack = state.range(0) != 0;
+  const bool gro = state.range(1) != 0;
+  const BenchDurations d{2.0, 15.0, 60.0};
+  double scale = 1.0;
+  ExperimentSpec spec;
+  spec.scenario = make_scenario(Setting::kCoreScale, d, &scale);
+  spec.groups.push_back(
+      FlowGroup{"newreno", scaled_flow_count(3000, scale), TimeDelta::millis(20)});
+  spec.receiver.delayed_ack = delack;
+  spec.receiver.gro_enabled = gro;
+  spec.seed = 42;
+  ExperimentResult result;
+  for (auto _ : state) {
+    result = run_experiment(spec);
+  }
+  std::vector<MathisObservation> obs_loss;
+  std::vector<MathisObservation> obs_halv;
+  double ratio_sum = 0.0;
+  int n = 0;
+  for (const auto& f : result.flows) {
+    obs_loss.push_back(MathisObservation{f.goodput_bps, f.packet_loss_rate, f.mean_rtt});
+    obs_halv.push_back(
+        MathisObservation{f.goodput_bps, f.cwnd_halving_rate, f.mean_rtt});
+    if (f.packet_loss_rate > 0 && f.cwnd_halving_rate > 0) {
+      ratio_sum += f.packet_loss_rate / f.cwnd_halving_rate;
+      ++n;
+    }
+  }
+  const double ratio = n > 0 ? ratio_sum / n : 0.0;
+  state.counters["ratio"] = ratio;
+  log().add_row({delack ? "on" : "off", gro ? "on" : "off", fmt(ratio, 2),
+                 fmt(fit_mathis_constant(obs_loss, kMssBytes).c),
+                 fmt(fit_mathis_constant(obs_halv, kMssBytes).c),
+                 fmt_pct(result.utilization)});
+}
+
+BENCHMARK(BM_AblationDelack)
+    ->ArgsProduct({{1, 0}, {1, 0}})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace ccas::bench
+
+CCAS_BENCH_MAIN(ccas::bench::log(),
+                "Ablation - receiver ACK policy (delayed ACK x GRO) vs the\n"
+                "loss-to-halving ratio at CoreScale (NewReno, 3000 nominal\n"
+                "flows, 20 ms). Expected: aggregation raises the ratio.")

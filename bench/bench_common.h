@@ -1,0 +1,126 @@
+// Shared infrastructure for the reproduction benches (one binary per
+// paper table/figure — see DESIGN.md's per-experiment index).
+//
+// Every bench:
+//   * registers one google-benchmark case per experiment cell
+//     (flow count x RTT), run with Iterations(1) — each cell IS one
+//     long-running simulation, not a microbenchmark;
+//   * prints the same rows/series the paper reports, next to the paper's
+//     reference values, after the benchmark run;
+//   * writes a CSV (<bench-name>.csv) next to the binary.
+//
+// Scale knobs (environment):
+//   REPRO_SCALE        scale bandwidth + buffer + flow counts together
+//                      (default 0.2: 2 Gbps / 200-1000 flows CoreScale;
+//                      per-flow BDP and dynamics are preserved — set 1 for
+//                      the paper's full 10 Gbps / 1000-5000 flows, which
+//                      costs ~25x more wall time);
+//   REPRO_WARMUP_SEC / REPRO_MEASURE_SEC / REPRO_STAGGER_SEC
+//                      override the per-bench default durations.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/harness/report.h"
+#include "src/harness/runner.h"
+#include "src/util/csv.h"
+
+namespace ccas::bench {
+
+inline double default_scale() {
+  const char* v = std::getenv("REPRO_SCALE");
+  if (v == nullptr) {
+    // Benches default to 1/5 scale so the whole suite runs in minutes;
+    // REPRO_SCALE=1 reproduces the paper's full CoreScale.
+    ::setenv("REPRO_SCALE", "0.2", 0);
+    return 0.2;
+  }
+  const double parsed = std::atof(v);
+  return parsed > 0.0 ? parsed : 1.0;
+}
+
+struct BenchDurations {
+  double stagger_sec = 2.0;
+  double warmup_sec = 10.0;
+  double measure_sec = 20.0;
+};
+
+// Builds the scenario for `setting` with this bench's default durations
+// and the env overrides applied. Returns the applied scale factor.
+// REPRO_SCALE shrinks only CoreScale: EdgeScale (100 Mbps, tens of flows)
+// is already cheap and is always run exactly as in the paper.
+inline Scenario make_scenario(Setting setting, const BenchDurations& d,
+                              double* scale_out) {
+  (void)default_scale();
+  Scenario s = Scenario::for_setting(setting);
+  s.stagger = TimeDelta::seconds_f(d.stagger_sec);
+  s.warmup = TimeDelta::seconds_f(d.warmup_sec);
+  s.measure = TimeDelta::seconds_f(d.measure_sec);
+  const DumbbellConfig unscaled_net = s.net;
+  const double scale = s.apply_env_overrides();
+  if (setting == Setting::kEdgeScale) {
+    s.net = unscaled_net;  // duration overrides only
+    if (scale_out != nullptr) *scale_out = 1.0;
+    return s;
+  }
+  if (scale_out != nullptr) *scale_out = scale;
+  return s;
+}
+
+// Collects the paper-style rows printed after the google-benchmark run.
+class ResultLog {
+ public:
+  explicit ResultLog(std::string bench_name, std::vector<std::string> header)
+      : bench_name_(std::move(bench_name)), header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Prints the table and writes <bench_name>.csv into the CWD.
+  void finish(const std::string& caption) const {
+    std::printf("\n=== %s ===\n%s\n", bench_name_.c_str(), caption.c_str());
+    Table table(header_);
+    for (const auto& row : rows_) table.add_row(row);
+    table.print();
+    const std::string path = bench_name_ + ".csv";
+    CsvWriter csv(path, header_);
+    for (const auto& row : rows_) csv.row(row);
+    std::printf("(csv written to %s)\n", path.c_str());
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_pct(double fraction, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+// Standard main: run the registered cells, then the log's finish hook.
+#define CCAS_BENCH_MAIN(log_expr, caption)                      \
+  int main(int argc, char** argv) {                             \
+    ::benchmark::Initialize(&argc, argv);                       \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                                 \
+    }                                                           \
+    ::benchmark::RunSpecifiedBenchmarks();                      \
+    ::benchmark::Shutdown();                                    \
+    (log_expr).finish(caption);                                 \
+    return 0;                                                   \
+  }
+
+}  // namespace ccas::bench

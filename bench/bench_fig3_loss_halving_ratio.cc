@@ -1,0 +1,49 @@
+// Reproduces Figure 3: the ratio of packet losses to congestion events
+// (CWND halvings) at EdgeScale (3b) and CoreScale (3a) flow counts.
+//
+// Paper's result: ~1.7 flat at EdgeScale regardless of flow count; 6-9 and
+// flow-count-dependent at CoreScale — the reason the loss-rate-based
+// Mathis fit breaks at scale (losses arrive in bursts that each trigger
+// only one halving).
+#include "bench/mathis_suite.h"
+
+namespace ccas::bench {
+namespace {
+
+ResultLog& log() {
+  static ResultLog log("bench_fig3_loss_halving_ratio",
+                       {"setting", "flows(paper)", "flows(run)",
+                        "loss/halving ratio", "paper"});
+  return log;
+}
+
+void BM_Fig3(benchmark::State& state) {
+  const auto setting = static_cast<Setting>(state.range(0));
+  const int flows = static_cast<int>(state.range(1));
+  const BenchDurations durations =
+      setting == Setting::kEdgeScale ? edge_durations() : core_durations();
+  MathisCell cell;
+  for (auto _ : state) {
+    cell = run_mathis_cell(setting, flows, durations);
+  }
+  state.counters["ratio"] = cell.loss_to_halving_ratio;
+  log().add_row({cell.setting == Setting::kEdgeScale ? "EdgeScale" : "CoreScale",
+                 std::to_string(cell.nominal_flows), std::to_string(cell.actual_flows),
+                 fmt(cell.loss_to_halving_ratio, 2),
+                 cell.setting == Setting::kEdgeScale ? "~1.7" : "6-9"});
+}
+
+BENCHMARK(BM_Fig3)
+    ->ArgsProduct({{static_cast<long>(Setting::kEdgeScale)}, {10, 30, 50}})
+    ->ArgsProduct({{static_cast<long>(Setting::kCoreScale)}, {1000, 3000, 5000}})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace ccas::bench
+
+CCAS_BENCH_MAIN(
+    ccas::bench::log(),
+    "Figure 3 analog - packet-loss to CWND-halving ratio.\n"
+    "Paper: EdgeScale ~1.7 flat; CoreScale 6-9, flow-count-dependent.\n"
+    "Expected shape: ratio larger at CoreScale than EdgeScale.")

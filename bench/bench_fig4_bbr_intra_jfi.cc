@@ -1,0 +1,63 @@
+// Reproduces Figure 4: BBR intra-CCA fairness (all-BBR, same RTT) at
+// CoreScale (4a) and EdgeScale (4b) across RTTs of 20/100/200 ms.
+//
+// Paper's result: BBR is fair at low flow counts (past work: JFI 0.99) but
+// becomes unfair at scale — JFI as low as 0.4 at CoreScale (20/100 ms),
+// with milder unfairness (~0.7) beyond 10 flows even at EdgeScale.
+#include "bench/bench_common.h"
+
+namespace ccas::bench {
+namespace {
+
+ResultLog& log() {
+  static ResultLog log("bench_fig4_bbr_intra_jfi",
+                       {"setting", "flows(paper)", "flows(run)", "rtt(ms)", "JFI",
+                        "util", "paper"});
+  return log;
+}
+
+void BM_Fig4(benchmark::State& state) {
+  const auto setting = static_cast<Setting>(state.range(0));
+  const int flows = static_cast<int>(state.range(1));
+  const int rtt_ms = static_cast<int>(state.range(2));
+
+  const BenchDurations d = setting == Setting::kEdgeScale
+                               ? BenchDurations{2.0, 20.0, 120.0}
+                               : BenchDurations{2.0, 15.0, 45.0};
+  double scale = 1.0;
+  ExperimentSpec spec;
+  spec.scenario = make_scenario(setting, d, &scale);
+  const int actual = scaled_flow_count(flows, scale);
+  spec.groups.push_back(FlowGroup{"bbr", actual, TimeDelta::millis(rtt_ms)});
+  spec.seed = 42;
+  ExperimentResult result;
+  for (auto _ : state) {
+    result = run_experiment(spec);
+  }
+  const double jfi = result.jfi_all();
+  state.counters["jfi"] = jfi;
+  const bool edge = setting == Setting::kEdgeScale;
+  log().add_row({edge ? "EdgeScale" : "CoreScale", std::to_string(flows),
+                 std::to_string(actual), std::to_string(rtt_ms), fmt(jfi),
+                 fmt_pct(result.utilization),
+                 edge ? (flows > 10 ? "~0.7-0.99" : "~0.99") : "0.4-0.8"});
+}
+
+BENCHMARK(BM_Fig4)
+    ->ArgsProduct({{static_cast<long>(Setting::kEdgeScale)},
+                   {10, 30, 50},
+                   {20, 100, 200}})
+    ->ArgsProduct({{static_cast<long>(Setting::kCoreScale)},
+                   {1000, 3000, 5000},
+                   {20, 100, 200}})
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace ccas::bench
+
+CCAS_BENCH_MAIN(ccas::bench::log(),
+                "Figure 4 analog - BBR intra-CCA Jain fairness index.\n"
+                "Paper: JFI down to 0.4 at CoreScale (20/100 ms), ~0.7 beyond 10\n"
+                "flows at EdgeScale; past work (few flows) measured 0.99.\n"
+                "Expected shape: JFI degrades from EdgeScale to CoreScale.")

@@ -1,0 +1,55 @@
+// Shared runner for the inter-CCA fairness figures (5-8): two flow groups
+// with the same RTT competing at CoreScale, reporting the first group's
+// share of aggregate throughput.
+#pragma once
+
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace ccas::bench {
+
+struct InterCcaCell {
+  int nominal_a = 0;
+  int actual_a = 0;
+  int nominal_b = 0;
+  int actual_b = 0;
+  double share_a = 0.0;  // group A's fraction of aggregate goodput
+  double jfi_a = 1.0;
+  double jfi_b = 1.0;
+  double utilization = 0.0;
+  double goodput_a_bps = 0.0;
+  double goodput_b_bps = 0.0;
+};
+
+inline InterCcaCell run_inter_cca_cell(const std::string& cca_a, int nominal_a,
+                                       const std::string& cca_b, int nominal_b,
+                                       int rtt_ms, const BenchDurations& durations,
+                                       bool scale_group_a, uint64_t seed = 42) {
+  double scale = 1.0;
+  ExperimentSpec spec;
+  spec.scenario = make_scenario(Setting::kCoreScale, durations, &scale);
+  InterCcaCell cell;
+  cell.nominal_a = nominal_a;
+  cell.nominal_b = nominal_b;
+  // For "1 BBR vs thousands" the single flow stays single at any scale.
+  cell.actual_a = scale_group_a ? scaled_flow_count(nominal_a, scale) : nominal_a;
+  cell.actual_b = scaled_flow_count(nominal_b, scale);
+  spec.groups.push_back(
+      FlowGroup{cca_a, cell.actual_a, TimeDelta::millis(rtt_ms)});
+  spec.groups.push_back(
+      FlowGroup{cca_b, cell.actual_b, TimeDelta::millis(rtt_ms)});
+  spec.seed = seed;
+  spec.record_drop_log = false;  // not needed; saves RAM on long runs
+
+  const ExperimentResult result = run_experiment(spec);
+  cell.share_a = result.groups[0].throughput_share;
+  cell.jfi_a = result.groups[0].jfi;
+  cell.jfi_b = result.groups[1].jfi;
+  cell.utilization = result.utilization;
+  cell.goodput_a_bps = result.groups[0].aggregate_goodput_bps;
+  cell.goodput_b_bps = result.groups[1].aggregate_goodput_bps;
+  return cell;
+}
+
+}  // namespace ccas::bench

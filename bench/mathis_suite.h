@@ -1,0 +1,90 @@
+// Shared experiment runner for the Mathis-model suite (Table 1, Figure 2,
+// Figure 3, and the burstiness corroboration of Finding 3): all-NewReno
+// runs at 20 ms RTT across the paper's EdgeScale and CoreScale flow counts.
+#pragma once
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/stats/burstiness.h"
+#include "src/stats/mathis_fit.h"
+
+namespace ccas::bench {
+
+struct MathisCell {
+  Setting setting = Setting::kCoreScale;
+  int nominal_flows = 0;  // the paper's flow count
+  int actual_flows = 0;   // after REPRO_SCALE
+  MathisFit fit_loss;     // p = packet loss rate
+  MathisFit fit_halving;  // p = CWND halving rate
+  // Mean per-flow ratio of packet-loss rate to CWND-halving rate (Fig 3).
+  double loss_to_halving_ratio = 0.0;
+  // Goh-Barabasi burstiness of the bottleneck drop process (Finding 3).
+  double drop_burstiness = 0.0;
+  double utilization = 0.0;
+  double mean_rtt_ms = 0.0;
+};
+
+inline MathisCell run_mathis_cell(Setting setting, int nominal_flows,
+                                  const BenchDurations& durations,
+                                  uint64_t seed = 42) {
+  double scale = 1.0;
+  ExperimentSpec spec;
+  spec.scenario = make_scenario(setting, durations, &scale);
+  const int flows = scaled_flow_count(nominal_flows, scale);
+  spec.groups.push_back(FlowGroup{"newreno", flows, TimeDelta::millis(20)});
+  spec.seed = seed;
+  const ExperimentResult result = run_experiment(spec);
+
+  MathisCell cell;
+  cell.setting = setting;
+  cell.nominal_flows = nominal_flows;
+  cell.actual_flows = flows;
+  cell.utilization = result.utilization;
+
+  std::vector<MathisObservation> obs_loss;
+  std::vector<MathisObservation> obs_halving;
+  double ratio_sum = 0.0;
+  int ratio_n = 0;
+  double rtt_sum = 0.0;
+  for (const FlowMeasurement& f : result.flows) {
+    // The model is evaluated against the RTT the flow experienced
+    // (tcpprobe-style srtt), exactly as the testbed measurements are.
+    obs_loss.push_back(MathisObservation{f.goodput_bps, f.packet_loss_rate, f.mean_rtt});
+    obs_halving.push_back(
+        MathisObservation{f.goodput_bps, f.cwnd_halving_rate, f.mean_rtt});
+    if (f.cwnd_halving_rate > 0.0 && f.packet_loss_rate > 0.0) {
+      ratio_sum += f.packet_loss_rate / f.cwnd_halving_rate;
+      ++ratio_n;
+    }
+    rtt_sum += f.mean_rtt.ms();
+  }
+  cell.fit_loss = fit_mathis_constant(obs_loss, kMssBytes);
+  cell.fit_halving = fit_mathis_constant(obs_halving, kMssBytes);
+  cell.loss_to_halving_ratio = ratio_n > 0 ? ratio_sum / ratio_n : 0.0;
+  cell.mean_rtt_ms = result.flows.empty()
+                         ? 0.0
+                         : rtt_sum / static_cast<double>(result.flows.size());
+  if (result.drop_times.size() >= 3) {
+    cell.drop_burstiness = goh_barabasi_burstiness_from_times(result.drop_times);
+  }
+  return cell;
+}
+
+inline const std::vector<int>& edge_flow_counts() {
+  static const std::vector<int> counts{10, 30, 50};
+  return counts;
+}
+inline const std::vector<int>& core_flow_counts() {
+  static const std::vector<int> counts{1000, 3000, 5000};
+  return counts;
+}
+
+// Durations: EdgeScale loss events are rare (one sawtooth is ~minutes of
+// simulated time at 100 Mbps), so edge cells run long — they are cheap.
+// CoreScale cells need the window to cover several sawtooth periods of the
+// *smallest* flow count (~45 s per period at 1000 flows / 20 ms).
+inline BenchDurations edge_durations() { return BenchDurations{2.0, 60.0, 240.0}; }
+inline BenchDurations core_durations() { return BenchDurations{2.0, 15.0, 90.0}; }
+
+}  // namespace ccas::bench

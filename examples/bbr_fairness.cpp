@@ -1,0 +1,54 @@
+// Example: the paper's Finding 5 — BBR's intra-CCA fairness degrades with
+// scale even when every flow is BBR at the same RTT. Sweeps the flow count
+// on a fixed bottleneck and prints the Jain fairness index, plus the
+// per-flow throughput spread that drives it.
+//
+//   ./build/examples/bbr_fairness [bottleneck_mbps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/harness/report.h"
+#include "src/harness/runner.h"
+#include "src/util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace ccas;
+
+  const int mbps = argc > 1 ? std::atoi(argv[1]) : 400;
+
+  Table t({"bbr flows", "JFI", "util", "p10 flow", "median flow", "p90 flow"});
+  std::printf("All-BBR fairness sweep on a %d Mbps drop-tail bottleneck "
+              "(20 ms RTT, buffer ~1 BDP@200ms)...\n\n",
+              mbps);
+
+  for (const int flows : {2, 8, 32, 128, 512}) {
+    ExperimentSpec spec;
+    spec.scenario = Scenario::core_scale();
+    spec.scenario.net.bottleneck_rate = DataRate::mbps(mbps);
+    spec.scenario.net.buffer_bytes =
+        bdp_bytes(spec.scenario.net.bottleneck_rate, TimeDelta::millis(200)) * 3 / 2;
+    spec.scenario.stagger = TimeDelta::seconds(2);
+    spec.scenario.warmup = TimeDelta::seconds(15);
+    spec.scenario.measure = TimeDelta::seconds(45);
+    spec.groups.push_back(FlowGroup{"bbr", flows, TimeDelta::millis(20)});
+    spec.seed = 42;
+
+    const ExperimentResult r = run_experiment(spec);
+    Percentiles p(goodputs_bps(r.flows));
+    t.row()
+        .col(static_cast<int64_t>(flows))
+        .col(r.jfi_all(), 3)
+        .pct(r.utilization)
+        .col(format_rate(p.at(0.10)))
+        .col(format_rate(p.median()))
+        .col(format_rate(p.at(0.90)))
+        .done();
+  }
+  t.print();
+  std::printf(
+      "\nThe paper (Fig. 4): JFI ~0.99 at a few flows, ~0.7 beyond 10 flows at\n"
+      "the edge, and as low as 0.4 at core scale - BBR flows desynchronize and\n"
+      "some get pinned near the 4-packet minimum window while others hold\n"
+      "large bandwidth estimates.\n");
+  return 0;
+}

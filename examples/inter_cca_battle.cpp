@@ -1,0 +1,60 @@
+// Example: the paper's Section 5.2 — inter-CCA competition. Puts two CCAs
+// head to head over one bottleneck and reports each side's share, next to
+// the Ware et al. model prediction when BBR is involved.
+//
+//   ./build/examples/inter_cca_battle [ccaA] [nA] [ccaB] [nB] [mbps] [rtt_ms]
+//
+// Defaults: 1 bbr vs 64 newreno on 400 Mbps at 20 ms (the Fig. 6 shape).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/harness/report.h"
+#include "src/harness/runner.h"
+#include "src/models/ware_bbr.h"
+
+int main(int argc, char** argv) {
+  using namespace ccas;
+
+  const std::string cca_a = argc > 1 ? argv[1] : "bbr";
+  const int n_a = argc > 2 ? std::atoi(argv[2]) : 1;
+  const std::string cca_b = argc > 3 ? argv[3] : "newreno";
+  const int n_b = argc > 4 ? std::atoi(argv[4]) : 64;
+  const int mbps = argc > 5 ? std::atoi(argv[5]) : 400;
+  const int rtt_ms = argc > 6 ? std::atoi(argv[6]) : 20;
+
+  ExperimentSpec spec;
+  spec.scenario = Scenario::core_scale();
+  spec.scenario.net.bottleneck_rate = DataRate::mbps(mbps);
+  spec.scenario.net.buffer_bytes =
+      bdp_bytes(spec.scenario.net.bottleneck_rate, TimeDelta::millis(200)) * 3 / 2;
+  spec.scenario.stagger = TimeDelta::seconds(2);
+  spec.scenario.warmup = TimeDelta::seconds(20);
+  spec.scenario.measure = TimeDelta::seconds(60);
+  spec.groups.push_back(FlowGroup{cca_a, n_a, TimeDelta::millis(rtt_ms)});
+  spec.groups.push_back(FlowGroup{cca_b, n_b, TimeDelta::millis(rtt_ms)});
+  spec.seed = 42;
+
+  std::printf("%d x %s vs %d x %s over %d Mbps at %d ms...\n\n", n_a, cca_a.c_str(),
+              n_b, cca_b.c_str(), mbps, rtt_ms);
+  const ExperimentResult r = run_experiment(spec);
+  std::printf("%s\n", summarize(r).c_str());
+
+  const bool a_is_bbr = cca_a == "bbr";
+  const bool b_is_bbr = cca_b == "bbr";
+  if (a_is_bbr != b_is_bbr) {
+    WareBbrParams params;
+    params.link = spec.scenario.net.bottleneck_rate;
+    params.rtprop = TimeDelta::millis(rtt_ms);
+    params.buffer_bytes = spec.scenario.net.buffer_bytes;
+    params.num_bbr = a_is_bbr ? n_a : n_b;
+    params.num_loss_based = a_is_bbr ? n_b : n_a;
+    const WareBbrPrediction pred = WareBbrModel(params).predict();
+    const double measured =
+        a_is_bbr ? r.groups[0].throughput_share : r.groups[1].throughput_share;
+    std::printf("Ware et al. in-flight-cap model predicts BBR share %.1f%% "
+                "(measured %.1f%%).\n",
+                pred.bbr_fraction * 100.0, measured * 100.0);
+  }
+  return 0;
+}

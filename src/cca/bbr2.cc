@@ -1,0 +1,249 @@
+#include "src/cca/bbr2.h"
+
+#include <algorithm>
+
+#include "src/net/packet.h"
+
+namespace ccas {
+
+Bbr2::Bbr2(const Bbr2Config& config, Rng& rng)
+    : config_(config),
+      rng_(rng),
+      pacing_gain_(config.high_gain),
+      cwnd_gain_(config.high_gain),
+      max_bw_(static_cast<uint64_t>(config.bw_window_rounds)),
+      cwnd_(config.initial_cwnd) {}
+
+double Bbr2::bdp_segments(double gain) const {
+  if (!model_ready()) return static_cast<double>(config_.initial_cwnd);
+  const double bdp_bytes = static_cast<double>(max_bw_.best()) / 8.0 * min_rtt_.sec();
+  return std::max(gain * bdp_bytes / static_cast<double>(kMssBytes),
+                  static_cast<double>(config_.min_cwnd));
+}
+
+void Bbr2::update_round(const AckEvent& ack) {
+  round_start_ = false;
+  round_lost_ += ack.newly_lost;
+  round_delivered_acc_ += ack.newly_acked;
+  if (!ack.rate.valid()) return;
+  if (ack.rate.prior_delivered >= next_round_delivered_) {
+    next_round_delivered_ = ack.delivered_total;
+    ++round_count_;
+    ++rounds_in_phase_;
+    round_start_ = true;
+  }
+}
+
+void Bbr2::update_model(const AckEvent& ack) {
+  if (ack.rate.valid()) {
+    const auto bw = static_cast<uint64_t>(ack.rate.delivery_rate.bits_per_sec());
+    if (!ack.rate.is_app_limited || bw >= max_bw_.best()) {
+      max_bw_.update(bw, round_count_);
+    }
+  }
+  min_rtt_expired_ =
+      !min_rtt_.is_infinite() && ack.now > min_rtt_stamp_ + config_.min_rtt_window;
+  if (ack.rtt_sample > TimeDelta::zero() &&
+      (ack.rtt_sample < min_rtt_ || min_rtt_expired_)) {
+    min_rtt_ = ack.rtt_sample;
+    min_rtt_stamp_ = ack.now;
+  }
+
+  // Per-round loss response (the defining v2 behaviour): if this round's
+  // loss rate crossed the threshold, clamp inflight_hi to what was actually
+  // in flight and cut the short-term bound by beta.
+  if (round_start_) {
+    const double delivered = static_cast<double>(
+        std::max<uint64_t>(round_delivered_acc_, 1));
+    const double loss_rate = static_cast<double>(round_lost_) / delivered;
+    if (round_lost_ > 0 && loss_rate > config_.loss_threshold) {
+      const double inflight = static_cast<double>(ack.inflight) +
+                              static_cast<double>(round_lost_);
+      inflight_hi_ = inflight_hi_ < 0.0
+                         ? inflight
+                         : std::min(inflight_hi_, inflight);
+      inflight_hi_ = std::max(inflight_hi_,
+                              static_cast<double>(config_.min_cwnd));
+      const double lo_base = inflight_lo_ < 0.0
+                                 ? static_cast<double>(cwnd_)
+                                 : inflight_lo_;
+      inflight_lo_ = std::max(lo_base * config_.beta,
+                              static_cast<double>(config_.min_cwnd));
+    }
+    round_lost_ = 0;
+    round_delivered_acc_ = 0;
+    round_delivered_start_ = ack.delivered_total;
+  }
+}
+
+void Bbr2::enter_probe_down(Time now) {
+  mode_ = Mode::kProbeBwDown;
+  pacing_gain_ = config_.probe_down_gain;
+  cwnd_gain_ = config_.cwnd_gain;
+  cycle_stamp_ = now;
+  rounds_in_phase_ = 0;
+  // Cruise for a randomized 2-8 rounds before the next probe, which both
+  // de-synchronizes probes across flows and spaces them ~several RTTs.
+  cruise_rounds_target_ = 2 + static_cast<int>(rng_.next_below(7));
+  // Leaving a probe: the short-term bound decays back toward the model.
+  inflight_lo_ = -1.0;
+}
+
+void Bbr2::update_state_machine(const AckEvent& ack) {
+  const Time now = ack.now;
+  switch (mode_) {
+    case Mode::kStartup: {
+      if (round_start_ && !filled_pipe_) {
+        const uint64_t bw = max_bw_.best();
+        const auto threshold = static_cast<uint64_t>(
+            static_cast<double>(full_bw_bps_) * config_.full_bw_threshold);
+        if (bw >= threshold || full_bw_bps_ == 0) {
+          full_bw_bps_ = bw;
+          full_bw_count_ = 0;
+        } else if (++full_bw_count_ >= config_.full_bw_count) {
+          filled_pipe_ = true;
+        }
+      }
+      // v2 also exits startup on sustained loss (the inflight_hi clamp).
+      if (filled_pipe_ || inflight_hi_ > 0.0) {
+        filled_pipe_ = true;
+        mode_ = Mode::kDrain;
+        pacing_gain_ = config_.drain_gain;
+      }
+      break;
+    }
+    case Mode::kDrain:
+      if (static_cast<double>(ack.inflight) <= bdp_segments(1.0)) {
+        enter_probe_down(now);
+      }
+      break;
+    case Mode::kProbeBwDown:
+      if (static_cast<double>(ack.inflight) <= bdp_segments(1.0) ||
+          now - cycle_stamp_ > min_rtt_) {
+        mode_ = Mode::kProbeBwCruise;
+        pacing_gain_ = 1.0;
+        rounds_in_phase_ = 0;
+      }
+      break;
+    case Mode::kProbeBwCruise:
+      if (rounds_in_phase_ >= cruise_rounds_target_) {
+        mode_ = Mode::kProbeBwUp;
+        pacing_gain_ = config_.probe_up_gain;
+        cycle_stamp_ = now;
+        rounds_in_phase_ = 0;
+        // Probing raises the ceiling we are allowed to explore.
+        if (inflight_hi_ > 0.0) {
+          inflight_hi_ += std::max(1.0, inflight_hi_ * 0.05);
+        }
+      }
+      break;
+    case Mode::kProbeBwUp: {
+      const bool hit_ceiling =
+          inflight_hi_ > 0.0 && static_cast<double>(ack.inflight) >= inflight_hi_;
+      if (ack.newly_lost > 0 || hit_ceiling ||
+          (now - cycle_stamp_ > min_rtt_ &&
+           static_cast<double>(ack.inflight) >= bdp_segments(config_.probe_up_gain))) {
+        enter_probe_down(now);
+      }
+      break;
+    }
+    case Mode::kProbeRtt:
+      break;
+  }
+
+  if (mode_ != Mode::kProbeRtt && min_rtt_expired_) {
+    prior_cwnd_ = in_recovery_ ? std::max(prior_cwnd_, cwnd_) : cwnd_;
+    mode_ = Mode::kProbeRtt;
+    pacing_gain_ = 1.0;
+    cwnd_gain_ = 1.0;
+    probe_rtt_done_stamp_valid_ = false;
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    // v2's cheaper floor: half a BDP rather than 4 packets.
+    const auto floor_seg = static_cast<uint64_t>(
+        std::max(bdp_segments(0.5), static_cast<double>(config_.min_cwnd)));
+    if (!probe_rtt_done_stamp_valid_ && ack.inflight <= floor_seg) {
+      probe_rtt_done_stamp_ = ack.now + config_.probe_rtt_duration;
+      probe_rtt_done_stamp_valid_ = true;
+    } else if (probe_rtt_done_stamp_valid_ && ack.now >= probe_rtt_done_stamp_) {
+      min_rtt_stamp_ = ack.now;
+      cwnd_ = std::max(cwnd_, prior_cwnd_);
+      if (filled_pipe_) {
+        enter_probe_down(ack.now);
+      } else {
+        mode_ = Mode::kStartup;
+        pacing_gain_ = config_.high_gain;
+        cwnd_gain_ = config_.high_gain;
+      }
+    }
+  }
+}
+
+void Bbr2::update_pacing_and_cwnd(const AckEvent& ack) {
+  if (model_ready()) {
+    pacing_rate_ = DataRate::bps_f(pacing_gain_ *
+                                   static_cast<double>(max_bw_.best()) *
+                                   config_.pacing_margin);
+  } else if (ack.rtt_sample > TimeDelta::zero() || !min_rtt_.is_infinite()) {
+    const TimeDelta rtt = min_rtt_.is_infinite() ? ack.rtt_sample : min_rtt_;
+    pacing_rate_ = DataRate::bps_f(config_.high_gain * static_cast<double>(cwnd_) *
+                                   static_cast<double>(kMssBytes) * 8.0 /
+                                   std::max(rtt.sec(), 1e-6));
+  }
+
+  if (mode_ == Mode::kProbeRtt) {
+    const auto floor_seg = static_cast<uint64_t>(
+        std::max(bdp_segments(0.5), static_cast<double>(config_.min_cwnd)));
+    cwnd_ = std::min(cwnd_, floor_seg);
+    return;
+  }
+
+  double target = bdp_segments(cwnd_gain_);
+  if (inflight_hi_ > 0.0) target = std::min(target, inflight_hi_);
+  if (inflight_lo_ > 0.0) target = std::min(target, inflight_lo_);
+  const auto target_seg =
+      std::max<uint64_t>(static_cast<uint64_t>(target), config_.min_cwnd);
+
+  if (in_recovery_) {
+    cwnd_ = std::max(std::min(cwnd_, target_seg + ack.newly_acked),
+                     std::max<uint64_t>(ack.inflight + ack.newly_acked,
+                                        config_.min_cwnd));
+  } else if (filled_pipe_) {
+    cwnd_ = std::min(cwnd_ + ack.newly_acked, target_seg);
+  } else if (cwnd_ < target_seg || ack.delivered_total < config_.initial_cwnd) {
+    cwnd_ += ack.newly_acked;
+  }
+  cwnd_ = std::max(cwnd_, config_.min_cwnd);
+}
+
+void Bbr2::on_ack(const AckEvent& ack) {
+  update_round(ack);
+  update_model(ack);
+  update_state_machine(ack);
+  update_pacing_and_cwnd(ack);
+}
+
+void Bbr2::on_congestion_event(Time /*now*/, uint64_t inflight) {
+  if (!in_recovery_) prior_cwnd_ = cwnd_;
+  in_recovery_ = true;
+  cwnd_ = std::max<uint64_t>(inflight + 1, config_.min_cwnd);
+}
+
+void Bbr2::on_recovery_exit(Time /*now*/, uint64_t /*inflight*/) {
+  in_recovery_ = false;
+  cwnd_ = std::max(cwnd_, prior_cwnd_);
+}
+
+void Bbr2::on_rto(Time /*now*/) {
+  prior_cwnd_ = std::max(prior_cwnd_, cwnd_);
+  cwnd_ = config_.min_cwnd;
+  in_recovery_ = true;
+}
+
+void register_bbr2(CcaRegistry& registry) {
+  registry.register_cca("bbr2", [](Rng& rng) {
+    return std::make_unique<Bbr2>(Bbr2Config{}, rng);
+  });
+}
+
+}  // namespace ccas

@@ -1,0 +1,64 @@
+#include "src/cca/cca.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/cca/bbr.h"
+#include "src/cca/bbr2.h"
+#include "src/cca/copa.h"
+#include "src/cca/cubic.h"
+#include "src/cca/new_reno.h"
+#include "src/cca/vegas.h"
+
+namespace ccas {
+
+CcaRegistry& CcaRegistry::instance() {
+  // Built-in CCAs are registered explicitly here (not via static
+  // initializers, which a static library would silently drop).
+  static CcaRegistry* registry = [] {
+    auto* r = new CcaRegistry();
+    register_new_reno(*r);
+    register_cubic(*r);
+    register_bbr(*r);
+    register_bbr2(*r);
+    register_copa(*r);
+    register_vegas(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void CcaRegistry::register_cca(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<CongestionController> CcaRegistry::create(const std::string& name,
+                                                          Rng& rng) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [n, _] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown CCA '" + name + "' (known: " + known + ")");
+  }
+  return it->second(rng);
+}
+
+bool CcaRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> CcaRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, _] : factories_) out.push_back(n);
+  return out;
+}
+
+std::unique_ptr<CongestionController> make_cca(const std::string& name, Rng& rng) {
+  return CcaRegistry::instance().create(name, rng);
+}
+
+}  // namespace ccas

@@ -1,0 +1,126 @@
+#include "src/cca/copa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/net/packet.h"
+
+namespace ccas {
+
+Copa::Copa(const CopaConfig& config)
+    : config_(config),
+      cwnd_(static_cast<double>(config.initial_cwnd)),
+      competitive_delta_(config.delta) {}
+
+uint64_t Copa::cwnd() const {
+  return std::max<uint64_t>(static_cast<uint64_t>(cwnd_), config_.min_cwnd);
+}
+
+void Copa::update_rtt(const AckEvent& ack) {
+  if (ack.rtt_sample <= TimeDelta::zero()) return;
+  if (ack.rtt_sample < min_rtt_ ||
+      ack.now > min_rtt_stamp_ + config_.min_rtt_window) {
+    min_rtt_ = ack.rtt_sample;
+    min_rtt_stamp_ = ack.now;
+  }
+  min_rtt_ = std::min(min_rtt_, ack.rtt_sample);
+  max_rtt_seen_ = std::max(max_rtt_seen_, ack.rtt_sample);
+  round_min_rtt_ = std::min(round_min_rtt_, ack.rtt_sample);
+}
+
+void Copa::update_mode(const AckEvent& ack) {
+  if (!config_.mode_switching) return;
+  // "Nearly empty" queue: standing delay below 10% of the observed delay
+  // range — with an absolute floor of 5% of the base RTT, so that the
+  // near-zero range of an uncongested path cannot read as "never drains".
+  const double d_q = (rtt_standing_ - min_rtt_).sec();
+  const double range = (max_rtt_seen_ - min_rtt_).sec();
+  const double empty_threshold = std::max(0.1 * range, 0.05 * min_rtt_.sec());
+  if (range <= 0.0 || d_q < empty_threshold) {
+    rounds_since_empty_queue_ = 0;
+    competitive_ = false;
+    competitive_delta_ = config_.delta;
+    return;
+  }
+  if (++rounds_since_empty_queue_ >= 5) competitive_ = true;
+  if (competitive_) {
+    if (loss_this_round_) {
+      // 1/delta halves: delta doubles.
+      competitive_delta_ = std::min(competitive_delta_ * 2.0,
+                                    config_.competitive_delta_max);
+    } else {
+      // 1/delta += 1 per RTT: additive increase of the AIMD surrogate.
+      competitive_delta_ = std::max(
+          1.0 / (1.0 / competitive_delta_ + 1.0), config_.competitive_delta_min);
+    }
+  }
+  (void)ack;
+}
+
+void Copa::on_ack(const AckEvent& ack) {
+  update_rtt(ack);
+  loss_this_round_ = loss_this_round_ || ack.newly_lost > 0;
+
+  // Round boundary (packet-timed, as in BBR).
+  if (ack.rate.valid() && ack.rate.prior_delivered >= next_round_delivered_) {
+    next_round_delivered_ = ack.delivered_total;
+    if (!round_min_rtt_.is_infinite()) rtt_standing_ = round_min_rtt_;
+    round_min_rtt_ = TimeDelta::infinite();
+    update_mode(ack);
+    loss_this_round_ = false;
+    // Velocity doubles after three consistent rounds (Copa's rule keeps
+    // v = 1 until the direction has been stable).
+    if (++same_direction_rounds_ >= 3) velocity_ = std::min(velocity_ * 2.0, 1e6);
+  }
+
+  if (ack.newly_acked == 0 || rtt_standing_.is_infinite() ||
+      min_rtt_.is_infinite()) {
+    return;
+  }
+
+  // Target rate 1/(delta * d_q) packets/sec vs current cwnd/RTT_standing.
+  const double delta = current_delta();
+  const double d_q = std::max((rtt_standing_ - min_rtt_).sec(), 1e-9);
+  const double target_rate = 1.0 / (delta * d_q);
+  const double current_rate = cwnd_ / std::max(rtt_standing_.sec(), 1e-9);
+
+  const int dir = current_rate <= target_rate ? +1 : -1;
+  if (dir != direction_) {
+    direction_ = dir;
+    velocity_ = 1.0;
+    same_direction_rounds_ = 0;
+  }
+  const double step =
+      velocity_ * static_cast<double>(ack.newly_acked) / (delta * cwnd_);
+  cwnd_ = std::max(cwnd_ + dir * step, static_cast<double>(config_.min_cwnd));
+
+  // Pace at 2x the current rate so bursts do not distort the delay signal.
+  pacing_rate_ = DataRate::bps_f(2.0 * cwnd_ * static_cast<double>(kMssBytes) *
+                                 8.0 / std::max(rtt_standing_.sec(), 1e-9));
+}
+
+void Copa::on_congestion_event(Time /*now*/, uint64_t /*inflight*/) {
+  loss_this_round_ = true;
+  if (competitive_) {
+    competitive_delta_ =
+        std::min(competitive_delta_ * 2.0, config_.competitive_delta_max);
+    cwnd_ = std::max(cwnd_ * 0.5, static_cast<double>(config_.min_cwnd));
+  }
+  // Default mode: Copa does not react to isolated losses (delay carries
+  // the congestion signal); the sender's recovery machinery still repairs.
+}
+
+void Copa::on_recovery_exit(Time /*now*/, uint64_t /*inflight*/) {}
+
+void Copa::on_rto(Time /*now*/) {
+  cwnd_ = static_cast<double>(config_.min_cwnd);
+  velocity_ = 1.0;
+  direction_ = 0;
+}
+
+void register_copa(CcaRegistry& registry) {
+  registry.register_cca("copa",
+                        [](Rng& /*rng*/) { return std::make_unique<Copa>(); });
+}
+
+}  // namespace ccas

@@ -1,0 +1,87 @@
+// Copa (Arun & Balakrishnan, NSDI 2018) — the delay-based CCA the paper's
+// background lists among algorithms deployed on today's Internet.
+//
+// Copa targets the sending rate lambda = 1 / (delta * d_q), where d_q is
+// the standing queueing delay (RTT_standing - RTT_min). Each ACK moves
+// cwnd toward the target by v / (delta * cwnd) segments, where the
+// velocity v doubles once per RTT while the direction is consistent and
+// resets to 1 when it flips. Packets are paced at 2 * cwnd / RTT_standing.
+//
+// Mode switching: when the queue is observed never to drain (d_q stays
+// above 10% of the observed delay range for several RTTs), Copa concludes
+// it is competing with buffer-filling flows and switches to a TCP-
+// competitive mode where 1/delta performs AIMD (additive increase on
+// loss-free RTTs, halving on loss). We implement the default mode in full
+// and this simplified competitive mode.
+#pragma once
+
+#include "src/cca/cca.h"
+#include "src/util/windowed_filter.h"
+
+namespace ccas {
+
+struct CopaConfig {
+  uint64_t initial_cwnd = 10;
+  uint64_t min_cwnd = 2;
+  double delta = 0.5;  // default-mode delta: ~2 packets of standing queue
+  bool mode_switching = true;
+  TimeDelta min_rtt_window = TimeDelta::seconds(10);
+  // Competitive-mode delta bounds (1/delta acts like a cwnd in AIMD).
+  double competitive_delta_min = 0.004;
+  double competitive_delta_max = 0.5;
+};
+
+class Copa final : public CongestionController {
+ public:
+  explicit Copa(const CopaConfig& config = {});
+
+  void on_ack(const AckEvent& ack) override;
+  void on_congestion_event(Time now, uint64_t inflight) override;
+  void on_recovery_exit(Time now, uint64_t inflight) override;
+  void on_rto(Time now) override;
+
+  [[nodiscard]] uint64_t cwnd() const override;
+  [[nodiscard]] DataRate pacing_rate() const override { return pacing_rate_; }
+  [[nodiscard]] std::string name() const override { return "copa"; }
+
+  // Diagnostics.
+  [[nodiscard]] TimeDelta min_rtt() const { return min_rtt_; }
+  [[nodiscard]] TimeDelta standing_rtt() const { return rtt_standing_; }
+  [[nodiscard]] double velocity() const { return velocity_; }
+  [[nodiscard]] bool competitive_mode() const { return competitive_; }
+  [[nodiscard]] double current_delta() const {
+    return competitive_ ? competitive_delta_ : config_.delta;
+  }
+
+ private:
+  void update_rtt(const AckEvent& ack);
+  void update_mode(const AckEvent& ack);
+
+  CopaConfig config_;
+  double cwnd_;
+  DataRate pacing_rate_ = DataRate::infinite();
+
+  TimeDelta min_rtt_ = TimeDelta::infinite();
+  Time min_rtt_stamp_ = Time::zero();
+  TimeDelta max_rtt_seen_ = TimeDelta::zero();
+  // Standing RTT: min RTT over roughly the last half-RTT of samples;
+  // approximated as the min over the current packet-timed round.
+  TimeDelta rtt_standing_ = TimeDelta::infinite();
+  TimeDelta round_min_rtt_ = TimeDelta::infinite();
+
+  // Packet-timed rounds for velocity doubling and mode detection.
+  uint64_t next_round_delivered_ = 0;
+  double velocity_ = 1.0;
+  int direction_ = 0;             // +1 up, -1 down
+  int same_direction_rounds_ = 0;
+
+  // Mode switching: rounds since the queue last looked nearly empty.
+  int rounds_since_empty_queue_ = 0;
+  bool competitive_ = false;
+  double competitive_delta_;
+  bool loss_this_round_ = false;
+};
+
+void register_copa(CcaRegistry& registry);
+
+}  // namespace ccas

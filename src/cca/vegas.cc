@@ -1,0 +1,80 @@
+#include "src/cca/vegas.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ccas {
+
+Vegas::Vegas(const VegasConfig& config)
+    : config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(std::numeric_limits<uint64_t>::max()) {}
+
+void Vegas::on_ack(const AckEvent& ack) {
+  if (ack.newly_acked == 0) return;
+  if (ack.rtt_sample > TimeDelta::zero()) {
+    base_rtt_ = std::min(base_rtt_, ack.rtt_sample);
+    min_rtt_this_round_ = std::min(min_rtt_this_round_, ack.rtt_sample);
+  }
+  if (ack.in_recovery) return;
+
+  // Round boundary: all data outstanding at the last boundary is now
+  // delivered (packet-timed rounds, like BBR's).
+  if (ack.delivered_total >= next_round_delivered_) {
+    next_round_delivered_ = ack.delivered_total + ack.inflight;
+    vegas_round(ack);
+    min_rtt_this_round_ = TimeDelta::infinite();
+  }
+}
+
+void Vegas::vegas_round(const AckEvent& /*ack*/) {
+  if (base_rtt_.is_infinite() || min_rtt_this_round_.is_infinite()) return;
+  const double rtt = std::max(min_rtt_this_round_.sec(), 1e-9);
+  const double base = base_rtt_.sec();
+  const double expected = static_cast<double>(cwnd_) / base;
+  const double actual = static_cast<double>(cwnd_) / rtt;
+  last_diff_ = (expected - actual) * base;
+
+  if (in_slow_start()) {
+    // Vegas slow start: double only every other round, and exit as soon as
+    // the flow detects its own queue building (diff > alpha... the original
+    // uses a one-segment threshold; alpha is the common choice).
+    if (last_diff_ > config_.alpha) {
+      ssthresh_ = cwnd_;
+      in_slow_start_ = false;
+      return;
+    }
+    grow_this_round_ = !grow_this_round_;
+    if (grow_this_round_) cwnd_ = std::min(cwnd_ * 2, ssthresh_);
+    if (cwnd_ >= ssthresh_) in_slow_start_ = false;
+    return;
+  }
+
+  if (last_diff_ < config_.alpha) {
+    ++cwnd_;
+  } else if (last_diff_ > config_.beta) {
+    if (cwnd_ > config_.min_cwnd) --cwnd_;
+  }
+}
+
+void Vegas::on_congestion_event(Time /*now*/, uint64_t /*inflight*/) {
+  // Loss fallback: Reno-style halving.
+  ssthresh_ = std::max(cwnd_ / 2, config_.min_cwnd);
+  cwnd_ = ssthresh_;
+  in_slow_start_ = false;
+}
+
+void Vegas::on_recovery_exit(Time /*now*/, uint64_t /*inflight*/) {}
+
+void Vegas::on_rto(Time /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2, config_.min_cwnd);
+  cwnd_ = 1;
+  in_slow_start_ = true;
+}
+
+void register_vegas(CcaRegistry& registry) {
+  registry.register_cca("vegas",
+                        [](Rng& /*rng*/) { return std::make_unique<Vegas>(); });
+}
+
+}  // namespace ccas

@@ -1,0 +1,62 @@
+// TCP Vegas (Brakmo, O'Malley, Peterson; SIGCOMM 1994) — the classic
+// delay-based CCA the paper lists among deployed algorithms. Included as a
+// registry extension so the harness can study how a delay-based algorithm
+// fares in the paper's settings (it is famously starved by loss-based
+// competitors that fill the queue Vegas tries to keep empty).
+//
+// Once per RTT, Vegas compares the expected rate cwnd/base_rtt with the
+// actual rate cwnd/rtt and computes diff = (expected - actual) * base_rtt,
+// the number of segments the flow itself keeps queued:
+//   diff < alpha  -> cwnd += 1   (too little buffered: speed up)
+//   diff > beta   -> cwnd -= 1   (too much buffered: slow down)
+// Loss handling falls back to Reno behaviour.
+#pragma once
+
+#include "src/cca/cca.h"
+
+namespace ccas {
+
+struct VegasConfig {
+  uint64_t initial_cwnd = 10;
+  uint64_t min_cwnd = 2;
+  double alpha = 2.0;  // segments of self-induced queueing to maintain, min
+  double beta = 4.0;   // ... and max
+};
+
+class Vegas final : public CongestionController {
+ public:
+  explicit Vegas(const VegasConfig& config = {});
+
+  void on_ack(const AckEvent& ack) override;
+  void on_congestion_event(Time now, uint64_t inflight) override;
+  void on_recovery_exit(Time now, uint64_t inflight) override;
+  void on_rto(Time now) override;
+
+  [[nodiscard]] uint64_t cwnd() const override { return cwnd_; }
+  [[nodiscard]] uint64_t ssthresh() const override { return ssthresh_; }
+  [[nodiscard]] std::string name() const override { return "vegas"; }
+  [[nodiscard]] bool in_slow_start() const { return in_slow_start_; }
+  // Diagnostics.
+  [[nodiscard]] TimeDelta base_rtt() const { return base_rtt_; }
+  [[nodiscard]] double last_diff_segments() const { return last_diff_; }
+
+ private:
+  void vegas_round(const AckEvent& ack);
+
+  VegasConfig config_;
+  uint64_t cwnd_;
+  uint64_t ssthresh_;
+  // Explicit state: Vegas's per-round decrease can take cwnd below
+  // ssthresh, which must not re-enter slow start.
+  bool in_slow_start_ = true;
+  TimeDelta base_rtt_ = TimeDelta::infinite();
+  // Round bookkeeping: one Vegas adjustment per packet-timed round trip.
+  uint64_t next_round_delivered_ = 0;
+  TimeDelta min_rtt_this_round_ = TimeDelta::infinite();
+  double last_diff_ = 0.0;
+  bool grow_this_round_ = false;  // slow start doubles every other round
+};
+
+void register_vegas(CcaRegistry& registry);
+
+}  // namespace ccas

@@ -1,0 +1,179 @@
+#include "src/harness/churn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "src/cca/cca.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace ccas {
+
+double ChurnResult::mean_fct() const {
+  if (fct_seconds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double f : fct_seconds) sum += f;
+  return sum / static_cast<double>(fct_seconds.size());
+}
+
+double ChurnResult::median_fct() const {
+  if (fct_seconds.empty()) return 0.0;
+  return median(fct_seconds);
+}
+
+double ChurnResult::mean_fct_sized(uint64_t min_size, uint64_t max_size) const {
+  double sum = 0.0;
+  int n = 0;
+  for (size_t i = 0; i < fct_seconds.size(); ++i) {
+    if (completed_sizes[i] >= min_size && completed_sizes[i] <= max_size) {
+      sum += fct_seconds[i];
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+namespace {
+
+struct ChurnFlow {
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+  Time started = Time::zero();
+  uint64_t size = 0;
+  bool is_background = false;
+  bool done = false;
+};
+
+}  // namespace
+
+ChurnResult run_churn_experiment(const ChurnSpec& spec) {
+  if (spec.arrivals_per_sec < 0.0) throw std::invalid_argument("negative arrival rate");
+  if (spec.min_size_segments == 0 || spec.max_size_segments < spec.min_size_segments) {
+    throw std::invalid_argument("bad flow-size bounds");
+  }
+  if (spec.pareto_alpha <= 0.0) throw std::invalid_argument("pareto alpha must be > 0");
+  {
+    Rng probe(0);
+    (void)make_cca(spec.cca, probe);
+  }
+
+  Simulator sim;
+  Rng rng(spec.seed);
+  DumbbellTopology topo(sim, spec.scenario.net);
+  topo.bottleneck_queue().set_drop_log_enabled(false);
+
+  ChurnResult result;
+  std::vector<std::unique_ptr<ChurnFlow>> flows;
+  uint32_t next_flow_id = 0;
+  int active_churn = 0;
+
+  const Time end_time = Time::zero() + spec.scenario.stagger +
+                        spec.scenario.warmup + spec.scenario.measure;
+
+  // Background long-running flows, staggered like the fixed experiments.
+  for (const FlowGroup& g : spec.background) {
+    for (int i = 0; i < g.count; ++i) {
+      Rng flow_rng = rng.fork();
+      auto f = std::make_unique<ChurnFlow>();
+      f->is_background = true;
+      const uint32_t id = next_flow_id++;
+      f->receiver =
+          std::make_unique<TcpReceiver>(sim, id, &topo.ack_entry(), spec.receiver);
+      f->sender = std::make_unique<TcpSender>(sim, id, make_cca(g.cca, flow_rng),
+                                              &topo.data_entry(id), spec.tcp);
+      topo.register_flow(id, g.rtt, f->sender.get(), f->receiver.get());
+      TcpSender* sender = f->sender.get();
+      sim.schedule_fn_at(
+          Time::seconds_f(rng.next_double() * spec.scenario.stagger.sec()),
+          [sender] { sender->start(); });
+      flows.push_back(std::move(f));
+    }
+  }
+
+  // Bounded-Pareto flow sizes.
+  auto sample_size = [&rng, &spec] {
+    const double a = spec.pareto_alpha;
+    const auto lo = static_cast<double>(spec.min_size_segments);
+    const auto hi = static_cast<double>(spec.max_size_segments);
+    const double u = rng.next_double();
+    // Inverse CDF of the bounded Pareto.
+    const double x =
+        std::pow(-(u * std::pow(hi, a) - u * std::pow(lo, a) - std::pow(hi, a)) /
+                     (std::pow(hi, a) * std::pow(lo, a)),
+                 -1.0 / a);
+    return static_cast<uint64_t>(std::clamp(x, lo, hi));
+  };
+
+  // Poisson arrivals until the end of the run.
+  std::function<void()> arrival = [&] {
+    if (sim.now() >= end_time) return;
+    if (active_churn >= spec.max_concurrent) {
+      ++result.arrivals_rejected;
+    } else {
+      Rng flow_rng = rng.fork();
+      auto f = std::make_unique<ChurnFlow>();
+      const uint32_t id = next_flow_id++;
+      f->size = sample_size();
+      f->started = sim.now();
+      f->receiver =
+          std::make_unique<TcpReceiver>(sim, id, &topo.ack_entry(), spec.receiver);
+      TcpSenderConfig cfg = spec.tcp;
+      cfg.data_segments = f->size;
+      f->sender = std::make_unique<TcpSender>(sim, id, make_cca(spec.cca, flow_rng),
+                                              &topo.data_entry(id), cfg);
+      topo.register_flow(id, spec.rtt, f->sender.get(), f->receiver.get());
+      ChurnFlow* raw = f.get();
+      f->sender->set_completion_callback([&result, &sim, &active_churn, raw] {
+        if (raw->done) return;
+        raw->done = true;
+        --active_churn;
+        ++result.flows_completed;
+        result.completed_sizes.push_back(raw->size);
+        result.fct_seconds.push_back((sim.now() - raw->started).sec());
+      });
+      ++active_churn;
+      ++result.flows_started;
+      f->sender->start();
+      flows.push_back(std::move(f));
+    }
+    if (spec.arrivals_per_sec > 0.0) {
+      const double gap =
+          -std::log(1.0 - rng.next_double()) / spec.arrivals_per_sec;
+      const Time next = sim.now() + TimeDelta::seconds_f(gap);
+      if (next < end_time) sim.schedule_fn_at(next, arrival);
+    }
+  };
+  if (spec.arrivals_per_sec > 0.0) sim.schedule_fn_at(Time::zero(), arrival);
+
+  sim.run_until(end_time);
+
+  // Goodput over the whole run (churn flows start mid-run, so per-window
+  // snapshots are less meaningful than for fixed flows).
+  double total_in_order = 0.0;
+  double background_in_order = 0.0;
+  for (const auto& f : flows) {
+    const auto bytes = static_cast<double>(f->receiver->goodput_bytes());
+    total_in_order += bytes;
+    if (f->is_background) background_in_order += bytes;
+  }
+  const double duration = end_time.sec();
+  const double payload_capacity =
+      static_cast<double>(spec.scenario.net.bottleneck_rate.bits_per_sec()) *
+      static_cast<double>(kMssBytes) / static_cast<double>(kDataPacketBytes);
+  result.utilization = total_in_order * 8.0 / duration / payload_capacity;
+  result.background_goodput_bps = background_in_order * 8.0 / duration;
+  result.queue = topo.bottleneck_queue().stats();
+
+  log_info("churn done: %llu started, %llu completed, util %.3f",
+           static_cast<unsigned long long>(result.flows_started),
+           static_cast<unsigned long long>(result.flows_completed),
+           result.utilization);
+  return result;
+}
+
+}  // namespace ccas

@@ -1,0 +1,166 @@
+#include "src/harness/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "src/cca/cca.h"
+#include "src/util/rng.h"
+
+namespace ccas {
+
+namespace {
+
+// Splits "a,b,c" into pieces.
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_number(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("bad numeric value for " + flag + ": '" + value + "'");
+  }
+  return v;
+}
+
+FlowGroup parse_group(const std::string& text) {
+  const auto parts = split(text, ':');
+  if (parts.size() != 3) {
+    throw std::invalid_argument("bad --groups entry '" + text +
+                                "' (want cca:count:rtt_ms)");
+  }
+  FlowGroup g;
+  g.cca = parts[0];
+  Rng probe(0);
+  (void)make_cca(g.cca, probe);  // validate the name early
+  g.count = static_cast<int>(parse_number("--groups count", parts[1]));
+  if (g.count <= 0) throw std::invalid_argument("group count must be positive");
+  const double rtt_ms = parse_number("--groups rtt", parts[2]);
+  if (rtt_ms <= 0.0) throw std::invalid_argument("group RTT must be positive");
+  g.rtt = TimeDelta::seconds_f(rtt_ms / 1e3);
+  return g;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return "usage: ccas_run --groups=cca:count:rtt_ms[,...] [options]\n"
+         "  --setting=edge|core   scenario preset (default core)\n"
+         "  --rate=<mbps>         bottleneck rate override\n"
+         "  --buffer=<bytes>      buffer size override\n"
+         "  --stagger=<sec> --warmup=<sec> --measure=<sec>\n"
+         "  --seed=<n>            RNG seed (default 1)\n"
+         "  --jitter=<microsec>   forward-path jitter (default 500)\n"
+         "  --no-sack --no-delack --no-gro\n"
+         "  --trace=<sec>         time-series sampling interval (0 = off)\n"
+         "  --csv=<prefix>        write trace CSVs with this prefix\n"
+         "CCAs: newreno, cubic, bbr, bbr2, vegas, copa (plus registry extensions)\n";
+}
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions opts;
+  opts.spec.scenario = Scenario::core_scale();
+  bool have_groups = false;
+  bool have_rate = false;
+  bool have_buffer = false;
+  std::string rate_value;
+  std::string buffer_value;
+
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected argument '" + arg + "'");
+    }
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    auto need_value = [&] {
+      if (value.empty()) throw std::invalid_argument(key + " needs a value");
+    };
+
+    if (key == "--setting") {
+      need_value();
+      if (value == "edge") {
+        opts.spec.scenario = Scenario::edge_scale();
+      } else if (value == "core") {
+        opts.spec.scenario = Scenario::core_scale();
+      } else {
+        throw std::invalid_argument("--setting must be edge or core");
+      }
+    } else if (key == "--rate") {
+      need_value();
+      have_rate = true;
+      rate_value = value;
+    } else if (key == "--buffer") {
+      need_value();
+      have_buffer = true;
+      buffer_value = value;
+    } else if (key == "--groups") {
+      need_value();
+      for (const auto& g : split(value, ',')) {
+        opts.spec.groups.push_back(parse_group(g));
+      }
+      have_groups = true;
+    } else if (key == "--stagger") {
+      need_value();
+      opts.spec.scenario.stagger = TimeDelta::seconds_f(parse_number(key, value));
+    } else if (key == "--warmup") {
+      need_value();
+      opts.spec.scenario.warmup = TimeDelta::seconds_f(parse_number(key, value));
+    } else if (key == "--measure") {
+      need_value();
+      opts.spec.scenario.measure = TimeDelta::seconds_f(parse_number(key, value));
+    } else if (key == "--seed") {
+      need_value();
+      opts.spec.seed = static_cast<uint64_t>(parse_number(key, value));
+    } else if (key == "--jitter") {
+      need_value();
+      opts.spec.scenario.net.jitter =
+          TimeDelta::seconds_f(parse_number(key, value) / 1e6);
+    } else if (key == "--no-sack") {
+      opts.spec.tcp.sack_enabled = false;
+    } else if (key == "--no-delack") {
+      opts.spec.receiver.delayed_ack = false;
+    } else if (key == "--no-gro") {
+      opts.spec.receiver.gro_enabled = false;
+    } else if (key == "--trace") {
+      need_value();
+      opts.spec.trace_interval = TimeDelta::seconds_f(parse_number(key, value));
+    } else if (key == "--csv") {
+      need_value();
+      opts.csv_prefix = value;
+    } else {
+      throw std::invalid_argument("unknown flag '" + key + "'\n" + cli_usage());
+    }
+  }
+
+  // Overrides are applied after --setting so order does not matter.
+  if (have_rate) {
+    opts.spec.scenario.net.bottleneck_rate =
+        DataRate::bps_f(parse_number("--rate", rate_value) * 1e6);
+  }
+  if (have_buffer) {
+    opts.spec.scenario.net.buffer_bytes =
+        static_cast<int64_t>(parse_number("--buffer", buffer_value));
+    if (opts.spec.scenario.net.buffer_bytes <= 0) {
+      throw std::invalid_argument("--buffer must be positive");
+    }
+  }
+  if (!have_groups) {
+    throw std::invalid_argument("--groups is required\n" + cli_usage());
+  }
+  return opts;
+}
+
+}  // namespace ccas

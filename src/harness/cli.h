@@ -1,0 +1,40 @@
+// Command-line experiment description, used by tools/ccas_run: parses
+// "--key=value" flags into an ExperimentSpec so any of the paper's
+// configurations (and new ones) can be run without writing C++.
+//
+//   ccas_run --setting=core --groups=bbr:1:20,newreno:1000:20
+//            --warmup=10 --measure=30 --seed=7 --trace=0.5 --csv=out
+//
+// Flags:
+//   --setting=edge|core        scenario preset            (default core)
+//   --rate=<mbps>              override bottleneck rate
+//   --buffer=<bytes>           override buffer size
+//   --groups=cca:count:rtt_ms[,...]   flow groups         (required)
+//   --stagger/--warmup/--measure=<sec>
+//   --seed=<n>
+//   --jitter=<microsec>        forward-path jitter
+//   --no-sack / --no-delack / --no-gro
+//   --trace=<sec>              time-series sample interval (0 = off)
+//   --csv=<prefix>             write trace CSVs with this prefix
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace ccas {
+
+struct CliOptions {
+  ExperimentSpec spec;
+  std::string csv_prefix;  // empty = no CSV
+};
+
+// Parses argv-style arguments (excluding argv[0]). Throws
+// std::invalid_argument with a human-readable message on bad input.
+[[nodiscard]] CliOptions parse_cli(const std::vector<std::string>& args);
+
+// The --help text.
+[[nodiscard]] std::string cli_usage();
+
+}  // namespace ccas

@@ -1,0 +1,30 @@
+#include "src/harness/experiment.h"
+
+#include <stdexcept>
+
+#include "src/stats/fairness.h"
+
+namespace ccas {
+
+std::vector<double> ExperimentResult::group_goodputs(int group_index) const {
+  std::vector<double> out;
+  for (size_t i = 0; i < flows.size(); ++i) {
+    if (flow_group[i] == group_index) out.push_back(flows[i].goodput_bps);
+  }
+  return out;
+}
+
+double ExperimentResult::jfi_all() const {
+  std::vector<double> all;
+  all.reserve(flows.size());
+  for (const auto& f : flows) all.push_back(f.goodput_bps);
+  return jain_fairness_index(all);
+}
+
+double ExperimentResult::jfi_group(int group_index) const {
+  const auto goodputs = group_goodputs(group_index);
+  if (goodputs.empty()) throw std::out_of_range("no flows in group");
+  return jain_fairness_index(goodputs);
+}
+
+}  // namespace ccas

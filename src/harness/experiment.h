@@ -1,0 +1,86 @@
+// Experiment specification and result types for the paper's measurement
+// methodology (Section 3.2): groups of same-CCA, same-RTT flows competing
+// over the dumbbell, staggered starts, warm-up exclusion, and per-flow +
+// per-group steady-state metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/harness/scenario.h"
+#include "src/net/queue.h"
+#include "src/stats/flow_recorder.h"
+#include "src/stats/trace.h"
+#include "src/tcp/tcp_receiver.h"
+#include "src/tcp/tcp_sender.h"
+
+namespace ccas {
+
+struct FlowGroup {
+  std::string cca;  // registry name: "newreno", "cubic", "bbr"
+  int count = 1;
+  TimeDelta rtt = TimeDelta::millis(20);
+};
+
+struct ExperimentSpec {
+  Scenario scenario;
+  std::vector<FlowGroup> groups;
+  uint64_t seed = 1;
+
+  TcpSenderConfig tcp;
+  TcpReceiverConfig receiver;
+
+  // Optional early stop: sample aggregate goodput every `convergence_poll`
+  // and stop once it changed <1% over `convergence_window`. Disabled when
+  // convergence_window is zero; the run then lasts exactly
+  // warmup + measure after the stagger period.
+  TimeDelta convergence_window = TimeDelta::zero();
+  TimeDelta convergence_poll = TimeDelta::seconds(1);
+  double convergence_tolerance = 0.01;
+
+  // Record bottleneck drop timestamps (needed for burstiness; costs RAM).
+  bool record_drop_log = true;
+
+  // Time-series tracing (tcpprobe analog): when trace_interval > 0, sample
+  // the flows in trace_flows (empty = every flow) and the bottleneck queue
+  // at that interval, including the warm-up period.
+  TimeDelta trace_interval = TimeDelta::zero();
+  std::vector<uint32_t> trace_flows;
+
+  [[nodiscard]] int total_flows() const {
+    int n = 0;
+    for (const auto& g : groups) n += g.count;
+    return n;
+  }
+};
+
+struct GroupResult {
+  std::string cca;
+  int count = 0;
+  TimeDelta rtt = TimeDelta::zero();
+  double aggregate_goodput_bps = 0.0;
+  double throughput_share = 0.0;  // fraction of all groups' goodput
+  double jfi = 1.0;               // intra-group Jain fairness index
+};
+
+struct ExperimentResult {
+  std::vector<FlowMeasurement> flows;  // indexed by flow id
+  std::vector<int> flow_group;         // flow id -> group index
+  std::vector<GroupResult> groups;
+  QueueStats queue;                         // measurement window only
+  std::vector<Time> drop_times;             // bottleneck drop log (window)
+  double aggregate_goodput_bps = 0.0;
+  double utilization = 0.0;  // aggregate goodput / bottleneck rate
+  TimeDelta measured_for = TimeDelta::zero();
+  bool converged_early = false;
+  uint64_t sim_events = 0;
+  TraceLog trace;  // empty unless trace_interval was set
+
+  // Jain fairness index over an arbitrary subset (by group, or all flows).
+  [[nodiscard]] double jfi_all() const;
+  [[nodiscard]] double jfi_group(int group_index) const;
+  [[nodiscard]] std::vector<double> group_goodputs(int group_index) const;
+};
+
+}  // namespace ccas

@@ -1,0 +1,118 @@
+#include "src/harness/report.h"
+
+#include <cstdio>
+
+namespace ccas {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table::Row& Table::Row::col(const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+Table::Row& Table::Row::col(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  cells_.emplace_back(buf);
+  return *this;
+}
+
+Table::Row& Table::Row::col(int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::Row& Table::Row::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  cells_.emplace_back(buf);
+  return *this;
+}
+
+void Table::Row::done() { table_.add_row(std::move(cells_)); }
+
+std::string Table::to_string() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+      if (c + 1 < widths.size()) line += "  ";
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (const size_t w : widths) total += w + 2;
+  out.append(total >= 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_rate(double bps) {
+  char buf[64];
+  if (bps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gbps", bps / 1e9);
+  } else if (bps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mbps", bps / 1e6);
+  } else if (bps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f kbps", bps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f bps", bps);
+  }
+  return buf;
+}
+
+std::string summarize(const ExperimentResult& result) {
+  Table t({"group", "cca", "flows", "rtt(ms)", "agg goodput", "share", "JFI"});
+  for (size_t gi = 0; gi < result.groups.size(); ++gi) {
+    const GroupResult& g = result.groups[gi];
+    t.row()
+        .col(static_cast<int64_t>(gi))
+        .col(g.cca)
+        .col(static_cast<int64_t>(g.count))
+        .col(g.rtt.ms(), 0)
+        .col(format_rate(g.aggregate_goodput_bps))
+        .pct(g.throughput_share)
+        .col(g.jfi, 3)
+        .done();
+  }
+  std::string out = t.to_string();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "utilization %.1f%%, drops %llu (%.4f%% of enqueue attempts), "
+                "measured %.1fs%s\n",
+                result.utilization * 100.0,
+                static_cast<unsigned long long>(result.queue.dropped_packets),
+                100.0 * static_cast<double>(result.queue.dropped_packets) /
+                    std::max<double>(1.0,
+                                     static_cast<double>(result.queue.dropped_packets +
+                                                         result.queue.enqueued_packets)),
+                result.measured_for.sec(),
+                result.converged_early ? " (converged early)" : "");
+  out += buf;
+  return out;
+}
+
+}  // namespace ccas

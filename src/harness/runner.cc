@@ -1,0 +1,225 @@
+#include "src/harness/runner.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+
+#include "src/cca/cca.h"
+#include "src/stats/fairness.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+#include "src/stats/convergence.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace ccas {
+
+namespace {
+
+struct Flow {
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+  int group = 0;
+};
+
+FlowCounters snapshot(Time now, const Flow& flow, const DropTailQueue& queue,
+                      uint32_t flow_id) {
+  FlowCounters c;
+  c.at = now;
+  const TcpSenderStats& s = flow.sender->stats();
+  c.segments_sent = s.segments_sent;
+  c.retransmits = s.retransmits;
+  c.delivered = s.delivered;
+  c.congestion_events = s.congestion_events;
+  c.rto_events = s.rto_events;
+  c.queue_drops = flow_id < queue.per_flow_drops().size()
+                      ? queue.per_flow_drops()[flow_id]
+                      : 0;
+  c.rcv_in_order = flow.receiver->rcv_nxt();
+  c.rtt_sample_sum_ns = s.rtt_sample_sum_ns;
+  c.rtt_sample_count = s.rtt_sample_count;
+  return c;
+}
+
+void validate(const ExperimentSpec& spec) {
+  if (spec.groups.empty()) throw std::invalid_argument("experiment has no flow groups");
+  for (const auto& g : spec.groups) {
+    if (g.count <= 0) throw std::invalid_argument("flow group with count <= 0");
+    if (g.rtt <= TimeDelta::zero()) throw std::invalid_argument("non-positive RTT");
+    Rng probe(0);
+    (void)make_cca(g.cca, probe);  // throws for unknown names
+  }
+  if (spec.scenario.measure <= TimeDelta::zero()) {
+    throw std::invalid_argument("non-positive measurement window");
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  validate(spec);
+
+  Simulator sim;
+  Rng rng(spec.seed);
+  DumbbellTopology topo(sim, spec.scenario.net);
+  DropTailQueue& queue = topo.bottleneck_queue();
+  queue.set_drop_log_enabled(spec.record_drop_log);
+
+  // Build flows: ids are assigned in group order, so flows of one group
+  // are spread round-robin over the sender/receiver pairs like all others.
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<size_t>(spec.total_flows()));
+  uint32_t flow_id = 0;
+  for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+    const FlowGroup& g = spec.groups[gi];
+    for (int i = 0; i < g.count; ++i, ++flow_id) {
+      Rng flow_rng = rng.fork();
+      Flow f;
+      f.group = static_cast<int>(gi);
+      f.receiver = std::make_unique<TcpReceiver>(sim, flow_id, &topo.ack_entry(),
+                                                 spec.receiver);
+      f.sender = std::make_unique<TcpSender>(sim, flow_id, make_cca(g.cca, flow_rng),
+                                             &topo.data_entry(flow_id), spec.tcp);
+      topo.register_flow(flow_id, g.rtt, f.sender.get(), f.receiver.get());
+      flows.push_back(std::move(f));
+    }
+  }
+
+  // Time-series tracing (optional).
+  ExperimentResult result;
+  std::function<void()> trace_tick;
+  if (spec.trace_interval > TimeDelta::zero()) {
+    trace_tick = [&] {
+      QueueTraceSample qs;
+      qs.at = sim.now();
+      qs.queued_bytes = queue.queued_bytes();
+      qs.dropped_packets = queue.stats().dropped_packets;
+      result.trace.add_queue_sample(qs);
+      auto sample_flow = [&](uint32_t id) {
+        if (id >= flows.size()) return;
+        const Flow& f = flows[id];
+        FlowTraceSample ts;
+        ts.at = sim.now();
+        ts.cwnd = f.sender->cca().cwnd();
+        ts.inflight = f.sender->inflight();
+        ts.delivered = f.sender->stats().delivered;
+        ts.congestion_events = f.sender->stats().congestion_events;
+        ts.rto_events = f.sender->stats().rto_events;
+        const DataRate pr = f.sender->cca().pacing_rate();
+        ts.pacing_bps = pr.is_infinite() ? 0.0
+                                         : static_cast<double>(pr.bits_per_sec());
+        ts.in_recovery = f.sender->in_recovery();
+        result.trace.add_flow_sample(id, ts);
+      };
+      if (spec.trace_flows.empty()) {
+        for (uint32_t id = 0; id < flows.size(); ++id) sample_flow(id);
+      } else {
+        for (const uint32_t id : spec.trace_flows) sample_flow(id);
+      }
+      sim.schedule_fn_in(spec.trace_interval, trace_tick);
+    };
+    sim.schedule_fn_in(spec.trace_interval, trace_tick);
+  }
+
+  // Staggered starts over [0, stagger), as in the testbed (0-2 minutes).
+  for (auto& f : flows) {
+    const double offset =
+        rng.next_double() * std::max(spec.scenario.stagger.sec(), 0.0);
+    TcpSender* sender = f.sender.get();
+    sim.schedule_fn_at(Time::seconds_f(offset), [sender] { sender->start(); });
+  }
+
+  // Warm-up: run, then reset measurement accounting.
+  const Time warmup_end =
+      Time::zero() + spec.scenario.stagger + spec.scenario.warmup;
+  sim.run_until(warmup_end);
+  queue.reset_accounting();
+  std::vector<FlowCounters> begin;
+  begin.reserve(flows.size());
+  for (uint32_t i = 0; i < flows.size(); ++i) {
+    begin.push_back(snapshot(sim.now(), flows[i], queue, i));
+  }
+
+  // Measurement window, optionally with the paper's 1%-delta stop rule.
+  bool converged_early = false;
+  const Time measure_end = warmup_end + spec.scenario.measure;
+  if (spec.convergence_window > TimeDelta::zero()) {
+    ConvergenceDetector detector(spec.convergence_window, spec.convergence_tolerance);
+    while (sim.now() < measure_end) {
+      const Time next = std::min(sim.now() + spec.convergence_poll, measure_end);
+      sim.run_until(next);
+      // Metric: cumulative average aggregate goodput since warm-up.
+      uint64_t in_order = 0;
+      for (uint32_t i = 0; i < flows.size(); ++i) {
+        in_order += flows[i].receiver->rcv_nxt() - begin[i].rcv_in_order;
+      }
+      const double elapsed = (sim.now() - warmup_end).sec();
+      if (elapsed > 0.0) {
+        detector.add_sample(sim.now(),
+                            static_cast<double>(in_order) / elapsed);
+      }
+      if (detector.converged()) {
+        converged_early = true;
+        break;
+      }
+    }
+  } else {
+    sim.run_until(measure_end);
+  }
+
+  // Final snapshots and result assembly.
+  result.converged_early = converged_early;
+  result.measured_for = sim.now() - warmup_end;
+  result.sim_events = sim.events_processed();
+  result.queue = queue.stats();
+  result.drop_times.reserve(queue.drop_log().size());
+  for (const DropRecord& d : queue.drop_log()) result.drop_times.push_back(d.at);
+
+  result.flows.reserve(flows.size());
+  result.flow_group.reserve(flows.size());
+  double total_goodput = 0.0;
+  for (uint32_t i = 0; i < flows.size(); ++i) {
+    const FlowCounters end = snapshot(sim.now(), flows[i], queue, i);
+    FlowMeasurement m = measure_flow(i, begin[i], end, kMssBytes);
+    total_goodput += m.goodput_bps;
+    result.flows.push_back(m);
+    result.flow_group.push_back(flows[i].group);
+  }
+  result.aggregate_goodput_bps = total_goodput;
+  // Normalize by the payload efficiency (1448 MSS / 1500 wire bytes): a
+  // saturated link carries payload at MSS/wire of its line rate.
+  const double payload_capacity =
+      static_cast<double>(spec.scenario.net.bottleneck_rate.bits_per_sec()) *
+      static_cast<double>(kMssBytes) / static_cast<double>(kDataPacketBytes);
+  result.utilization = total_goodput / payload_capacity;
+
+  result.groups.reserve(spec.groups.size());
+  for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+    GroupResult gr;
+    gr.cca = spec.groups[gi].cca;
+    gr.count = spec.groups[gi].count;
+    gr.rtt = spec.groups[gi].rtt;
+    const auto goodputs = [&] {
+      std::vector<double> v;
+      for (size_t i = 0; i < result.flows.size(); ++i) {
+        if (result.flow_group[i] == static_cast<int>(gi)) {
+          v.push_back(result.flows[i].goodput_bps);
+        }
+      }
+      return v;
+    }();
+    for (const double g : goodputs) gr.aggregate_goodput_bps += g;
+    gr.throughput_share =
+        total_goodput > 0.0 ? gr.aggregate_goodput_bps / total_goodput : 0.0;
+    gr.jfi = goodputs.empty() ? 1.0 : jain_fairness_index(goodputs);
+    result.groups.push_back(gr);
+  }
+
+  log_info("experiment done: %zu flows, %.2f Gbps aggregate, util %.3f, %llu events",
+           flows.size(), total_goodput / 1e9, result.utilization,
+           static_cast<unsigned long long>(result.sim_events));
+  return result;
+}
+
+}  // namespace ccas

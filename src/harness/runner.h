@@ -1,0 +1,15 @@
+// Builds and runs one experiment end-to-end: topology, per-flow TCP
+// endpoints with the requested CCAs, staggered starts, warm-up exclusion,
+// optional convergence-based early stop, and result extraction.
+#pragma once
+
+#include "src/harness/experiment.h"
+
+namespace ccas {
+
+// Runs the experiment to completion and returns the steady-state result.
+// Deterministic given spec.seed. Throws std::invalid_argument on malformed
+// specs (no groups, unknown CCA names, non-positive durations).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace ccas

@@ -1,0 +1,62 @@
+#include "src/harness/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace ccas {
+
+Scenario Scenario::edge_scale() {
+  Scenario s;
+  s.setting = Setting::kEdgeScale;
+  s.net.bottleneck_rate = DataRate::mbps(100);
+  // ~1 BDP at 200 ms: 100 Mbps * 200 ms / 8 = 2.5 MB; the paper uses 3 MB.
+  s.net.buffer_bytes = 3LL * 1000 * 1000;
+  s.net.num_pairs = 10;
+  return s;
+}
+
+Scenario Scenario::core_scale() {
+  Scenario s;
+  s.setting = Setting::kCoreScale;
+  s.net.bottleneck_rate = DataRate::gbps(10);
+  // ~1 BDP at 200 ms: 10 Gbps * 200 ms / 8 = 250 MB; the paper uses 375 MB.
+  s.net.buffer_bytes = 375LL * 1000 * 1000;
+  s.net.num_pairs = 10;
+  return s;
+}
+
+Scenario Scenario::for_setting(Setting setting) {
+  return setting == Setting::kEdgeScale ? edge_scale() : core_scale();
+}
+
+namespace {
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || parsed <= 0.0) return fallback;
+  return parsed;
+}
+}  // namespace
+
+double Scenario::apply_env_overrides() {
+  const double scale = env_double("REPRO_SCALE", 1.0);
+  if (scale != 1.0) {
+    net.bottleneck_rate = net.bottleneck_rate * scale;
+    net.buffer_bytes = std::max<int64_t>(
+        static_cast<int64_t>(static_cast<double>(net.buffer_bytes) * scale),
+        16 * kDataPacketBytes);
+  }
+  warmup = TimeDelta::seconds_f(env_double("REPRO_WARMUP_SEC", warmup.sec()));
+  measure = TimeDelta::seconds_f(env_double("REPRO_MEASURE_SEC", measure.sec()));
+  stagger = TimeDelta::seconds_f(env_double("REPRO_STAGGER_SEC", stagger.sec()));
+  return scale;
+}
+
+int scaled_flow_count(int count, double scale) {
+  return std::max(1, static_cast<int>(std::lround(count * scale)));
+}
+
+}  // namespace ccas

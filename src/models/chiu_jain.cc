@@ -1,0 +1,56 @@
+#include "src/models/chiu_jain.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ccas {
+
+ChiuJainAimd::ChiuJainAimd(const AimdParams& params, std::vector<double> initial_rates)
+    : params_(params), rates_(std::move(initial_rates)) {
+  if (rates_.empty()) throw std::invalid_argument("need at least one flow");
+  if (params.capacity <= 0.0) throw std::invalid_argument("capacity must be positive");
+  if (params.multiplicative_decrease <= 0.0 || params.multiplicative_decrease >= 1.0) {
+    throw std::invalid_argument("decrease factor must be in (0, 1)");
+  }
+}
+
+void ChiuJainAimd::step() {
+  double total = 0.0;
+  for (double& r : rates_) {
+    r += params_.additive_increase;
+    total += r;
+  }
+  if (total > params_.capacity) {
+    for (double& r : rates_) r *= params_.multiplicative_decrease;
+  }
+}
+
+void ChiuJainAimd::run(int rounds) {
+  for (int i = 0; i < rounds; ++i) step();
+}
+
+double ChiuJainAimd::jain_index() const {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double r : rates_) {
+    sum += r;
+    sum_sq += r * r;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(rates_.size()) * sum_sq);
+}
+
+double ChiuJainAimd::utilization() const {
+  const double total = std::accumulate(rates_.begin(), rates_.end(), 0.0);
+  return total / params_.capacity;
+}
+
+int ChiuJainAimd::rounds_to_fairness(double threshold, int max_rounds) {
+  for (int i = 0; i < max_rounds; ++i) {
+    if (jain_index() >= threshold) return i;
+    step();
+  }
+  return jain_index() >= threshold ? max_rounds : -1;
+}
+
+}  // namespace ccas

@@ -1,0 +1,41 @@
+// Chiu & Jain (1989): convergence of AIMD to fairness. The reproduced
+// paper cites this as the theoretical basis for NewReno/Cubic intra-CCA
+// fairness (Finding 4). We provide the classic two-flow (and n-flow)
+// AIMD trajectory iteration so tests and examples can demonstrate the
+// convergence-to-fair-share property analytically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ccas {
+
+struct AimdParams {
+  double additive_increase = 1.0;        // segments per round
+  double multiplicative_decrease = 0.5;  // factor retained on congestion
+  double capacity = 100.0;               // link capacity in segments/round
+};
+
+class ChiuJainAimd {
+ public:
+  ChiuJainAimd(const AimdParams& params, std::vector<double> initial_rates);
+
+  // Advances one synchronized round: all flows increase additively; if the
+  // aggregate exceeds capacity, all flows decrease multiplicatively
+  // (synchronized feedback, as in the original paper).
+  void step();
+  void run(int rounds);
+
+  [[nodiscard]] const std::vector<double>& rates() const { return rates_; }
+  [[nodiscard]] double jain_index() const;
+  [[nodiscard]] double utilization() const;
+  // Rounds until the Jain index first exceeds `threshold` (runs the
+  // system; -1 if not reached within max_rounds).
+  [[nodiscard]] int rounds_to_fairness(double threshold, int max_rounds);
+
+ private:
+  AimdParams params_;
+  std::vector<double> rates_;
+};
+
+}  // namespace ccas

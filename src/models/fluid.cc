@@ -1,0 +1,80 @@
+#include "src/models/fluid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/stats/fairness.h"
+
+namespace ccas {
+
+FluidAimdSimulator::FluidAimdSimulator(const FluidParams& params) : params_(params) {
+  if (params.dt_sec <= 0.0) throw std::invalid_argument("dt must be positive");
+  if (params.beta <= 0.0 || params.beta >= 1.0) {
+    throw std::invalid_argument("beta must be in (0, 1)");
+  }
+  if (params.sync_fraction <= 0.0 || params.sync_fraction > 1.0) {
+    throw std::invalid_argument("sync_fraction must be in (0, 1]");
+  }
+}
+
+FluidResult FluidAimdSimulator::run(int flows, TimeDelta duration,
+                                    std::vector<double> initial_windows) {
+  if (flows <= 0) throw std::invalid_argument("need at least one flow");
+  const double c_bytes = static_cast<double>(params_.capacity.bits_per_sec()) / 8.0;
+  const double mss = static_cast<double>(params_.mss_bytes);
+  const double base = params_.base_rtt.sec();
+  const double bdp_seg = c_bytes * base / mss;
+  const double buf_seg = static_cast<double>(params_.buffer_bytes) / mss;
+
+  std::vector<double> w = std::move(initial_windows);
+  w.resize(static_cast<size_t>(flows), 10.0);
+  std::vector<double> delivered_seg(static_cast<size_t>(flows), 0.0);
+
+  FluidResult result;
+  size_t next_cut = 0;  // round-robin pointer for desynchronized epochs
+  const double dt = params_.dt_sec;
+  const auto steps = static_cast<int64_t>(duration.sec() / dt);
+
+  for (int64_t step = 0; step < steps; ++step) {
+    double total_w = 0.0;
+    for (const double wi : w) total_w += wi;
+    const double queue_seg = std::max(0.0, total_w - bdp_seg);
+    const double rtt = base + queue_seg * mss / c_bytes;
+
+    // Service: each flow's share of capacity is its share of in-flight
+    // data (FIFO fluid limit); when uncongested, a flow delivers W/RTT.
+    const double agg_rate_seg =
+        std::min(total_w / rtt, c_bytes / mss);  // segments per second
+    for (size_t i = 0; i < w.size(); ++i) {
+      const double share = total_w > 0.0 ? w[i] / total_w : 0.0;
+      delivered_seg[i] += share * agg_rate_seg * dt;
+      w[i] += dt / rtt;  // additive increase
+    }
+
+    // Congestion epoch: buffer overflow.
+    if (queue_seg > buf_seg) {
+      ++result.congestion_epochs;
+      const auto cut =
+          std::max<size_t>(1, static_cast<size_t>(params_.sync_fraction *
+                                                  static_cast<double>(w.size())));
+      for (size_t k = 0; k < cut; ++k) {
+        w[next_cut % w.size()] *= params_.beta;
+        ++next_cut;
+      }
+    }
+  }
+
+  result.throughput_bps.reserve(w.size());
+  double total_bps = 0.0;
+  for (const double d : delivered_seg) {
+    const double bps = d * mss * 8.0 / duration.sec();
+    result.throughput_bps.push_back(bps);
+    total_bps += bps;
+  }
+  result.utilization =
+      total_bps / (static_cast<double>(params_.capacity.bits_per_sec()));
+  result.jfi = jain_fairness_index(result.throughput_bps);
+  return result;
+}
+
+}  // namespace ccas

@@ -1,0 +1,57 @@
+// Fluid-model AIMD simulator — the class of approximation the paper's
+// methodology section (§3.2) rejects ("may not accurately capture
+// fine-grained dynamics"). We build it as a comparator so the claim is
+// testable: the fluid model predicts near-perfect fairness and a
+// loss-to-halving ratio of exactly 1, while the packet-level simulator
+// reproduces the paper's burst-loss and desynchronization effects.
+//
+// Model: N AIMD flows over one bottleneck of capacity C with buffer B.
+//   dW_i/dt = 1 / RTT(t)                 (additive increase)
+//   RTT(t)  = base_rtt + Q(t) / C
+//   Q(t)    = max(0, sum_i W_i - C * base_rtt)
+// When Q exceeds B, a congestion epoch occurs: flows are reduced
+// multiplicatively. `sync_fraction` controls how many flows cut per epoch
+// (1.0 = fully synchronized, the classic deterministic fluid limit;
+// smaller values emulate desynchronization round-robin).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+struct FluidParams {
+  DataRate capacity = DataRate::mbps(100);
+  int64_t buffer_bytes = 3'000'000;
+  TimeDelta base_rtt = TimeDelta::millis(20);
+  int64_t mss_bytes = 1448;
+  double beta = 0.5;           // multiplicative decrease
+  double sync_fraction = 1.0;  // fraction of flows cut per congestion epoch
+  double dt_sec = 1e-3;        // Euler step
+};
+
+struct FluidResult {
+  std::vector<double> throughput_bps;  // per flow, time-averaged
+  double utilization = 0.0;
+  double jfi = 0.0;
+  uint64_t congestion_epochs = 0;
+  // In the fluid model every "loss" is exactly one halving, by construction.
+  double loss_to_halving_ratio = 1.0;
+};
+
+class FluidAimdSimulator {
+ public:
+  explicit FluidAimdSimulator(const FluidParams& params);
+
+  // Runs `flows` AIMD flows for `duration`, starting from the given
+  // initial windows (segments); pads/truncates to `flows`.
+  [[nodiscard]] FluidResult run(int flows, TimeDelta duration,
+                                std::vector<double> initial_windows = {});
+
+ private:
+  FluidParams params_;
+};
+
+}  // namespace ccas

@@ -1,0 +1,33 @@
+#include "src/models/mathis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ccas {
+
+DataRate MathisModel::predict(TimeDelta rtt, double p) const {
+  if (p <= 0.0) return DataRate::infinite();
+  if (rtt <= TimeDelta::zero()) throw std::invalid_argument("rtt must be positive");
+  const double bytes_per_sec =
+      static_cast<double>(mss_bytes_) * c_ / (rtt.sec() * std::sqrt(p));
+  return DataRate::bps_f(bytes_per_sec * 8.0);
+}
+
+double MathisModel::required_event_rate(TimeDelta rtt, DataRate throughput) const {
+  if (rtt <= TimeDelta::zero()) throw std::invalid_argument("rtt must be positive");
+  if (throughput.is_zero()) return 1.0;
+  const double bytes_per_sec = static_cast<double>(throughput.bits_per_sec()) / 8.0;
+  const double sqrt_p = static_cast<double>(mss_bytes_) * c_ / (rtt.sec() * bytes_per_sec);
+  return sqrt_p * sqrt_p;
+}
+
+double MathisModel::implied_constant(DataRate throughput, TimeDelta rtt, double p,
+                                     int64_t mss_bytes) {
+  if (p <= 0.0 || rtt <= TimeDelta::zero()) {
+    throw std::invalid_argument("need positive p and rtt");
+  }
+  const double bytes_per_sec = static_cast<double>(throughput.bits_per_sec()) / 8.0;
+  return bytes_per_sec * rtt.sec() * std::sqrt(p) / static_cast<double>(mss_bytes);
+}
+
+}  // namespace ccas

@@ -1,0 +1,45 @@
+// The Mathis model (Mathis, Semke, Mahdavi, Ott; CCR 1997) — equation (1)
+// of the reproduced paper:
+//
+//     Throughput = MSS * C / (RTT * sqrt(p))
+//
+// `p` is the congestion-event rate. The original paper defines it as the
+// rate of congestion-window halvings per acknowledged packet; later work
+// commonly substitutes the network packet-loss rate. The reproduced paper's
+// Findings 1-3 are about when that substitution breaks down.
+#pragma once
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+class MathisModel {
+ public:
+  // C = 0.94 is Mathis's derivation for NewReno with delayed + selective
+  // ACKs; sqrt(3/2) ~= 1.22 is the classic no-delayed-ACK value.
+  static constexpr double kMathisConstantDelayedSack = 0.94;
+  static constexpr double kMathisConstantClassic = 1.2247448713915890;
+
+  MathisModel(double c, int64_t mss_bytes) : c_(c), mss_bytes_(mss_bytes) {}
+
+  // Predicted throughput for congestion-event rate `p` (events per ACKed
+  // segment) and round-trip time `rtt`.
+  [[nodiscard]] DataRate predict(TimeDelta rtt, double p) const;
+
+  // Inverse: the event rate a flow must see to be held to `throughput`.
+  [[nodiscard]] double required_event_rate(TimeDelta rtt, DataRate throughput) const;
+
+  // Inverse: the throughput-maximizing constant for one observation
+  // (solves the equation for C).
+  [[nodiscard]] static double implied_constant(DataRate throughput, TimeDelta rtt,
+                                               double p, int64_t mss_bytes);
+
+  [[nodiscard]] double constant() const { return c_; }
+  [[nodiscard]] int64_t mss_bytes() const { return mss_bytes_; }
+
+ private:
+  double c_;
+  int64_t mss_bytes_;
+};
+
+}  // namespace ccas

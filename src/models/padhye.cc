@@ -1,0 +1,26 @@
+#include "src/models/padhye.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ccas {
+
+DataRate PadhyeModel::predict(TimeDelta rtt, double p) const {
+  if (rtt <= TimeDelta::zero()) throw std::invalid_argument("rtt must be positive");
+  if (p <= 0.0) return DataRate::infinite();
+  const double b = params_.acked_per_ack;
+  const double rtt_s = rtt.sec();
+  const double t0_s = params_.t0.sec();
+
+  const double ca_term = rtt_s * std::sqrt(2.0 * b * p / 3.0);
+  const double rto_prob = std::min(1.0, 3.0 * std::sqrt(3.0 * b * p / 8.0));
+  const double rto_term = t0_s * rto_prob * p * (1.0 + 32.0 * p * p);
+  const double segs_per_sec = 1.0 / (ca_term + rto_term);
+
+  const double window_limit = params_.max_window_segments / rtt_s;
+  const double rate_segs = std::min(segs_per_sec, window_limit);
+  return DataRate::bps_f(rate_segs * static_cast<double>(params_.mss_bytes) * 8.0);
+}
+
+}  // namespace ccas

@@ -1,0 +1,37 @@
+// The PFTK model (Padhye, Firoiu, Towsley, Kurose; SIGCOMM 1998): a more
+// complete NewReno throughput model that also accounts for the
+// receiver-window limit and retransmission timeouts. The reproduced paper
+// cites it alongside Mathis as the standard edge-derived throughput model;
+// we provide it for cross-checking the Mathis results.
+//
+//   B(p) = min( Wmax/RTT,
+//               1 / ( RTT*sqrt(2bp/3) + T0*min(1, 3*sqrt(3bp/8))*p*(1+32p^2) ) )
+//
+// in segments per second, where b is the number of segments acknowledged
+// per ACK (2 with delayed ACKs) and T0 the retransmission timeout.
+#pragma once
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+struct PadhyeParams {
+  int64_t mss_bytes = 1448;
+  double acked_per_ack = 2.0;          // b: delayed ACKs
+  TimeDelta t0 = TimeDelta::seconds(1);  // retransmission timeout
+  double max_window_segments = 1e9;    // Wmax (receiver window), in segments
+};
+
+class PadhyeModel {
+ public:
+  explicit PadhyeModel(const PadhyeParams& params = {}) : params_(params) {}
+
+  [[nodiscard]] DataRate predict(TimeDelta rtt, double p) const;
+
+  [[nodiscard]] const PadhyeParams& params() const { return params_; }
+
+ private:
+  PadhyeParams params_;
+};
+
+}  // namespace ccas

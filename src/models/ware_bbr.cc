@@ -1,0 +1,75 @@
+#include "src/models/ware_bbr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/models/mathis.h"
+
+namespace ccas {
+
+WareBbrModel::WareBbrModel(const WareBbrParams& params) : params_(params) {
+  if (params.num_bbr < 1) throw std::invalid_argument("need at least one BBR flow");
+  if (params.buffer_bytes < 0) throw std::invalid_argument("negative buffer");
+}
+
+double WareBbrModel::inflight_cap_segments(DataRate btlbw_est, TimeDelta rtprop) const {
+  const double cap_bytes = params_.cwnd_gain *
+                           static_cast<double>(btlbw_est.bits_per_sec()) / 8.0 *
+                           rtprop.sec();
+  return std::max(cap_bytes / static_cast<double>(params_.mss_bytes),
+                  static_cast<double>(params_.min_cwnd_segments));
+}
+
+TimeDelta WareBbrModel::queue_inflated_rtt(int64_t occupied_bytes) const {
+  return params_.rtprop + params_.link.transfer_time(occupied_bytes);
+}
+
+WareBbrPrediction WareBbrModel::predict() const {
+  // Closed-form regime model of the Ware et al. mechanism. Notation:
+  //   BDP = C * RTprop,  q = buffer,  q_hat = q / BDP,  pipe = BDP + q.
+  //
+  // The binding constraint when loss-based flows keep a standing queue is
+  // BBR's in-flight cap, cap_i = cwnd_gain * BtlBw_i * RTprop_i, with two
+  // estimation artifacts:
+  //   * BtlBw_i converges to the flow's own FIFO service share f_i * C;
+  //   * RTprop_i is inflated — PROBE_RTT drains only the flow's *own*
+  //     queue share, so RTprop_i ~= R + (q - q_own_i) / C.
+  // With n same-sized BBR flows (aggregate share f, q_own_i = f q / n):
+  //   f * pipe = 2 * f * C * (R + q (1 - f/n) / C)
+  // whose non-zero fixed point is
+  //   f_cap = n * (1 + q_hat) / (2 * q_hat).
+  // For one flow and a deep buffer this is a proper fraction — a *fixed*
+  // share independent of how many loss-based flows compete, because they
+  // are elastic: their loss rate p adjusts to absorb exactly the remainder
+  // (paper Finding 6, Ware et al.'s "40%"). For n >= 2 (or q <= BDP) the
+  // cap exceeds the pipe and BBR takes everything except the competitors'
+  // min-cwnd floor (paper Finding 7's 99.9%).
+  const double c_bytes = static_cast<double>(params_.link.bits_per_sec()) / 8.0;
+  const double bdp = c_bytes * params_.rtprop.sec();
+  const double buf = static_cast<double>(params_.buffer_bytes);
+  const double pipe = bdp + buf;
+  const double mss = static_cast<double>(params_.mss_bytes);
+  const double q_hat = buf / bdp;
+  const double n_bbr = static_cast<double>(params_.num_bbr);
+  const double n_loss = std::max(0.0, static_cast<double>(params_.num_loss_based));
+
+  const double f_cap =
+      q_hat <= 1.0 ? 1.0 : std::min(1.0, n_bbr * (1.0 + q_hat) / (2.0 * q_hat));
+
+  // Floors from minimum windows: neither side can be pushed below
+  // min_cwnd segments per flow.
+  const double bbr_floor =
+      n_bbr * static_cast<double>(params_.min_cwnd_segments) * mss / pipe;
+  const double loss_floor = n_loss * 2.0 * mss / pipe;
+  const double f = std::clamp(f_cap, std::min(bbr_floor, 1.0),
+                              std::max(1.0 - loss_floor, 0.0));
+
+  WareBbrPrediction out;
+  out.bbr_fraction = f;
+  out.window_limited = q_hat > 1.0;
+  out.inflight_cap_segments = f * pipe / mss / n_bbr;
+  return out;
+}
+
+}  // namespace ccas

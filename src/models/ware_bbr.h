@@ -1,0 +1,70 @@
+// The Ware et al. model of BBR competing with loss-based CCAs ("Modeling
+// BBR's Interactions with Loss-Based Congestion Control", IMC 2019), which
+// the reproduced paper's Finding 6 validates at scale.
+//
+// Key mechanism: when BBR shares a deep-buffered bottleneck with
+// loss-based flows, it stops being pacing-limited and becomes
+// *window-limited* by its in-flight cap
+//
+//     cap = cwnd_gain * BtlBw_est * RTprop_est   (cwnd_gain = 2)
+//
+// BtlBw_est is BBR's own max delivery rate over a 10-round window (i.e. its
+// recent share of the link, uplifted by the 1.25 ProbeBW phase), and
+// RTprop_est is the true base RTT (refreshed by PROBE_RTT). With the queue
+// held at occupancy ~= buffer by loss-based competitors, every flow's RTT
+// is inflated to RTT_q = RTprop * (1 + q_hat) where q_hat = buffer/BDP, so
+// BBR's window-limited throughput fraction is
+//
+//     f = cap / (BDP + buffer)      (its share of the total in-flight data)
+//
+// Ware et al. show this fraction is insensitive to the *number* of
+// loss-based competitors (they collectively fill whatever BBR leaves), and
+// measured f ~= 0.35-0.45 for one BBR flow with ~1-BDP buffers. When the
+// number of BBR flows grows toward parity, the aggregate cap exceeds
+// BDP + buffer and BBR takes nearly everything (the paper's Finding 7).
+#pragma once
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+struct WareBbrParams {
+  DataRate link = DataRate::gbps(10);
+  TimeDelta rtprop = TimeDelta::millis(20);
+  int64_t buffer_bytes = 0;  // bottleneck buffer
+  int num_bbr = 1;
+  int num_loss_based = 1000;
+  double cwnd_gain = 2.0;
+  double probe_gain = 1.25;
+  uint64_t min_cwnd_segments = 4;
+  int64_t mss_bytes = 1448;
+};
+
+struct WareBbrPrediction {
+  // Aggregate fraction of link throughput taken by the BBR flow(s).
+  double bbr_fraction = 0.0;
+  // Whether the in-flight cap (vs pacing) is the binding constraint.
+  bool window_limited = true;
+  // The per-flow in-flight cap, in segments, at the predicted equilibrium.
+  double inflight_cap_segments = 0.0;
+};
+
+class WareBbrModel {
+ public:
+  explicit WareBbrModel(const WareBbrParams& params);
+
+  [[nodiscard]] WareBbrPrediction predict() const;
+
+  // The in-flight cap for a given bandwidth estimate and RTprop (segments).
+  [[nodiscard]] double inflight_cap_segments(DataRate btlbw_est, TimeDelta rtprop) const;
+
+  // Queue-inflated RTT when the buffer is held at `occupied_bytes`.
+  [[nodiscard]] TimeDelta queue_inflated_rtt(int64_t occupied_bytes) const;
+
+  [[nodiscard]] const WareBbrParams& params() const { return params_; }
+
+ private:
+  WareBbrParams params_;
+};
+
+}  // namespace ccas

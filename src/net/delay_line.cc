@@ -1,0 +1,79 @@
+#include "src/net/delay_line.h"
+
+#include <utility>
+
+namespace ccas {
+
+DelayLine::DelayLine(Simulator& sim, TimeDelta delay, PacketSink* dest)
+    : sim_(sim), delay_(delay), dest_(dest) {
+  if (dest == nullptr) throw std::invalid_argument("DelayLine needs a destination");
+  if (delay < TimeDelta::zero()) throw std::invalid_argument("negative delay");
+}
+
+void DelayLine::accept(Packet&& pkt) {
+  fifo_.push_back(std::move(pkt));
+  sim_.schedule_in(delay_, this, 0);
+}
+
+void DelayLine::on_event(uint32_t /*tag*/, uint64_t /*arg*/) {
+  Packet p = std::move(fifo_.front());
+  fifo_.pop_front();
+  dest_->accept(std::move(p));
+}
+
+NetemDelay::NetemDelay(Simulator& sim, PacketSink* dest) : sim_(sim), dest_(dest) {
+  if (dest == nullptr) throw std::invalid_argument("NetemDelay needs a destination");
+}
+
+void NetemDelay::set_flow_delay(uint32_t flow_id, TimeDelta delay) {
+  if (delay < TimeDelta::zero()) throw std::invalid_argument("negative delay");
+  if (flow_id >= delays_.size()) delays_.resize(flow_id + 1, TimeDelta::zero());
+  delays_[flow_id] = delay;
+}
+
+TimeDelta NetemDelay::flow_delay(uint32_t flow_id) const {
+  if (flow_id >= delays_.size()) return TimeDelta::zero();
+  return delays_[flow_id];
+}
+
+void NetemDelay::set_jitter(TimeDelta jitter, uint64_t seed) {
+  if (jitter < TimeDelta::zero()) throw std::invalid_argument("negative jitter");
+  jitter_ = jitter;
+  jitter_rng_ = jitter.is_zero() ? nullptr : std::make_unique<Rng>(seed);
+}
+
+void NetemDelay::accept(Packet&& pkt) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(pkt);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(pkt));
+  }
+  ++in_transit_;
+  const uint32_t flow = slots_[slot].flow_id;
+  TimeDelta delay = flow_delay(flow);
+  if (jitter_rng_ != nullptr) {
+    delay += jitter_ * jitter_rng_->next_double();
+    // Clamp so packets of one flow never reorder.
+    if (flow >= last_release_.size()) last_release_.resize(flow + 1, Time::zero());
+    Time release = sim_.now() + delay;
+    if (release < last_release_[flow]) release = last_release_[flow];
+    last_release_[flow] = release;
+    sim_.schedule_at(release, this, 0, slot);
+    return;
+  }
+  sim_.schedule_in(delay, this, 0, slot);
+}
+
+void NetemDelay::on_event(uint32_t /*tag*/, uint64_t arg) {
+  const auto slot = static_cast<uint32_t>(arg);
+  Packet p = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
+  --in_transit_;
+  dest_->accept(std::move(p));
+}
+
+}  // namespace ccas

@@ -1,0 +1,41 @@
+#include "src/net/link.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ccas {
+
+namespace {
+constexpr uint32_t kTxComplete = 1;
+}
+
+Link::Link(Simulator& sim, DataRate rate, PacketSink* dest)
+    : sim_(sim), rate_(rate), dest_(dest) {
+  if (rate.is_zero()) throw std::invalid_argument("Link rate must be positive");
+  if (dest == nullptr) throw std::invalid_argument("Link needs a destination");
+}
+
+void Link::notify_pending() {
+  if (!busy_) start_transmission();
+}
+
+void Link::start_transmission() {
+  if (queue_ == nullptr || !queue_->has_packet()) return;
+  in_flight_ = queue_->pop();
+  busy_ = true;
+  sim_.schedule_in(rate_.transfer_time(in_flight_.size_bytes), this, kTxComplete);
+}
+
+void Link::on_event(uint32_t tag, uint64_t /*arg*/) {
+  if (tag != kTxComplete) return;
+  ++delivered_packets_;
+  delivered_bytes_ += in_flight_.size_bytes;
+  Packet done = std::move(in_flight_);
+  busy_ = false;
+  // Start the next transmission before delivering: the delivery callback
+  // chain may enqueue new packets and must observe a consistent link state.
+  start_transmission();
+  dest_->accept(std::move(done));
+}
+
+}  // namespace ccas

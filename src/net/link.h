@@ -1,0 +1,42 @@
+// A serializing link: drains a DropTailQueue at a fixed rate and hands each
+// packet to the downstream sink when its transmission completes. Propagation
+// delay is modelled separately (DelayLine / NetemDelay), which keeps the
+// link fully pipelined with exactly one pending event per link.
+#pragma once
+
+#include "src/net/packet.h"
+#include "src/net/queue.h"
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+class Link final : public EventHandler {
+ public:
+  Link(Simulator& sim, DataRate rate, PacketSink* dest);
+
+  // Called by the queue when a packet arrives; starts transmitting if idle.
+  void notify_pending();
+
+  [[nodiscard]] DataRate rate() const { return rate_; }
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] uint64_t delivered_packets() const { return delivered_packets_; }
+  [[nodiscard]] uint64_t delivered_bytes() const { return delivered_bytes_; }
+
+  void set_source(DropTailQueue* queue) { queue_ = queue; }
+
+  void on_event(uint32_t tag, uint64_t arg) override;
+
+ private:
+  void start_transmission();
+
+  Simulator& sim_;
+  DataRate rate_;
+  PacketSink* dest_;
+  DropTailQueue* queue_ = nullptr;
+  bool busy_ = false;
+  Packet in_flight_{};
+  uint64_t delivered_packets_ = 0;
+  uint64_t delivered_bytes_ = 0;
+};
+
+}  // namespace ccas

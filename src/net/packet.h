@@ -1,0 +1,108 @@
+// Packet metadata. The simulator never carries payload bytes — only the
+// header fields congestion control and loss recovery actually react to.
+// Sequence numbers count MSS-sized segments, not bytes (the testbed fixes
+// MSS to 1448 B, so the two are equivalent up to a constant).
+//
+// Packets are copied by value through queues and delay lines, so the
+// struct is kept at 56 bytes: SACK ranges are encoded as 32-bit offsets
+// relative to the cumulative ACK (as real TCP's 32-bit sequence space
+// effectively does).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+inline constexpr int64_t kMssBytes = 1448;  // as in the paper's testbed
+// 1448 MSS + 12 timestamps + 20 TCP + 20 IP = 1500 wire bytes per segment.
+inline constexpr int64_t kDataPacketBytes = 1500;
+inline constexpr int64_t kAckPacketBytes = 52;
+
+enum class PacketType : uint8_t { kData, kAck };
+
+// Half-open range of selectively acknowledged segments [start, end),
+// in absolute segment numbers (sender-side view).
+struct SackBlock {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  [[nodiscard]] bool empty() const { return start >= end; }
+};
+
+inline constexpr int kMaxSackBlocks = 3;
+
+struct Packet {
+  uint32_t flow_id = 0;
+  uint32_t dst = 0;  // destination node id, used by Switch forwarding
+  PacketType type = PacketType::kData;
+  bool retransmit = false;
+  uint8_t num_sacks = 0;
+  uint32_t size_bytes = 0;
+
+  // Data packets: segment number being carried.
+  uint64_t seq = 0;
+  // ACK packets: cumulative acknowledgment — all segments < ack_seq have
+  // been received — plus up to kMaxSackBlocks SACK ranges above it.
+  uint64_t ack_seq = 0;
+
+  struct SackRange {
+    uint32_t start_off = 0;  // relative to ack_seq
+    uint32_t end_off = 0;
+  };
+  std::array<SackRange, kMaxSackBlocks> sacks{};
+
+  // Appends a SACK block (absolute segment numbers; must lie at or above
+  // ack_seq and within 2^32 segments of it). Returns false when full or
+  // the block duplicates an existing one.
+  bool add_sack(uint64_t start, uint64_t end) {
+    const auto s = static_cast<uint32_t>(start - ack_seq);
+    const auto e = static_cast<uint32_t>(end - ack_seq);
+    for (uint8_t i = 0; i < num_sacks; ++i) {
+      if (sacks[i].start_off == s && sacks[i].end_off == e) return false;
+    }
+    if (num_sacks >= kMaxSackBlocks) return false;
+    sacks[num_sacks++] = SackRange{s, e};
+    return true;
+  }
+
+  [[nodiscard]] SackBlock sack(int i) const {
+    return SackBlock{ack_seq + sacks[static_cast<size_t>(i)].start_off,
+                     ack_seq + sacks[static_cast<size_t>(i)].end_off};
+  }
+
+  [[nodiscard]] static Packet make_data(uint32_t flow_id, uint32_t dst, uint64_t seq,
+                                        bool retransmit) {
+    Packet p;
+    p.flow_id = flow_id;
+    p.dst = dst;
+    p.type = PacketType::kData;
+    p.retransmit = retransmit;
+    p.size_bytes = static_cast<uint32_t>(kDataPacketBytes);
+    p.seq = seq;
+    return p;
+  }
+
+  [[nodiscard]] static Packet make_ack(uint32_t flow_id, uint32_t dst, uint64_t ack_seq) {
+    Packet p;
+    p.flow_id = flow_id;
+    p.dst = dst;
+    p.type = PacketType::kAck;
+    p.size_bytes = static_cast<uint32_t>(kAckPacketBytes);
+    p.ack_seq = ack_seq;
+    return p;
+  }
+};
+
+static_assert(sizeof(Packet) <= 64, "Packet must stay copy-cheap");
+
+// Anything that can receive packets: queues, delay lines, switches, hosts,
+// TCP endpoints.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void accept(Packet&& pkt) = 0;
+};
+
+}  // namespace ccas

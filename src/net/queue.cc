@@ -1,0 +1,50 @@
+#include "src/net/queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/net/link.h"
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+DropTailQueue::DropTailQueue(Simulator& sim, int64_t capacity_bytes)
+    : sim_(sim), capacity_bytes_(capacity_bytes) {
+  if (capacity_bytes <= 0) {
+    throw std::invalid_argument("DropTailQueue capacity must be positive");
+  }
+}
+
+void DropTailQueue::accept(Packet&& pkt) {
+  if (queued_bytes_ + pkt.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    if (pkt.flow_id < per_flow_drops_.size()) ++per_flow_drops_[pkt.flow_id];
+    if (drop_log_enabled_) drop_log_.push_back(DropRecord{sim_.now(), pkt.flow_id});
+    return;
+  }
+  queued_bytes_ += pkt.size_bytes;
+  ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += pkt.size_bytes;
+  stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
+  fifo_.push_back(std::move(pkt));
+  if (downstream_ != nullptr) downstream_->notify_pending();
+}
+
+Packet DropTailQueue::pop() {
+  Packet p = std::move(fifo_.front());
+  fifo_.pop_front();
+  queued_bytes_ -= p.size_bytes;
+  ++stats_.dequeued_packets;
+  return p;
+}
+
+void DropTailQueue::reset_accounting() {
+  stats_ = QueueStats{};
+  stats_.max_queued_bytes = queued_bytes_;
+  std::fill(per_flow_drops_.begin(), per_flow_drops_.end(), 0);
+  drop_log_.clear();
+}
+
+}  // namespace ccas

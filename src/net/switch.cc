@@ -1,0 +1,38 @@
+#include "src/net/switch.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ccas {
+
+void SoftwareSwitch::add_route(uint32_t dst, PacketSink* out) {
+  if (out == nullptr) throw std::invalid_argument("route to null sink");
+  if (dst >= routes_.size()) routes_.resize(dst + 1, nullptr);
+  routes_[dst] = out;
+}
+
+void SoftwareSwitch::accept(Packet&& pkt) {
+  if (pkt.dst >= routes_.size() || routes_[pkt.dst] == nullptr) {
+    ++dropped_no_route_;
+    return;
+  }
+  ++forwarded_;
+  routes_[pkt.dst]->accept(std::move(pkt));
+}
+
+void FlowDemux::register_flow(uint32_t flow_id, PacketSink* sink) {
+  if (sink == nullptr) throw std::invalid_argument("register null sink");
+  if (flow_id >= sinks_.size()) sinks_.resize(flow_id + 1, nullptr);
+  sinks_[flow_id] = sink;
+}
+
+void FlowDemux::accept(Packet&& pkt) {
+  if (pkt.flow_id >= sinks_.size() || sinks_[pkt.flow_id] == nullptr) {
+    ++dropped_unknown_flow_;
+    return;
+  }
+  ++delivered_;
+  sinks_[pkt.flow_id]->accept(std::move(pkt));
+}
+
+}  // namespace ccas

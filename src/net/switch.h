@@ -1,0 +1,46 @@
+// BESS-software-switch analog: forwards packets to output ports by
+// destination node id, plus a per-flow demultiplexer used to hand packets
+// to the right TCP endpoint at the end hosts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace ccas {
+
+class SoftwareSwitch final : public PacketSink {
+ public:
+  SoftwareSwitch() = default;
+
+  // Routes packets with pkt.dst == dst to `out`. Re-adding replaces.
+  void add_route(uint32_t dst, PacketSink* out);
+
+  void accept(Packet&& pkt) override;
+
+  [[nodiscard]] uint64_t forwarded() const { return forwarded_; }
+  [[nodiscard]] uint64_t dropped_no_route() const { return dropped_no_route_; }
+
+ private:
+  std::vector<PacketSink*> routes_;
+  uint64_t forwarded_ = 0;
+  uint64_t dropped_no_route_ = 0;
+};
+
+// Routes packets to per-flow sinks (TCP senders or receivers) by flow id.
+class FlowDemux final : public PacketSink {
+ public:
+  void register_flow(uint32_t flow_id, PacketSink* sink);
+  void accept(Packet&& pkt) override;
+
+  [[nodiscard]] uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] uint64_t dropped_unknown_flow() const { return dropped_unknown_flow_; }
+
+ private:
+  std::vector<PacketSink*> sinks_;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_unknown_flow_ = 0;
+};
+
+}  // namespace ccas

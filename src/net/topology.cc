@@ -1,0 +1,62 @@
+#include "src/net/topology.h"
+
+#include <stdexcept>
+
+namespace ccas {
+
+DumbbellTopology::DumbbellTopology(Simulator& sim, const DumbbellConfig& config)
+    : sim_(sim), config_(config) {
+  if (config.num_pairs <= 0) {
+    throw std::invalid_argument("DumbbellTopology needs at least one host pair");
+  }
+  // Receiver direction: queue -> bottleneck link -> forward netem -> demux.
+  forward_netem_ = std::make_unique<NetemDelay>(sim_, &receiver_demux_);
+  forward_netem_->set_jitter(config.jitter, config.jitter_seed);
+  queue_ = std::make_unique<DropTailQueue>(sim_, config.buffer_bytes);
+  link_ = std::make_unique<Link>(sim_, config.bottleneck_rate, forward_netem_.get());
+  queue_->set_downstream(link_.get());
+  link_->set_source(queue_.get());
+  switch_.add_route(kToReceivers, queue_.get());
+
+  // Sender direction (ACKs): reverse netem -> demux. The testbed's return
+  // path is 25 Gbps carrying only ACKs, i.e. never congested.
+  reverse_netem_ = std::make_unique<NetemDelay>(sim_, &sender_demux_);
+  switch_.add_route(kToSenders, reverse_netem_.get());
+
+  if (!config.edge_rate.is_infinite()) {
+    host_queues_.reserve(static_cast<size_t>(config.num_pairs));
+    host_links_.reserve(static_cast<size_t>(config.num_pairs));
+    for (int i = 0; i < config.num_pairs; ++i) {
+      auto q = std::make_unique<DropTailQueue>(sim_, config.edge_buffer_bytes);
+      auto l = std::make_unique<Link>(sim_, config.edge_rate, &switch_);
+      q->set_downstream(l.get());
+      l->set_source(q.get());
+      host_queues_.push_back(std::move(q));
+      host_links_.push_back(std::move(l));
+    }
+  }
+}
+
+void DumbbellTopology::register_flow(uint32_t flow_id, TimeDelta base_rtt,
+                                     PacketSink* sender_endpoint,
+                                     PacketSink* receiver_endpoint) {
+  if (sender_endpoint == nullptr || receiver_endpoint == nullptr) {
+    throw std::invalid_argument("register_flow: null endpoint");
+  }
+  // Half the base RTT on the data path after the bottleneck, half on the
+  // ACK return path (netem at the receiver, as in the testbed).
+  forward_netem_->set_flow_delay(flow_id, base_rtt / 2);
+  reverse_netem_->set_flow_delay(flow_id, base_rtt - base_rtt / 2);
+  receiver_demux_.register_flow(flow_id, receiver_endpoint);
+  sender_demux_.register_flow(flow_id, sender_endpoint);
+  queue_->reserve_flows(flow_id + 1);
+}
+
+PacketSink& DumbbellTopology::data_entry(uint32_t flow_id) {
+  if (host_queues_.empty()) return switch_;
+  return *host_queues_[static_cast<size_t>(pair_of_flow(flow_id))];
+}
+
+PacketSink& DumbbellTopology::ack_entry() { return switch_; }
+
+}  // namespace ccas

@@ -1,0 +1,60 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace ccas {
+
+namespace {
+// Strict-weak "earlier" ordering: (time, seq) lexicographic.
+inline bool earlier(const Event& a, const Event& b) {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
+}
+}  // namespace
+
+EventQueue::EventQueue() { heap_.reserve(1024); }
+
+void EventQueue::push(Time at, EventHandler* handler, uint32_t tag, uint64_t arg) {
+  heap_.push_back(Event{at, next_seq_++, handler, tag, arg});
+  sift_up(heap_.size() - 1);
+}
+
+Event EventQueue::pop() {
+  Event out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+void EventQueue::sift_up(size_t i) {
+  Event e = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(size_t i) {
+  const size_t n = heap_.size();
+  Event e = heap_[i];
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+}  // namespace ccas

@@ -1,0 +1,34 @@
+// Binary-heap pending-event set with stable FIFO tie-breaking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/event.h"
+
+namespace ccas {
+
+class EventQueue {
+ public:
+  EventQueue();
+
+  void push(Time at, EventHandler* handler, uint32_t tag, uint64_t arg);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] size_t size() const { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
+
+  // Removes and returns the earliest event (FIFO among equal timestamps).
+  Event pop();
+
+  void clear();
+
+ private:
+  void sift_up(size_t i);
+  void sift_down(size_t i);
+
+  std::vector<Event> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ccas

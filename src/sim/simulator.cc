@@ -1,0 +1,58 @@
+#include "src/sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ccas {
+
+void Simulator::schedule_at(Time at, EventHandler* handler, uint32_t tag, uint64_t arg) {
+  if (at < now_) throw std::invalid_argument("schedule_at: event in the past");
+  queue_.push(at, handler, tag, arg);
+}
+
+void Simulator::schedule_in(TimeDelta delay, EventHandler* handler, uint32_t tag,
+                            uint64_t arg) {
+  schedule_at(now_ + delay, handler, tag, arg);
+}
+
+void Simulator::schedule_fn_at(Time at, std::function<void()> fn) {
+  const uint64_t id = fn_dispatcher_.next_id_++;
+  fn_dispatcher_.pending_.emplace(id, std::move(fn));
+  schedule_at(at, &fn_dispatcher_, 0, id);
+}
+
+void Simulator::schedule_fn_in(TimeDelta delay, std::function<void()> fn) {
+  schedule_fn_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::FnDispatcher::on_event(uint32_t /*tag*/, uint64_t arg) {
+  auto it = pending_.find(arg);
+  if (it == pending_.end()) return;
+  // Move out before invoking: the callback may schedule more functions.
+  auto fn = std::move(it->second);
+  pending_.erase(it);
+  fn();
+}
+
+void Simulator::dispatch(const Event& e) {
+  now_ = e.at;
+  ++events_processed_;
+  e.handler->on_event(e.tag, e.arg);
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    dispatch(queue_.pop());
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().at <= deadline) {
+    dispatch(queue_.pop());
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace ccas

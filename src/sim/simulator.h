@@ -1,0 +1,65 @@
+// The simulation kernel: a virtual clock and an event loop.
+//
+// All simulation objects (links, queues, TCP endpoints, experiment logic)
+// hold a reference to one Simulator, schedule events on it, and are driven
+// by EventHandler::on_event callbacks. Simulations are single-threaded and
+// fully deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/sim/event_queue.h"
+
+namespace ccas {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] uint64_t events_processed() const { return events_processed_; }
+  [[nodiscard]] size_t pending_events() const { return queue_.size(); }
+
+  // Fast-path scheduling: handler/tag/arg, no allocation.
+  void schedule_at(Time at, EventHandler* handler, uint32_t tag, uint64_t arg = 0);
+  void schedule_in(TimeDelta delay, EventHandler* handler, uint32_t tag, uint64_t arg = 0);
+
+  // Convenience scheduling for tests, examples and cold paths; allocates.
+  void schedule_fn_at(Time at, std::function<void()> fn);
+  void schedule_fn_in(TimeDelta delay, std::function<void()> fn);
+
+  // Runs until the event queue drains (or stop() is called).
+  void run();
+  // Runs events with timestamp <= deadline, then sets now() = deadline.
+  void run_until(Time deadline);
+  void run_for(TimeDelta delta) { run_until(now_ + delta); }
+  // Requests the loop to exit after the current event.
+  void stop() { stopped_ = true; }
+
+ private:
+  class FnDispatcher : public EventHandler {
+   public:
+    explicit FnDispatcher(Simulator& sim) : sim_(sim) {}
+    void on_event(uint32_t tag, uint64_t arg) override;
+
+   private:
+    friend class Simulator;
+    Simulator& sim_;
+    uint64_t next_id_ = 0;
+    std::unordered_map<uint64_t, std::function<void()>> pending_;
+  };
+
+  void dispatch(const Event& e);
+
+  Time now_ = Time::zero();
+  EventQueue queue_;
+  uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+  FnDispatcher fn_dispatcher_{*this};
+};
+
+}  // namespace ccas

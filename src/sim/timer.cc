@@ -1,0 +1,3 @@
+// Timer is header-only; this translation unit exists to anchor the vtable
+// check in builds that compile each source once.
+#include "src/sim/timer.h"

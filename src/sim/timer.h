@@ -1,0 +1,73 @@
+// A cancellable, re-armable one-shot timer.
+//
+// The event queue does not support removal, so the timer is lazy: it keeps
+// at most one live heap entry. Re-arming *later* (the common case — e.g.
+// a TCP RTO restarted on every cumulative ACK) does not touch the heap at
+// all; the existing entry fires early, notices the new deadline, and
+// re-schedules itself once per deadline interval. Re-arming *earlier*
+// pushes a new entry and invalidates the old one via a generation counter.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+class Timer final : public EventHandler {
+ public:
+  Timer(Simulator& sim, std::function<void()> callback)
+      : sim_(sim), callback_(std::move(callback)) {}
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // (Re)arms the timer; a previously pending expiry is superseded.
+  void arm_at(Time at) {
+    armed_ = true;
+    expiry_ = at;
+    if (scheduled_ && scheduled_at_ <= at) return;  // lazy: reuse the entry
+    ++generation_;
+    scheduled_ = true;
+    scheduled_at_ = at;
+    sim_.schedule_at(at, this, 0, generation_);
+  }
+  void arm_in(TimeDelta delay) { arm_at(sim_.now() + delay); }
+
+  // Arms only if not already pending (keeps the earlier expiry).
+  void arm_in_if_idle(TimeDelta delay) {
+    if (!armed_) arm_in(delay);
+  }
+
+  void cancel() { armed_ = false; }
+
+  [[nodiscard]] bool is_armed() const { return armed_; }
+  [[nodiscard]] Time expiry() const { return expiry_; }
+
+  void on_event(uint32_t /*tag*/, uint64_t arg) override {
+    if (arg != generation_) return;  // superseded by an earlier re-arm
+    scheduled_ = false;
+    if (!armed_) return;  // cancelled
+    if (sim_.now() < expiry_) {
+      // Re-armed later since this entry was pushed: chase the deadline.
+      ++generation_;
+      scheduled_ = true;
+      scheduled_at_ = expiry_;
+      sim_.schedule_at(expiry_, this, 0, generation_);
+      return;
+    }
+    armed_ = false;
+    callback_();
+  }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> callback_;
+  uint64_t generation_ = 0;
+  Time expiry_ = Time::zero();
+  Time scheduled_at_ = Time::zero();
+  bool armed_ = false;
+  bool scheduled_ = false;
+};
+
+}  // namespace ccas

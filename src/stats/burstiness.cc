@@ -1,0 +1,40 @@
+#include "src/stats/burstiness.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace ccas {
+
+double goh_barabasi_burstiness(std::span<const double> intervals) {
+  if (intervals.size() < 2) {
+    throw std::invalid_argument("burstiness needs at least two intervals");
+  }
+  RunningStats s;
+  for (const double tau : intervals) {
+    if (tau < 0.0) throw std::invalid_argument("negative interval");
+    s.add(tau);
+  }
+  const double mu = s.mean();
+  const double sigma = s.stddev();
+  if (mu + sigma == 0.0) return 0.0;
+  return (sigma - mu) / (sigma + mu);
+}
+
+double goh_barabasi_burstiness_from_times(std::span<const Time> events) {
+  if (events.size() < 3) {
+    throw std::invalid_argument("burstiness needs at least three events");
+  }
+  std::vector<double> intervals;
+  intervals.reserve(events.size() - 1);
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i] < events[i - 1]) {
+      throw std::invalid_argument("event times must be non-decreasing");
+    }
+    intervals.push_back((events[i] - events[i - 1]).sec());
+  }
+  return goh_barabasi_burstiness(intervals);
+}
+
+}  // namespace ccas

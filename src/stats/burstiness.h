@@ -1,0 +1,23 @@
+// Goh-Barabási burstiness score (EPL 81, 2008), used by the paper to show
+// that bottleneck drops are burstier at CoreScale (~0.35) than EdgeScale
+// (~0.2):
+//
+//     B = (sigma_tau - mu_tau) / (sigma_tau + mu_tau)
+//
+// over the distribution of inter-event times tau. B = -1 for a perfectly
+// periodic process, ~0 for Poisson, -> 1 for extremely bursty.
+#pragma once
+
+#include <span>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+// From raw inter-event intervals (seconds).
+[[nodiscard]] double goh_barabasi_burstiness(std::span<const double> intervals);
+
+// From a sorted sequence of event timestamps (computes the intervals).
+[[nodiscard]] double goh_barabasi_burstiness_from_times(std::span<const Time> events);
+
+}  // namespace ccas

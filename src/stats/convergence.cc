@@ -1,0 +1,29 @@
+#include "src/stats/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ccas {
+
+void ConvergenceDetector::add_sample(Time at, double value) {
+  samples_.push_back(Sample{at, value});
+  // Keep one sample older than the window so converged() can verify the
+  // window is actually covered.
+  while (samples_.size() >= 2 && at - samples_[1].at >= window_) {
+    samples_.pop_front();
+    window_filled_ = true;
+  }
+  if (!samples_.empty() && at - samples_.front().at >= window_) window_filled_ = true;
+}
+
+bool ConvergenceDetector::converged() const {
+  if (!window_filled_ || samples_.size() < 2) return false;
+  const double latest = samples_.back().value;
+  for (const Sample& s : samples_) {
+    const double denom = std::max(std::abs(latest), 1e-12);
+    if (std::abs(s.value - latest) / denom > tolerance_) return false;
+  }
+  return true;
+}
+
+}  // namespace ccas

@@ -1,0 +1,38 @@
+// The paper's stopping rule: run until the metric of interest changes by
+// less than 1% over a trailing window (20 minutes in the testbed; scaled
+// in the simulator). Feed the detector periodic samples of the metric.
+#pragma once
+
+#include <deque>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+class ConvergenceDetector {
+ public:
+  ConvergenceDetector(TimeDelta window, double relative_tolerance)
+      : window_(window), tolerance_(relative_tolerance) {}
+
+  void add_sample(Time at, double value);
+
+  // True once the oldest retained sample is at least `window` old and
+  // every sample within the window is within `tolerance` (relative) of the
+  // latest value.
+  [[nodiscard]] bool converged() const;
+
+  [[nodiscard]] size_t samples() const { return samples_.size(); }
+  [[nodiscard]] TimeDelta window() const { return window_; }
+
+ private:
+  struct Sample {
+    Time at;
+    double value;
+  };
+  TimeDelta window_;
+  double tolerance_;
+  std::deque<Sample> samples_;
+  bool window_filled_ = false;
+};
+
+}  // namespace ccas

@@ -1,0 +1,29 @@
+#include "src/stats/fairness.h"
+
+#include <stdexcept>
+
+namespace ccas {
+
+double jain_fairness_index(std::span<const double> allocations) {
+  if (allocations.empty()) throw std::invalid_argument("JFI of empty allocation");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    if (x < 0.0) throw std::invalid_argument("negative allocation");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zero: degenerate but "equal"
+  return (sum * sum) / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+double share_of_total(std::span<const double> group, std::span<const double> everyone) {
+  double g = 0.0;
+  double all = 0.0;
+  for (const double x : group) g += x;
+  for (const double x : everyone) all += x;
+  if (all == 0.0) return 0.0;
+  return g / all;
+}
+
+}  // namespace ccas

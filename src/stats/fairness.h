@@ -1,0 +1,17 @@
+// Jain's Fairness Index (Jain, Chiu, Hawe 1984) — the paper's fairness
+// metric: JFI = (sum x)^2 / (n * sum x^2), in (0, 1], 1 = perfectly fair.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ccas {
+
+[[nodiscard]] double jain_fairness_index(std::span<const double> allocations);
+
+// JFI of the worst (lowest-JFI) contiguous subset is not meaningful; what
+// the paper also reports is each group's share of aggregate throughput.
+[[nodiscard]] double share_of_total(std::span<const double> group,
+                                    std::span<const double> everyone);
+
+}  // namespace ccas

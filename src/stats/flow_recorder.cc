@@ -1,0 +1,51 @@
+#include "src/stats/flow_recorder.h"
+
+#include <stdexcept>
+
+namespace ccas {
+
+FlowMeasurement measure_flow(uint32_t flow_id, const FlowCounters& begin,
+                             const FlowCounters& end, int64_t mss_bytes) {
+  if (end.at < begin.at) throw std::invalid_argument("snapshots out of order");
+  FlowMeasurement m;
+  m.flow_id = flow_id;
+  m.window = end.at - begin.at;
+  m.segments_sent = end.segments_sent - begin.segments_sent;
+  m.retransmits = end.retransmits - begin.retransmits;
+  m.delivered = end.delivered - begin.delivered;
+  m.congestion_events = end.congestion_events - begin.congestion_events;
+  m.rto_events = end.rto_events - begin.rto_events;
+  m.queue_drops = end.queue_drops - begin.queue_drops;
+
+  const uint64_t in_order = end.rcv_in_order - begin.rcv_in_order;
+  if (m.window > TimeDelta::zero()) {
+    m.goodput_bps = static_cast<double>(in_order) *
+                    static_cast<double>(mss_bytes) * 8.0 / m.window.sec();
+  }
+  if (m.segments_sent > 0) {
+    m.packet_loss_rate =
+        static_cast<double>(m.queue_drops) / static_cast<double>(m.segments_sent);
+  }
+  const uint64_t rtt_n = end.rtt_sample_count - begin.rtt_sample_count;
+  if (rtt_n > 0) {
+    m.mean_rtt = TimeDelta::nanos((end.rtt_sample_sum_ns - begin.rtt_sample_sum_ns) /
+                                  static_cast<int64_t>(rtt_n));
+  }
+  if (m.delivered > 0) {
+    // Count both fast-recovery halvings and RTO backoffs as congestion
+    // events, as tcpprobe-based accounting does.
+    m.cwnd_halving_rate =
+        static_cast<double>(m.congestion_events + m.rto_events) /
+        static_cast<double>(m.delivered);
+  }
+  return m;
+}
+
+std::vector<double> goodputs_bps(const std::vector<FlowMeasurement>& flows) {
+  std::vector<double> out;
+  out.reserve(flows.size());
+  for (const auto& f : flows) out.push_back(f.goodput_bps);
+  return out;
+}
+
+}  // namespace ccas

@@ -1,0 +1,58 @@
+// Per-flow measurement accounting: cumulative counter snapshots taken at
+// the warm-up boundary and at the end of the measurement window, and the
+// derived per-flow metrics the paper reports (this is the tcpprobe +
+// switch-drop-log analog).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+// A snapshot of one flow's cumulative counters at a point in time.
+struct FlowCounters {
+  Time at = Time::zero();
+  uint64_t segments_sent = 0;       // sender, incl. retransmits
+  uint64_t retransmits = 0;         // sender
+  uint64_t delivered = 0;           // sender: cum-ACKed + SACKed
+  uint64_t congestion_events = 0;   // sender: fast-recovery entries
+  uint64_t rto_events = 0;          // sender
+  uint64_t queue_drops = 0;         // bottleneck queue, this flow
+  uint64_t rcv_in_order = 0;        // receiver: rcv_nxt (goodput)
+  int64_t rtt_sample_sum_ns = 0;    // sender RTT-sample accumulator
+  uint64_t rtt_sample_count = 0;
+};
+
+// Metrics over a measurement window (difference of two snapshots).
+struct FlowMeasurement {
+  uint32_t flow_id = 0;
+  TimeDelta window = TimeDelta::zero();
+  double goodput_bps = 0.0;  // in-order receiver bytes (paper's throughput)
+  uint64_t segments_sent = 0;
+  uint64_t retransmits = 0;
+  uint64_t delivered = 0;
+  uint64_t congestion_events = 0;
+  uint64_t rto_events = 0;
+  uint64_t queue_drops = 0;
+
+  // The two interpretations of Mathis `p` (Section 4 of the paper):
+  // packet loss rate = drops at the bottleneck / segments sent;
+  // CWND halving rate = congestion events / segments delivered.
+  double packet_loss_rate = 0.0;
+  double cwnd_halving_rate = 0.0;
+
+  // Mean RTT experienced over the window (base RTT + queueing delay) —
+  // the RTT the Mathis model is evaluated against. Zero if no samples.
+  TimeDelta mean_rtt = TimeDelta::zero();
+};
+
+[[nodiscard]] FlowMeasurement measure_flow(uint32_t flow_id, const FlowCounters& begin,
+                                           const FlowCounters& end, int64_t mss_bytes);
+
+// Convenience extractors over a set of measurements.
+[[nodiscard]] std::vector<double> goodputs_bps(
+    const std::vector<FlowMeasurement>& flows);
+
+}  // namespace ccas

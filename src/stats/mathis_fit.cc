@@ -1,0 +1,50 @@
+#include "src/stats/mathis_fit.h"
+
+#include <cmath>
+
+#include "src/util/least_squares.h"
+#include "src/util/stats.h"
+
+namespace ccas {
+
+namespace {
+// x such that throughput = C * x.
+double regressor(const MathisObservation& o, int64_t mss_bytes) {
+  return static_cast<double>(mss_bytes) * 8.0 / (o.rtt.sec() * std::sqrt(o.p));
+}
+}  // namespace
+
+MathisFit fit_mathis_constant(std::span<const MathisObservation> obs, int64_t mss_bytes) {
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(obs.size());
+  y.reserve(obs.size());
+  for (const auto& o : obs) {
+    if (o.p <= 0.0 || o.throughput_bps <= 0.0 || o.rtt <= TimeDelta::zero()) continue;
+    x.push_back(regressor(o, mss_bytes));
+    y.push_back(o.throughput_bps);
+  }
+  MathisFit fit;
+  fit.flows_used = x.size();
+  if (x.empty()) return fit;
+  fit.c = fit_through_origin(x, y);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double predicted = fit.c * x[i];
+    fit.relative_errors.push_back(std::abs(predicted - y[i]) / y[i]);
+  }
+  fit.median_error = median(fit.relative_errors);
+  return fit;
+}
+
+std::vector<double> mathis_relative_errors(std::span<const MathisObservation> obs,
+                                           double c, int64_t mss_bytes) {
+  std::vector<double> errors;
+  for (const auto& o : obs) {
+    if (o.p <= 0.0 || o.throughput_bps <= 0.0 || o.rtt <= TimeDelta::zero()) continue;
+    const double predicted = c * regressor(o, mss_bytes);
+    errors.push_back(std::abs(predicted - o.throughput_bps) / o.throughput_bps);
+  }
+  return errors;
+}
+
+}  // namespace ccas

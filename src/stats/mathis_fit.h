@@ -1,0 +1,42 @@
+// Deriving the Mathis constant C empirically, exactly as the paper does
+// (following Mathis et al.'s own methodology): find the C that minimizes
+// the least-squared prediction error of Throughput = MSS*C/(RTT*sqrt(p))
+// over the measured flows, then evaluate per-flow relative errors.
+//
+// The paper derives C separately for p = packet loss rate and p = CWND
+// halving rate (Table 1) and reports the median prediction error of each
+// (Figure 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+struct MathisObservation {
+  double throughput_bps = 0.0;
+  double p = 0.0;  // congestion-event rate (either interpretation)
+  TimeDelta rtt = TimeDelta::zero();
+};
+
+struct MathisFit {
+  double c = 0.0;
+  // Relative prediction error |predicted - actual| / actual per flow,
+  // using the fitted C.
+  std::vector<double> relative_errors;
+  double median_error = 0.0;
+  size_t flows_used = 0;  // observations with p > 0 that entered the fit
+};
+
+// Least-squares fit of C through the origin on x = MSS/(RTT*sqrt(p)).
+// Observations with p <= 0 or zero throughput are skipped.
+[[nodiscard]] MathisFit fit_mathis_constant(std::span<const MathisObservation> obs,
+                                            int64_t mss_bytes);
+
+// Evaluates relative errors for a *given* C (e.g. cross-setting checks).
+[[nodiscard]] std::vector<double> mathis_relative_errors(
+    std::span<const MathisObservation> obs, double c, int64_t mss_bytes);
+
+}  // namespace ccas

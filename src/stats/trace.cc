@@ -1,0 +1,65 @@
+#include "src/stats/trace.h"
+
+#include <stdexcept>
+
+#include "src/util/csv.h"
+
+namespace ccas {
+
+const std::vector<FlowTraceSample>& TraceLog::flow(uint32_t flow_id) const {
+  auto it = flows_.find(flow_id);
+  if (it == flows_.end()) throw std::out_of_range("no trace for flow");
+  return it->second;
+}
+
+std::vector<double> TraceLog::flow_throughput_bps(uint32_t flow_id,
+                                                  int64_t mss_bytes) const {
+  const auto& samples = flow(flow_id);
+  std::vector<double> out;
+  if (samples.size() < 2) return out;
+  out.reserve(samples.size() - 1);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    const TimeDelta dt = samples[i].at - samples[i - 1].at;
+    const auto delta = static_cast<double>(samples[i].delivered -
+                                           samples[i - 1].delivered);
+    out.push_back(dt > TimeDelta::zero()
+                      ? delta * static_cast<double>(mss_bytes) * 8.0 / dt.sec()
+                      : 0.0);
+  }
+  return out;
+}
+
+void TraceLog::write_csv(const std::string& prefix) const {
+  {
+    CsvWriter w(prefix + "_flows.csv",
+                {"flow", "t_sec", "cwnd", "inflight", "delivered",
+                 "congestion_events", "rto_events", "pacing_bps", "in_recovery"});
+    for (const auto& [flow_id, samples] : flows_) {
+      for (const auto& s : samples) {
+        w.start_row()
+            .col(static_cast<int64_t>(flow_id))
+            .col(s.at.sec(), 9)
+            .col(static_cast<int64_t>(s.cwnd))
+            .col(static_cast<int64_t>(s.inflight))
+            .col(static_cast<int64_t>(s.delivered))
+            .col(static_cast<int64_t>(s.congestion_events))
+            .col(static_cast<int64_t>(s.rto_events))
+            .col(s.pacing_bps, 6)
+            .col(static_cast<int64_t>(s.in_recovery ? 1 : 0))
+            .done();
+      }
+    }
+  }
+  {
+    CsvWriter w(prefix + "_queue.csv", {"t_sec", "queued_bytes", "dropped_packets"});
+    for (const auto& s : queue_) {
+      w.start_row()
+          .col(s.at.sec(), 9)
+          .col(s.queued_bytes)
+          .col(static_cast<int64_t>(s.dropped_packets))
+          .done();
+    }
+  }
+}
+
+}  // namespace ccas

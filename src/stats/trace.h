@@ -1,0 +1,62 @@
+// Time-series tracing: periodic samples of per-flow sender state and of
+// the bottleneck queue, collected during an experiment (tcpprobe-style
+// instrumentation, but exact). Enable via ExperimentSpec::trace_interval.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+struct FlowTraceSample {
+  Time at;
+  uint64_t cwnd = 0;
+  uint64_t inflight = 0;
+  uint64_t delivered = 0;  // cumulative segments delivered
+  uint64_t congestion_events = 0;
+  uint64_t rto_events = 0;
+  double pacing_bps = 0.0;  // 0 when unpaced
+  bool in_recovery = false;
+};
+
+struct QueueTraceSample {
+  Time at;
+  int64_t queued_bytes = 0;
+  uint64_t dropped_packets = 0;  // cumulative
+};
+
+class TraceLog {
+ public:
+  void add_flow_sample(uint32_t flow_id, const FlowTraceSample& sample) {
+    flows_[flow_id].push_back(sample);
+  }
+  void add_queue_sample(const QueueTraceSample& sample) { queue_.push_back(sample); }
+
+  [[nodiscard]] bool empty() const { return flows_.empty() && queue_.empty(); }
+  [[nodiscard]] const std::vector<FlowTraceSample>& flow(uint32_t flow_id) const;
+  [[nodiscard]] bool has_flow(uint32_t flow_id) const {
+    return flows_.contains(flow_id);
+  }
+  [[nodiscard]] const std::map<uint32_t, std::vector<FlowTraceSample>>& flows() const {
+    return flows_;
+  }
+  [[nodiscard]] const std::vector<QueueTraceSample>& queue() const { return queue_; }
+
+  // Derived series: delivery rate between consecutive samples of a flow,
+  // as bps of MSS payload (size = samples - 1).
+  [[nodiscard]] std::vector<double> flow_throughput_bps(uint32_t flow_id,
+                                                        int64_t mss_bytes) const;
+
+  // Writes two CSVs: <prefix>_flows.csv and <prefix>_queue.csv.
+  void write_csv(const std::string& prefix) const;
+
+ private:
+  std::map<uint32_t, std::vector<FlowTraceSample>> flows_;
+  std::vector<QueueTraceSample> queue_;
+};
+
+}  // namespace ccas

@@ -1,0 +1,3 @@
+// DeliveryRateEstimator is header-only; this file anchors the translation
+// unit in the build.
+#include "src/tcp/delivery_rate.h"

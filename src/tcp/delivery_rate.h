@@ -1,0 +1,84 @@
+// Delivery-rate estimation per draft-cheng-iccrg-delivery-rate-estimation
+// (the rate_sample machinery BBR consumes in Linux).
+//
+// The sender snapshots (delivered, delivered_time, first_tx_time) into each
+// segment at transmit time; when the segment is delivered, the estimator
+// computes rate = delivered_delta / max(send_interval, ack_interval), which
+// is robust to ACK compression and send-side gaps.
+#pragma once
+
+#include "src/cca/cca.h"
+#include "src/net/packet.h"
+#include "src/tcp/sack_scoreboard.h"
+#include "src/util/units.h"
+
+namespace ccas {
+
+class DeliveryRateEstimator {
+ public:
+  [[nodiscard]] uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] Time delivered_time() const { return delivered_time_; }
+
+  // Called when a segment is (re)transmitted; fills the snapshot fields.
+  void on_packet_sent(Time now, SegmentState& st, bool pipe_was_empty) {
+    if (pipe_was_empty) {
+      // Restarting from idle: reset the send/ack clocks to avoid counting
+      // the idle gap as a sending interval.
+      first_tx_time_ = now;
+      delivered_time_ = now;
+    }
+    st.first_tx_time = first_tx_time_;
+    st.delivered_time_at_send = delivered_time_;
+    st.delivered_at_send = delivered_;
+  }
+
+  // Called once per newly delivered (cum-ACKed or SACKed) segment.
+  void on_packet_delivered(Time now, const SegmentState& st) {
+    ++delivered_;
+    delivered_time_ = now;
+    // Adopt the sample from the most recently sent segment (by delivered
+    // count at send, as Linux's tcp_rate_skb_delivered does), and advance
+    // the send-window anchor to that segment's transmit time so the next
+    // sample measures a *per-sample* send interval, not time-since-start.
+    if (!sample_valid_ || st.delivered_at_send >= sample_prior_delivered_) {
+      sample_valid_ = true;
+      sample_prior_delivered_ = st.delivered_at_send;
+      sample_delivered_time_at_send_ = st.delivered_time_at_send;
+      sample_send_interval_ = st.last_sent - st.first_tx_time;
+      first_tx_time_ = st.last_sent;
+    }
+  }
+
+  // Builds the rate sample for the ACK currently being processed and resets
+  // per-ACK state. Returns an invalid sample if nothing was delivered, or
+  // if the interval is shorter than `min_rtt` — Linux's tcp_rate_gen
+  // rejects such samples as unreliable (they are ACK-clustering noise and
+  // would ratchet BBR's windowed-max bandwidth filter upward).
+  [[nodiscard]] RateSample take_sample(Time now, TimeDelta min_rtt) {
+    RateSample rs;
+    if (!sample_valid_) return rs;
+    sample_valid_ = false;
+    const TimeDelta ack_interval = now - sample_delivered_time_at_send_;
+    const TimeDelta interval = std::max(sample_send_interval_, ack_interval);
+    if (interval <= TimeDelta::zero()) return rs;
+    if (!min_rtt.is_infinite() && interval < min_rtt) return rs;
+    const uint64_t delivered_delta = delivered_ - sample_prior_delivered_;
+    rs.delivery_rate =
+        DataRate::bytes_per(static_cast<int64_t>(delivered_delta) * kMssBytes, interval);
+    rs.prior_delivered = sample_prior_delivered_;
+    rs.interval = interval;
+    return rs;
+  }
+
+ private:
+  uint64_t delivered_ = 0;
+  Time delivered_time_ = Time::zero();
+  Time first_tx_time_ = Time::zero();
+
+  bool sample_valid_ = false;
+  TimeDelta sample_send_interval_ = TimeDelta::zero();
+  Time sample_delivered_time_at_send_ = Time::zero();
+  uint64_t sample_prior_delivered_ = 0;
+};
+
+}  // namespace ccas

@@ -1,0 +1,36 @@
+#include "src/tcp/rtt_estimator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ccas {
+
+void RttEstimator::add_sample(TimeDelta rtt) {
+  if (rtt <= TimeDelta::zero()) return;
+  latest_ = rtt;
+  min_rtt_ = std::min(min_rtt_, rtt);
+  if (!has_sample_) {
+    // RFC 6298 (2.2): SRTT = R, RTTVAR = R/2.
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+    return;
+  }
+  // RFC 6298 (2.3): RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|,
+  //                 SRTT   = 7/8 SRTT + 1/8 R.
+  const TimeDelta err = TimeDelta::nanos(std::abs((srtt_ - rtt).ns()));
+  rttvar_ = TimeDelta::nanos((rttvar_.ns() * 3 + err.ns()) / 4);
+  srtt_ = TimeDelta::nanos((srtt_.ns() * 7 + rtt.ns()) / 8);
+}
+
+TimeDelta RttEstimator::rto() const {
+  if (!has_sample_) return config_.initial_rto;
+  // Linux semantics: the *variance* term has a floor of rto_min, i.e.
+  // RTO = SRTT + max(4*RTTVAR, rto_min). Without the floor, RTTVAR decays
+  // to ~0 on stable paths and the RTO collapses onto the RTT itself,
+  // firing spuriously on every delayed-ACK or queueing hiccup.
+  const TimeDelta raw = srtt_ + std::max(rttvar_ * 4, config_.min_rto);
+  return std::min(raw, config_.max_rto);
+}
+
+}  // namespace ccas

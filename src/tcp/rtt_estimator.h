@@ -1,0 +1,44 @@
+// RFC 6298 smoothed RTT estimation and retransmission-timeout computation,
+// with the Linux-style 200 ms minimum RTO.
+#pragma once
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+class RttEstimator {
+ public:
+  struct Config {
+    TimeDelta min_rto = TimeDelta::millis(200);  // Linux TCP_RTO_MIN
+    TimeDelta max_rto = TimeDelta::seconds(120);
+    TimeDelta initial_rto = TimeDelta::seconds(1);
+  };
+
+  RttEstimator() : RttEstimator(Config{}) {}
+  explicit RttEstimator(const Config& config) : config_(config) {}
+
+  // Feed one RTT measurement (never from a retransmitted segment — Karn).
+  void add_sample(TimeDelta rtt);
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] TimeDelta smoothed_rtt() const { return srtt_; }
+  [[nodiscard]] TimeDelta rtt_var() const { return rttvar_; }
+  [[nodiscard]] TimeDelta latest_rtt() const { return latest_; }
+  // Minimum RTT observed over the connection lifetime (the sender's
+  // min_rtt; BBR keeps its own windowed filter on top of raw samples).
+  [[nodiscard]] TimeDelta min_rtt() const { return min_rtt_; }
+
+  // Current retransmission timeout: srtt + 4*rttvar, clamped to
+  // [min_rto, max_rto]; initial_rto before the first sample.
+  [[nodiscard]] TimeDelta rto() const;
+
+ private:
+  Config config_;
+  bool has_sample_ = false;
+  TimeDelta srtt_ = TimeDelta::zero();
+  TimeDelta rttvar_ = TimeDelta::zero();
+  TimeDelta latest_ = TimeDelta::zero();
+  TimeDelta min_rtt_ = TimeDelta::infinite();
+};
+
+}  // namespace ccas

@@ -1,0 +1,3 @@
+// SackScoreboard is header-only (template member functions); this file
+// anchors the translation unit in the build.
+#include "src/tcp/sack_scoreboard.h"

@@ -1,0 +1,208 @@
+// Sender-side SACK scoreboard (RFC 6675 flavour): per-segment delivery /
+// loss / transmission state for the window [snd_una, snd_nxt).
+//
+// Segment sequence numbers count MSS-sized segments. The scoreboard is a
+// deque indexed by (seq - snd_una); cumulative ACKs pop from the front.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+struct SegmentState {
+  // Transmission bookkeeping.
+  Time last_sent = Time::zero();
+  uint16_t tx_count = 0;
+  bool sacked = false;
+  bool lost = false;         // marked lost, awaiting retransmission
+  bool outstanding = false;  // a copy is presumed in flight
+
+  // Delivery-rate-estimator snapshot taken at (re)transmit time.
+  Time first_tx_time = Time::zero();
+  Time delivered_time_at_send = Time::zero();
+  uint64_t delivered_at_send = 0;
+};
+
+class SackScoreboard {
+ public:
+  [[nodiscard]] uint64_t snd_una() const { return una_; }
+  [[nodiscard]] uint64_t snd_nxt() const { return una_ + segs_.size(); }
+  [[nodiscard]] bool empty() const { return segs_.empty(); }
+  [[nodiscard]] size_t window_size() const { return segs_.size(); }
+  [[nodiscard]] uint64_t sacked_count() const { return sacked_count_; }
+  [[nodiscard]] uint64_t lost_count() const { return lost_count_; }
+  // One past the highest SACKed sequence; 0 if nothing is SACKed.
+  [[nodiscard]] uint64_t highest_sacked_end() const { return highest_sacked_end_; }
+
+  [[nodiscard]] bool contains(uint64_t seq) const {
+    return seq >= una_ && seq < snd_nxt();
+  }
+
+  [[nodiscard]] SegmentState& seg(uint64_t seq) {
+    if (!contains(seq)) throw std::out_of_range("scoreboard: seq outside window");
+    return segs_[static_cast<size_t>(seq - una_)];
+  }
+  [[nodiscard]] const SegmentState& seg(uint64_t seq) const {
+    return const_cast<SackScoreboard*>(this)->seg(seq);
+  }
+
+  // Creates the state for segment snd_nxt (about to be transmitted for the
+  // first time) and returns a reference to it.
+  SegmentState& extend() {
+    segs_.emplace_back();
+    return segs_.back();
+  }
+
+  // Advances the cumulative-ACK point. Invokes on_newly_delivered(seq, st)
+  // for every freed segment that had not already been SACKed; returns that
+  // count. SACKed segments were counted as delivered when SACKed.
+  template <typename F>
+  uint64_t advance_una(uint64_t new_una, F&& on_newly_delivered) {
+    if (new_una <= una_) return 0;
+    if (new_una > snd_nxt()) throw std::out_of_range("ACK beyond snd_nxt");
+    uint64_t newly = 0;
+    while (una_ < new_una) {
+      SegmentState& st = segs_.front();
+      if (!st.sacked) {
+        ++newly;
+        on_newly_delivered(una_, st);
+      } else {
+        --sacked_count_;
+      }
+      if (st.lost) --lost_count_;
+      segs_.pop_front();
+      ++una_;
+    }
+    if (loss_scan_seq_ < una_) loss_scan_seq_ = una_;
+    if (highest_sacked_end_ < una_) highest_sacked_end_ = una_;
+    return newly;
+  }
+
+  // Applies one SACK block (clamped to the window). Invokes
+  // on_newly_delivered(seq, st) per newly SACKed segment; returns count.
+  template <typename F>
+  uint64_t apply_sack(uint64_t start, uint64_t end, F&& on_newly_delivered) {
+    start = std::max(start, una_);
+    end = std::min(end, snd_nxt());
+    uint64_t newly = 0;
+    for (uint64_t s = start; s < end; ++s) {
+      SegmentState& st = segs_[static_cast<size_t>(s - una_)];
+      if (st.sacked) continue;
+      st.sacked = true;
+      ++sacked_count_;
+      if (st.lost) {
+        // A segment we presumed lost actually arrived.
+        st.lost = false;
+        --lost_count_;
+      }
+      ++newly;
+      on_newly_delivered(s, st);
+    }
+    if (end > highest_sacked_end_ && newly > 0) highest_sacked_end_ = end;
+    return newly;
+  }
+
+  // RFC 6675-style loss inference: every not-yet-SACKed segment more than
+  // `dup_thresh` segments below the highest SACK is presumed lost. Scans
+  // monotonically (segments retransmitted after being marked are not
+  // re-marked; only the RTO recovers a lost retransmission). Invokes
+  // on_lost(seq, st) per newly marked segment; returns count.
+  template <typename F>
+  uint64_t mark_lost_by_sack(uint64_t dup_thresh, F&& on_lost) {
+    if (highest_sacked_end_ <= una_) return 0;
+    const uint64_t highest_sacked_seq = highest_sacked_end_ - 1;
+    // Segment S is lost if highest_sacked_seq >= S + dup_thresh.
+    if (highest_sacked_seq < dup_thresh) return 0;
+    const uint64_t limit = highest_sacked_seq - dup_thresh + 1;  // exclusive
+    uint64_t count = 0;
+    while (loss_scan_seq_ < limit) {
+      SegmentState& st = segs_[static_cast<size_t>(loss_scan_seq_ - una_)];
+      if (!st.sacked && !st.lost) {
+        st.lost = true;
+        ++lost_count_;
+        ++count;
+        on_lost(loss_scan_seq_, st);
+      }
+      ++loss_scan_seq_;
+    }
+    return count;
+  }
+
+  // Marks a single segment lost (dupack-threshold path without SACK).
+  template <typename F>
+  uint64_t mark_lost(uint64_t seq, F&& on_lost) {
+    SegmentState& st = seg(seq);
+    if (st.sacked || st.lost) return 0;
+    st.lost = true;
+    ++lost_count_;
+    on_lost(seq, st);
+    return 1;
+  }
+
+  // RTO: every non-SACKed segment in the window is presumed lost and no
+  // copy is considered in flight any more. Invokes on_lost per newly
+  // marked segment.
+  template <typename F>
+  uint64_t mark_all_lost(F&& on_lost) {
+    uint64_t count = 0;
+    for (uint64_t s = una_; s < snd_nxt(); ++s) {
+      SegmentState& st = segs_[static_cast<size_t>(s - una_)];
+      st.outstanding = false;
+      if (!st.sacked && !st.lost) {
+        st.lost = true;
+        ++lost_count_;
+        ++count;
+        on_lost(s, st);
+      }
+    }
+    // Allow the post-RTO scan to re-examine everything.
+    loss_scan_seq_ = una_;
+    return count;
+  }
+
+  // Records a (re)transmission of `seq`: a pending lost mark is cleared
+  // (the retransmitted copy is now the one presumed in flight).
+  void note_transmit(uint64_t seq) {
+    SegmentState& st = seg(seq);
+    if (st.lost) {
+      st.lost = false;
+      --lost_count_;
+    }
+  }
+
+  // First segment marked lost at or after `from` that still awaits
+  // retransmission; nullopt if none.
+  [[nodiscard]] std::optional<uint64_t> find_lost_from(uint64_t from) const {
+    for (uint64_t s = std::max(from, una_); s < snd_nxt(); ++s) {
+      const SegmentState& st = segs_[static_cast<size_t>(s - una_)];
+      if (st.lost) return s;
+    }
+    return std::nullopt;
+  }
+
+  // Earliest outstanding (in-flight, non-SACKed) segment — the one the RTO
+  // timer conceptually guards. nullopt if nothing is outstanding.
+  [[nodiscard]] std::optional<uint64_t> first_outstanding() const {
+    for (uint64_t s = una_; s < snd_nxt(); ++s) {
+      const SegmentState& st = segs_[static_cast<size_t>(s - una_)];
+      if (st.outstanding) return s;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  uint64_t una_ = 0;
+  std::deque<SegmentState> segs_;
+  uint64_t sacked_count_ = 0;
+  uint64_t lost_count_ = 0;
+  uint64_t highest_sacked_end_ = 0;
+  uint64_t loss_scan_seq_ = 0;  // monotonic mark_lost_by_sack cursor
+};
+
+}  // namespace ccas

@@ -1,0 +1,165 @@
+#include "src/tcp/tcp_receiver.h"
+
+#include <stdexcept>
+
+#include "src/net/topology.h"
+
+namespace ccas {
+
+TcpReceiver::TcpReceiver(Simulator& sim, uint32_t flow_id, PacketSink* ack_path,
+                         const TcpReceiverConfig& config)
+    : sim_(sim),
+      flow_id_(flow_id),
+      ack_path_(ack_path),
+      config_(config),
+      delack_timer_(sim, [this] { on_delack_timeout(); }),
+      gro_timer_(sim, [this] { on_gro_timeout(); }) {
+  if (ack_path == nullptr) throw std::invalid_argument("TcpReceiver: null ack path");
+}
+
+void TcpReceiver::deliver_segment(uint64_t seq, bool& was_duplicate, bool& filled_hole) {
+  was_duplicate = false;
+  filled_hole = false;
+  if (seq < rcv_nxt_) {
+    was_duplicate = true;
+    return;
+  }
+  if (seq == rcv_nxt_) {
+    ++rcv_nxt_;
+    // Merge any out-of-order range that is now contiguous.
+    auto it = ooo_.begin();
+    if (it != ooo_.end() && it->first == rcv_nxt_) {
+      filled_hole = true;
+      rcv_nxt_ = it->second;
+      ooo_.erase(it);
+    }
+    return;
+  }
+  // Out of order: insert/extend a range.
+  auto next = ooo_.upper_bound(seq);
+  if (next != ooo_.begin()) {
+    auto prev = std::prev(next);
+    if (seq < prev->second) {
+      was_duplicate = true;  // already buffered
+      return;
+    }
+    if (seq == prev->second) {
+      // Extends prev by one; may now touch next.
+      prev->second = seq + 1;
+      if (next != ooo_.end() && next->first == prev->second) {
+        prev->second = next->second;
+        ooo_.erase(next);
+      }
+      return;
+    }
+  }
+  if (next != ooo_.end() && seq + 1 == next->first) {
+    // Prepends to next.
+    const uint64_t end = next->second;
+    ooo_.erase(next);
+    ooo_.emplace(seq, end);
+    return;
+  }
+  ooo_.emplace(seq, seq + 1);
+}
+
+void TcpReceiver::accept(Packet&& pkt) {
+  if (pkt.type != PacketType::kData) return;  // receivers only consume data
+  ++segments_received_;
+  const uint64_t seq = pkt.seq;
+  const bool in_order = (seq == rcv_nxt_);
+
+  bool was_duplicate = false;
+  bool filled_hole = false;
+  deliver_segment(seq, was_duplicate, filled_hole);
+  if (was_duplicate) ++duplicate_segments_;
+
+  // RFC 5681: immediate ACK for out-of-order data (generates dupacks), for
+  // data that fills a hole, and for duplicates; delayed ACK only for plain
+  // in-order data. Any such event also flushes a pending GRO batch.
+  const bool immediate =
+      !config_.delayed_ack || !in_order || filled_hole || was_duplicate || !ooo_.empty();
+  if (immediate) {
+    gro_pending_ = 0;
+    gro_timer_.cancel();
+    send_ack_now(seq);
+    return;
+  }
+
+  if (!config_.gro_enabled) {
+    ++unacked_in_order_;
+    if (unacked_in_order_ >= config_.delack_segment_threshold) {
+      send_ack_now(seq);
+    } else {
+      delack_timer_.arm_in_if_idle(config_.delack_timeout);
+    }
+    return;
+  }
+
+  // GRO: extend the current batch if this segment is back-to-back with the
+  // previous one; otherwise close the old batch first.
+  const Time now = sim_.now();
+  const bool back_to_back = gro_pending_ > 0 && seq == gro_last_seq_ + 1 &&
+                            now - gro_last_arrival_ <= config_.gro_flush_timeout;
+  if (gro_pending_ > 0 && !back_to_back) flush_gro_batch();
+  ++gro_pending_;
+  gro_last_arrival_ = now;
+  gro_last_seq_ = seq;
+  if (gro_pending_ >= config_.gro_max_segments) {
+    flush_gro_batch();
+  } else {
+    gro_timer_.arm_in(config_.gro_flush_timeout);
+  }
+}
+
+void TcpReceiver::flush_gro_batch() {
+  if (gro_pending_ == 0) return;
+  const uint32_t batch = gro_pending_;
+  gro_pending_ = 0;
+  gro_timer_.cancel();
+  // Linux ACK policy over a coalesced super-segment: >= 2 MSS of new data
+  // is ACKed immediately; a single segment goes through delayed ACK.
+  unacked_in_order_ += batch;
+  if (unacked_in_order_ >= config_.delack_segment_threshold) {
+    send_ack_now(gro_last_seq_);
+  } else {
+    delack_timer_.arm_in_if_idle(config_.delack_timeout);
+  }
+}
+
+void TcpReceiver::on_gro_timeout() { flush_gro_batch(); }
+
+void TcpReceiver::fill_sack_blocks(Packet& ack, uint64_t trigger_seq) const {
+  // RFC 2018: the first block contains the segment that triggered the ACK;
+  // remaining slots report the other most relevant (lowest) ranges.
+  ack.num_sacks = 0;
+  if (ooo_.empty()) return;
+  // Find the range containing the trigger.
+  auto it = ooo_.upper_bound(trigger_seq);
+  if (it != ooo_.begin()) {
+    auto prev = std::prev(it);
+    if (trigger_seq >= prev->first && trigger_seq < prev->second) {
+      ack.add_sack(prev->first, prev->second);
+    }
+  }
+  for (const auto& [start, end] : ooo_) {
+    if (ack.num_sacks >= kMaxSackBlocks) break;
+    ack.add_sack(start, end);
+  }
+}
+
+void TcpReceiver::send_ack_now(uint64_t trigger_seq) {
+  unacked_in_order_ = 0;
+  delack_timer_.cancel();
+  Packet ack = Packet::make_ack(flow_id_, DumbbellTopology::kToSenders, rcv_nxt_);
+  fill_sack_blocks(ack, trigger_seq);
+  ++acks_sent_;
+  ack_path_->accept(std::move(ack));
+}
+
+void TcpReceiver::on_delack_timeout() {
+  if (unacked_in_order_ == 0) return;
+  send_ack_now(rcv_nxt_ == 0 ? 0 : rcv_nxt_ - 1);
+}
+
+}  // namespace ccas

@@ -1,0 +1,302 @@
+#include "src/tcp/tcp_sender.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+TcpSender::TcpSender(Simulator& sim, uint32_t flow_id,
+                     std::unique_ptr<CongestionController> cca, PacketSink* data_path,
+                     const TcpSenderConfig& config)
+    : sim_(sim),
+      flow_id_(flow_id),
+      cca_(std::move(cca)),
+      data_path_(data_path),
+      config_(config),
+      rtt_(config.rtt),
+      rto_timer_(sim, [this] { on_rto_fire(); }),
+      pacing_timer_(sim, [this] { try_send(); }) {
+  if (cca_ == nullptr) throw std::invalid_argument("TcpSender: null CCA");
+  if (data_path_ == nullptr) throw std::invalid_argument("TcpSender: null data path");
+  if (config.dup_thresh == 0) throw std::invalid_argument("dup_thresh must be >= 1");
+}
+
+void TcpSender::start() {
+  if (started_) return;
+  started_ = true;
+  try_send();
+}
+
+void TcpSender::accept(Packet&& pkt) {
+  if (pkt.type != PacketType::kAck) return;
+  process_ack(pkt);
+}
+
+void TcpSender::process_ack(const Packet& ack) {
+  const Time now = sim_.now();
+  ++stats_.acks_received;
+  if (ack.ack_seq > sb_.snd_nxt()) throw std::logic_error("ACK beyond snd_nxt");
+
+  const bool cum_advanced = ack.ack_seq > sb_.snd_una();
+
+  // RTT sampling (Karn: only from segments transmitted exactly once). Take
+  // the sample from the most recently sent segment this ACK delivers.
+  TimeDelta rtt_sample = TimeDelta::zero();
+  Time rtt_sample_sent = Time::zero();
+  auto consider_rtt_sample = [&](const SegmentState& st) {
+    if (st.tx_count == 1 && st.last_sent >= rtt_sample_sent) {
+      rtt_sample_sent = st.last_sent;
+      rtt_sample = now - st.last_sent;
+    }
+  };
+
+  auto on_delivered = [&](uint64_t /*seq*/, SegmentState& st) {
+    if (st.outstanding) {
+      st.outstanding = false;
+      --pipe_;
+    }
+    consider_rtt_sample(st);
+    rate_est_.on_packet_delivered(now, st);
+  };
+
+  uint64_t newly_delivered = sb_.advance_una(ack.ack_seq, on_delivered);
+  if (config_.sack_enabled) {
+    for (uint8_t i = 0; i < ack.num_sacks; ++i) {
+      const SackBlock b = ack.sack(i);
+      if (b.empty()) continue;
+      newly_delivered += sb_.apply_sack(b.start, b.end, on_delivered);
+    }
+  }
+  stats_.delivered += newly_delivered;
+
+  // Duplicate-ACK accounting (drives loss detection when SACK is off, and
+  // is reported either way).
+  if (cum_advanced) {
+    dupack_count_ = 0;
+  } else if (!sb_.empty()) {
+    ++dupack_count_;
+    ++stats_.dupacks;
+    if (!config_.sack_enabled && pipe_ > 0) {
+      // Without SACK, each dupack still proves one segment left the
+      // network (RFC 5681's cwnd-inflation expressed as pipe deflation);
+      // this is what lets recovery proceed instead of stalling into RTO.
+      --pipe_;
+    }
+  }
+
+  // Loss detection.
+  uint64_t newly_lost = 0;
+  auto on_lost = [&](uint64_t /*seq*/, SegmentState& st) {
+    ++newly_lost;
+    if (st.outstanding) {
+      st.outstanding = false;
+      --pipe_;
+    }
+  };
+  bool force_retransmit = false;
+  if (config_.sack_enabled) {
+    sb_.mark_lost_by_sack(config_.dup_thresh, on_lost);
+  } else {
+    if (state_ == State::kOpen && dupack_count_ >= config_.dup_thresh && !sb_.empty()) {
+      sb_.mark_lost(sb_.snd_una(), on_lost);
+      force_retransmit = true;
+    }
+    // NewReno partial ACK (RFC 6582): during recovery, a cumulative ACK
+    // that does not cover the recovery point exposes the next hole, which
+    // is retransmitted immediately.
+    if (state_ == State::kRecovery && cum_advanced && ack.ack_seq < recovery_point_ &&
+        !sb_.empty()) {
+      sb_.mark_lost(sb_.snd_una(), on_lost);
+      force_retransmit = true;
+    }
+  }
+  // Recovery state machine.
+  if (state_ != State::kOpen && ack.ack_seq >= recovery_point_) {
+    state_ = State::kOpen;
+    cca_->on_recovery_exit(now, pipe_);
+  }
+  if (state_ == State::kOpen && sb_.lost_count() > 0) {
+    state_ = State::kRecovery;
+    recovery_point_ = sb_.snd_nxt();
+    ++stats_.congestion_events;
+    // PRR (RFC 6937) epoch starts here.
+    prr_delivered_ = 0;
+    prr_out_ = 0;
+    prr_recover_fs_ = std::max<uint64_t>(pipe_ + newly_lost, 1);
+    prr_budget_ = 0;
+    cca_->on_congestion_event(now, pipe_);
+    // The fast retransmit goes out immediately (RFC 5681), without
+    // waiting for the pipe to deflate below the reduced cwnd.
+    force_retransmit = true;
+  }
+  if (state_ == State::kRecovery && !cca_->owns_recovery_cwnd()) {
+    // PRR: earn transmission credit proportional to deliveries.
+    prr_delivered_ += newly_delivered;
+    const uint64_t target = std::max<uint64_t>(cca_->cwnd(), 1);
+    int64_t sndcnt;
+    if (pipe_ > target) {
+      // Proportional reduction toward the target window.
+      const auto allowed = static_cast<int64_t>(
+          (prr_delivered_ * target + prr_recover_fs_ - 1) / prr_recover_fs_);
+      sndcnt = allowed - static_cast<int64_t>(prr_out_);
+    } else {
+      // Conservative-reduction bound / slow-start branch: at least keep
+      // the ACK clock running, plus one extra segment per ACK.
+      const auto limit = static_cast<int64_t>(prr_delivered_) -
+                         static_cast<int64_t>(prr_out_) +
+                         static_cast<int64_t>(newly_delivered);
+      sndcnt = std::min<int64_t>(limit, static_cast<int64_t>(newly_delivered) + 1);
+    }
+    prr_budget_ = static_cast<uint64_t>(std::max<int64_t>(sndcnt, 0));
+  }
+
+  if (rtt_sample > TimeDelta::zero()) {
+    rtt_.add_sample(rtt_sample);
+    rto_backoff_shift_ = 0;
+    stats_.rtt_sample_sum_ns += rtt_sample.ns();
+    ++stats_.rtt_sample_count;
+  }
+
+  AckEvent ev;
+  ev.now = now;
+  ev.newly_acked = newly_delivered;
+  ev.newly_lost = newly_lost;
+  ev.inflight = pipe_;
+  ev.delivered_total = rate_est_.delivered();
+  ev.rtt_sample = rtt_sample;
+  ev.min_rtt = rtt_.min_rtt();
+  ev.rate = rate_est_.take_sample(now, rtt_.min_rtt());
+  // Only fast recovery freezes CCA window growth; after an RTO (kLoss)
+  // the window slow-starts back up while retransmitting, as Linux does in
+  // CA_Loss — without this, repairing a large loss episode at cwnd = 1
+  // takes one segment per RTT.
+  ev.in_recovery = (state_ == State::kRecovery);
+  cca_->on_ack(ev);
+
+  // RTO timer: restart on progress, stop when nothing is outstanding and
+  // nothing awaits retransmission.
+  if (pipe_ == 0 && sb_.lost_count() == 0 && sb_.empty()) {
+    rto_timer_.cancel();
+  } else if (cum_advanced) {
+    arm_rto();
+  }
+
+  if (force_retransmit && sb_.lost_count() > 0) {
+    retx_hint_ = std::max(retx_hint_, sb_.snd_una());
+    if (auto lost = sb_.find_lost_from(retx_hint_)) {
+      retx_hint_ = *lost + 1;
+      transmit_segment(now, *lost, /*retransmit=*/true);
+    }
+  }
+  try_send();
+
+  if (complete() && !completion_fired_) {
+    completion_fired_ = true;
+    rto_timer_.cancel();
+    pacing_timer_.cancel();
+    if (completion_cb_) completion_cb_();
+  }
+}
+
+TimeDelta TcpSender::current_rto() const {
+  TimeDelta rto = rtt_.rto();
+  for (uint32_t i = 0; i < rto_backoff_shift_; ++i) {
+    rto = rto * 2;
+    if (rto >= TimeDelta::seconds(120)) return TimeDelta::seconds(120);
+  }
+  return rto;
+}
+
+void TcpSender::arm_rto() { rto_timer_.arm_in(current_rto()); }
+
+void TcpSender::on_rto_fire() {
+  if (pipe_ == 0 && sb_.empty()) return;  // nothing to recover
+  ++stats_.rto_events;
+  rto_backoff_shift_ = std::min<uint32_t>(rto_backoff_shift_ + 1, 10);
+  cca_->on_rto(sim_.now());
+  sb_.mark_all_lost([](uint64_t, SegmentState&) {});
+  pipe_ = 0;
+  state_ = State::kLoss;
+  recovery_point_ = sb_.snd_nxt();
+  retx_hint_ = sb_.snd_una();
+  dupack_count_ = 0;
+  // Pacing credit is stale after an idle RTO period.
+  next_send_time_ = sim_.now();
+  arm_rto();
+  try_send();
+}
+
+void TcpSender::try_send() {
+  if (!started_ || in_try_send_) return;
+  in_try_send_ = true;
+  const bool paced = pacing_enabled();
+  while (true) {
+    if (state_ == State::kRecovery && !cca_->owns_recovery_cwnd()) {
+      // PRR clocks transmissions against deliveries during fast recovery.
+      if (prr_budget_ == 0) break;
+    } else {
+      const uint64_t cwnd = std::max<uint64_t>(cca_->cwnd(), 1);
+      if (pipe_ >= cwnd) break;
+    }
+    const Time now = sim_.now();
+    if (paced && now < next_send_time_) {
+      pacing_timer_.arm_at(next_send_time_);
+      break;
+    }
+    if (!send_one(now)) break;
+  }
+  in_try_send_ = false;
+}
+
+bool TcpSender::send_one(Time now) {
+  // Retransmissions of lost segments take priority over new data.
+  if (sb_.lost_count() > 0) {
+    retx_hint_ = std::max(retx_hint_, sb_.snd_una());
+    if (auto lost = sb_.find_lost_from(retx_hint_)) {
+      retx_hint_ = *lost + 1;
+      transmit_segment(now, *lost, /*retransmit=*/true);
+      return true;
+    }
+  }
+  if (sb_.window_size() >= config_.max_window) return false;
+  // Finite source: no new data beyond the transfer size.
+  if (config_.data_segments > 0 && sb_.snd_nxt() >= config_.data_segments) {
+    return false;
+  }
+  sb_.extend();
+  transmit_segment(now, sb_.snd_nxt() - 1, /*retransmit=*/false);
+  return true;
+}
+
+void TcpSender::transmit_segment(Time now, uint64_t seq, bool retransmit) {
+  sb_.note_transmit(seq);
+  SegmentState& st = sb_.seg(seq);
+  rate_est_.on_packet_sent(now, st, /*pipe_was_empty=*/pipe_ == 0);
+  st.last_sent = now;
+  ++st.tx_count;
+  st.outstanding = true;
+  ++pipe_;
+
+  ++stats_.segments_sent;
+  if (retransmit) ++stats_.retransmits;
+  if (state_ == State::kRecovery) {
+    ++prr_out_;
+    if (prr_budget_ > 0) --prr_budget_;
+  }
+  cca_->on_packet_sent(now, seq, pipe_);
+
+  if (pacing_enabled()) {
+    const DataRate rate = cca_->pacing_rate();
+    const Time base = std::max(next_send_time_, now);
+    next_send_time_ = base + rate.transfer_time(kDataPacketBytes);
+  }
+  if (!rto_timer_.is_armed()) arm_rto();
+
+  data_path_->accept(
+      Packet::make_data(flow_id_, DumbbellTopology::kToReceivers, seq, retransmit));
+}
+
+}  // namespace ccas

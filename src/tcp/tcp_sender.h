@@ -1,0 +1,136 @@
+// TCP sender endpoint: window management, SACK-based loss detection
+// (RFC 6675), NewReno-style recovery episodes, RTO with exponential
+// backoff (RFC 6298), optional pacing, and the delivery-rate estimator —
+// everything Linux TCP provides around a pluggable congestion controller.
+//
+// The flow is an infinite data source (as in the paper): new segments are
+// always available, so sending is limited purely by cwnd and pacing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/cca/cca.h"
+#include "src/net/packet.h"
+#include "src/sim/timer.h"
+#include "src/tcp/delivery_rate.h"
+#include "src/tcp/rtt_estimator.h"
+#include "src/tcp/sack_scoreboard.h"
+
+namespace ccas {
+
+struct TcpSenderConfig {
+  uint64_t initial_cwnd = 10;  // IW10, as in Linux
+  // Receive-window analog: caps the send window in segments so a single
+  // misbehaving flow cannot exhaust simulator memory.
+  uint64_t max_window = 1 << 20;
+  uint64_t dup_thresh = 3;
+  bool sack_enabled = true;
+  // Application data to transfer, in segments; 0 = infinite source (the
+  // paper's long-running flows). Finite flows complete once everything is
+  // cumulatively acknowledged (used by the churn extension).
+  uint64_t data_segments = 0;
+  RttEstimator::Config rtt;
+};
+
+struct TcpSenderStats {
+  uint64_t segments_sent = 0;  // including retransmissions
+  uint64_t retransmits = 0;
+  uint64_t acks_received = 0;
+  uint64_t dupacks = 0;
+  // Congestion events = fast-recovery entries: each is one multiplicative
+  // decrease, i.e. one "CWND halving" in the paper's tcpprobe terminology.
+  uint64_t congestion_events = 0;
+  uint64_t rto_events = 0;
+  uint64_t delivered = 0;  // segments cum-ACKed or SACKed
+  // Accumulated RTT samples, for the mean RTT over a measurement window
+  // (the Mathis model wants the RTT the flow actually experienced,
+  // queueing delay included).
+  int64_t rtt_sample_sum_ns = 0;
+  uint64_t rtt_sample_count = 0;
+};
+
+class TcpSender final : public PacketSink {
+ public:
+  TcpSender(Simulator& sim, uint32_t flow_id,
+            std::unique_ptr<CongestionController> cca, PacketSink* data_path,
+            const TcpSenderConfig& config = {});
+
+  // Begins transmitting (the flow's staggered start time in experiments).
+  void start();
+  [[nodiscard]] bool started() const { return started_; }
+
+  // ACKs arrive here from the return path.
+  void accept(Packet&& pkt) override;
+
+  [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
+  [[nodiscard]] const CongestionController& cca() const { return *cca_; }
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] uint64_t inflight() const { return pipe_; }
+  [[nodiscard]] uint64_t snd_una() const { return sb_.snd_una(); }
+  [[nodiscard]] uint64_t snd_nxt() const { return sb_.snd_nxt(); }
+  [[nodiscard]] bool in_recovery() const { return state_ != State::kOpen; }
+
+  // Finite flows (config.data_segments > 0): all data cum-ACKed.
+  [[nodiscard]] bool complete() const {
+    return config_.data_segments > 0 && sb_.snd_una() >= config_.data_segments;
+  }
+  // Invoked once when the flow completes (before the callback returns the
+  // sender is fully quiescent: timers cancelled, nothing in flight).
+  void set_completion_callback(std::function<void()> cb) {
+    completion_cb_ = std::move(cb);
+  }
+
+ private:
+  enum class State { kOpen, kRecovery, kLoss };
+
+  void process_ack(const Packet& ack);
+  void try_send();
+  [[nodiscard]] bool send_one(Time now);
+  void transmit_segment(Time now, uint64_t seq, bool retransmit);
+  void arm_rto();
+  void on_rto_fire();
+  [[nodiscard]] TimeDelta current_rto() const;
+  [[nodiscard]] bool pacing_enabled() const {
+    return !cca_->pacing_rate().is_infinite();
+  }
+
+  Simulator& sim_;
+  uint32_t flow_id_;
+  std::unique_ptr<CongestionController> cca_;
+  PacketSink* data_path_;
+  TcpSenderConfig config_;
+
+  SackScoreboard sb_;
+  DeliveryRateEstimator rate_est_;
+  RttEstimator rtt_;
+  TcpSenderStats stats_;
+
+  bool started_ = false;
+  State state_ = State::kOpen;
+  uint64_t pipe_ = 0;            // segments presumed in flight (RFC 6675)
+  uint64_t recovery_point_ = 0;  // snd_nxt at recovery entry
+  uint64_t dupack_count_ = 0;
+  uint64_t retx_hint_ = 0;  // scan cursor for lost-segment retransmission
+
+  // Proportional Rate Reduction (RFC 6937) state, active in kRecovery:
+  // transmissions are clocked against deliveries so the reduction to
+  // ssthresh happens smoothly instead of as a retransmission burst.
+  uint64_t prr_delivered_ = 0;
+  uint64_t prr_out_ = 0;
+  uint64_t prr_recover_fs_ = 1;  // pipe at recovery entry
+  uint64_t prr_budget_ = 0;      // segments currently allowed out
+
+  Timer rto_timer_;
+  uint32_t rto_backoff_shift_ = 0;
+
+  Timer pacing_timer_;
+  Time next_send_time_ = Time::zero();
+  bool in_try_send_ = false;  // re-entrancy guard
+
+  std::function<void()> completion_cb_;
+  bool completion_fired_ = false;
+};
+
+}  // namespace ccas

@@ -1,0 +1,59 @@
+#include "src/util/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ccas {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: expected " + std::to_string(columns_) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::col(std::string_view s) {
+  cells_.emplace_back(s);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::col(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  cells_.emplace_back(buf);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::col(int64_t v) {
+  cells_.emplace_back(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::RowBuilder::done() { writer_.row(cells_); }
+
+}  // namespace ccas

@@ -1,0 +1,47 @@
+// Minimal CSV writer used by the benchmark harness to dump result tables
+// next to the binaries (one file per reproduced table/figure).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccas {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  // Appends one row; the number of cells must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  // Convenience for mixed numeric/string rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& w) : writer_(w) {}
+    RowBuilder& col(std::string_view s);
+    RowBuilder& col(double v, int precision = 6);
+    RowBuilder& col(int64_t v);
+    void done();
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> cells_;
+  };
+  [[nodiscard]] RowBuilder start_row() { return RowBuilder(*this); }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  // Escapes a cell per RFC 4180 (quotes fields containing comma/quote/newline).
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t columns_;
+};
+
+}  // namespace ccas

@@ -1,0 +1,52 @@
+#include "src/util/least_squares.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ccas {
+
+double fit_through_origin(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("size mismatch");
+  if (x.empty()) throw std::invalid_argument("empty sample");
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += x[i] * y[i];
+    sxx += x[i] * x[i];
+  }
+  if (sxx == 0.0) throw std::invalid_argument("degenerate sample: all x are zero");
+  return sxy / sxx;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("need at least two samples");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("degenerate sample: x has no variance");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r_squared = 1.0;
+  }
+  return fit;
+}
+
+}  // namespace ccas

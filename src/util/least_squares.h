@@ -1,0 +1,24 @@
+// Least-squares helpers used to fit the Mathis constant C and for general
+// linear regression in the analysis tooling.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ccas {
+
+// Fits y ~= c * x (regression through the origin) and returns c.
+// This is exactly the estimator Mathis et al. use to derive the constant C:
+// with x_i = MSS / (RTT_i * sqrt(p_i)) and y_i = measured throughput,
+// C = sum(x_i * y_i) / sum(x_i^2) minimizes the squared prediction error.
+[[nodiscard]] double fit_through_origin(std::span<const double> x, std::span<const double> y);
+
+// Ordinary least squares y ~= a + b*x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+}  // namespace ccas

@@ -1,0 +1,114 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace ccas {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("CCAS_LOG");
+  if (env == nullptr) return;
+  const std::string v(env);
+  if (v == "trace") set_log_level(LogLevel::kTrace);
+  else if (v == "debug") set_log_level(LogLevel::kDebug);
+  else if (v == "info") set_log_level(LogLevel::kInfo);
+  else if (v == "warn") set_log_level(LogLevel::kWarn);
+  else if (v == "error") set_log_level(LogLevel::kError);
+  else if (v == "off") set_log_level(LogLevel::kOff);
+}
+
+namespace internal {
+void vlog_line(LogLevel level, const char* fmt, va_list args) {
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace internal
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  va_list args;
+  va_start(args, fmt);
+  internal::vlog_line(level, fmt, args);
+  va_end(args);
+}
+
+#define CCAS_DEFINE_LOG_FN(fn, lvl)              \
+  void fn(const char* fmt, ...) {                \
+    if (lvl < log_level()) return;               \
+    va_list args;                                \
+    va_start(args, fmt);                         \
+    internal::vlog_line(lvl, fmt, args);         \
+    va_end(args);                                \
+  }
+
+CCAS_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+CCAS_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+CCAS_DEFINE_LOG_FN(log_warn, LogLevel::kWarn)
+CCAS_DEFINE_LOG_FN(log_error, LogLevel::kError)
+#undef CCAS_DEFINE_LOG_FN
+
+// to_string implementations for the unit types (kept here so units.h stays
+// header-light for the hot path).
+std::string TimeDelta::to_string() const {
+  char buf[64];
+  if (is_infinite()) return "+inf";
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", sec());
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ms());
+  } else if (ns_ >= 1'000 || ns_ <= -1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", us());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string Time::to_string() const {
+  if (is_infinite()) return "+inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", sec());
+  return buf;
+}
+
+std::string DataRate::to_string() const {
+  if (is_infinite()) return "+inf";
+  char buf[64];
+  if (bps_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fGbps", gbps_f());
+  } else if (bps_ >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fMbps", mbps_f());
+  } else if (bps_ >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fkbps", static_cast<double>(bps_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldbps", static_cast<long long>(bps_));
+  }
+  return buf;
+}
+
+}  // namespace ccas

@@ -1,0 +1,38 @@
+// Lightweight leveled logging. Off by default above WARN so hot paths stay
+// hot; benches/examples can raise verbosity via set_log_level or the
+// CCAS_LOG environment variable (trace|debug|info|warn|error|off).
+//
+// printf-style formatting (GCC 12's libstdc++ does not ship <format>).
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace ccas {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+// Initializes the level from the CCAS_LOG env var (exposed for tests).
+void init_log_level_from_env();
+
+namespace internal {
+void vlog_line(LogLevel level, const char* fmt, va_list args);
+}
+
+#if defined(__GNUC__)
+#define CCAS_PRINTF_ATTR(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define CCAS_PRINTF_ATTR(fmt_idx, arg_idx)
+#endif
+
+void log(LogLevel level, const char* fmt, ...) CCAS_PRINTF_ATTR(2, 3);
+void log_debug(const char* fmt, ...) CCAS_PRINTF_ATTR(1, 2);
+void log_info(const char* fmt, ...) CCAS_PRINTF_ATTR(1, 2);
+void log_warn(const char* fmt, ...) CCAS_PRINTF_ATTR(1, 2);
+void log_error(const char* fmt, ...) CCAS_PRINTF_ATTR(1, 2);
+
+}  // namespace ccas

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generator (xoshiro256++) used by the
+// simulator so that experiments are exactly reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace ccas {
+
+// xoshiro256++ by Blackman & Vigna (public domain reference implementation,
+// re-expressed here). Fast, high quality, and — unlike std::mt19937 —
+// guaranteed to produce identical streams on every platform we target.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t next_below(uint64_t bound) {
+    // Lemire's unbiased bounded generation.
+    uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (l < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [lo, hi).
+  double next_range(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Derive an independent child generator (for per-flow streams).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t state_[4] = {};
+};
+
+}  // namespace ccas

@@ -1,0 +1,59 @@
+// Small descriptive-statistics helpers: running mean/variance (Welford),
+// percentiles, and a histogram used for reporting distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccas {
+
+// Online mean / variance / min / max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Population variance / stddev (denominator n), matching the Goh-Barabasi
+  // burstiness definition.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  // Sample variance (denominator n-1).
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const RunningStats& other);
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile of a sample set using linear interpolation between closest
+// ranks (the "exclusive" definition used by numpy's default). `q` in [0,1].
+// The input vector is copied; for repeated queries use Percentiles below.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+// Convenience: median.
+[[nodiscard]] double median(std::vector<double> values);
+
+// Sorts once and answers many percentile queries.
+class Percentiles {
+ public:
+  explicit Percentiles(std::vector<double> values);
+  [[nodiscard]] double at(double q) const;
+  [[nodiscard]] double median() const { return at(0.5); }
+  [[nodiscard]] size_t count() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ccas

@@ -1,0 +1,168 @@
+// Strong types for time, data rate and data size used throughout the
+// simulator. All arithmetic is integer nanoseconds / bits-per-second /
+// bytes so that simulations are exactly reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace ccas {
+
+// ---------------------------------------------------------------------------
+// TimeDelta: a signed duration with nanosecond resolution.
+// ---------------------------------------------------------------------------
+class TimeDelta {
+ public:
+  constexpr TimeDelta() = default;
+
+  [[nodiscard]] static constexpr TimeDelta nanos(int64_t ns) { return TimeDelta(ns); }
+  [[nodiscard]] static constexpr TimeDelta micros(int64_t us) { return TimeDelta(us * 1'000); }
+  [[nodiscard]] static constexpr TimeDelta millis(int64_t ms) { return TimeDelta(ms * 1'000'000); }
+  [[nodiscard]] static constexpr TimeDelta seconds(int64_t s) { return TimeDelta(s * 1'000'000'000); }
+  [[nodiscard]] static constexpr TimeDelta seconds_f(double s) {
+    return TimeDelta(static_cast<int64_t>(s * 1e9));
+  }
+  [[nodiscard]] static constexpr TimeDelta zero() { return TimeDelta(0); }
+  [[nodiscard]] static constexpr TimeDelta infinite() {
+    return TimeDelta(std::numeric_limits<int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return ns_ == std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr TimeDelta operator+(TimeDelta o) const { return TimeDelta(ns_ + o.ns_); }
+  constexpr TimeDelta operator-(TimeDelta o) const { return TimeDelta(ns_ - o.ns_); }
+  constexpr TimeDelta operator*(int64_t k) const { return TimeDelta(ns_ * k); }
+  constexpr TimeDelta operator*(int k) const { return TimeDelta(ns_ * k); }
+  constexpr TimeDelta operator*(double k) const {
+    return TimeDelta(static_cast<int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr TimeDelta operator/(int64_t k) const { return TimeDelta(ns_ / k); }
+  [[nodiscard]] constexpr double operator/(TimeDelta o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr TimeDelta& operator+=(TimeDelta o) { ns_ += o.ns_; return *this; }
+  constexpr TimeDelta& operator-=(TimeDelta o) { ns_ -= o.ns_; return *this; }
+  constexpr auto operator<=>(const TimeDelta&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr TimeDelta(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Time: an absolute simulation timestamp (ns since simulation start).
+// ---------------------------------------------------------------------------
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time zero() { return Time(0); }
+  [[nodiscard]] static constexpr Time nanos(int64_t ns) { return Time(ns); }
+  [[nodiscard]] static constexpr Time seconds_f(double s) {
+    return Time(static_cast<int64_t>(s * 1e9));
+  }
+  [[nodiscard]] static constexpr Time infinite() {
+    return Time(std::numeric_limits<int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return ns_ == std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr Time operator+(TimeDelta d) const { return Time(ns_ + d.ns()); }
+  constexpr Time operator-(TimeDelta d) const { return Time(ns_ - d.ns()); }
+  constexpr TimeDelta operator-(Time o) const { return TimeDelta::nanos(ns_ - o.ns_); }
+  constexpr Time& operator+=(TimeDelta d) { ns_ += d.ns(); return *this; }
+  constexpr auto operator<=>(const Time&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Time(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// DataRate: bits per second.
+// ---------------------------------------------------------------------------
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  [[nodiscard]] static constexpr DataRate bps(int64_t v) { return DataRate(v); }
+  [[nodiscard]] static constexpr DataRate kbps(int64_t v) { return DataRate(v * 1'000); }
+  [[nodiscard]] static constexpr DataRate mbps(int64_t v) { return DataRate(v * 1'000'000); }
+  [[nodiscard]] static constexpr DataRate gbps(int64_t v) { return DataRate(v * 1'000'000'000); }
+  [[nodiscard]] static constexpr DataRate bps_f(double v) {
+    return DataRate(static_cast<int64_t>(v));
+  }
+  [[nodiscard]] static constexpr DataRate zero() { return DataRate(0); }
+  [[nodiscard]] static constexpr DataRate infinite() {
+    return DataRate(std::numeric_limits<int64_t>::max());
+  }
+
+  // Rate needed to transmit `bytes` in `delta`.
+  [[nodiscard]] static constexpr DataRate bytes_per(int64_t bytes, TimeDelta delta) {
+    if (delta.ns() <= 0) return infinite();
+    const double bits = static_cast<double>(bytes) * 8.0;
+    return bps_f(bits * 1e9 / static_cast<double>(delta.ns()));
+  }
+
+  [[nodiscard]] constexpr int64_t bits_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double mbps_f() const { return static_cast<double>(bps_) / 1e6; }
+  [[nodiscard]] constexpr double gbps_f() const { return static_cast<double>(bps_) / 1e9; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0; }
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return bps_ == std::numeric_limits<int64_t>::max();
+  }
+
+  // Serialization delay of `bytes` at this rate.
+  [[nodiscard]] constexpr TimeDelta transfer_time(int64_t bytes) const {
+    if (is_infinite()) return TimeDelta::zero();
+    // bytes*8 bits / (bps_ bits/s) seconds = bytes*8e9/bps_ ns.
+    return TimeDelta::nanos(bytes * 8'000'000'000 / bps_);
+  }
+
+  // Bytes deliverable in `delta` at this rate.
+  [[nodiscard]] constexpr int64_t bytes_in(TimeDelta delta) const {
+    return static_cast<int64_t>(static_cast<double>(bps_) / 8.0 *
+                                static_cast<double>(delta.ns()) / 1e9);
+  }
+
+  constexpr DataRate operator*(double k) const {
+    return bps_f(static_cast<double>(bps_) * k);
+  }
+  constexpr DataRate operator/(int64_t k) const { return DataRate(bps_ / k); }
+  constexpr DataRate operator+(DataRate o) const { return DataRate(bps_ + o.bps_); }
+  constexpr DataRate operator-(DataRate o) const { return DataRate(bps_ - o.bps_); }
+  [[nodiscard]] constexpr double operator/(DataRate o) const {
+    return static_cast<double>(bps_) / static_cast<double>(o.bps_);
+  }
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr DataRate(int64_t bps) : bps_(bps) {}
+  int64_t bps_ = 0;
+};
+
+// Bandwidth-delay product in bytes.
+[[nodiscard]] constexpr int64_t bdp_bytes(DataRate rate, TimeDelta rtt) {
+  return rate.bytes_in(rtt);
+}
+
+}  // namespace ccas

@@ -1,0 +1,94 @@
+// Kathleen Nichols' windowed min/max filter, as used by Linux TCP BBR to
+// track the maximum delivery rate over a bounded window of time (or of
+// round-trips). Keeps the best three samples so that the estimate degrades
+// gracefully as the window slides.
+#pragma once
+
+#include <cstdint>
+
+namespace ccas {
+
+template <typename ValueT, typename TimeT, typename Compare>
+class WindowedFilter {
+ public:
+  WindowedFilter() = default;
+  explicit WindowedFilter(TimeT window_length) : window_length_(window_length) {}
+
+  void set_window_length(TimeT window_length) { window_length_ = window_length; }
+
+  // Reset the whole filter to a single sample.
+  void reset(ValueT value, TimeT now) {
+    estimates_[0] = estimates_[1] = estimates_[2] = Sample{value, now};
+  }
+
+  [[nodiscard]] ValueT best() const { return estimates_[0].value; }
+  [[nodiscard]] ValueT second_best() const { return estimates_[1].value; }
+  [[nodiscard]] ValueT third_best() const { return estimates_[2].value; }
+
+  void update(ValueT value, TimeT now) {
+    if (estimates_[0].time == TimeT{} && estimates_[0].value == ValueT{}) {
+      reset(value, now);
+      return;
+    }
+    const Sample sample{value, now};
+    // A new best sample, or the window has fully aged out.
+    if (Compare()(value, estimates_[0].value) ||
+        now - estimates_[2].time > window_length_) {
+      reset(value, now);
+      return;
+    }
+    if (Compare()(value, estimates_[1].value)) {
+      estimates_[1] = estimates_[2] = sample;
+    } else if (Compare()(value, estimates_[2].value)) {
+      estimates_[2] = sample;
+    }
+
+    // Expire and update estimates as necessary.
+    if (now - estimates_[0].time > window_length_) {
+      // The best estimate hasn't been updated for an entire window; promote
+      // the runners-up.
+      estimates_[0] = estimates_[1];
+      estimates_[1] = estimates_[2];
+      estimates_[2] = sample;
+      if (now - estimates_[0].time > window_length_) {
+        estimates_[0] = estimates_[1];
+        estimates_[1] = estimates_[2];
+      }
+      return;
+    }
+    if (estimates_[1].value == estimates_[0].value &&
+        now - estimates_[1].time > window_length_ / 4) {
+      // Second-best is a stale copy of the best; refresh it.
+      estimates_[1] = estimates_[2] = sample;
+      return;
+    }
+    if (estimates_[2].value == estimates_[1].value &&
+        now - estimates_[2].time > window_length_ / 2) {
+      estimates_[2] = sample;
+    }
+  }
+
+ private:
+  struct Sample {
+    ValueT value{};
+    TimeT time{};
+  };
+  TimeT window_length_{};
+  Sample estimates_[3];
+};
+
+struct MaxFilterCompare {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const { return a >= b; }
+};
+struct MinFilterCompare {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const { return a <= b; }
+};
+
+template <typename ValueT, typename TimeT>
+using WindowedMaxFilter = WindowedFilter<ValueT, TimeT, MaxFilterCompare>;
+template <typename ValueT, typename TimeT>
+using WindowedMinFilter = WindowedFilter<ValueT, TimeT, MinFilterCompare>;
+
+}  // namespace ccas

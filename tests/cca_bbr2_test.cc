@@ -1,0 +1,143 @@
+#include "src/cca/bbr2.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/packet.h"
+
+namespace ccas {
+namespace {
+
+struct Bbr2Driver {
+  explicit Bbr2Driver(Bbr2Config cfg = {}) : rng(1), bbr2(cfg, rng) {}
+
+  void round(DataRate rate, TimeDelta rtt, uint64_t inflight, uint64_t acked = 10,
+             uint64_t lost = 0, bool in_recovery = false) {
+    now = now + rtt;
+    AckEvent ev;
+    ev.now = now;
+    ev.newly_acked = acked;
+    ev.newly_lost = lost;
+    ev.inflight = inflight;
+    ev.rate.delivery_rate = rate;
+    ev.rate.prior_delivered = delivered;
+    ev.rate.interval = rtt;
+    delivered += acked;
+    ev.delivered_total = delivered;
+    ev.rtt_sample = rtt;
+    ev.min_rtt = rtt;
+    ev.in_recovery = in_recovery;
+    bbr2.on_ack(ev);
+  }
+
+  Rng rng;
+  Bbr2 bbr2;
+  Time now = Time::zero();
+  uint64_t delivered = 0;
+};
+
+uint64_t bdp_segs(DataRate rate, TimeDelta rtt) {
+  return static_cast<uint64_t>(static_cast<double>(rate.bits_per_sec()) / 8.0 *
+                               rtt.sec() / static_cast<double>(kMssBytes));
+}
+
+void reach_probe_bw(Bbr2Driver& d, DataRate bw, TimeDelta rtt) {
+  d.round(bw * 0.25, rtt, 50);
+  d.round(bw * 0.5, rtt, 100);
+  d.round(bw, rtt, 200);
+  d.round(bw, rtt, 400);
+  d.round(bw, rtt, 400);
+  d.round(bw, rtt, 400);
+  d.round(bw, rtt, bdp_segs(bw, rtt) - 1);
+  ASSERT_NE(d.bbr2.mode(), Bbr2::Mode::kStartup);
+  ASSERT_NE(d.bbr2.mode(), Bbr2::Mode::kDrain);
+}
+
+TEST(Bbr2, StartupAndDrainMirrorV1) {
+  Bbr2Driver d;
+  EXPECT_EQ(d.bbr2.mode(), Bbr2::Mode::kStartup);
+  EXPECT_EQ(d.bbr2.name(), "bbr2");
+  reach_probe_bw(d, DataRate::mbps(40), TimeDelta::millis(20));
+  EXPECT_TRUE(d.bbr2.filled_pipe());
+}
+
+TEST(Bbr2, LossRoundClampsInflightHi) {
+  Bbr2Driver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  EXPECT_LT(d.bbr2.inflight_hi_segments(), 0.0);  // unset
+  // A round with 20% loss (above the 2% threshold).
+  d.round(bw, rtt, 300, 10, 5);
+  d.round(bw, rtt, 300, 10, 0);  // round boundary applies the clamp
+  EXPECT_GT(d.bbr2.inflight_hi_segments(), 0.0);
+  EXPECT_LE(d.bbr2.inflight_hi_segments(), 320.0);
+}
+
+TEST(Bbr2, CwndRespectsInflightHi) {
+  Bbr2Driver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  d.round(bw, rtt, 100, 10, 10);
+  d.round(bw, rtt, 100, 10, 0);
+  ASSERT_GT(d.bbr2.inflight_hi_segments(), 0.0);
+  const double hi = d.bbr2.inflight_hi_segments();
+  for (int i = 0; i < 20; ++i) d.round(bw, rtt, 100, 50);
+  // inflight_hi may be raised slightly by probe-up epochs; the window must
+  // stay in its vicinity rather than at the unconstrained 2xBDP.
+  EXPECT_LE(static_cast<double>(d.bbr2.cwnd()), hi * 1.4 + 1.0);
+  EXPECT_LT(static_cast<double>(d.bbr2.cwnd()),
+            2.0 * static_cast<double>(bdp_segs(bw, rtt)));
+}
+
+TEST(Bbr2, SmallLossBelowThresholdIsIgnored) {
+  Bbr2Driver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  // 1 loss out of ~300 delivered: below 2%.
+  d.round(bw, rtt, 300, 150, 1);
+  d.round(bw, rtt, 300, 150, 0);
+  EXPECT_LT(d.bbr2.inflight_hi_segments(), 0.0);
+}
+
+TEST(Bbr2, ProbeRttUsesHalfBdpFloor) {
+  Bbr2Config cfg;
+  Bbr2Driver d(cfg);
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(500);
+  reach_probe_bw(d, bw, rtt);
+  // Grow the window to its 2xBDP target before the min-rtt filter expires.
+  for (int i = 0; i < 25 && d.bbr2.mode() != Bbr2::Mode::kProbeRtt; ++i) {
+    d.round(bw, rtt, bdp_segs(bw, rtt), /*acked=*/600);
+  }
+  ASSERT_EQ(d.bbr2.mode(), Bbr2::Mode::kProbeRtt);
+  d.round(bw, rtt, bdp_segs(bw, rtt), 600);
+  // Floor is ~0.5 BDP (v1 would clamp to 4 packets on this path).
+  const auto half_bdp = static_cast<double>(bdp_segs(bw, rtt)) / 2.0;
+  EXPECT_NEAR(static_cast<double>(d.bbr2.cwnd()), half_bdp, half_bdp * 0.3 + 4.0);
+  EXPECT_GT(d.bbr2.cwnd(), 100u);
+}
+
+TEST(Bbr2, RecoveryRestoresPriorCwnd) {
+  Bbr2Driver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  for (int i = 0; i < 20; ++i) d.round(bw, rtt, bdp_segs(bw, rtt), 50);
+  const uint64_t before = d.bbr2.cwnd();
+  d.bbr2.on_congestion_event(d.now, 100);
+  EXPECT_LE(d.bbr2.cwnd(), 101u);
+  d.bbr2.on_recovery_exit(d.now, 100);
+  EXPECT_GE(d.bbr2.cwnd(), before);
+}
+
+TEST(Bbr2, RegisteredInRegistry) {
+  Rng rng(1);
+  auto cca = make_cca("bbr2", rng);
+  EXPECT_EQ(cca->name(), "bbr2");
+  EXPECT_TRUE(cca->owns_recovery_cwnd());
+}
+
+}  // namespace
+}  // namespace ccas

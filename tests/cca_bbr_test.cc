@@ -1,0 +1,256 @@
+// BBR state-machine unit tests, driven by synthetic ACK events (one ACK ==
+// one packet-timed round, unless stated otherwise).
+#include "src/cca/bbr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/packet.h"
+
+namespace ccas {
+namespace {
+
+struct BbrDriver {
+  explicit BbrDriver(BbrConfig cfg = {}) : rng(1), bbr(cfg, rng) {}
+
+  // Feeds one ACK that (a) carries a valid rate sample of `rate`, (b) is a
+  // round boundary, and (c) advances time by `rtt`.
+  void round(DataRate rate, TimeDelta rtt, uint64_t inflight, uint64_t acked = 10,
+             uint64_t lost = 0, bool in_recovery = false) {
+    now = now + rtt;
+    AckEvent ev;
+    ev.now = now;
+    ev.newly_acked = acked;
+    ev.newly_lost = lost;
+    ev.inflight = inflight;
+    ev.rate.delivery_rate = rate;
+    ev.rate.prior_delivered = delivered;  // >= next_round_delivered => round start
+    ev.rate.interval = rtt;
+    delivered += acked;
+    ev.delivered_total = delivered;
+    ev.rtt_sample = rtt;
+    ev.min_rtt = rtt;
+    ev.in_recovery = in_recovery;
+    bbr.on_ack(ev);
+  }
+
+  Rng rng;
+  Bbr bbr;
+  Time now = Time::zero();
+  uint64_t delivered = 0;
+};
+
+uint64_t bdp_segments(DataRate rate, TimeDelta rtt) {
+  return static_cast<uint64_t>(static_cast<double>(rate.bits_per_sec()) / 8.0 *
+                               rtt.sec() / static_cast<double>(kMssBytes));
+}
+
+TEST(Bbr, StartsInStartupWithHighGain) {
+  BbrDriver d;
+  EXPECT_EQ(d.bbr.mode(), Bbr::Mode::kStartup);
+  EXPECT_EQ(d.bbr.cwnd(), 10u);
+  EXPECT_NEAR(d.bbr.pacing_gain(), 2.885, 1e-9);
+  EXPECT_EQ(d.bbr.name(), "bbr");
+}
+
+TEST(Bbr, TracksBandwidthAndMinRtt) {
+  BbrDriver d;
+  d.round(DataRate::mbps(50), TimeDelta::millis(20), 100);
+  EXPECT_EQ(d.bbr.bottleneck_bw(), DataRate::mbps(50));
+  EXPECT_EQ(d.bbr.min_rtt(), TimeDelta::millis(20));
+  d.round(DataRate::mbps(80), TimeDelta::millis(30), 100);
+  EXPECT_EQ(d.bbr.bottleneck_bw(), DataRate::mbps(80));  // windowed max
+  EXPECT_EQ(d.bbr.min_rtt(), TimeDelta::millis(20));     // windowed min
+}
+
+TEST(Bbr, StartupExitsAfterThreeFlatRounds) {
+  BbrDriver d;
+  const TimeDelta rtt = TimeDelta::millis(20);
+  // Growing bandwidth: stays in startup.
+  d.round(DataRate::mbps(10), rtt, 50);
+  d.round(DataRate::mbps(20), rtt, 100);
+  d.round(DataRate::mbps(40), rtt, 200);
+  EXPECT_EQ(d.bbr.mode(), Bbr::Mode::kStartup);
+  EXPECT_FALSE(d.bbr.filled_pipe());
+  // Plateau: three rounds without 25% growth => pipe is full => DRAIN.
+  d.round(DataRate::mbps(42), rtt, 400);
+  d.round(DataRate::mbps(41), rtt, 400);
+  d.round(DataRate::mbps(42), rtt, 400);
+  EXPECT_TRUE(d.bbr.filled_pipe());
+  EXPECT_EQ(d.bbr.mode(), Bbr::Mode::kDrain);
+  EXPECT_NEAR(d.bbr.pacing_gain(), 1.0 / 2.885, 1e-9);
+}
+
+TEST(Bbr, DrainExitsToProbeBwWhenInflightReachesBdp) {
+  BbrDriver d;
+  const TimeDelta rtt = TimeDelta::millis(20);
+  const DataRate bw = DataRate::mbps(40);
+  d.round(DataRate::mbps(10), rtt, 50);
+  d.round(DataRate::mbps(20), rtt, 100);
+  d.round(bw, rtt, 200);
+  d.round(bw, rtt, 400);
+  d.round(bw, rtt, 400);
+  d.round(bw, rtt, 400);
+  ASSERT_EQ(d.bbr.mode(), Bbr::Mode::kDrain);
+  // Still above 1 BDP: stay in drain.
+  d.round(bw, rtt, 3 * bdp_segments(bw, rtt));
+  EXPECT_EQ(d.bbr.mode(), Bbr::Mode::kDrain);
+  // Inflight drained to <= BDP: ProbeBW.
+  d.round(bw, rtt, bdp_segments(bw, rtt) - 1);
+  EXPECT_EQ(d.bbr.mode(), Bbr::Mode::kProbeBw);
+}
+
+// Drives a fresh BBR to steady ProbeBW at the given bw/rtt.
+void reach_probe_bw(BbrDriver& d, DataRate bw, TimeDelta rtt) {
+  d.round(bw * 0.25, rtt, 50);
+  d.round(bw * 0.5, rtt, 100);
+  d.round(bw, rtt, 200);
+  d.round(bw, rtt, 400);
+  d.round(bw, rtt, 400);
+  d.round(bw, rtt, 400);
+  d.round(bw, rtt, bdp_segments(bw, rtt) - 1);
+  ASSERT_EQ(d.bbr.mode(), Bbr::Mode::kProbeBw);
+}
+
+TEST(Bbr, ProbeBwCyclesThroughGains) {
+  BbrDriver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  // Collect the gains over a few cycles: must include 1.25, 0.75 and 1.0.
+  bool saw_high = false;
+  bool saw_low = false;
+  bool saw_unit = false;
+  for (int i = 0; i < 32; ++i) {
+    const double g = d.bbr.pacing_gain();
+    saw_high |= g > 1.2;
+    saw_low |= g < 0.8;
+    saw_unit |= g > 0.99 && g < 1.01;
+    // Full-length phase passes (time > min_rtt), plus inflight conditions.
+    d.round(bw, rtt + TimeDelta::millis(1), bdp_segments(bw, rtt) + 60, 10,
+            g > 1.0 ? 1 : 0);
+  }
+  EXPECT_TRUE(saw_high);
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_unit);
+}
+
+TEST(Bbr, CwndTargetsTwoBdpInProbeBw) {
+  BbrDriver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  // Give it plenty of ACKs to grow cwnd to the target.
+  for (int i = 0; i < 50; ++i) d.round(bw, rtt, bdp_segments(bw, rtt), 50);
+  const uint64_t bdp = bdp_segments(bw, rtt);
+  EXPECT_NEAR(static_cast<double>(d.bbr.cwnd()), 2.0 * static_cast<double>(bdp),
+              static_cast<double>(bdp) * 0.15);
+}
+
+TEST(Bbr, PacingRateFollowsGainTimesBw) {
+  BbrDriver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  const double gain = d.bbr.pacing_gain();
+  EXPECT_NEAR(d.bbr.pacing_rate().mbps_f(), gain * 40.0 * 0.99, 1.0);
+}
+
+TEST(Bbr, ProbeRttAfterTenSecondsClampsCwndToFloor) {
+  BbrDriver d;
+  const DataRate bw = DataRate::mbps(40);
+  // Long rounds so 10 s pass quickly; RTT never decreases, so the min-RTT
+  // estimate goes stale.
+  const TimeDelta rtt = TimeDelta::millis(500);
+  reach_probe_bw(d, bw, rtt);
+  for (int i = 0; i < 25 && d.bbr.mode() != Bbr::Mode::kProbeRtt; ++i) {
+    d.round(bw, rtt, bdp_segments(bw, rtt));
+  }
+  ASSERT_EQ(d.bbr.mode(), Bbr::Mode::kProbeRtt);
+  d.round(bw, rtt, 100);
+  EXPECT_LE(d.bbr.cwnd(), 4u);
+}
+
+TEST(Bbr, ProbeRttExitsAfterDurationAndRound) {
+  BbrDriver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(500);
+  reach_probe_bw(d, bw, rtt);
+  for (int i = 0; i < 25 && d.bbr.mode() != Bbr::Mode::kProbeRtt; ++i) {
+    d.round(bw, rtt, bdp_segments(bw, rtt));
+  }
+  ASSERT_EQ(d.bbr.mode(), Bbr::Mode::kProbeRtt);
+  // Reach the cwnd floor, then hold for 200 ms + 1 round.
+  d.round(bw, rtt, 4);  // inflight at floor: arms the done-stamp
+  d.round(bw, rtt, 4);  // round passes (rtt 500 ms > 200 ms)
+  d.round(bw, rtt, 4);
+  EXPECT_EQ(d.bbr.mode(), Bbr::Mode::kProbeBw);  // pipe was filled before
+}
+
+TEST(Bbr, MinCwndFloorIsConfigurable) {
+  BbrConfig cfg;
+  cfg.min_cwnd = 2;
+  BbrDriver d(cfg);
+  const DataRate bw = DataRate::kbps(100);  // tiny: BDP < 1 segment
+  const TimeDelta rtt = TimeDelta::millis(10);
+  for (int i = 0; i < 10; ++i) d.round(bw, rtt, 2);
+  EXPECT_GE(d.bbr.cwnd(), 2u);
+}
+
+TEST(Bbr, RecoveryPacketConservationThenRestore) {
+  BbrDriver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  for (int i = 0; i < 50; ++i) d.round(bw, rtt, bdp_segments(bw, rtt), 50);
+  const uint64_t cwnd_before = d.bbr.cwnd();
+  d.bbr.on_congestion_event(d.now, /*inflight=*/100);
+  EXPECT_LE(d.bbr.cwnd(), 101u);  // packet conservation
+  d.round(bw, rtt, 100, 10, 0, /*in_recovery=*/true);
+  d.bbr.on_recovery_exit(d.now, 100);
+  EXPECT_GE(d.bbr.cwnd(), cwnd_before);  // prior cwnd restored
+}
+
+TEST(Bbr, LossDoesNotReduceBandwidthModel) {
+  // BBRv1's defining property: loss leaves BtlBw untouched.
+  BbrDriver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  const DataRate bw_before = d.bbr.bottleneck_bw();
+  for (int i = 0; i < 5; ++i) {
+    d.round(bw, rtt, bdp_segments(bw, rtt), 10, /*lost=*/5);
+  }
+  EXPECT_EQ(d.bbr.bottleneck_bw(), bw_before);
+}
+
+TEST(Bbr, RtoDropsToFloorButKeepsModel) {
+  BbrDriver d;
+  const DataRate bw = DataRate::mbps(40);
+  const TimeDelta rtt = TimeDelta::millis(20);
+  reach_probe_bw(d, bw, rtt);
+  d.bbr.on_rto(d.now);
+  EXPECT_EQ(d.bbr.cwnd(), 4u);
+  EXPECT_EQ(d.bbr.bottleneck_bw(), DataRate::mbps(40));
+}
+
+TEST(Bbr, AppLimitedSamplesOnlyRaiseFilter) {
+  BbrDriver d;
+  const TimeDelta rtt = TimeDelta::millis(20);
+  d.round(DataRate::mbps(40), rtt, 100);
+  ASSERT_EQ(d.bbr.bottleneck_bw(), DataRate::mbps(40));
+  // A *lower* app-limited sample must not displace the estimate.
+  AckEvent ev;
+  ev.now = d.now + rtt;
+  ev.newly_acked = 10;
+  ev.inflight = 100;
+  ev.rate.delivery_rate = DataRate::mbps(5);
+  ev.rate.is_app_limited = true;
+  ev.rate.prior_delivered = d.delivered;
+  ev.delivered_total = d.delivered + 10;
+  ev.rtt_sample = rtt;
+  d.bbr.on_ack(ev);
+  EXPECT_EQ(d.bbr.bottleneck_bw(), DataRate::mbps(40));
+}
+
+}  // namespace
+}  // namespace ccas

@@ -1,0 +1,143 @@
+#include "src/cca/copa.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/runner.h"
+#include "src/util/rng.h"
+
+namespace ccas {
+namespace {
+
+// Drives Copa with synthetic ACKs; every call is a packet-timed round.
+struct CopaDriver {
+  explicit CopaDriver(CopaConfig cfg = {}) : copa(cfg) {}
+
+  void round(TimeDelta rtt, uint64_t acked = 4, uint64_t lost = 0) {
+    now = now + rtt;
+    AckEvent ev;
+    ev.now = now;
+    ev.newly_acked = acked;
+    ev.newly_lost = lost;
+    ev.rate.delivery_rate = DataRate::mbps(1);  // valid => round tracking
+    ev.rate.prior_delivered = delivered;
+    delivered += acked;
+    ev.delivered_total = delivered;
+    ev.inflight = copa.cwnd();
+    ev.rtt_sample = rtt;
+    ev.min_rtt = rtt;
+    copa.on_ack(ev);
+  }
+
+  Copa copa;
+  Time now = Time::zero();
+  uint64_t delivered = 0;
+};
+
+TEST(Copa, Defaults) {
+  Copa copa;
+  EXPECT_EQ(copa.cwnd(), 10u);
+  EXPECT_EQ(copa.name(), "copa");
+  EXPECT_FALSE(copa.competitive_mode());
+  EXPECT_DOUBLE_EQ(copa.current_delta(), 0.5);
+}
+
+TEST(Copa, GrowsWhenQueueingDelayIsLow) {
+  CopaDriver d;
+  // Tiny standing delay: target rate is enormous, direction is up.
+  d.round(TimeDelta::millis(20));
+  d.round(TimeDelta::micros(20'100));
+  const uint64_t before = d.copa.cwnd();
+  for (int i = 0; i < 20; ++i) d.round(TimeDelta::micros(20'100));
+  EXPECT_GT(d.copa.cwnd(), before);
+  EXPECT_FALSE(d.copa.competitive_mode());
+}
+
+TEST(Copa, ShrinksWhenQueueingDelayIsHigh) {
+  CopaDriver d;
+  d.round(TimeDelta::millis(20));  // establishes min rtt
+  for (int i = 0; i < 10; ++i) d.round(TimeDelta::millis(21));
+  // Standing delay 60 ms: target = 1/(0.5 * 0.06) = 33 pkts/s, far below
+  // the current rate -> direction down.
+  const uint64_t grown = d.copa.cwnd();
+  for (int i = 0; i < 30; ++i) d.round(TimeDelta::millis(80));
+  EXPECT_LT(d.copa.cwnd(), grown);
+}
+
+TEST(Copa, VelocityResetsOnDirectionFlip) {
+  CopaDriver d;
+  d.round(TimeDelta::millis(20));
+  for (int i = 0; i < 12; ++i) d.round(TimeDelta::micros(20'050));
+  const double v_up = d.copa.velocity();
+  EXPECT_GE(v_up, 1.0);
+  d.round(TimeDelta::millis(90));  // flip to down
+  d.round(TimeDelta::millis(90));
+  EXPECT_LE(d.copa.velocity(), v_up);
+}
+
+TEST(Copa, EntersCompetitiveModeWhenQueueNeverDrains) {
+  CopaDriver d;
+  d.round(TimeDelta::millis(20));
+  d.round(TimeDelta::millis(100));  // expands the observed delay range
+  // Standing delay persistently ~half the range: a buffer-filler is here.
+  for (int i = 0; i < 10; ++i) d.round(TimeDelta::millis(60));
+  EXPECT_TRUE(d.copa.competitive_mode());
+  EXPECT_GT(1.0 / d.copa.current_delta(), 1.0 / 0.5);  // delta shrank
+}
+
+TEST(Copa, DefaultModeIgnoresIsolatedLoss) {
+  CopaDriver d;
+  d.round(TimeDelta::millis(20));
+  for (int i = 0; i < 10; ++i) d.round(TimeDelta::micros(20'050));
+  const uint64_t before = d.copa.cwnd();
+  d.copa.on_congestion_event(d.now, before);
+  EXPECT_EQ(d.copa.cwnd(), before);  // no multiplicative decrease
+}
+
+TEST(Copa, RtoResetsToFloor) {
+  CopaDriver d;
+  d.round(TimeDelta::millis(20));
+  for (int i = 0; i < 10; ++i) d.round(TimeDelta::micros(20'050));
+  d.copa.on_rto(d.now);
+  EXPECT_EQ(d.copa.cwnd(), 2u);
+}
+
+TEST(Copa, PacesAtTwiceRate) {
+  CopaDriver d;
+  d.round(TimeDelta::millis(20));
+  d.round(TimeDelta::millis(20));
+  ASSERT_FALSE(d.copa.pacing_rate().is_infinite());
+  const double expect =
+      2.0 * static_cast<double>(d.copa.cwnd()) * 1448.0 * 8.0 / 0.02;
+  EXPECT_NEAR(d.copa.pacing_rate().mbps_f(), expect / 1e6, expect / 1e6 * 0.3);
+}
+
+// End-to-end: a lone Copa flow fills the link while keeping the queue to a
+// few packets (its defining property vs loss-based CCAs).
+TEST(CopaIntegration, SaturatesWithSmallStandingQueue) {
+  ExperimentSpec spec;
+  spec.scenario.net.bottleneck_rate = DataRate::mbps(50);
+  spec.scenario.net.buffer_bytes = 1'500'000;
+  spec.scenario.stagger = TimeDelta::millis(100);
+  spec.scenario.warmup = TimeDelta::seconds(5);
+  spec.scenario.measure = TimeDelta::seconds(20);
+  spec.groups.push_back(FlowGroup{"copa", 1, TimeDelta::millis(20)});
+  spec.seed = 3;
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_GT(r.utilization, 0.8);
+  for (const auto& f : r.flows) {
+    // Copa's velocity mechanism overshoots and oscillates around its
+    // target, so the average queue is tens of packets rather than the
+    // ideal 1/delta — but still an order of magnitude below what a
+    // loss-based CCA builds here (~240 ms of queueing on this path).
+    EXPECT_LT(f.mean_rtt, TimeDelta::millis(60));
+  }
+}
+
+TEST(CopaIntegration, Registered) {
+  Rng rng(1);
+  auto cca = make_cca("copa", rng);
+  EXPECT_EQ(cca->name(), "copa");
+}
+
+}  // namespace
+}  // namespace ccas

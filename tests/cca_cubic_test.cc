@@ -1,0 +1,163 @@
+#include "src/cca/cubic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccas {
+namespace {
+
+AckEvent ack_at(Time now, uint64_t acked, TimeDelta min_rtt = TimeDelta::millis(20)) {
+  AckEvent ev;
+  ev.now = now;
+  ev.newly_acked = acked;
+  ev.min_rtt = min_rtt;
+  return ev;
+}
+
+TEST(Cubic, StartsInSlowStart) {
+  Cubic cubic;
+  EXPECT_EQ(cubic.cwnd(), 10u);
+  EXPECT_TRUE(cubic.in_slow_start());
+  EXPECT_EQ(cubic.name(), "cubic");
+}
+
+TEST(Cubic, SlowStartGrowsByAcked) {
+  Cubic cubic;
+  cubic.on_ack(ack_at(Time::zero(), 10));
+  EXPECT_EQ(cubic.cwnd(), 20u);
+}
+
+TEST(Cubic, ReductionUsesBeta07) {
+  Cubic cubic;
+  cubic.on_ack(ack_at(Time::zero(), 90));  // cwnd 100
+  cubic.on_congestion_event(Time::zero(), 100);
+  EXPECT_EQ(cubic.cwnd(), 70u);  // beta = 0.7 (RFC 8312)
+  EXPECT_DOUBLE_EQ(cubic.w_max(), 100.0);
+}
+
+TEST(Cubic, FastConvergenceShrinksWmax) {
+  Cubic cubic;
+  cubic.on_ack(ack_at(Time::zero(), 90));  // cwnd 100
+  cubic.on_congestion_event(Time::zero(), 100);  // w_max 100, cwnd 70
+  // Second reduction below the previous w_max: fast convergence kicks in,
+  // w_max = cwnd * (2 - beta)/2 = 70 * 0.65 = 45.5.
+  cubic.on_congestion_event(Time::zero(), 70);
+  EXPECT_NEAR(cubic.w_max(), 45.5, 1e-9);
+  EXPECT_EQ(cubic.cwnd(), 49u);  // 70 * 0.7
+}
+
+TEST(Cubic, KMatchesRfc8312Formula) {
+  Cubic cubic;
+  cubic.on_ack(ack_at(Time::zero(), 990));  // cwnd 1000
+  cubic.on_congestion_event(Time::zero(), 1000);
+  // First CA ack starts the epoch.
+  AckEvent ev = ack_at(Time::zero() + TimeDelta::millis(20), 1);
+  cubic.on_ack(ev);
+  // K = cbrt(W_max * (1 - beta) / C) = cbrt(1000 * 0.3 / 0.4) = cbrt(750).
+  EXPECT_NEAR(cubic.k_seconds(), std::cbrt(750.0), 1e-9);
+}
+
+TEST(Cubic, ConcaveThenConvexGrowth) {
+  // After a reduction, growth should be fast initially (far below W_max),
+  // slow near W_max (plateau at t ~= K), then accelerate past it. The
+  // TCP-friendly region is disabled to expose the pure cubic shape (at a
+  // 20 ms RTT the Reno estimate would otherwise dominate early growth).
+  CubicConfig cfg;
+  cfg.tcp_friendliness = false;
+  Cubic cubic(cfg);
+  cubic.on_ack(ack_at(Time::zero(), 990));        // cwnd 1000
+  cubic.on_congestion_event(Time::zero(), 1000);  // cwnd 700, K = cbrt(750) ~= 9.09 s
+
+  Time t = Time::zero();
+  const TimeDelta rtt = TimeDelta::millis(20);
+  auto run_for = [&](double seconds) {
+    const uint64_t before = cubic.cwnd();
+    const int rounds = static_cast<int>(seconds / rtt.sec());
+    for (int i = 0; i < rounds; ++i) {
+      t += rtt;
+      cubic.on_ack(ack_at(t, std::max<uint64_t>(cubic.cwnd(), 1), rtt));
+    }
+    return cubic.cwnd() - before;
+  };
+
+  const uint64_t early = run_for(2.0);  // t in [0, 2]: steep concave
+  run_for(3.0);                         // t in [2, 5]
+  const uint64_t near_plateau = run_for(2.0);  // t in [5, 7]: flattening
+  // Analytically: W_cubic gains ~157 segments in [0,2] but only ~24 in
+  // [5,7] (K ~= 9.09 s), so the same-width window must show a big drop.
+  EXPECT_GT(early, near_plateau * 2) << "growth must decelerate approaching W_max";
+  // Window returns to ~W_max around t = K.
+  run_for(3.0);  // t ~= 10 > K
+  EXPECT_NEAR(static_cast<double>(cubic.cwnd()), 1000.0, 120.0);
+  // Convex region: growth accelerates again.
+  const uint64_t past1 = run_for(2.0);
+  const uint64_t past2 = run_for(2.0);
+  EXPECT_GT(past2, past1);
+}
+
+TEST(Cubic, TcpFriendlyRegionFollowsRenoAtSmallWindows) {
+  // At small windows and short RTTs, W_est exceeds the cubic curve, so
+  // CUBIC grows at least as fast as Reno would (alpha ~= 0.53/round).
+  Cubic cubic;
+  cubic.on_ack(ack_at(Time::zero(), 20));       // cwnd 30
+  cubic.on_congestion_event(Time::zero(), 30);  // cwnd 21
+  Time t = Time::zero();
+  const TimeDelta rtt = TimeDelta::millis(10);
+  const uint64_t start = cubic.cwnd();
+  for (int i = 0; i < 100; ++i) {
+    t += rtt;
+    cubic.on_ack(ack_at(t, cubic.cwnd(), rtt));
+  }
+  // 100 rounds of Reno-emulation at alpha = 0.53: ~+53 segments. The pure
+  // cubic term over 1 second with W_max 30 would add only ~cbrt-scale
+  // growth, so exceeding +40 proves the friendly region is active.
+  EXPECT_GE(cubic.cwnd(), start + 40);
+}
+
+TEST(Cubic, RtoResetsEpochAndWindow) {
+  Cubic cubic;
+  cubic.on_ack(ack_at(Time::zero(), 90));
+  cubic.on_rto(Time::zero());
+  EXPECT_EQ(cubic.cwnd(), 1u);
+  EXPECT_EQ(cubic.ssthresh(), 70u);
+  EXPECT_DOUBLE_EQ(cubic.w_max(), 0.0);
+  EXPECT_TRUE(cubic.in_slow_start());
+}
+
+TEST(Cubic, NoGrowthDuringRecovery) {
+  Cubic cubic;
+  AckEvent ev = ack_at(Time::zero(), 10);
+  ev.in_recovery = true;
+  cubic.on_ack(ev);
+  EXPECT_EQ(cubic.cwnd(), 10u);
+}
+
+TEST(Cubic, MinCwndFloor) {
+  Cubic cubic;
+  for (int i = 0; i < 20; ++i) cubic.on_congestion_event(Time::zero(), 2);
+  EXPECT_GE(cubic.cwnd(), 2u);
+}
+
+// Property: the cubic window function is monotonically non-decreasing in
+// time between congestion events, for several starting windows.
+class CubicMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(CubicMonotone, WindowNeverShrinksWithoutLoss) {
+  Cubic cubic;
+  cubic.on_ack(ack_at(Time::zero(), GetParam() - 10));
+  cubic.on_congestion_event(Time::zero(), cubic.cwnd());
+  Time t = Time::zero();
+  uint64_t prev = cubic.cwnd();
+  for (int i = 0; i < 2000; ++i) {
+    t += TimeDelta::millis(20);
+    cubic.on_ack(ack_at(t, std::max<uint64_t>(prev / 2, 1)));
+    EXPECT_GE(cubic.cwnd(), prev);
+    prev = cubic.cwnd();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, CubicMonotone, ::testing::Values(50, 200, 1000, 5000));
+
+}  // namespace
+}  // namespace ccas

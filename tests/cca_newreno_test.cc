@@ -1,0 +1,121 @@
+#include "src/cca/new_reno.h"
+
+#include <gtest/gtest.h>
+
+namespace ccas {
+namespace {
+
+AckEvent ack_of(uint64_t acked, Time now = Time::zero()) {
+  AckEvent ev;
+  ev.now = now;
+  ev.newly_acked = acked;
+  return ev;
+}
+
+TEST(NewReno, StartsAtInitialWindowInSlowStart) {
+  NewReno reno;
+  EXPECT_EQ(reno.cwnd(), 10u);
+  EXPECT_TRUE(reno.in_slow_start());
+  EXPECT_EQ(reno.name(), "newreno");
+  EXPECT_TRUE(reno.pacing_rate().is_infinite());  // ACK-clocked
+}
+
+TEST(NewReno, SlowStartGrowsByAckedSegments) {
+  NewReno reno;
+  reno.on_ack(ack_of(2));
+  EXPECT_EQ(reno.cwnd(), 12u);
+  reno.on_ack(ack_of(12));
+  EXPECT_EQ(reno.cwnd(), 24u);
+}
+
+TEST(NewReno, CongestionEventHalvesWindow) {
+  NewReno reno;
+  reno.on_ack(ack_of(90));  // cwnd = 100
+  ASSERT_EQ(reno.cwnd(), 100u);
+  reno.on_congestion_event(Time::zero(), 100);
+  EXPECT_EQ(reno.cwnd(), 50u);
+  EXPECT_EQ(reno.ssthresh(), 50u);
+  EXPECT_FALSE(reno.in_slow_start());
+}
+
+TEST(NewReno, CongestionAvoidanceGrowsOnePerWindow) {
+  NewReno reno;
+  reno.on_ack(ack_of(90));
+  reno.on_congestion_event(Time::zero(), 100);  // cwnd = ssthresh = 50
+  // One cwnd's worth of ACKs -> +1.
+  for (int i = 0; i < 50; ++i) reno.on_ack(ack_of(1));
+  EXPECT_EQ(reno.cwnd(), 51u);
+  // Another window (now 51 segments) -> +1.
+  for (int i = 0; i < 51; ++i) reno.on_ack(ack_of(1));
+  EXPECT_EQ(reno.cwnd(), 52u);
+}
+
+TEST(NewReno, NoGrowthDuringRecovery) {
+  NewReno reno;
+  reno.on_congestion_event(Time::zero(), 10);
+  AckEvent ev = ack_of(5);
+  ev.in_recovery = true;
+  const uint64_t before = reno.cwnd();
+  reno.on_ack(ev);
+  EXPECT_EQ(reno.cwnd(), before);
+}
+
+TEST(NewReno, RtoCollapsesToOne) {
+  NewReno reno;
+  reno.on_ack(ack_of(90));
+  reno.on_rto(Time::zero());
+  EXPECT_EQ(reno.cwnd(), 1u);
+  EXPECT_EQ(reno.ssthresh(), 50u);
+  EXPECT_TRUE(reno.in_slow_start());
+  // Slow start resumes until ssthresh.
+  reno.on_ack(ack_of(1));
+  EXPECT_EQ(reno.cwnd(), 2u);
+}
+
+TEST(NewReno, RespectsMinCwnd) {
+  NewRenoConfig cfg;
+  cfg.min_cwnd = 2;
+  NewReno reno(cfg);
+  for (int i = 0; i < 10; ++i) reno.on_congestion_event(Time::zero(), 2);
+  EXPECT_EQ(reno.cwnd(), 2u);
+}
+
+TEST(NewReno, SlowStartCapsAtSsthresh) {
+  NewReno reno;
+  reno.on_ack(ack_of(90));                       // cwnd 100
+  reno.on_congestion_event(Time::zero(), 100);   // ssthresh 50
+  reno.on_rto(Time::zero());                     // cwnd 1, ssthresh 25
+  reno.on_ack(ack_of(100));                      // would overshoot
+  EXPECT_EQ(reno.cwnd(), 25u);                   // capped at ssthresh
+}
+
+// AIMD property: repeated cycles of growth and halving keep cwnd within a
+// stable band (the sawtooth), for a range of window sizes.
+class NewRenoSawtooth : public ::testing::TestWithParam<int> {};
+
+TEST_P(NewRenoSawtooth, StaysInBand) {
+  NewReno reno;
+  const auto target = static_cast<uint64_t>(GetParam());
+  // Grow to the target, then run 20 halve-and-regrow sawtooth cycles.
+  while (reno.cwnd() < target) reno.on_ack(ack_of(1));
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const uint64_t peak = reno.cwnd();
+    reno.on_congestion_event(Time::zero(), peak);
+    // Multiplicative decrease: exactly half the peak (min-cwnd floored).
+    EXPECT_GE(reno.cwnd() + 1, peak / 2);
+    EXPECT_LE(reno.cwnd(), peak / 2 + 1);
+    // Additive regrowth back to the peak.
+    int acks = 0;
+    while (reno.cwnd() < target && acks < 10'000'000) {
+      reno.on_ack(ack_of(1));
+      ++acks;
+    }
+    EXPECT_GE(reno.cwnd(), target);
+    EXPECT_LE(reno.cwnd(), target + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, NewRenoSawtooth, ::testing::Values(8, 64, 512, 4096));
+
+}  // namespace
+}  // namespace ccas

@@ -1,0 +1,159 @@
+// Tests for finite flows and the churn (arrival/departure) extension.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/cca/new_reno.h"
+#include "src/harness/churn.h"
+#include "src/net/delay_line.h"
+#include "src/net/topology.h"
+#include "src/tcp/tcp_receiver.h"
+#include "src/tcp/tcp_sender.h"
+
+namespace ccas {
+namespace {
+
+// ---------------------------------------------------- finite senders ----
+
+class Forward : public PacketSink {
+ public:
+  void accept(Packet&& pkt) override { target_->accept(std::move(pkt)); }
+  void set_target(PacketSink* t) { target_ = t; }
+
+ private:
+  PacketSink* target_ = nullptr;
+};
+
+TEST(FiniteFlow, CompletesAndQuiesces) {
+  Simulator sim;
+  Forward to_sender;
+  DelayLine rev(sim, TimeDelta::millis(5), &to_sender);
+  TcpReceiver rcv(sim, 0, &rev);
+  DelayLine fwd(sim, TimeDelta::millis(5), &rcv);
+  TcpSenderConfig cfg;
+  cfg.data_segments = 137;
+  TcpSender snd(sim, 0, std::make_unique<NewReno>(), &fwd, cfg);
+  to_sender.set_target(&snd);
+
+  int completions = 0;
+  snd.set_completion_callback([&] { ++completions; });
+  snd.start();
+  sim.run();  // the event queue must drain completely: full quiescence
+  EXPECT_TRUE(snd.complete());
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(rcv.rcv_nxt(), 137u);
+  EXPECT_EQ(snd.stats().segments_sent, 137u);  // no losses on this path
+  EXPECT_EQ(snd.inflight(), 0u);
+}
+
+TEST(FiniteFlow, InfiniteByDefault) {
+  TcpSenderConfig cfg;
+  EXPECT_EQ(cfg.data_segments, 0u);
+  Simulator sim;
+  Forward to_sender;
+  DelayLine rev(sim, TimeDelta::millis(5), &to_sender);
+  TcpReceiver rcv(sim, 0, &rev);
+  DelayLine fwd(sim, TimeDelta::millis(5), &rcv);
+  cfg.max_window = 64;
+  TcpSender snd(sim, 0, std::make_unique<NewReno>(), &fwd, cfg);
+  to_sender.set_target(&snd);
+  snd.start();
+  sim.run_until(Time::seconds_f(2));
+  EXPECT_FALSE(snd.complete());
+  EXPECT_GT(rcv.rcv_nxt(), 1000u);
+}
+
+// ------------------------------------------------------------- churn ----
+
+ChurnSpec small_churn() {
+  ChurnSpec spec;
+  spec.scenario.net.bottleneck_rate = DataRate::mbps(50);
+  spec.scenario.net.buffer_bytes = 500'000;
+  spec.scenario.stagger = TimeDelta::millis(100);
+  spec.scenario.warmup = TimeDelta::seconds(1);
+  spec.scenario.measure = TimeDelta::seconds(10);
+  spec.arrivals_per_sec = 30.0;
+  spec.min_size_segments = 5;
+  spec.max_size_segments = 2000;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(Churn, FlowsArriveCompleteAndRespectSizeBounds) {
+  const ChurnResult r = run_churn_experiment(small_churn());
+  // ~30/s over ~11s.
+  EXPECT_GT(r.flows_started, 200u);
+  EXPECT_LT(r.flows_started, 500u);
+  EXPECT_GT(r.flows_completed, r.flows_started / 2);
+  EXPECT_LE(r.flows_completed, r.flows_started);
+  ASSERT_EQ(r.completed_sizes.size(), r.fct_seconds.size());
+  for (size_t i = 0; i < r.completed_sizes.size(); ++i) {
+    EXPECT_GE(r.completed_sizes[i], 5u);
+    EXPECT_LE(r.completed_sizes[i], 2000u);
+    EXPECT_GT(r.fct_seconds[i], 0.0);
+    EXPECT_LT(r.fct_seconds[i], 12.0);
+  }
+  EXPECT_GT(r.mean_fct(), 0.0);
+  EXPECT_GE(r.mean_fct(), r.median_fct() * 0.5);
+}
+
+TEST(Churn, HeavyTailMeansSmallFlowsFinishFaster) {
+  ChurnSpec spec = small_churn();
+  spec.scenario.measure = TimeDelta::seconds(20);
+  const ChurnResult r = run_churn_experiment(spec);
+  const double small = r.mean_fct_sized(0, 20);
+  const double large = r.mean_fct_sized(500, 1'000'000);
+  ASSERT_GT(small, 0.0);
+  ASSERT_GT(large, 0.0);
+  EXPECT_LT(small, large);
+}
+
+TEST(Churn, DeterministicPerSeed) {
+  const ChurnResult a = run_churn_experiment(small_churn());
+  const ChurnResult b = run_churn_experiment(small_churn());
+  EXPECT_EQ(a.flows_started, b.flows_started);
+  EXPECT_EQ(a.flows_completed, b.flows_completed);
+  ASSERT_EQ(a.fct_seconds.size(), b.fct_seconds.size());
+  for (size_t i = 0; i < a.fct_seconds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fct_seconds[i], b.fct_seconds[i]);
+  }
+  ChurnSpec other = small_churn();
+  other.seed = 12;
+  const ChurnResult c = run_churn_experiment(other);
+  EXPECT_NE(a.flows_started, c.flows_started);
+}
+
+TEST(Churn, BackgroundFlowsCoexist) {
+  ChurnSpec spec = small_churn();
+  spec.background.push_back(FlowGroup{"cubic", 2, TimeDelta::millis(20)});
+  const ChurnResult r = run_churn_experiment(spec);
+  EXPECT_GT(r.background_goodput_bps, 1e6);  // the long flows got bandwidth
+  EXPECT_GT(r.flows_completed, 0u);          // and so did the churn
+  EXPECT_GT(r.utilization, 0.5);
+  EXPECT_LT(r.utilization, 1.1);
+}
+
+TEST(Churn, ConcurrencyCapRejectsArrivals) {
+  ChurnSpec spec = small_churn();
+  spec.max_concurrent = 1;
+  spec.arrivals_per_sec = 200.0;
+  spec.min_size_segments = 5000;  // slow to finish: cap binds
+  spec.max_size_segments = 5000;
+  const ChurnResult r = run_churn_experiment(spec);
+  EXPECT_GT(r.arrivals_rejected, 0u);
+}
+
+TEST(Churn, Validation) {
+  ChurnSpec bad = small_churn();
+  bad.pareto_alpha = 0.0;
+  EXPECT_THROW(run_churn_experiment(bad), std::invalid_argument);
+  bad = small_churn();
+  bad.min_size_segments = 0;
+  EXPECT_THROW(run_churn_experiment(bad), std::invalid_argument);
+  bad = small_churn();
+  bad.cca = "unknown";
+  EXPECT_THROW(run_churn_experiment(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ccas

@@ -1,0 +1,83 @@
+#include "src/harness/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace ccas {
+namespace {
+
+TEST(Cli, ParsesFullConfiguration) {
+  const CliOptions o = parse_cli(
+      {"--setting=edge", "--groups=bbr:1:20,newreno:16:100", "--rate=400",
+       "--buffer=1000000", "--stagger=1", "--warmup=5", "--measure=30",
+       "--seed=9", "--jitter=250", "--trace=0.5", "--csv=out"});
+  EXPECT_EQ(o.spec.scenario.net.bottleneck_rate, DataRate::mbps(400));
+  EXPECT_EQ(o.spec.scenario.net.buffer_bytes, 1'000'000);
+  ASSERT_EQ(o.spec.groups.size(), 2u);
+  EXPECT_EQ(o.spec.groups[0].cca, "bbr");
+  EXPECT_EQ(o.spec.groups[0].count, 1);
+  EXPECT_EQ(o.spec.groups[0].rtt, TimeDelta::millis(20));
+  EXPECT_EQ(o.spec.groups[1].cca, "newreno");
+  EXPECT_EQ(o.spec.groups[1].count, 16);
+  EXPECT_EQ(o.spec.groups[1].rtt, TimeDelta::millis(100));
+  EXPECT_EQ(o.spec.scenario.stagger, TimeDelta::seconds(1));
+  EXPECT_EQ(o.spec.scenario.warmup, TimeDelta::seconds(5));
+  EXPECT_EQ(o.spec.scenario.measure, TimeDelta::seconds(30));
+  EXPECT_EQ(o.spec.seed, 9u);
+  EXPECT_EQ(o.spec.scenario.net.jitter, TimeDelta::micros(250));
+  EXPECT_EQ(o.spec.trace_interval, TimeDelta::millis(500));
+  EXPECT_EQ(o.csv_prefix, "out");
+}
+
+TEST(Cli, DefaultsToCoreScale) {
+  const CliOptions o = parse_cli({"--groups=cubic:10:20"});
+  EXPECT_EQ(o.spec.scenario.net.bottleneck_rate, DataRate::gbps(10));
+  EXPECT_EQ(o.spec.scenario.net.buffer_bytes, 375'000'000);
+  EXPECT_TRUE(o.spec.tcp.sack_enabled);
+  EXPECT_TRUE(o.spec.receiver.delayed_ack);
+  EXPECT_TRUE(o.spec.receiver.gro_enabled);
+  EXPECT_EQ(o.spec.trace_interval, TimeDelta::zero());
+}
+
+TEST(Cli, OverridesApplyRegardlessOfFlagOrder) {
+  const CliOptions o =
+      parse_cli({"--rate=50", "--groups=newreno:1:20", "--setting=edge"});
+  // --rate wins even though --setting came later.
+  EXPECT_EQ(o.spec.scenario.net.bottleneck_rate, DataRate::mbps(50));
+}
+
+TEST(Cli, FeatureToggles) {
+  const CliOptions o = parse_cli(
+      {"--groups=newreno:1:20", "--no-sack", "--no-delack", "--no-gro"});
+  EXPECT_FALSE(o.spec.tcp.sack_enabled);
+  EXPECT_FALSE(o.spec.receiver.delayed_ack);
+  EXPECT_FALSE(o.spec.receiver.gro_enabled);
+}
+
+TEST(Cli, Rejections) {
+  EXPECT_THROW(parse_cli({}), std::invalid_argument);  // no groups
+  EXPECT_THROW(parse_cli({"--groups=nosuchcca:1:20"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:0:20"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:-5"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--setting=banana"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--bogus=1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--rate=abc"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--buffer=-3"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"positional"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--warmup"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, UsageMentionsEveryCca) {
+  const std::string usage = cli_usage();
+  for (const char* cca : {"newreno", "cubic", "bbr", "bbr2", "vegas", "copa"}) {
+    EXPECT_NE(usage.find(cca), std::string::npos) << cca;
+  }
+}
+
+}  // namespace
+}  // namespace ccas

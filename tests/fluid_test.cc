@@ -1,0 +1,77 @@
+#include "src/models/fluid.h"
+
+#include <gtest/gtest.h>
+
+namespace ccas {
+namespace {
+
+FluidParams edge_params() {
+  FluidParams p;
+  p.capacity = DataRate::mbps(100);
+  p.buffer_bytes = 3'000'000;
+  p.base_rtt = TimeDelta::millis(20);
+  return p;
+}
+
+TEST(Fluid, SingleFlowSaturates) {
+  // Start near the pipe's capacity: one fluid sawtooth at this BDP+buffer
+  // is ~10 minutes, so growing from W=10 would need a very long run.
+  FluidAimdSimulator sim(edge_params());
+  const FluidResult r = sim.run(1, TimeDelta::seconds(600), {2000.0});
+  EXPECT_GT(r.utilization, 0.85);
+  EXPECT_LE(r.utilization, 1.01);
+  EXPECT_GT(r.congestion_epochs, 0u);
+}
+
+TEST(Fluid, SynchronizedFlowsAreFairByConstruction) {
+  FluidAimdSimulator sim(edge_params());
+  const FluidResult r = sim.run(10, TimeDelta::seconds(120),
+                                {5, 10, 20, 40, 80, 5, 10, 20, 40, 80});
+  // The deterministic fluid limit predicts near-perfect fairness — this is
+  // exactly the prediction the paper shows breaking at packet level.
+  EXPECT_GT(r.jfi, 0.95);
+  EXPECT_GT(r.utilization, 0.85);
+  EXPECT_DOUBLE_EQ(r.loss_to_halving_ratio, 1.0);
+}
+
+TEST(Fluid, DesynchronizedEpochsStillConverge) {
+  FluidParams p = edge_params();
+  p.sync_fraction = 0.1;  // one-tenth of flows cut per epoch, round robin
+  FluidAimdSimulator sim(p);
+  const FluidResult r = sim.run(10, TimeDelta::seconds(240));
+  EXPECT_GT(r.jfi, 0.9);
+  EXPECT_GT(r.utilization, 0.9);  // desync keeps the pipe fuller
+}
+
+TEST(Fluid, UtilizationIndependentOfFlowCount) {
+  FluidAimdSimulator sim(edge_params());
+  const FluidResult a = sim.run(2, TimeDelta::seconds(120));
+  const FluidResult b = sim.run(50, TimeDelta::seconds(120));
+  EXPECT_NEAR(a.utilization, b.utilization, 0.1);
+}
+
+TEST(Fluid, Validation) {
+  FluidParams bad = edge_params();
+  bad.beta = 1.5;
+  EXPECT_THROW(FluidAimdSimulator{bad}, std::invalid_argument);
+  bad = edge_params();
+  bad.dt_sec = 0.0;
+  EXPECT_THROW(FluidAimdSimulator{bad}, std::invalid_argument);
+  bad = edge_params();
+  bad.sync_fraction = 0.0;
+  EXPECT_THROW(FluidAimdSimulator{bad}, std::invalid_argument);
+  FluidAimdSimulator ok(edge_params());
+  EXPECT_THROW(ok.run(0, TimeDelta::seconds(1)), std::invalid_argument);
+}
+
+TEST(Fluid, MoreFlowsMeanSmallerShares) {
+  FluidAimdSimulator sim(edge_params());
+  const FluidResult r = sim.run(20, TimeDelta::seconds(120));
+  for (const double t : r.throughput_bps) {
+    EXPECT_LT(t, 100e6 / 20 * 3.0);
+    EXPECT_GT(t, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ccas

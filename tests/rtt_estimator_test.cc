@@ -1,0 +1,80 @@
+#include "src/tcp/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace ccas {
+namespace {
+
+TEST(RttEstimator, InitialRtoBeforeSamples) {
+  RttEstimator est;
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), TimeDelta::seconds(1));
+}
+
+TEST(RttEstimator, FirstSampleInitializesPerRfc6298) {
+  RttEstimator est;
+  est.add_sample(TimeDelta::millis(100));
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.smoothed_rtt(), TimeDelta::millis(100));
+  EXPECT_EQ(est.rtt_var(), TimeDelta::millis(50));
+  // RTO = SRTT + max(4*RTTVAR, min_rto) = 100 + 200 = 300 ms.
+  EXPECT_EQ(est.rto(), TimeDelta::millis(300));
+}
+
+TEST(RttEstimator, EwmaUpdates) {
+  RttEstimator est;
+  est.add_sample(TimeDelta::millis(100));
+  est.add_sample(TimeDelta::millis(200));
+  // SRTT = 7/8*100 + 1/8*200 = 112.5 ms.
+  EXPECT_EQ(est.smoothed_rtt(), TimeDelta::micros(112'500));
+  // RTTVAR = 3/4*50 + 1/4*|100-200| = 62.5 ms.
+  EXPECT_EQ(est.rtt_var(), TimeDelta::micros(62'500));
+}
+
+TEST(RttEstimator, RtoHasVarianceFloor) {
+  RttEstimator est;
+  // Perfectly stable path: variance decays, but the floor keeps
+  // RTO >= srtt + 200 ms (the Linux rto_min semantics).
+  for (int i = 0; i < 200; ++i) est.add_sample(TimeDelta::millis(260));
+  EXPECT_GE(est.rto(), TimeDelta::millis(260) + TimeDelta::millis(200));
+  EXPECT_LE(est.rto(), TimeDelta::millis(260) + TimeDelta::millis(210));
+}
+
+TEST(RttEstimator, TracksMinAndLatest) {
+  RttEstimator est;
+  est.add_sample(TimeDelta::millis(50));
+  est.add_sample(TimeDelta::millis(20));
+  est.add_sample(TimeDelta::millis(80));
+  EXPECT_EQ(est.min_rtt(), TimeDelta::millis(20));
+  EXPECT_EQ(est.latest_rtt(), TimeDelta::millis(80));
+}
+
+TEST(RttEstimator, IgnoresNonPositiveSamples) {
+  RttEstimator est;
+  est.add_sample(TimeDelta::zero());
+  est.add_sample(TimeDelta::millis(-5));
+  EXPECT_FALSE(est.has_sample());
+}
+
+TEST(RttEstimator, RtoClampedToMax) {
+  RttEstimator::Config cfg;
+  cfg.max_rto = TimeDelta::seconds(2);
+  RttEstimator est(cfg);
+  est.add_sample(TimeDelta::seconds(10));
+  EXPECT_EQ(est.rto(), TimeDelta::seconds(2));
+}
+
+class RttEstimatorConvergence : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RttEstimatorConvergence, SrttConvergesToStableRtt) {
+  RttEstimator est;
+  const TimeDelta rtt = TimeDelta::millis(GetParam());
+  for (int i = 0; i < 100; ++i) est.add_sample(rtt);
+  EXPECT_NEAR(est.smoothed_rtt().ms(), rtt.ms(), rtt.ms() * 0.01 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(StableRtts, RttEstimatorConvergence,
+                         ::testing::Values(1, 20, 100, 200, 500));
+
+}  // namespace
+}  // namespace ccas

@@ -1,0 +1,204 @@
+#include "src/tcp/sack_scoreboard.h"
+
+#include <gtest/gtest.h>
+
+namespace ccas {
+namespace {
+
+// Helpers: no-op callbacks.
+auto nop = [](uint64_t, SegmentState&) {};
+
+void extend_to(SackScoreboard& sb, uint64_t next) {
+  while (sb.snd_nxt() < next) sb.extend();
+}
+
+TEST(Scoreboard, StartsEmpty) {
+  SackScoreboard sb;
+  EXPECT_TRUE(sb.empty());
+  EXPECT_EQ(sb.snd_una(), 0u);
+  EXPECT_EQ(sb.snd_nxt(), 0u);
+  EXPECT_EQ(sb.sacked_count(), 0u);
+  EXPECT_EQ(sb.lost_count(), 0u);
+}
+
+TEST(Scoreboard, ExtendGrowsWindow) {
+  SackScoreboard sb;
+  extend_to(sb, 5);
+  EXPECT_EQ(sb.snd_nxt(), 5u);
+  EXPECT_EQ(sb.window_size(), 5u);
+  EXPECT_TRUE(sb.contains(0));
+  EXPECT_TRUE(sb.contains(4));
+  EXPECT_FALSE(sb.contains(5));
+}
+
+TEST(Scoreboard, AdvanceUnaDeliversAndPops) {
+  SackScoreboard sb;
+  extend_to(sb, 5);
+  uint64_t delivered = 0;
+  const uint64_t n =
+      sb.advance_una(3, [&](uint64_t seq, SegmentState&) { delivered += seq; });
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(delivered, 0u + 1 + 2);
+  EXPECT_EQ(sb.snd_una(), 3u);
+  EXPECT_EQ(sb.window_size(), 2u);
+}
+
+TEST(Scoreboard, AdvanceUnaSkipsAlreadySacked) {
+  SackScoreboard sb;
+  extend_to(sb, 4);
+  EXPECT_EQ(sb.apply_sack(1, 3, nop), 2u);
+  EXPECT_EQ(sb.sacked_count(), 2u);
+  // Segments 1 and 2 were already delivered via SACK.
+  EXPECT_EQ(sb.advance_una(4, nop), 2u);  // only 0 and 3 are new
+  EXPECT_EQ(sb.sacked_count(), 0u);
+  EXPECT_TRUE(sb.empty());
+}
+
+TEST(Scoreboard, AdvanceUnaOutOfRangeThrows) {
+  SackScoreboard sb;
+  extend_to(sb, 2);
+  EXPECT_THROW(sb.advance_una(3, nop), std::out_of_range);
+}
+
+TEST(Scoreboard, ApplySackIsIdempotentAndClamped) {
+  SackScoreboard sb;
+  extend_to(sb, 10);
+  EXPECT_EQ(sb.apply_sack(4, 7, nop), 3u);
+  EXPECT_EQ(sb.apply_sack(4, 7, nop), 0u);  // idempotent
+  EXPECT_EQ(sb.apply_sack(8, 100, nop), 2u);  // clamped to snd_nxt
+  EXPECT_EQ(sb.sacked_count(), 5u);
+  EXPECT_EQ(sb.highest_sacked_end(), 10u);
+}
+
+TEST(Scoreboard, SackRescuesLostMark) {
+  SackScoreboard sb;
+  extend_to(sb, 10);
+  sb.mark_lost(2, nop);
+  EXPECT_EQ(sb.lost_count(), 1u);
+  // The "lost" segment turns out to have arrived.
+  sb.apply_sack(2, 3, nop);
+  EXPECT_EQ(sb.lost_count(), 0u);
+  EXPECT_EQ(sb.sacked_count(), 1u);
+}
+
+TEST(Scoreboard, MarkLostBySackUsesDupThresh) {
+  SackScoreboard sb;
+  extend_to(sb, 10);
+  // SACK 5..6: highest sacked seq = 5; segments <= 5-3 = 2 are lost.
+  sb.apply_sack(5, 6, nop);
+  uint64_t lost = 0;
+  sb.mark_lost_by_sack(3, [&](uint64_t, SegmentState&) { ++lost; });
+  EXPECT_EQ(lost, 3u);  // segments 0, 1, 2
+  EXPECT_EQ(sb.lost_count(), 3u);
+  // Scan is monotonic: nothing new without new SACK progress.
+  EXPECT_EQ(sb.mark_lost_by_sack(3, nop), 0u);
+  // SACK 8..9: highest = 8; now segments 3, 4 qualify (5 is sacked).
+  sb.apply_sack(8, 9, nop);
+  EXPECT_EQ(sb.mark_lost_by_sack(3, nop), 2u);
+  EXPECT_EQ(sb.lost_count(), 5u);
+}
+
+TEST(Scoreboard, MarkLostBySackNeedsEnoughSackedAbove) {
+  SackScoreboard sb;
+  extend_to(sb, 10);
+  sb.apply_sack(1, 2, nop);  // highest sacked seq = 1 < dup_thresh
+  EXPECT_EQ(sb.mark_lost_by_sack(3, nop), 0u);
+}
+
+TEST(Scoreboard, NoteTransmitClearsLost) {
+  SackScoreboard sb;
+  extend_to(sb, 5);
+  sb.mark_lost(0, nop);
+  EXPECT_EQ(sb.lost_count(), 1u);
+  sb.note_transmit(0);
+  EXPECT_EQ(sb.lost_count(), 0u);
+  EXPECT_FALSE(sb.seg(0).lost);
+  // Retransmitted segments are not re-marked by the monotonic scan.
+  sb.apply_sack(5, 5, nop);
+  EXPECT_EQ(sb.mark_lost_by_sack(3, nop), 0u);
+}
+
+TEST(Scoreboard, MarkAllLostOnRto) {
+  SackScoreboard sb;
+  extend_to(sb, 6);
+  for (uint64_t s = 0; s < 6; ++s) sb.seg(s).outstanding = true;
+  sb.apply_sack(2, 3, nop);
+  const uint64_t lost = sb.mark_all_lost(nop);
+  EXPECT_EQ(lost, 5u);  // all but the SACKed segment 2
+  EXPECT_EQ(sb.lost_count(), 5u);
+  for (uint64_t s = 0; s < 6; ++s) EXPECT_FALSE(sb.seg(s).outstanding);
+  // After RTO the scan cursor resets; retransmit + re-mark cycle works.
+  sb.note_transmit(0);
+  EXPECT_EQ(sb.lost_count(), 4u);
+}
+
+TEST(Scoreboard, FindLostFrom) {
+  SackScoreboard sb;
+  extend_to(sb, 10);
+  sb.mark_lost(2, nop);
+  sb.mark_lost(7, nop);
+  EXPECT_EQ(sb.find_lost_from(0).value(), 2u);
+  EXPECT_EQ(sb.find_lost_from(3).value(), 7u);
+  EXPECT_FALSE(sb.find_lost_from(8).has_value());
+}
+
+TEST(Scoreboard, FirstOutstanding) {
+  SackScoreboard sb;
+  extend_to(sb, 5);
+  EXPECT_FALSE(sb.first_outstanding().has_value());
+  sb.seg(3).outstanding = true;
+  EXPECT_EQ(sb.first_outstanding().value(), 3u);
+}
+
+TEST(Scoreboard, SegOutOfWindowThrows) {
+  SackScoreboard sb;
+  extend_to(sb, 3);
+  sb.advance_una(1, nop);
+  EXPECT_THROW((void)sb.seg(0), std::out_of_range);
+  EXPECT_THROW((void)sb.seg(3), std::out_of_range);
+}
+
+// Property sweep: random SACK/ACK sequences keep counters consistent with
+// a brute-force recount.
+class ScoreboardProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScoreboardProperty, CountersMatchBruteForce) {
+  SackScoreboard sb;
+  uint64_t state = GetParam();
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  extend_to(sb, 50);
+  for (int step = 0; step < 200; ++step) {
+    const uint64_t kind = next() % 4;
+    const uint64_t width = sb.snd_nxt() - sb.snd_una();
+    if (kind == 0 && width > 0) {
+      const uint64_t s = sb.snd_una() + next() % width;
+      const uint64_t e = std::min(s + 1 + next() % 5, sb.snd_nxt());
+      sb.apply_sack(s, e, nop);
+      sb.mark_lost_by_sack(3, nop);
+    } else if (kind == 1 && width > 0) {
+      sb.advance_una(sb.snd_una() + 1 + next() % width, nop);
+    } else if (kind == 2) {
+      for (uint64_t i = 0; i < 1 + next() % 4; ++i) sb.extend();
+    } else if (kind == 3 && sb.lost_count() > 0) {
+      if (auto lost = sb.find_lost_from(sb.snd_una())) sb.note_transmit(*lost);
+    }
+    // Brute-force recount.
+    uint64_t sacked = 0;
+    uint64_t lost = 0;
+    for (uint64_t s = sb.snd_una(); s < sb.snd_nxt(); ++s) {
+      if (sb.seg(s).sacked) ++sacked;
+      if (sb.seg(s).lost) ++lost;
+    }
+    ASSERT_EQ(sb.sacked_count(), sacked) << "step " << step;
+    ASSERT_EQ(sb.lost_count(), lost) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreboardProperty,
+                         ::testing::Values(1, 2, 3, 42, 99, 12345));
+
+}  // namespace
+}  // namespace ccas

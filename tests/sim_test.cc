@@ -1,0 +1,184 @@
+// Tests for the event queue, simulator kernel, and lazy timer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+
+namespace ccas {
+namespace {
+
+class RecordingHandler : public EventHandler {
+ public:
+  void on_event(uint32_t tag, uint64_t arg) override {
+    tags.push_back(tag);
+    args.push_back(arg);
+  }
+  std::vector<uint32_t> tags;
+  std::vector<uint64_t> args;
+};
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  RecordingHandler h;
+  q.push(Time::nanos(30), &h, 3, 0);
+  q.push(Time::nanos(10), &h, 1, 0);
+  q.push(Time::nanos(20), &h, 2, 0);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().tag, 1u);
+  EXPECT_EQ(q.pop().tag, 2u);
+  EXPECT_EQ(q.pop().tag, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  RecordingHandler h;
+  for (uint32_t i = 0; i < 100; ++i) q.push(Time::nanos(5), &h, i, 0);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(q.pop().tag, i);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  RecordingHandler h;
+  q.push(Time::nanos(10), &h, 1, 0);
+  q.push(Time::nanos(5), &h, 0, 0);
+  EXPECT_EQ(q.pop().tag, 0u);
+  q.push(Time::nanos(7), &h, 2, 0);
+  EXPECT_EQ(q.pop().tag, 2u);
+  EXPECT_EQ(q.pop().tag, 1u);
+}
+
+TEST(Simulator, AdvancesClockAndDispatches) {
+  Simulator sim;
+  RecordingHandler h;
+  sim.schedule_in(TimeDelta::millis(5), &h, 42, 7);
+  sim.run();
+  EXPECT_EQ(sim.now(), Time::zero() + TimeDelta::millis(5));
+  ASSERT_EQ(h.tags.size(), 1u);
+  EXPECT_EQ(h.tags[0], 42u);
+  EXPECT_EQ(h.args[0], 7u);
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  RecordingHandler h;
+  sim.schedule_at(Time::nanos(100), &h, 1, 0);
+  sim.schedule_at(Time::nanos(300), &h, 2, 0);
+  sim.run_until(Time::nanos(200));
+  EXPECT_EQ(h.tags.size(), 1u);
+  EXPECT_EQ(sim.now(), Time::nanos(200));  // clock lands on the deadline
+  sim.run_until(Time::nanos(400));
+  EXPECT_EQ(h.tags.size(), 2u);
+}
+
+TEST(Simulator, EventsScheduledDuringDispatchRun) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_fn_in(TimeDelta::millis(1), chain);
+  };
+  sim.schedule_fn_in(TimeDelta::millis(1), chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), Time::zero() + TimeDelta::millis(5));
+}
+
+TEST(Simulator, RejectsPastEvents) {
+  Simulator sim;
+  RecordingHandler h;
+  sim.schedule_fn_in(TimeDelta::millis(2), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(Time::nanos(10), &h, 0, 0), std::invalid_argument);
+}
+
+TEST(Simulator, StopExitsLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_fn_in(TimeDelta::millis(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_fn_in(TimeDelta::millis(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes with the remaining event
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Timer, FiresAtExpiry) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm_in(TimeDelta::millis(10));
+  EXPECT_TRUE(t.is_armed());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.is_armed());
+  EXPECT_EQ(sim.now(), Time::zero() + TimeDelta::millis(10));
+}
+
+TEST(Timer, CancelSuppressesCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm_in(TimeDelta::millis(10));
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RearmLaterFiresAtNewDeadlineWithoutExtraHeapEntries) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm_in(TimeDelta::millis(10));
+  const size_t pending_after_first_arm = sim.pending_events();
+  // Re-arming later must not add heap entries (the lazy path).
+  for (int i = 0; i < 100; ++i) t.arm_in(TimeDelta::millis(10 + i));
+  EXPECT_EQ(sim.pending_events(), pending_after_first_arm);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Time::zero() + TimeDelta::millis(109));
+}
+
+TEST(Timer, RearmEarlierFiresEarlier) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm_in(TimeDelta::millis(100));
+  t.arm_in(TimeDelta::millis(10));
+  sim.run_until(Time::zero() + TimeDelta::millis(20));
+  EXPECT_EQ(fired, 1);
+  sim.run();
+  EXPECT_EQ(fired, 1);  // the stale entry for t=100ms must not re-fire
+}
+
+TEST(Timer, ArmInIfIdleKeepsEarlierDeadline) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm_in(TimeDelta::millis(5));
+  t.arm_in_if_idle(TimeDelta::millis(50));  // ignored: already armed
+  sim.run_until(Time::zero() + TimeDelta::millis(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, RearmableFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer* tp = nullptr;
+  Timer t(sim, [&] {
+    if (++fired < 3) tp->arm_in(TimeDelta::millis(1));
+  });
+  tp = &t;
+  t.arm_in(TimeDelta::millis(1));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+}  // namespace
+}  // namespace ccas

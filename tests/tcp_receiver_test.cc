@@ -1,0 +1,233 @@
+#include "src/tcp/tcp_receiver.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace ccas {
+namespace {
+
+class AckCollector : public PacketSink {
+ public:
+  explicit AckCollector(Simulator& sim) : sim_(sim) {}
+  void accept(Packet&& pkt) override {
+    acks.push_back(pkt);
+    times.push_back(sim_.now());
+  }
+  std::vector<Packet> acks;
+  std::vector<Time> times;
+
+ private:
+  Simulator& sim_;
+};
+
+Packet data(uint32_t flow, uint64_t seq) {
+  return Packet::make_data(flow, DumbbellTopology::kToReceivers, seq, false);
+}
+
+// Plain-TCP fixture: GRO off so the classic per-segment delayed-ACK
+// behaviour is observable (GRO-specific tests construct their own config).
+struct ReceiverFixture {
+  static TcpReceiverConfig no_gro(TcpReceiverConfig cfg) {
+    cfg.gro_enabled = false;
+    return cfg;
+  }
+  explicit ReceiverFixture(const TcpReceiverConfig& cfg = {})
+      : acks(sim), rcv(sim, 1, &acks, no_gro(cfg)) {}
+  Simulator sim;
+  AckCollector acks;
+  TcpReceiver rcv;
+};
+
+TEST(TcpReceiver, InOrderDataWithDelayedAcks) {
+  ReceiverFixture f;
+  f.rcv.accept(data(1, 0));
+  EXPECT_TRUE(f.acks.acks.empty());  // first segment: delayed
+  f.rcv.accept(data(1, 1));
+  ASSERT_EQ(f.acks.acks.size(), 1u);  // second segment triggers the ACK
+  EXPECT_EQ(f.acks.acks[0].ack_seq, 2u);
+  EXPECT_EQ(f.acks.acks[0].num_sacks, 0);
+  EXPECT_EQ(f.rcv.rcv_nxt(), 2u);
+}
+
+TEST(TcpReceiver, DelackTimerFlushesSingleSegment) {
+  ReceiverFixture f;
+  f.rcv.accept(data(1, 0));
+  EXPECT_TRUE(f.acks.acks.empty());
+  f.sim.run();  // the 40 ms delack timer fires
+  ASSERT_EQ(f.acks.acks.size(), 1u);
+  EXPECT_EQ(f.acks.acks[0].ack_seq, 1u);
+  EXPECT_EQ(f.acks.times[0], Time::zero() + TimeDelta::millis(40));
+}
+
+TEST(TcpReceiver, OutOfOrderTriggersImmediateDupackWithSack) {
+  ReceiverFixture f;
+  f.rcv.accept(data(1, 0));
+  f.rcv.accept(data(1, 2));  // hole at 1 -> immediate dupack
+  ASSERT_EQ(f.acks.acks.size(), 1u);
+  const Packet& ack = f.acks.acks[0];
+  EXPECT_EQ(ack.ack_seq, 1u);
+  ASSERT_EQ(ack.num_sacks, 1);
+  EXPECT_EQ(ack.sack(0).start, 2u);
+  EXPECT_EQ(ack.sack(0).end, 3u);
+}
+
+TEST(TcpReceiver, HoleFillTriggersImmediateCumulativeAck) {
+  ReceiverFixture f;
+  f.rcv.accept(data(1, 0));
+  f.rcv.accept(data(1, 2));
+  f.rcv.accept(data(1, 3));
+  f.rcv.accept(data(1, 1));  // fills the hole
+  const Packet& last = f.acks.acks.back();
+  EXPECT_EQ(last.ack_seq, 4u);
+  EXPECT_EQ(last.num_sacks, 0);
+  EXPECT_EQ(f.rcv.rcv_nxt(), 4u);
+  EXPECT_EQ(f.rcv.out_of_order_ranges(), 0u);
+}
+
+TEST(TcpReceiver, ReportsUpToThreeSackBlocksMostRelevantFirst) {
+  ReceiverFixture f;
+  f.rcv.accept(data(1, 0));
+  // Build four disjoint out-of-order ranges: 2, 4, 6, 8.
+  f.rcv.accept(data(1, 2));
+  f.rcv.accept(data(1, 4));
+  f.rcv.accept(data(1, 6));
+  f.rcv.accept(data(1, 8));
+  const Packet& ack = f.acks.acks.back();
+  EXPECT_EQ(ack.ack_seq, 1u);
+  ASSERT_EQ(ack.num_sacks, 3);
+  // First block holds the triggering segment (8).
+  EXPECT_EQ(ack.sack(0).start, 8u);
+  // Remaining slots: lowest ranges.
+  EXPECT_EQ(ack.sack(1).start, 2u);
+  EXPECT_EQ(ack.sack(2).start, 4u);
+}
+
+TEST(TcpReceiver, MergesAdjacentOutOfOrderRanges) {
+  ReceiverFixture f;
+  f.rcv.accept(data(1, 5));
+  f.rcv.accept(data(1, 7));
+  EXPECT_EQ(f.rcv.out_of_order_ranges(), 2u);
+  f.rcv.accept(data(1, 6));  // bridges 5..6 and 7..8
+  EXPECT_EQ(f.rcv.out_of_order_ranges(), 1u);
+  const Packet& ack = f.acks.acks.back();
+  ASSERT_GE(ack.num_sacks, 1);
+  EXPECT_EQ(ack.sack(0).start, 5u);
+  EXPECT_EQ(ack.sack(0).end, 8u);
+}
+
+TEST(TcpReceiver, DuplicatesAreCountedAndAckedImmediately) {
+  ReceiverFixture f;
+  f.rcv.accept(data(1, 0));
+  f.rcv.accept(data(1, 1));
+  const size_t acks_before = f.acks.acks.size();
+  f.rcv.accept(data(1, 0));  // duplicate of delivered data
+  EXPECT_EQ(f.rcv.duplicate_segments(), 1u);
+  EXPECT_EQ(f.acks.acks.size(), acks_before + 1);
+  f.rcv.accept(data(1, 5));
+  f.rcv.accept(data(1, 5));  // duplicate of buffered out-of-order data
+  EXPECT_EQ(f.rcv.duplicate_segments(), 2u);
+}
+
+TEST(TcpReceiver, PerPacketAckModeWhenDelackDisabled) {
+  TcpReceiverConfig cfg;
+  cfg.delayed_ack = false;
+  ReceiverFixture f(cfg);
+  f.rcv.accept(data(1, 0));
+  f.rcv.accept(data(1, 1));
+  f.rcv.accept(data(1, 2));
+  EXPECT_EQ(f.acks.acks.size(), 3u);
+}
+
+TEST(TcpReceiver, GoodputCountsInOrderBytes) {
+  ReceiverFixture f;
+  for (uint64_t s = 0; s < 10; ++s) f.rcv.accept(data(1, s));
+  f.rcv.accept(data(1, 15));  // buffered, not in-order
+  EXPECT_EQ(f.rcv.goodput_bytes(), 10 * kMssBytes);
+  EXPECT_EQ(f.rcv.segments_received(), 11u);
+}
+
+TEST(TcpReceiver, IgnoresAckPackets) {
+  ReceiverFixture f;
+  f.rcv.accept(Packet::make_ack(1, DumbbellTopology::kToSenders, 5));
+  EXPECT_EQ(f.rcv.segments_received(), 0u);
+  EXPECT_TRUE(f.acks.acks.empty());
+}
+
+// Sweep the delack threshold: an ACK must be emitted every `threshold`
+// in-order segments.
+class DelackThreshold : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DelackThreshold, AcksEveryNthSegment) {
+  TcpReceiverConfig cfg;
+  cfg.delack_segment_threshold = GetParam();
+  ReceiverFixture f(cfg);
+  for (uint64_t s = 0; s < 30; ++s) f.rcv.accept(data(1, s));
+  EXPECT_EQ(f.acks.acks.size(), 30u / GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, DelackThreshold, ::testing::Values(1u, 2u, 3u, 5u));
+
+// ------------------------------------------------------------- GRO -------
+
+struct GroFixture {
+  explicit GroFixture(TcpReceiverConfig cfg = {})
+      : acks(sim), rcv(sim, 1, &acks, cfg) {}
+  Simulator sim;
+  AckCollector acks;
+  TcpReceiver rcv;
+};
+
+TEST(TcpReceiverGro, BackToBackBurstProducesOneAck) {
+  GroFixture f;
+  // A 10-segment burst arriving back-to-back (same instant).
+  for (uint64_t s = 0; s < 10; ++s) f.rcv.accept(data(1, s));
+  EXPECT_TRUE(f.acks.acks.empty());  // batch still open
+  f.sim.run();                       // 20 us flush timer fires
+  ASSERT_EQ(f.acks.acks.size(), 1u);
+  EXPECT_EQ(f.acks.acks[0].ack_seq, 10u);
+}
+
+TEST(TcpReceiverGro, SlowArrivalsDoNotAggregate) {
+  GroFixture f;
+  // 120 us spacing (EdgeScale serialization) exceeds the 20 us flush
+  // timeout: behaves like plain delayed ACKs (one ACK per 2 segments).
+  for (uint64_t s = 0; s < 8; ++s) {
+    f.rcv.accept(data(1, s));
+    f.sim.run_until(f.sim.now() + TimeDelta::micros(120));
+  }
+  EXPECT_EQ(f.acks.acks.size(), 4u);
+}
+
+TEST(TcpReceiverGro, BatchCapFlushesEagerly) {
+  TcpReceiverConfig cfg;
+  cfg.gro_max_segments = 4;
+  GroFixture f(cfg);
+  for (uint64_t s = 0; s < 8; ++s) f.rcv.accept(data(1, s));
+  // Two full batches of 4 flushed inline, no timer needed.
+  EXPECT_EQ(f.acks.acks.size(), 2u);
+  EXPECT_EQ(f.acks.acks[1].ack_seq, 8u);
+}
+
+TEST(TcpReceiverGro, OutOfOrderFlushesAndDupacksImmediately) {
+  GroFixture f;
+  f.rcv.accept(data(1, 0));
+  f.rcv.accept(data(1, 1));
+  f.rcv.accept(data(1, 3));  // gap: must dupack immediately
+  ASSERT_GE(f.acks.acks.size(), 1u);
+  const Packet& ack = f.acks.acks.back();
+  EXPECT_EQ(ack.ack_seq, 2u);
+  ASSERT_EQ(ack.num_sacks, 1);
+  EXPECT_EQ(ack.sack(0).start, 3u);
+}
+
+}  // namespace
+}  // namespace ccas
+
+namespace ccas {
+namespace {
+
+}  // namespace
+}  // namespace ccas

@@ -1,0 +1,332 @@
+// End-to-end sender tests over a controllable lossy channel: slow start,
+// SACK fast retransmit, NewReno (non-SACK) recovery, RTO + backoff, pipe
+// accounting, and congestion-event counting (the paper's "CWND halvings").
+#include "src/tcp/tcp_sender.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "src/cca/new_reno.h"
+#include "src/net/delay_line.h"
+#include "src/net/topology.h"
+#include "src/tcp/tcp_receiver.h"
+
+namespace ccas {
+namespace {
+
+// A sink that drops data segments whose (seq, tx_count) the test selects.
+class LossyChannel : public PacketSink {
+ public:
+  explicit LossyChannel(PacketSink* dest) : dest_(dest) {}
+
+  // Drop the next transmission of `seq` (one-shot).
+  void drop_once(uint64_t seq) { drop_once_.insert(seq); }
+  // Drop everything while true.
+  void set_blackhole(bool on) { blackhole_ = on; }
+
+  void accept(Packet&& pkt) override {
+    ++seen_;
+    if (blackhole_) {
+      ++dropped_;
+      return;
+    }
+    if (pkt.type == PacketType::kData) {
+      auto it = drop_once_.find(pkt.seq);
+      if (it != drop_once_.end()) {
+        drop_once_.erase(it);
+        ++dropped_;
+        return;
+      }
+    }
+    dest_->accept(std::move(pkt));
+  }
+
+  uint64_t seen() const { return seen_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  PacketSink* dest_;
+  std::set<uint64_t> drop_once_;
+  bool blackhole_ = false;
+  uint64_t seen_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// DelayLine requires a non-null destination; a small indirection lets the
+// fixture wire receiver->sender despite construction order.
+class Redirector : public PacketSink {
+ public:
+  void accept(Packet&& pkt) override { target_->accept(std::move(pkt)); }
+  void set_target(PacketSink* t) { target_ = t; }
+
+ private:
+  PacketSink* target_ = nullptr;
+};
+
+// sender --LossyChannel--> DelayLine(5 ms) --> receiver
+// receiver --DelayLine(5 ms)--> sender            (10 ms base RTT)
+//
+// The path has no bottleneck link, so the default rig caps the send window
+// (a receive-window stand-in); slow start would otherwise grow unboundedly.
+struct Rig {
+  static TcpSenderConfig rig_config(TcpSenderConfig cfg) {
+    if (cfg.max_window == TcpSenderConfig{}.max_window) cfg.max_window = 256;
+    return cfg;
+  }
+
+  explicit Rig(TcpSenderConfig cfg = {}, TcpReceiverConfig rcfg = {},
+               std::unique_ptr<CongestionController> cca = nullptr)
+      : rev_delay(sim, TimeDelta::millis(5), &to_sender),
+        rcv(sim, 0, &rev_delay, rcfg),
+        fwd_delay(sim, TimeDelta::millis(5), &rcv),
+        channel(&fwd_delay),
+        snd(sim, 0, cca ? std::move(cca) : std::make_unique<NewReno>(), &channel,
+            rig_config(cfg)) {
+    to_sender.set_target(&snd);
+  }
+
+  void run_ms(int64_t ms) { sim.run_until(sim.now() + TimeDelta::millis(ms)); }
+
+  Simulator sim;
+  Redirector to_sender;
+  DelayLine rev_delay;
+  TcpReceiver rcv;
+  DelayLine fwd_delay;
+  LossyChannel channel;
+  TcpSender snd;
+};
+
+TEST(TcpSender, SendsInitialWindowOnStart) {
+  Rig rig;
+  rig.snd.start();
+  EXPECT_EQ(rig.snd.stats().segments_sent, 10u);  // IW10
+  EXPECT_EQ(rig.snd.inflight(), 10u);
+  EXPECT_EQ(rig.snd.snd_nxt(), 10u);
+}
+
+TEST(TcpSender, SlowStartDoublesPerRtt) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(11);  // one RTT + a little
+  // Each ACK for 2 segments grows cwnd by 2 and releases 4: ~doubling.
+  EXPECT_GE(rig.snd.cca().cwnd(), 18u);
+  const uint64_t cwnd_after_1 = rig.snd.cca().cwnd();
+  rig.run_ms(10);
+  EXPECT_GE(rig.snd.cca().cwnd(), 2 * cwnd_after_1 - 4);
+}
+
+TEST(TcpSender, DeliveredMatchesReceiverProgress) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(100);
+  // The sender's view lags the receiver's by at most the data whose ACK
+  // is still in flight (bounded by the window cap).
+  EXPECT_LE(rig.snd.stats().delivered, rig.rcv.rcv_nxt());
+  EXPECT_GE(rig.snd.stats().delivered + 256, rig.rcv.rcv_nxt());
+  EXPECT_EQ(rig.snd.stats().rto_events, 0u);
+}
+
+TEST(TcpSender, FastRetransmitOnSackLoss) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(25);  // let the window open a bit
+  const uint64_t victim = rig.snd.snd_nxt() + 2;
+  rig.channel.drop_once(victim);
+  rig.run_ms(60);
+  EXPECT_EQ(rig.snd.stats().congestion_events, 1u);
+  EXPECT_EQ(rig.snd.stats().rto_events, 0u);  // recovered via dupacks/SACK
+  EXPECT_GE(rig.snd.stats().retransmits, 1u);
+  // The hole was repaired: receiver is contiguous.
+  EXPECT_EQ(rig.rcv.out_of_order_ranges(), 0u);
+  EXPECT_GT(rig.rcv.rcv_nxt(), victim);
+}
+
+TEST(TcpSender, HalvesOncePerLossEventNotPerLoss) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(30);
+  // Drop three segments of the same flight: one congestion event.
+  const uint64_t base = rig.snd.snd_nxt() + 2;
+  rig.channel.drop_once(base);
+  rig.channel.drop_once(base + 1);
+  rig.channel.drop_once(base + 3);
+  rig.run_ms(80);
+  EXPECT_EQ(rig.snd.stats().congestion_events, 1u);
+  EXPECT_EQ(rig.snd.stats().rto_events, 0u);
+  EXPECT_GE(rig.snd.stats().retransmits, 3u);
+  EXPECT_EQ(rig.rcv.out_of_order_ranges(), 0u);
+}
+
+TEST(TcpSender, SeparatedLossesAreSeparateEvents) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(30);
+  rig.channel.drop_once(rig.snd.snd_nxt() + 2);
+  rig.run_ms(100);  // fully recover
+  EXPECT_EQ(rig.snd.stats().congestion_events, 1u);
+  rig.channel.drop_once(rig.snd.snd_nxt() + 2);
+  rig.run_ms(100);
+  EXPECT_EQ(rig.snd.stats().congestion_events, 2u);
+}
+
+TEST(TcpSender, CwndHalvedAtCongestionEvent) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(40);
+  rig.channel.drop_once(rig.snd.snd_nxt() + 1);
+  // Poll in 1 ms steps so we capture cwnd just before the event fires.
+  uint64_t cwnd_before = rig.snd.cca().cwnd();
+  for (int i = 0; i < 60 && rig.snd.stats().congestion_events == 0; ++i) {
+    cwnd_before = rig.snd.cca().cwnd();
+    rig.run_ms(1);
+  }
+  ASSERT_EQ(rig.snd.stats().congestion_events, 1u);
+  const auto& reno = dynamic_cast<const NewReno&>(rig.snd.cca());
+  // The decrease anchored at the cwnd in effect at the event; between our
+  // last poll and the event cwnd can only have grown, so ssthresh lies in
+  // [cwnd_before/2, cwnd_at_event/2] with cwnd_at_event <= 2*cwnd_before.
+  EXPECT_GE(reno.ssthresh(), cwnd_before / 2);
+  EXPECT_LE(reno.ssthresh(), cwnd_before + 1);
+  EXPECT_LT(reno.cwnd(), cwnd_before);
+}
+
+TEST(TcpSender, LargeContiguousLossRecoveredBySackWithoutRto) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(30);
+  // Wipe out a 30-segment stretch of the flight; segments after it still
+  // arrive and generate the SACKs that drive recovery.
+  const uint64_t base = rig.snd.snd_nxt() + 2;
+  for (uint64_t s = base; s < base + 30; ++s) rig.channel.drop_once(s);
+  rig.run_ms(500);
+  EXPECT_EQ(rig.snd.stats().rto_events, 0u);
+  EXPECT_EQ(rig.snd.stats().congestion_events, 1u);
+  EXPECT_GE(rig.snd.stats().retransmits, 30u);
+  EXPECT_EQ(rig.rcv.out_of_order_ranges(), 0u);
+}
+
+TEST(TcpSender, RtoRecoversFromLongBlackhole) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(30);
+  // Long enough that fast retransmissions die too: only the RTO recovers.
+  rig.channel.set_blackhole(true);
+  rig.run_ms(700);
+  rig.channel.set_blackhole(false);
+  const uint64_t rcv_before = rig.rcv.rcv_nxt();
+  rig.run_ms(2000);
+  EXPECT_GE(rig.snd.stats().rto_events, 1u);
+  EXPECT_GT(rig.rcv.rcv_nxt(), rcv_before);
+  EXPECT_EQ(rig.rcv.out_of_order_ranges(), 0u);
+  // Flow is healthy again.
+  const uint64_t p = rig.rcv.rcv_nxt();
+  rig.run_ms(100);
+  EXPECT_GT(rig.rcv.rcv_nxt(), p);
+}
+
+TEST(TcpSender, RtoBackoffGrowsUnderPersistentBlackhole) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(30);
+  rig.channel.set_blackhole(true);
+  rig.run_ms(4000);
+  const uint64_t rtos_4s = rig.snd.stats().rto_events;
+  EXPECT_GE(rtos_4s, 2u);
+  // Exponential backoff: far fewer than 4s / min_rto (20) firings.
+  EXPECT_LE(rtos_4s, 6u);
+}
+
+TEST(TcpSender, NonSackFastRetransmitViaDupacks) {
+  TcpSenderConfig cfg;
+  cfg.sack_enabled = false;
+  Rig rig(cfg);
+  rig.snd.start();
+  rig.run_ms(30);
+  rig.channel.drop_once(rig.snd.snd_nxt() + 1);
+  rig.run_ms(100);
+  EXPECT_EQ(rig.snd.stats().congestion_events, 1u);
+  EXPECT_EQ(rig.snd.stats().rto_events, 0u);
+  EXPECT_EQ(rig.rcv.out_of_order_ranges(), 0u);
+  EXPECT_GE(rig.snd.stats().dupacks, 3u);
+}
+
+TEST(TcpSender, NonSackNewRenoPartialAckRecovery) {
+  TcpSenderConfig cfg;
+  cfg.sack_enabled = false;
+  Rig rig(cfg);
+  rig.snd.start();
+  rig.run_ms(40);
+  // Two holes in one flight: NewReno repairs them one partial ACK at a
+  // time within a single recovery episode.
+  const uint64_t base = rig.snd.snd_nxt() + 2;
+  rig.channel.drop_once(base);
+  rig.channel.drop_once(base + 4);
+  rig.run_ms(200);
+  EXPECT_EQ(rig.snd.stats().congestion_events, 1u);
+  EXPECT_EQ(rig.snd.stats().rto_events, 0u);
+  EXPECT_EQ(rig.rcv.out_of_order_ranges(), 0u);
+  EXPECT_GT(rig.rcv.rcv_nxt(), base + 4);
+}
+
+TEST(TcpSender, PipeNeverExceedsCwnd) {
+  Rig rig;
+  rig.snd.start();
+  for (int i = 0; i < 300; ++i) {
+    rig.sim.run_until(rig.sim.now() + TimeDelta::millis(1));
+    EXPECT_LE(rig.snd.inflight(), std::max<uint64_t>(rig.snd.cca().cwnd(), 1));
+  }
+}
+
+TEST(TcpSender, HonorsMaxWindow) {
+  TcpSenderConfig cfg;
+  cfg.max_window = 16;
+  Rig rig(cfg);
+  rig.snd.start();
+  rig.run_ms(500);
+  EXPECT_LE(rig.snd.snd_nxt() - rig.snd.snd_una(), 16u);
+  // Still makes steady progress.
+  EXPECT_GT(rig.rcv.rcv_nxt(), 100u);
+}
+
+TEST(TcpSender, AcceptIgnoresDataPackets) {
+  Rig rig;
+  rig.snd.start();
+  const auto acks_before = rig.snd.stats().acks_received;
+  rig.snd.accept(Packet::make_data(0, 0, 99, false));
+  EXPECT_EQ(rig.snd.stats().acks_received, acks_before);
+}
+
+TEST(TcpSender, ConstructorValidation) {
+  Simulator sim;
+  Redirector sink;
+  EXPECT_THROW(TcpSender(sim, 0, nullptr, &sink), std::invalid_argument);
+  EXPECT_THROW(TcpSender(sim, 0, std::make_unique<NewReno>(), nullptr),
+               std::invalid_argument);
+  TcpSenderConfig bad;
+  bad.dup_thresh = 0;
+  EXPECT_THROW(TcpSender(sim, 0, std::make_unique<NewReno>(), &sink, bad),
+               std::invalid_argument);
+}
+
+// Parameterized: recovery works wherever the loss lands in the flight.
+class LossPosition : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossPosition, RecoversWithoutRto) {
+  Rig rig;
+  rig.snd.start();
+  rig.run_ms(40);
+  rig.channel.drop_once(rig.snd.snd_nxt() + GetParam());
+  rig.run_ms(150);
+  EXPECT_EQ(rig.snd.stats().rto_events, 0u);
+  EXPECT_EQ(rig.snd.stats().congestion_events, 1u);
+  EXPECT_EQ(rig.rcv.out_of_order_ranges(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, LossPosition,
+                         ::testing::Values(0, 1, 2, 5, 10, 20));
+
+}  // namespace
+}  // namespace ccas

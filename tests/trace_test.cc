@@ -1,0 +1,121 @@
+// Tests for the time-series tracing subsystem (TraceLog + the harness
+// integration via ExperimentSpec::trace_interval).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/harness/runner.h"
+#include "src/stats/trace.h"
+
+namespace ccas {
+namespace {
+
+TEST(TraceLog, StoresAndDerivesThroughput) {
+  TraceLog log;
+  for (int i = 0; i <= 4; ++i) {
+    FlowTraceSample s;
+    s.at = Time::seconds_f(i);
+    s.delivered = static_cast<uint64_t>(i) * 100;  // 100 segments per second
+    s.cwnd = 10;
+    log.add_flow_sample(3, s);
+  }
+  ASSERT_TRUE(log.has_flow(3));
+  EXPECT_EQ(log.flow(3).size(), 5u);
+  const auto thpt = log.flow_throughput_bps(3, 1448);
+  ASSERT_EQ(thpt.size(), 4u);
+  for (const double t : thpt) EXPECT_NEAR(t, 100.0 * 1448 * 8, 1.0);
+  EXPECT_THROW((void)log.flow(9), std::out_of_range);
+}
+
+TEST(TraceLog, WritesCsvFiles) {
+  TraceLog log;
+  FlowTraceSample fs;
+  fs.at = Time::seconds_f(1);
+  fs.cwnd = 7;
+  log.add_flow_sample(0, fs);
+  QueueTraceSample qs;
+  qs.at = Time::seconds_f(1);
+  qs.queued_bytes = 1234;
+  log.add_queue_sample(qs);
+
+  const std::string prefix = ::testing::TempDir() + "/ccas_trace_test";
+  log.write_csv(prefix);
+  std::ifstream flows(prefix + "_flows.csv");
+  std::ifstream queue(prefix + "_queue.csv");
+  ASSERT_TRUE(flows.good());
+  ASSERT_TRUE(queue.good());
+  std::string line;
+  std::getline(flows, line);
+  EXPECT_NE(line.find("cwnd"), std::string::npos);
+  std::getline(queue, line);
+  std::getline(queue, line);
+  EXPECT_NE(line.find("1234"), std::string::npos);
+  std::remove((prefix + "_flows.csv").c_str());
+  std::remove((prefix + "_queue.csv").c_str());
+}
+
+ExperimentSpec traced_spec() {
+  ExperimentSpec spec;
+  spec.scenario.net.bottleneck_rate = DataRate::mbps(20);
+  spec.scenario.net.buffer_bytes = 200'000;
+  spec.scenario.stagger = TimeDelta::millis(100);
+  spec.scenario.warmup = TimeDelta::seconds(1);
+  spec.scenario.measure = TimeDelta::seconds(4);
+  spec.groups.push_back(FlowGroup{"newreno", 3, TimeDelta::millis(20)});
+  spec.seed = 5;
+  spec.trace_interval = TimeDelta::millis(100);
+  return spec;
+}
+
+TEST(Tracing, HarnessCollectsAllFlowsByDefault) {
+  const ExperimentResult r = run_experiment(traced_spec());
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.flows().size(), 3u);
+  // ~ (stagger + warmup + measure) / interval samples.
+  const auto& s = r.trace.flow(0);
+  EXPECT_GT(s.size(), 40u);
+  EXPECT_LE(s.size(), 60u);
+  // Samples are time-ordered and delivered is monotonic.
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s[i].at, s[i - 1].at);
+    EXPECT_GE(s[i].delivered, s[i - 1].delivered);
+  }
+  // Queue occupancy was sampled and stays within the buffer.
+  ASSERT_FALSE(r.trace.queue().empty());
+  for (const auto& q : r.trace.queue()) {
+    EXPECT_GE(q.queued_bytes, 0);
+    EXPECT_LE(q.queued_bytes, 200'000);
+  }
+}
+
+TEST(Tracing, FlowFilterRestrictsSampling) {
+  ExperimentSpec spec = traced_spec();
+  spec.trace_flows = {1};
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_EQ(r.trace.flows().size(), 1u);
+  EXPECT_TRUE(r.trace.has_flow(1));
+  EXPECT_FALSE(r.trace.has_flow(0));
+}
+
+TEST(Tracing, DisabledByDefault) {
+  ExperimentSpec spec = traced_spec();
+  spec.trace_interval = TimeDelta::zero();
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Tracing, CwndSamplesReflectCcaState) {
+  ExperimentSpec spec = traced_spec();
+  spec.groups[0].cca = "bbr";
+  const ExperimentResult r = run_experiment(spec);
+  bool saw_pacing = false;
+  for (const auto& s : r.trace.flow(0)) {
+    if (s.pacing_bps > 0.0) saw_pacing = true;
+    EXPECT_LT(s.cwnd, 1'000'000u);
+  }
+  EXPECT_TRUE(saw_pacing);  // BBR paces
+}
+
+}  // namespace
+}  // namespace ccas

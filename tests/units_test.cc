@@ -1,0 +1,124 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace ccas {
+namespace {
+
+TEST(TimeDelta, Constructors) {
+  EXPECT_EQ(TimeDelta::nanos(5).ns(), 5);
+  EXPECT_EQ(TimeDelta::micros(5).ns(), 5'000);
+  EXPECT_EQ(TimeDelta::millis(5).ns(), 5'000'000);
+  EXPECT_EQ(TimeDelta::seconds(5).ns(), 5'000'000'000);
+  EXPECT_EQ(TimeDelta::seconds_f(0.5).ns(), 500'000'000);
+  EXPECT_TRUE(TimeDelta::zero().is_zero());
+  EXPECT_TRUE(TimeDelta::infinite().is_infinite());
+}
+
+TEST(TimeDelta, Arithmetic) {
+  const TimeDelta a = TimeDelta::millis(10);
+  const TimeDelta b = TimeDelta::millis(4);
+  EXPECT_EQ((a + b).ms(), 14.0);
+  EXPECT_EQ((a - b).ms(), 6.0);
+  EXPECT_EQ((a * 3).ms(), 30.0);
+  EXPECT_EQ((a * 0.5).ms(), 5.0);
+  EXPECT_EQ((a / 2).ms(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  TimeDelta c = a;
+  c += b;
+  EXPECT_EQ(c.ms(), 14.0);
+  c -= b;
+  EXPECT_EQ(c.ms(), 10.0);
+}
+
+TEST(TimeDelta, Comparisons) {
+  EXPECT_LT(TimeDelta::millis(1), TimeDelta::millis(2));
+  EXPECT_EQ(TimeDelta::millis(1), TimeDelta::micros(1000));
+  EXPECT_GT(TimeDelta::infinite(), TimeDelta::seconds(100000));
+}
+
+TEST(TimeDelta, Conversions) {
+  EXPECT_DOUBLE_EQ(TimeDelta::millis(1500).sec(), 1.5);
+  EXPECT_DOUBLE_EQ(TimeDelta::micros(1500).ms(), 1.5);
+  EXPECT_DOUBLE_EQ(TimeDelta::nanos(1500).us(), 1.5);
+}
+
+TEST(TimeDelta, ToString) {
+  EXPECT_EQ(TimeDelta::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(TimeDelta::millis(3).to_string(), "3.000ms");
+  EXPECT_EQ(TimeDelta::micros(7).to_string(), "7.000us");
+  EXPECT_EQ(TimeDelta::nanos(9).to_string(), "9ns");
+  EXPECT_EQ(TimeDelta::infinite().to_string(), "+inf");
+}
+
+TEST(Time, Arithmetic) {
+  const Time t = Time::zero() + TimeDelta::seconds(3);
+  EXPECT_EQ(t.ns(), 3'000'000'000);
+  EXPECT_EQ((t - Time::zero()).sec(), 3.0);
+  EXPECT_EQ((t + TimeDelta::seconds(2)).sec(), 5.0);
+  EXPECT_EQ((t - TimeDelta::seconds(1)).sec(), 2.0);
+  EXPECT_LT(Time::zero(), t);
+  EXPECT_TRUE(Time::infinite().is_infinite());
+}
+
+TEST(DataRate, Constructors) {
+  EXPECT_EQ(DataRate::bps(1).bits_per_sec(), 1);
+  EXPECT_EQ(DataRate::kbps(1).bits_per_sec(), 1'000);
+  EXPECT_EQ(DataRate::mbps(1).bits_per_sec(), 1'000'000);
+  EXPECT_EQ(DataRate::gbps(1).bits_per_sec(), 1'000'000'000);
+  EXPECT_TRUE(DataRate::zero().is_zero());
+  EXPECT_TRUE(DataRate::infinite().is_infinite());
+}
+
+TEST(DataRate, TransferTime) {
+  // 1500 bytes at 100 Mbps = 120 us.
+  EXPECT_EQ(DataRate::mbps(100).transfer_time(1500), TimeDelta::micros(120));
+  // 1500 bytes at 10 Gbps = 1.2 us.
+  EXPECT_EQ(DataRate::gbps(10).transfer_time(1500), TimeDelta::nanos(1200));
+  EXPECT_EQ(DataRate::infinite().transfer_time(1'000'000), TimeDelta::zero());
+}
+
+TEST(DataRate, BytesIn) {
+  EXPECT_EQ(DataRate::mbps(8).bytes_in(TimeDelta::seconds(1)), 1'000'000);
+  EXPECT_EQ(DataRate::mbps(100).bytes_in(TimeDelta::millis(200)), 2'500'000);
+}
+
+TEST(DataRate, BytesPer) {
+  // 1 MB in 1 second = 8 Mbps.
+  EXPECT_EQ(DataRate::bytes_per(1'000'000, TimeDelta::seconds(1)).bits_per_sec(),
+            8'000'000);
+  EXPECT_TRUE(DataRate::bytes_per(1, TimeDelta::zero()).is_infinite());
+}
+
+TEST(DataRate, Arithmetic) {
+  const DataRate r = DataRate::mbps(100);
+  EXPECT_EQ((r * 0.5).bits_per_sec(), 50'000'000);
+  EXPECT_EQ((r / 4).bits_per_sec(), 25'000'000);
+  EXPECT_EQ((r + r).bits_per_sec(), 200'000'000);
+  EXPECT_EQ((r - r / 2).bits_per_sec(), 50'000'000);
+  EXPECT_DOUBLE_EQ(r / DataRate::mbps(50), 2.0);
+}
+
+TEST(Bdp, MatchesPaperNumbers) {
+  // 10 Gbps * 200 ms = 250 MB: the basis for the paper's 375 MB CoreScale
+  // buffer; 100 Mbps * 200 ms = 2.5 MB for the 3 MB EdgeScale buffer.
+  EXPECT_EQ(bdp_bytes(DataRate::gbps(10), TimeDelta::millis(200)), 250'000'000);
+  EXPECT_EQ(bdp_bytes(DataRate::mbps(100), TimeDelta::millis(200)), 2'500'000);
+}
+
+class DataRateRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DataRateRoundTrip, TransferTimeAndBytesInAreConsistent) {
+  const DataRate rate = DataRate::bps(GetParam());
+  const TimeDelta t = rate.transfer_time(1500);
+  // Transferring for exactly the serialization time moves ~1500 bytes.
+  EXPECT_NEAR(static_cast<double>(rate.bytes_in(t)), 1500.0, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DataRateRoundTrip,
+                         ::testing::Values(1'000'000, 10'000'000, 100'000'000,
+                                           1'000'000'000, 10'000'000'000,
+                                           25'000'000'000));
+
+}  // namespace
+}  // namespace ccas

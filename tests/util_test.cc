@@ -1,0 +1,235 @@
+// Tests for RNG, RunningStats/percentiles, least squares, CSV writer and
+// the windowed min/max filter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/csv.h"
+#include "src/util/least_squares.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/windowed_filter.h"
+
+namespace ccas {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  // All residues reachable.
+  bool seen[7] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.next_below(7)] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, MeanIsCentered) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.next_double());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(3);
+  Rng child = parent.fork();
+  // Child stream differs from the parent continuation.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+// ------------------------------------------------------- RunningStats ----
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_range(-3.0, 10.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Percentiles, MedianAndInterpolation) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 0.99), 5.0);
+  const Percentiles p({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(p.median(), 2.5);
+}
+
+TEST(Percentiles, EmptyThrows) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+}
+
+// ------------------------------------------------------ least squares ----
+
+TEST(LeastSquares, ThroughOriginExactRecovery) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (const double v : x) y.push_back(3.25 * v);
+  EXPECT_NEAR(fit_through_origin(x, y), 3.25, 1e-12);
+}
+
+TEST(LeastSquares, ThroughOriginMinimizesError) {
+  // Perturbed data: the estimator is sum(xy)/sum(x^2).
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{2.1, 3.9, 6.2};
+  const double c = fit_through_origin(x, y);
+  const double expected = (1 * 2.1 + 2 * 3.9 + 3 * 6.2) / (1.0 + 4.0 + 9.0);
+  EXPECT_NEAR(c, expected, 1e-12);
+}
+
+TEST(LeastSquares, ThroughOriginErrors) {
+  EXPECT_THROW((void)fit_through_origin({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)fit_through_origin(std::vector<double>{1.0}, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_through_origin(std::vector<double>{0.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(LeastSquares, LinearExactRecovery) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y;
+  for (const double v : x) y.push_back(2.0 - 0.5 * v);
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+  EXPECT_NEAR(fit.slope, -0.5, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, LinearDegenerate) {
+  EXPECT_THROW((void)fit_linear(std::vector<double>{1.0, 1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- CSV ----
+
+TEST(Csv, WritesRowsAndEscapes) {
+  const std::string path = ::testing::TempDir() + "/ccas_csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.row({"1", "plain"});
+    w.start_row().col(2.5, 3).col("has,comma").done();
+    w.start_row().col(static_cast<int64_t>(7)).col("say \"hi\"").done();
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,plain\n2.5,\"has,comma\"\n7,\"say \"\"hi\"\"\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongColumnCount) {
+  const std::string path = ::testing::TempDir() + "/ccas_csv_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------- windowed filter ----
+
+TEST(WindowedFilter, TracksMaxWithinWindow) {
+  WindowedMaxFilter<uint64_t, uint64_t> f(10);
+  f.update(100, 1);
+  EXPECT_EQ(f.best(), 100u);
+  f.update(50, 2);
+  EXPECT_EQ(f.best(), 100u);  // lower sample does not displace the max
+  f.update(200, 3);
+  EXPECT_EQ(f.best(), 200u);  // higher sample wins immediately
+}
+
+TEST(WindowedFilter, ExpiresOldMax) {
+  WindowedMaxFilter<uint64_t, uint64_t> f(10);
+  f.update(1000, 0);
+  for (uint64_t t = 1; t <= 25; ++t) f.update(10, t);
+  // The 1000 sample is far outside the window now.
+  EXPECT_EQ(f.best(), 10u);
+}
+
+TEST(WindowedFilter, MinVariant) {
+  WindowedMinFilter<int64_t, int64_t> f(100);
+  f.update(50, 0);
+  f.update(70, 1);
+  EXPECT_EQ(f.best(), 50);
+  f.update(20, 2);
+  EXPECT_EQ(f.best(), 20);
+  for (int64_t t = 3; t < 300; ++t) f.update(40, t);
+  EXPECT_EQ(f.best(), 40);  // the 20 expired
+}
+
+TEST(WindowedFilter, DegradesThroughRunnersUp) {
+  WindowedMaxFilter<uint64_t, uint64_t> f(10);
+  f.update(100, 0);
+  f.update(80, 4);   // second best
+  f.update(60, 8);   // third best
+  f.update(10, 11);  // 100 is now stale (11 - 0 > 10): promote 80
+  EXPECT_EQ(f.best(), 80u);
+}
+
+}  // namespace
+}  // namespace ccas

@@ -1,0 +1,45 @@
+// ccas_run — command-line front end to the experiment harness: run any of
+// the paper's configurations (or new ones) without writing C++.
+//
+//   ccas_run --setting=edge --groups=cubic:5:20,newreno:5:20 --measure=120
+//   ccas_run --groups=bbr:1:20,newreno:1000:20 --rate=2000 --trace=0.5 --csv=run1
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/harness/cli.h"
+#include "src/harness/report.h"
+#include "src/harness/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace ccas;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const auto& a : args) {
+    if (a == "--help" || a == "-h") {
+      std::fputs(cli_usage().c_str(), stdout);
+      return 0;
+    }
+  }
+  try {
+    const CliOptions opts = parse_cli(args);
+    std::printf("bottleneck %s, buffer %lld B, stagger %.1fs + warmup %.1fs + "
+                "measure %.1fs, seed %llu\n\n",
+                opts.spec.scenario.net.bottleneck_rate.to_string().c_str(),
+                static_cast<long long>(opts.spec.scenario.net.buffer_bytes),
+                opts.spec.scenario.stagger.sec(), opts.spec.scenario.warmup.sec(),
+                opts.spec.scenario.measure.sec(),
+                static_cast<unsigned long long>(opts.spec.seed));
+    const ExperimentResult result = run_experiment(opts.spec);
+    std::printf("%s", summarize(result).c_str());
+    if (!opts.csv_prefix.empty() && !result.trace.empty()) {
+      result.trace.write_csv(opts.csv_prefix);
+      std::printf("trace written to %s_flows.csv / %s_queue.csv\n",
+                  opts.csv_prefix.c_str(), opts.csv_prefix.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
