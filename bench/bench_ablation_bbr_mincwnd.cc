@@ -2,54 +2,50 @@
 // fair-share BDP is only a few packets, so the floor is a candidate cause
 // of BBR's intra-CCA unfairness (paper Finding 5): flows pinned at the
 // floor can't signal, while others absorb the spare capacity.
+//
+// The custom bbr-mincwnd-N CCAs are registered before the sweep fans out:
+// registry mutation is not thread-safe, factory lookup is.
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "src/cca/bbr.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_ablation_bbr_mincwnd", argc, argv);
 
-ResultLog& log() {
-  static ResultLog log("bench_ablation_bbr_mincwnd",
-                       {"bbr min_cwnd", "JFI", "util", "paper(min_cwnd=4)"});
-  return log;
-}
-
-void BM_AblationMinCwnd(benchmark::State& state) {
-  const auto min_cwnd = static_cast<uint64_t>(state.range(0));
-  const std::string cca_name = "bbr-mincwnd-" + std::to_string(min_cwnd);
-  CcaRegistry::instance().register_cca(cca_name, [min_cwnd](Rng& rng) {
-    BbrConfig cfg;
-    cfg.min_cwnd = min_cwnd;
-    return std::make_unique<Bbr>(cfg, rng);
-  });
-
-  const BenchDurations d{2.0, 15.0, 45.0};
-  double scale = 1.0;
-  ExperimentSpec spec;
-  spec.scenario = make_scenario(Setting::kCoreScale, d, &scale);
-  spec.groups.push_back(
-      FlowGroup{cca_name, scaled_flow_count(3000, scale), TimeDelta::millis(20)});
-  spec.seed = 42;
-  ExperimentResult result;
-  for (auto _ : state) {
-    result = run_experiment(spec);
+  std::vector<uint64_t> min_cwnds;
+  for (const uint64_t min_cwnd : {2, 4, 8}) {
+    const std::string cca_name = "bbr-mincwnd-" + std::to_string(min_cwnd);
+    ccas::CcaRegistry::instance().register_cca(cca_name, [min_cwnd](ccas::Rng& rng) {
+      ccas::BbrConfig cfg;
+      cfg.min_cwnd = min_cwnd;
+      return std::make_unique<ccas::Bbr>(cfg, rng);
+    });
+    const BenchDurations d{2.0, 15.0, 45.0};
+    double scale = 1.0;
+    ccas::ExperimentSpec spec;
+    spec.scenario = make_scenario(ccas::Setting::kCoreScale, d, &scale);
+    spec.groups.push_back(ccas::FlowGroup{
+        cca_name, ccas::scaled_flow_count(3000, scale), ccas::TimeDelta::millis(20)});
+    spec.seed = 42;
+    min_cwnds.push_back(min_cwnd);
+    bench.add("min_cwnd=" + std::to_string(min_cwnd), std::move(spec));
   }
-  state.counters["jfi"] = result.jfi_all();
-  log().add_row({std::to_string(min_cwnd), fmt(result.jfi_all()),
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_ablation_bbr_mincwnd",
+                {"bbr min_cwnd", "JFI", "util", "paper(min_cwnd=4)"});
+  for (size_t i = 0; i < min_cwnds.size(); ++i) {
+    const ccas::ExperimentResult& result = outcomes[i].result;
+    log.add_row({std::to_string(min_cwnds[i]), fmt(result.jfi_all()),
                  fmt_pct(result.utilization), "JFI ~0.4"});
+  }
+  log.finish(
+      "Ablation - BBR minimum cwnd vs intra-CCA fairness at\n"
+      "CoreScale (all-BBR, 3000 nominal flows, 20 ms). The paper's\n"
+      "BBR (min_cwnd=4) measured JFI as low as 0.4 at scale.");
+  return 0;
 }
-
-BENCHMARK(BM_AblationMinCwnd)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Ablation - BBR minimum cwnd vs intra-CCA fairness at\n"
-                "CoreScale (all-BBR, 3000 nominal flows, 20 ms). The paper's\n"
-                "BBR (min_cwnd=4) measured JFI as low as 0.4 at scale.")

@@ -2,59 +2,58 @@
 // (whose desynchronization result the paper leans on) showed that at high
 // flow counts much smaller buffers than 1 BDP still reach ~full
 // utilization. We sweep 0.1/0.5/1.0 x the paper's 375 MB CoreScale buffer.
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "src/stats/burstiness.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_ablation_buffer", argc, argv);
 
-ResultLog& log() {
-  static ResultLog log("bench_ablation_buffer",
-                       {"buffer (xBDP200ms)", "buffer bytes", "util", "JFI",
-                        "mean rtt(ms)", "drop burstiness"});
-  return log;
-}
-
-void BM_AblationBuffer(benchmark::State& state) {
-  const double frac = static_cast<double>(state.range(0)) / 100.0;
-  const BenchDurations d{2.0, 15.0, 60.0};
-  double scale = 1.0;
-  ExperimentSpec spec;
-  spec.scenario = make_scenario(Setting::kCoreScale, d, &scale);
-  spec.scenario.net.buffer_bytes = std::max<int64_t>(
-      static_cast<int64_t>(static_cast<double>(spec.scenario.net.buffer_bytes) * frac),
-      64 * kDataPacketBytes);
-  spec.groups.push_back(
-      FlowGroup{"newreno", scaled_flow_count(3000, scale), TimeDelta::millis(20)});
-  spec.seed = 42;
-  ExperimentResult result;
-  for (auto _ : state) {
-    result = run_experiment(spec);
+  std::vector<double> fracs;
+  std::vector<int64_t> buffers;
+  for (const int pct : {10, 50, 100}) {
+    const double frac = static_cast<double>(pct) / 100.0;
+    const BenchDurations d{2.0, 15.0, 60.0};
+    double scale = 1.0;
+    ccas::ExperimentSpec spec;
+    spec.scenario = make_scenario(ccas::Setting::kCoreScale, d, &scale);
+    spec.scenario.net.buffer_bytes = std::max<int64_t>(
+        static_cast<int64_t>(static_cast<double>(spec.scenario.net.buffer_bytes) *
+                             frac),
+        64 * ccas::kDataPacketBytes);
+    spec.groups.push_back(ccas::FlowGroup{
+        "newreno", ccas::scaled_flow_count(3000, scale), ccas::TimeDelta::millis(20)});
+    spec.seed = 42;
+    fracs.push_back(frac);
+    buffers.push_back(spec.scenario.net.buffer_bytes);
+    bench.add("buffer=" + std::to_string(pct) + "pct", std::move(spec));
   }
-  double rtt_sum = 0.0;
-  for (const auto& f : result.flows) rtt_sum += f.mean_rtt.ms();
-  const double burst = result.drop_times.size() >= 3
-                           ? goh_barabasi_burstiness_from_times(result.drop_times)
-                           : 0.0;
-  state.counters["util"] = result.utilization;
-  log().add_row({fmt(frac, 2), std::to_string(spec.scenario.net.buffer_bytes),
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_ablation_buffer",
+                {"buffer (xBDP200ms)", "buffer bytes", "util", "JFI",
+                 "mean rtt(ms)", "drop burstiness"});
+  for (size_t i = 0; i < fracs.size(); ++i) {
+    const ccas::ExperimentResult& result = outcomes[i].result;
+    double rtt_sum = 0.0;
+    for (const auto& f : result.flows) rtt_sum += f.mean_rtt.ms();
+    const double burst =
+        result.drop_times.size() >= 3
+            ? ccas::goh_barabasi_burstiness_from_times(result.drop_times)
+            : 0.0;
+    log.add_row({fmt(fracs[i], 2), std::to_string(buffers[i]),
                  fmt_pct(result.utilization), fmt(result.jfi_all()),
                  fmt(rtt_sum / static_cast<double>(result.flows.size()), 1),
                  fmt(burst, 3)});
+  }
+  log.finish(
+      "Ablation - bottleneck buffer size at CoreScale (NewReno,\n"
+      "3000 nominal flows, 20 ms). Expected: near-full utilization\n"
+      "even at 0.1x the paper's buffer (Appenzeller desync), with\n"
+      "lower queueing RTT.");
+  return 0;
 }
-
-BENCHMARK(BM_AblationBuffer)
-    ->Arg(10)
-    ->Arg(50)
-    ->Arg(100)
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Ablation - bottleneck buffer size at CoreScale (NewReno,\n"
-                "3000 nominal flows, 20 ms). Expected: near-full utilization\n"
-                "even at 0.1x the paper's buffer (Appenzeller desync), with\n"
-                "lower queueing RTT.")

@@ -4,65 +4,66 @@
 // Hypothesis: ACK aggregation makes senders burstier, so losses cluster
 // per flow and the packet-loss rate diverges further from the CWND-halving
 // rate at CoreScale. With per-packet ACKs the two stay close.
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "src/stats/mathis_fit.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_ablation_delack", argc, argv);
 
-ResultLog& log() {
-  static ResultLog log("bench_ablation_delack",
-                       {"delayed ack", "gro", "loss/halving ratio",
-                        "C(loss)", "C(halving)", "util"});
-  return log;
-}
-
-void BM_AblationDelack(benchmark::State& state) {
-  const bool delack = state.range(0) != 0;
-  const bool gro = state.range(1) != 0;
-  const BenchDurations d{2.0, 15.0, 60.0};
-  double scale = 1.0;
-  ExperimentSpec spec;
-  spec.scenario = make_scenario(Setting::kCoreScale, d, &scale);
-  spec.groups.push_back(
-      FlowGroup{"newreno", scaled_flow_count(3000, scale), TimeDelta::millis(20)});
-  spec.receiver.delayed_ack = delack;
-  spec.receiver.gro_enabled = gro;
-  spec.seed = 42;
-  ExperimentResult result;
-  for (auto _ : state) {
-    result = run_experiment(spec);
-  }
-  std::vector<MathisObservation> obs_loss;
-  std::vector<MathisObservation> obs_halv;
-  double ratio_sum = 0.0;
-  int n = 0;
-  for (const auto& f : result.flows) {
-    obs_loss.push_back(MathisObservation{f.goodput_bps, f.packet_loss_rate, f.mean_rtt});
-    obs_halv.push_back(
-        MathisObservation{f.goodput_bps, f.cwnd_halving_rate, f.mean_rtt});
-    if (f.packet_loss_rate > 0 && f.cwnd_halving_rate > 0) {
-      ratio_sum += f.packet_loss_rate / f.cwnd_halving_rate;
-      ++n;
+  std::vector<std::pair<bool, bool>> cells;  // (delack, gro)
+  for (const bool delack : {true, false}) {
+    for (const bool gro : {true, false}) {
+      const BenchDurations d{2.0, 15.0, 60.0};
+      double scale = 1.0;
+      ccas::ExperimentSpec spec;
+      spec.scenario = make_scenario(ccas::Setting::kCoreScale, d, &scale);
+      spec.groups.push_back(ccas::FlowGroup{"newreno",
+                                            ccas::scaled_flow_count(3000, scale),
+                                            ccas::TimeDelta::millis(20)});
+      spec.receiver.delayed_ack = delack;
+      spec.receiver.gro_enabled = gro;
+      spec.seed = 42;
+      cells.emplace_back(delack, gro);
+      bench.add(std::string("delack=") + (delack ? "on" : "off") + "/gro=" +
+                    (gro ? "on" : "off"),
+                std::move(spec));
     }
   }
-  const double ratio = n > 0 ? ratio_sum / n : 0.0;
-  state.counters["ratio"] = ratio;
-  log().add_row({delack ? "on" : "off", gro ? "on" : "off", fmt(ratio, 2),
-                 fmt(fit_mathis_constant(obs_loss, kMssBytes).c),
-                 fmt(fit_mathis_constant(obs_halv, kMssBytes).c),
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_ablation_delack",
+                {"delayed ack", "gro", "loss/halving ratio", "C(loss)",
+                 "C(halving)", "util"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ccas::ExperimentResult& result = outcomes[i].result;
+    std::vector<ccas::MathisObservation> obs_loss;
+    std::vector<ccas::MathisObservation> obs_halv;
+    double ratio_sum = 0.0;
+    int n = 0;
+    for (const auto& f : result.flows) {
+      obs_loss.push_back(
+          ccas::MathisObservation{f.goodput_bps, f.packet_loss_rate, f.mean_rtt});
+      obs_halv.push_back(
+          ccas::MathisObservation{f.goodput_bps, f.cwnd_halving_rate, f.mean_rtt});
+      if (f.packet_loss_rate > 0 && f.cwnd_halving_rate > 0) {
+        ratio_sum += f.packet_loss_rate / f.cwnd_halving_rate;
+        ++n;
+      }
+    }
+    const double ratio = n > 0 ? ratio_sum / n : 0.0;
+    log.add_row({cells[i].first ? "on" : "off", cells[i].second ? "on" : "off",
+                 fmt(ratio, 2),
+                 fmt(ccas::fit_mathis_constant(obs_loss, ccas::kMssBytes).c),
+                 fmt(ccas::fit_mathis_constant(obs_halv, ccas::kMssBytes).c),
                  fmt_pct(result.utilization)});
+  }
+  log.finish(
+      "Ablation - receiver ACK policy (delayed ACK x GRO) vs the\n"
+      "loss-to-halving ratio at CoreScale (NewReno, 3000 nominal\n"
+      "flows, 20 ms). Expected: aggregation raises the ratio.");
+  return 0;
 }
-
-BENCHMARK(BM_AblationDelack)
-    ->ArgsProduct({{1, 0}, {1, 0}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Ablation - receiver ACK policy (delayed ACK x GRO) vs the\n"
-                "loss-to-halving ratio at CoreScale (NewReno, 3000 nominal\n"
-                "flows, 20 ms). Expected: aggregation raises the ratio.")

@@ -2,61 +2,65 @@
 // original caveat that the halving-rate form of the model assumes TCP with
 // selective acknowledgments. Without SACK, recovery leans on dupack
 // counting and NewReno partial ACKs, with more RTOs under burst loss.
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 
-namespace ccas::bench {
 namespace {
 
-ResultLog& log() {
-  static ResultLog log("bench_ablation_sack",
-                       {"setting", "sack", "util", "JFI", "RTOs/flow",
-                        "retransmits/flow"});
-  return log;
-}
-
-void BM_AblationSack(benchmark::State& state) {
-  const auto setting = static_cast<Setting>(state.range(0));
-  const bool sack = state.range(1) != 0;
-  const BenchDurations d = setting == Setting::kEdgeScale
-                               ? BenchDurations{2.0, 30.0, 120.0}
-                               : BenchDurations{2.0, 15.0, 45.0};
-  double scale = 1.0;
-  ExperimentSpec spec;
-  spec.scenario = make_scenario(setting, d, &scale);
-  const int flows = setting == Setting::kEdgeScale
-                        ? 30
-                        : scaled_flow_count(3000, scale);
-  spec.groups.push_back(FlowGroup{"newreno", flows, TimeDelta::millis(20)});
-  spec.tcp.sack_enabled = sack;
-  spec.seed = 42;
-  ExperimentResult result;
-  for (auto _ : state) {
-    result = run_experiment(spec);
-  }
-  double rtos = 0.0;
-  double retx = 0.0;
-  for (const auto& f : result.flows) {
-    rtos += static_cast<double>(f.rto_events);
-    retx += static_cast<double>(f.retransmits);
-  }
-  const auto n = static_cast<double>(result.flows.size());
-  state.counters["util"] = result.utilization;
-  log().add_row({setting == Setting::kEdgeScale ? "EdgeScale" : "CoreScale",
-                 sack ? "on" : "off", fmt_pct(result.utilization),
-                 fmt(result.jfi_all()), fmt(rtos / n, 2), fmt(retx / n, 1)});
-}
-
-BENCHMARK(BM_AblationSack)
-    ->ArgsProduct({{static_cast<long>(Setting::kEdgeScale),
-                    static_cast<long>(Setting::kCoreScale)},
-                   {1, 0}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
+struct SackCell {
+  ccas::Setting setting;
+  bool sack;
+};
 
 }  // namespace
-}  // namespace ccas::bench
 
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Ablation - SACK vs non-SACK NewReno loss recovery.\n"
-                "Expected: without SACK, more RTOs under burst loss and\n"
-                "somewhat lower utilization/fairness, especially at scale.")
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_ablation_sack", argc, argv);
+
+  std::vector<SackCell> cells;
+  for (const auto setting : {ccas::Setting::kEdgeScale, ccas::Setting::kCoreScale}) {
+    for (const bool sack : {true, false}) {
+      const bool edge = setting == ccas::Setting::kEdgeScale;
+      const BenchDurations d =
+          edge ? BenchDurations{2.0, 30.0, 120.0} : BenchDurations{2.0, 15.0, 45.0};
+      double scale = 1.0;
+      ccas::ExperimentSpec spec;
+      spec.scenario = make_scenario(setting, d, &scale);
+      const int flows = edge ? 30 : ccas::scaled_flow_count(3000, scale);
+      spec.groups.push_back(
+          ccas::FlowGroup{"newreno", flows, ccas::TimeDelta::millis(20)});
+      spec.tcp.sack_enabled = sack;
+      spec.seed = 42;
+      cells.push_back(SackCell{setting, sack});
+      bench.add(std::string(edge ? "EdgeScale" : "CoreScale") + "/sack=" +
+                    (sack ? "on" : "off"),
+                std::move(spec));
+    }
+  }
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_ablation_sack",
+                {"setting", "sack", "util", "JFI", "RTOs/flow", "retransmits/flow"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ccas::ExperimentResult& result = outcomes[i].result;
+    double rtos = 0.0;
+    double retx = 0.0;
+    for (const auto& f : result.flows) {
+      rtos += static_cast<double>(f.rto_events);
+      retx += static_cast<double>(f.retransmits);
+    }
+    const auto n = static_cast<double>(result.flows.size());
+    log.add_row({cells[i].setting == ccas::Setting::kEdgeScale ? "EdgeScale"
+                                                               : "CoreScale",
+                 cells[i].sack ? "on" : "off", fmt_pct(result.utilization),
+                 fmt(result.jfi_all()), fmt(rtos / n, 2), fmt(retx / n, 1)});
+  }
+  log.finish(
+      "Ablation - SACK vs non-SACK NewReno loss recovery.\n"
+      "Expected: without SACK, more RTOs under burst loss and\n"
+      "somewhat lower utilization/fairness, especially at scale.");
+  return 0;
+}

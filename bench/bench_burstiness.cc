@@ -6,44 +6,25 @@
 // CWND-halving rate.
 #include "bench/mathis_suite.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_burstiness", argc, argv);
+  const std::vector<MathisCellSpec> cells = add_mathis_grid(bench);
+  const auto& outcomes = bench.run();
 
-ResultLog& log() {
-  static ResultLog log("bench_burstiness",
-                       {"setting", "flows(paper)", "flows(run)", "burstiness B",
-                        "paper"});
-  return log;
-}
-
-void BM_Burstiness(benchmark::State& state) {
-  const auto setting = static_cast<Setting>(state.range(0));
-  const int flows = static_cast<int>(state.range(1));
-  const BenchDurations durations =
-      setting == Setting::kEdgeScale ? edge_durations() : core_durations();
-  MathisCell cell;
-  for (auto _ : state) {
-    cell = run_mathis_cell(setting, flows, durations);
+  ResultLog log("bench_burstiness",
+                {"setting", "flows(paper)", "flows(run)", "burstiness B", "paper"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const MathisCell cell = analyze_mathis_cell(cells[i], outcomes[i].result);
+    const bool edge = cell.setting == ccas::Setting::kEdgeScale;
+    log.add_row({edge ? "EdgeScale" : "CoreScale", std::to_string(cell.nominal_flows),
+                 std::to_string(cell.actual_flows), fmt(cell.drop_burstiness, 3),
+                 edge ? "~0.2" : "~0.35"});
   }
-  state.counters["burstiness"] = cell.drop_burstiness;
-  log().add_row({cell.setting == Setting::kEdgeScale ? "EdgeScale" : "CoreScale",
-                 std::to_string(cell.nominal_flows), std::to_string(cell.actual_flows),
-                 fmt(cell.drop_burstiness, 3),
-                 cell.setting == Setting::kEdgeScale ? "~0.2" : "~0.35"});
+  log.finish(
+      "Finding 3 corroboration - Goh-Barabasi burstiness of bottleneck drops\n"
+      "(-1 periodic, 0 Poisson, ->1 bursty).\n"
+      "Paper: ~0.2 EdgeScale, ~0.35 CoreScale.\n"
+      "Expected shape: drops burstier at CoreScale than EdgeScale.");
+  return 0;
 }
-
-BENCHMARK(BM_Burstiness)
-    ->ArgsProduct({{static_cast<long>(Setting::kEdgeScale)}, {10, 30, 50}})
-    ->ArgsProduct({{static_cast<long>(Setting::kCoreScale)}, {1000, 3000, 5000}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(
-    ccas::bench::log(),
-    "Finding 3 corroboration - Goh-Barabasi burstiness of bottleneck drops\n"
-    "(-1 periodic, 0 Poisson, ->1 bursty).\n"
-    "Paper: ~0.2 EdgeScale, ~0.35 CoreScale.\n"
-    "Expected shape: drops burstier at CoreScale than EdgeScale.")

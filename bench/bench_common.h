@@ -2,12 +2,20 @@
 // paper table/figure — see DESIGN.md's per-experiment index).
 //
 // Every bench:
-//   * registers one google-benchmark case per experiment cell
-//     (flow count x RTT), run with Iterations(1) — each cell IS one
-//     long-running simulation, not a microbenchmark;
+//   * registers one named cell per experiment coordinate (flow count x
+//     RTT) and submits the whole grid to the sweep executor
+//     (src/sweep/), which fans independent cells out across cores and
+//     serves unchanged cells from the on-disk result cache;
 //   * prints the same rows/series the paper reports, next to the paper's
-//     reference values, after the benchmark run;
+//     reference values, after the sweep completes;
 //   * writes a CSV (<bench-name>.csv) next to the binary.
+//
+// Flags (every bench binary):
+//   --jobs=<n>        worker threads (default: all cores; env CCAS_JOBS)
+//   --cache-dir=<d>   result cache directory (default .ccas-cache;
+//                     env CCAS_CACHE_DIR)
+//   --no-cache        bypass the cache (env CCAS_NO_CACHE=1)
+//   --no-progress     suppress the live stderr progress lines
 //
 // Scale knobs (environment):
 //   REPRO_SCALE        scale bandwidth + buffer + flow counts together
@@ -19,15 +27,16 @@
 //                      override the per-bench default durations.
 #pragma once
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/harness/report.h"
 #include "src/harness/runner.h"
+#include "src/sweep/executor.h"
 #include "src/util/csv.h"
 
 namespace ccas::bench {
@@ -46,7 +55,7 @@ inline double default_scale() {
 
 struct BenchDurations {
   double stagger_sec = 2.0;
-  double warmup_sec = 10.0;
+  double warmup_sec = 5.0;  // DESIGN.md §1: 5 s default warm-up
   double measure_sec = 20.0;
 };
 
@@ -72,7 +81,7 @@ inline Scenario make_scenario(Setting setting, const BenchDurations& d,
   return s;
 }
 
-// Collects the paper-style rows printed after the google-benchmark run.
+// Collects the paper-style rows printed after the sweep completes.
 class ResultLog {
  public:
   explicit ResultLog(std::string bench_name, std::vector<std::string> header)
@@ -110,17 +119,69 @@ inline std::string fmt_pct(double fraction, int precision = 1) {
   return buf;
 }
 
-// Standard main: run the registered cells, then the log's finish hook.
-#define CCAS_BENCH_MAIN(log_expr, caption)                      \
-  int main(int argc, char** argv) {                             \
-    ::benchmark::Initialize(&argc, argv);                       \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
-      return 1;                                                 \
-    }                                                           \
-    ::benchmark::RunSpecifiedBenchmarks();                      \
-    ::benchmark::Shutdown();                                    \
-    (log_expr).finish(caption);                                 \
-    return 0;                                                   \
+// The bench front end to the sweep executor: accumulates named cells,
+// runs them in parallel (with the on-disk cache), and hands back the
+// outcomes in registration order so rows print deterministically.
+class SweepBench {
+ public:
+  SweepBench(std::string name, int argc, char** argv) {
+    sweep_.name = std::move(name);
+    options_ = sweep::sweep_options_from_env();
+    if (options_.cache_dir.empty()) options_.cache_dir = ".ccas-cache";
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const size_t eq = arg.find('=');
+      const std::string key = arg.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+      if (key == "--jobs") {
+        options_.jobs = std::atoi(value.c_str());
+        if (options_.jobs <= 0) {
+          std::fprintf(stderr, "error: --jobs needs a positive integer\n");
+          std::exit(1);
+        }
+      } else if (key == "--cache-dir") {
+        options_.cache_dir = value;
+      } else if (key == "--no-cache") {
+        options_.use_cache = false;
+      } else if (key == "--no-progress") {
+        options_.progress = false;
+      } else if (key == "--help" || key == "-h") {
+        std::printf(
+            "usage: %s [--jobs=<n>] [--cache-dir=<dir>] [--no-cache] "
+            "[--no-progress]\nSee bench/bench_common.h for the REPRO_* "
+            "environment scale knobs.\n",
+            sweep_.name.c_str());
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "error: unknown flag '%s' (see --help)\n",
+                     key.c_str());
+        std::exit(1);
+      }
+    }
   }
+
+  // Registers one cell; benches pin spec.seed themselves (the published
+  // grids all use seed 42, as the serial benches did).
+  void add(std::string cell_name, ExperimentSpec spec) {
+    sweep_.add_cell(std::move(cell_name), std::move(spec));
+  }
+
+  // Fans the grid out and returns outcomes in registration order.
+  const std::vector<sweep::CellOutcome>& run() {
+    sweep::SweepExecutor executor(options_);
+    outcomes_ = executor.run(sweep_);
+    summary_ = executor.summary();
+    return outcomes_;
+  }
+
+  [[nodiscard]] const sweep::SweepSummary& summary() const { return summary_; }
+
+ private:
+  sweep::SweepSpec sweep_;
+  sweep::SweepOptions options_;
+  std::vector<sweep::CellOutcome> outcomes_;
+  sweep::SweepSummary summary_;
+};
 
 }  // namespace ccas::bench

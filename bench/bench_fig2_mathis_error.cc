@@ -6,46 +6,27 @@
 // CoreScale, 45-55% with the packet loss rate; both < 10% at EdgeScale.
 #include "bench/mathis_suite.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_fig2_mathis_error", argc, argv);
+  const std::vector<MathisCellSpec> cells = add_mathis_grid(bench);
+  const auto& outcomes = bench.run();
 
-ResultLog& log() {
-  static ResultLog log("bench_fig2_mathis_error",
-                       {"setting", "flows(paper)", "flows(run)",
-                        "err(packet loss)", "err(cwnd halving)", "flows fit"});
-  return log;
-}
-
-void BM_Fig2(benchmark::State& state) {
-  const auto setting = static_cast<Setting>(state.range(0));
-  const int flows = static_cast<int>(state.range(1));
-  const BenchDurations durations =
-      setting == Setting::kEdgeScale ? edge_durations() : core_durations();
-  MathisCell cell;
-  for (auto _ : state) {
-    cell = run_mathis_cell(setting, flows, durations);
-  }
-  state.counters["median_err_loss"] = cell.fit_loss.median_error;
-  state.counters["median_err_halving"] = cell.fit_halving.median_error;
-  log().add_row({cell.setting == Setting::kEdgeScale ? "EdgeScale" : "CoreScale",
+  ResultLog log("bench_fig2_mathis_error",
+                {"setting", "flows(paper)", "flows(run)", "err(packet loss)",
+                 "err(cwnd halving)", "flows fit"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const MathisCell cell = analyze_mathis_cell(cells[i], outcomes[i].result);
+    log.add_row({cell.setting == ccas::Setting::kEdgeScale ? "EdgeScale" : "CoreScale",
                  std::to_string(cell.nominal_flows), std::to_string(cell.actual_flows),
                  fmt_pct(cell.fit_loss.median_error),
                  fmt_pct(cell.fit_halving.median_error),
                  std::to_string(cell.fit_halving.flows_used)});
+  }
+  log.finish(
+      "Figure 2 analog - median Mathis prediction error by p-interpretation.\n"
+      "Paper: CoreScale err(halving) <= 10%, err(loss) 45-55%; EdgeScale both < 10%.\n"
+      "Expected shape: halving-rate error small everywhere; loss-rate error\n"
+      "grows at CoreScale.");
+  return 0;
 }
-
-BENCHMARK(BM_Fig2)
-    ->ArgsProduct({{static_cast<long>(Setting::kEdgeScale)}, {10, 30, 50}})
-    ->ArgsProduct({{static_cast<long>(Setting::kCoreScale)}, {1000, 3000, 5000}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(
-    ccas::bench::log(),
-    "Figure 2 analog - median Mathis prediction error by p-interpretation.\n"
-    "Paper: CoreScale err(halving) <= 10%, err(loss) 45-55%; EdgeScale both < 10%.\n"
-    "Expected shape: halving-rate error small everywhere; loss-rate error\n"
-    "grows at CoreScale.")

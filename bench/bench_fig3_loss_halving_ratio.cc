@@ -7,43 +7,25 @@
 // only one halving).
 #include "bench/mathis_suite.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_fig3_loss_halving_ratio", argc, argv);
+  const std::vector<MathisCellSpec> cells = add_mathis_grid(bench);
+  const auto& outcomes = bench.run();
 
-ResultLog& log() {
-  static ResultLog log("bench_fig3_loss_halving_ratio",
-                       {"setting", "flows(paper)", "flows(run)",
-                        "loss/halving ratio", "paper"});
-  return log;
-}
-
-void BM_Fig3(benchmark::State& state) {
-  const auto setting = static_cast<Setting>(state.range(0));
-  const int flows = static_cast<int>(state.range(1));
-  const BenchDurations durations =
-      setting == Setting::kEdgeScale ? edge_durations() : core_durations();
-  MathisCell cell;
-  for (auto _ : state) {
-    cell = run_mathis_cell(setting, flows, durations);
+  ResultLog log("bench_fig3_loss_halving_ratio",
+                {"setting", "flows(paper)", "flows(run)", "loss/halving ratio",
+                 "paper"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const MathisCell cell = analyze_mathis_cell(cells[i], outcomes[i].result);
+    const bool edge = cell.setting == ccas::Setting::kEdgeScale;
+    log.add_row({edge ? "EdgeScale" : "CoreScale", std::to_string(cell.nominal_flows),
+                 std::to_string(cell.actual_flows),
+                 fmt(cell.loss_to_halving_ratio, 2), edge ? "~1.7" : "6-9"});
   }
-  state.counters["ratio"] = cell.loss_to_halving_ratio;
-  log().add_row({cell.setting == Setting::kEdgeScale ? "EdgeScale" : "CoreScale",
-                 std::to_string(cell.nominal_flows), std::to_string(cell.actual_flows),
-                 fmt(cell.loss_to_halving_ratio, 2),
-                 cell.setting == Setting::kEdgeScale ? "~1.7" : "6-9"});
+  log.finish(
+      "Figure 3 analog - packet-loss to CWND-halving ratio.\n"
+      "Paper: EdgeScale ~1.7 flat; CoreScale 6-9, flow-count-dependent.\n"
+      "Expected shape: ratio larger at CoreScale than EdgeScale.");
+  return 0;
 }
-
-BENCHMARK(BM_Fig3)
-    ->ArgsProduct({{static_cast<long>(Setting::kEdgeScale)}, {10, 30, 50}})
-    ->ArgsProduct({{static_cast<long>(Setting::kCoreScale)}, {1000, 3000, 5000}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(
-    ccas::bench::log(),
-    "Figure 3 analog - packet-loss to CWND-halving ratio.\n"
-    "Paper: EdgeScale ~1.7 flat; CoreScale 6-9, flow-count-dependent.\n"
-    "Expected shape: ratio larger at CoreScale than EdgeScale.")

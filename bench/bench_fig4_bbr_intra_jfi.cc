@@ -4,60 +4,68 @@
 // Paper's result: BBR is fair at low flow counts (past work: JFI 0.99) but
 // becomes unfair at scale — JFI as low as 0.4 at CoreScale (20/100 ms),
 // with milder unfairness (~0.7) beyond 10 flows even at EdgeScale.
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 
-namespace ccas::bench {
 namespace {
 
-ResultLog& log() {
-  static ResultLog log("bench_fig4_bbr_intra_jfi",
-                       {"setting", "flows(paper)", "flows(run)", "rtt(ms)", "JFI",
-                        "util", "paper"});
-  return log;
-}
-
-void BM_Fig4(benchmark::State& state) {
-  const auto setting = static_cast<Setting>(state.range(0));
-  const int flows = static_cast<int>(state.range(1));
-  const int rtt_ms = static_cast<int>(state.range(2));
-
-  const BenchDurations d = setting == Setting::kEdgeScale
-                               ? BenchDurations{2.0, 20.0, 120.0}
-                               : BenchDurations{2.0, 15.0, 45.0};
-  double scale = 1.0;
-  ExperimentSpec spec;
-  spec.scenario = make_scenario(setting, d, &scale);
-  const int actual = scaled_flow_count(flows, scale);
-  spec.groups.push_back(FlowGroup{"bbr", actual, TimeDelta::millis(rtt_ms)});
-  spec.seed = 42;
-  ExperimentResult result;
-  for (auto _ : state) {
-    result = run_experiment(spec);
-  }
-  const double jfi = result.jfi_all();
-  state.counters["jfi"] = jfi;
-  const bool edge = setting == Setting::kEdgeScale;
-  log().add_row({edge ? "EdgeScale" : "CoreScale", std::to_string(flows),
-                 std::to_string(actual), std::to_string(rtt_ms), fmt(jfi),
-                 fmt_pct(result.utilization),
-                 edge ? (flows > 10 ? "~0.7-0.99" : "~0.99") : "0.4-0.8"});
-}
-
-BENCHMARK(BM_Fig4)
-    ->ArgsProduct({{static_cast<long>(Setting::kEdgeScale)},
-                   {10, 30, 50},
-                   {20, 100, 200}})
-    ->ArgsProduct({{static_cast<long>(Setting::kCoreScale)},
-                   {1000, 3000, 5000},
-                   {20, 100, 200}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
+struct Fig4Cell {
+  ccas::Setting setting;
+  int nominal_flows;
+  int actual_flows;
+  int rtt_ms;
+};
 
 }  // namespace
-}  // namespace ccas::bench
 
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Figure 4 analog - BBR intra-CCA Jain fairness index.\n"
-                "Paper: JFI down to 0.4 at CoreScale (20/100 ms), ~0.7 beyond 10\n"
-                "flows at EdgeScale; past work (few flows) measured 0.99.\n"
-                "Expected shape: JFI degrades from EdgeScale to CoreScale.")
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_fig4_bbr_intra_jfi", argc, argv);
+
+  std::vector<Fig4Cell> cells;
+  for (const auto setting : {ccas::Setting::kEdgeScale, ccas::Setting::kCoreScale}) {
+    const bool edge = setting == ccas::Setting::kEdgeScale;
+    const BenchDurations d =
+        edge ? BenchDurations{2.0, 20.0, 120.0} : BenchDurations{2.0, 15.0, 45.0};
+    for (const int flows : edge ? std::vector<int>{10, 30, 50}
+                                : std::vector<int>{1000, 3000, 5000}) {
+      for (const int rtt_ms : {20, 100, 200}) {
+        double scale = 1.0;
+        ccas::ExperimentSpec spec;
+        spec.scenario = make_scenario(setting, d, &scale);
+        const int actual = ccas::scaled_flow_count(flows, scale);
+        spec.groups.push_back(
+            ccas::FlowGroup{"bbr", actual, ccas::TimeDelta::millis(rtt_ms)});
+        spec.seed = 42;
+        cells.push_back(Fig4Cell{setting, flows, actual, rtt_ms});
+        bench.add(std::string(edge ? "EdgeScale" : "CoreScale") +
+                      "/flows=" + std::to_string(flows) +
+                      "/rtt=" + std::to_string(rtt_ms),
+                  std::move(spec));
+      }
+    }
+  }
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_fig4_bbr_intra_jfi",
+                {"setting", "flows(paper)", "flows(run)", "rtt(ms)", "JFI", "util",
+                 "paper"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Fig4Cell& cell = cells[i];
+    const ccas::ExperimentResult& result = outcomes[i].result;
+    const bool edge = cell.setting == ccas::Setting::kEdgeScale;
+    log.add_row({edge ? "EdgeScale" : "CoreScale", std::to_string(cell.nominal_flows),
+                 std::to_string(cell.actual_flows), std::to_string(cell.rtt_ms),
+                 fmt(result.jfi_all()), fmt_pct(result.utilization),
+                 edge ? (cell.nominal_flows > 10 ? "~0.7-0.99" : "~0.99")
+                      : "0.4-0.8"});
+  }
+  log.finish(
+      "Figure 4 analog - BBR intra-CCA Jain fairness index.\n"
+      "Paper: JFI down to 0.4 at CoreScale (20/100 ms), ~0.7 beyond 10\n"
+      "flows at EdgeScale; past work (few flows) measured 0.99.\n"
+      "Expected shape: JFI degrades from EdgeScale to CoreScale.");
+  return 0;
+}

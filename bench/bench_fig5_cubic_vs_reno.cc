@@ -3,42 +3,39 @@
 //
 // Paper's result: Cubic takes 70-80% of total throughput at every flow
 // count and RTT, extending the classic home-link result to scale.
+#include <vector>
+
 #include "bench/inter_cca_suite.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_fig5_cubic_vs_reno", argc, argv);
 
-ResultLog& log() {
-  static ResultLog log("bench_fig5_cubic_vs_reno",
-                       {"flows/side(paper)", "flows/side(run)", "rtt(ms)",
-                        "cubic share", "cubic JFI", "reno JFI", "paper"});
-  return log;
-}
-
-void BM_Fig5(benchmark::State& state) {
-  const int flows = static_cast<int>(state.range(0));
-  const int rtt_ms = static_cast<int>(state.range(1));
-  const BenchDurations d{2.0, 20.0, 60.0};
-  InterCcaCell cell;
-  for (auto _ : state) {
-    cell = run_inter_cca_cell("cubic", flows / 2, "newreno", flows / 2, rtt_ms, d,
-                              /*scale_group_a=*/true);
+  std::vector<InterCcaSpec> cells;
+  std::vector<int> rtts;
+  for (const int flows : {1000, 3000, 5000}) {
+    for (const int rtt_ms : {20, 100, 200}) {
+      const BenchDurations d{2.0, 20.0, 60.0};
+      cells.push_back(make_inter_cca_spec("cubic", flows / 2, "newreno", flows / 2,
+                                          rtt_ms, d, /*scale_group_a=*/true));
+      rtts.push_back(rtt_ms);
+      bench.add(cells.back().name, cells.back().spec);
+    }
   }
-  state.counters["cubic_share"] = cell.share_a;
-  log().add_row({std::to_string(cell.nominal_a), std::to_string(cell.actual_a),
-                 std::to_string(rtt_ms), fmt_pct(cell.share_a), fmt(cell.jfi_a),
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_fig5_cubic_vs_reno",
+                {"flows/side(paper)", "flows/side(run)", "rtt(ms)", "cubic share",
+                 "cubic JFI", "reno JFI", "paper"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const InterCcaCell cell = analyze_inter_cca_cell(cells[i], outcomes[i].result);
+    log.add_row({std::to_string(cell.nominal_a), std::to_string(cell.actual_a),
+                 std::to_string(rtts[i]), fmt_pct(cell.share_a), fmt(cell.jfi_a),
                  fmt(cell.jfi_b), "70-80%"});
+  }
+  log.finish(
+      "Figure 5 analog - Cubic's share vs an equal number of NewReno\n"
+      "flows at CoreScale. Paper: 70-80% at every flow count and RTT.\n"
+      "Expected shape: Cubic wins a roughly constant super-half share.");
+  return 0;
 }
-
-BENCHMARK(BM_Fig5)
-    ->ArgsProduct({{1000, 3000, 5000}, {20, 100, 200}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Figure 5 analog - Cubic's share vs an equal number of NewReno\n"
-                "flows at CoreScale. Paper: 70-80% at every flow count and RTT.\n"
-                "Expected shape: Cubic wins a roughly constant super-half share.")

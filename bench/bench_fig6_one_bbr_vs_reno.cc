@@ -4,56 +4,57 @@
 //
 // Paper's result: the lone BBR flow takes ~40% of the link irrespective of
 // the number of competing NewReno flows (validating Ware et al. at scale).
+#include <vector>
+
 #include "bench/inter_cca_suite.h"
 #include "src/models/ware_bbr.h"
 
-namespace ccas::bench {
 namespace {
 
-ResultLog& log() {
-  static ResultLog log("bench_fig6_one_bbr_vs_reno",
-                       {"reno flows(paper)", "reno flows(run)", "rtt(ms)",
-                        "bbr share", "ware model", "paper"});
-  return log;
-}
-
-double ware_prediction(const Scenario& s, int rtt_ms, int n_loss) {
-  WareBbrParams p;
+double ware_prediction(const ccas::Scenario& s, int rtt_ms, int n_loss) {
+  ccas::WareBbrParams p;
   p.link = s.net.bottleneck_rate;
-  p.rtprop = TimeDelta::millis(rtt_ms);
+  p.rtprop = ccas::TimeDelta::millis(rtt_ms);
   p.buffer_bytes = s.net.buffer_bytes;
   p.num_bbr = 1;
   p.num_loss_based = n_loss;
-  return WareBbrModel(p).predict().bbr_fraction;
+  return ccas::WareBbrModel(p).predict().bbr_fraction;
 }
-
-void BM_Fig6(benchmark::State& state) {
-  const int flows = static_cast<int>(state.range(0));
-  const int rtt_ms = static_cast<int>(state.range(1));
-  const BenchDurations d{2.0, 30.0, 60.0};
-  InterCcaCell cell;
-  for (auto _ : state) {
-    cell = run_inter_cca_cell("bbr", 1, "newreno", flows, rtt_ms, d,
-                              /*scale_group_a=*/false);
-  }
-  double scale = 1.0;
-  const Scenario s = make_scenario(Setting::kCoreScale, d, &scale);
-  state.counters["bbr_share"] = cell.share_a;
-  log().add_row({std::to_string(flows), std::to_string(cell.actual_b),
-                 std::to_string(rtt_ms), fmt_pct(cell.share_a),
-                 fmt_pct(ware_prediction(s, rtt_ms, cell.actual_b)), "~40%"});
-}
-
-BENCHMARK(BM_Fig6)
-    ->ArgsProduct({{1000, 3000, 5000}, {20, 100, 200}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
 
 }  // namespace
-}  // namespace ccas::bench
 
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Figure 6 analog - one BBR flow vs thousands of NewReno flows.\n"
-                "Paper: BBR holds ~40% of the link at every flow count (Ware\n"
-                "et al.'s in-flight-cap model, validated at scale).\n"
-                "Expected shape: a large BBR share, flat in the flow count.")
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_fig6_one_bbr_vs_reno", argc, argv);
+
+  const BenchDurations d{2.0, 30.0, 60.0};
+  std::vector<InterCcaSpec> cells;
+  std::vector<int> rtts;
+  for (const int flows : {1000, 3000, 5000}) {
+    for (const int rtt_ms : {20, 100, 200}) {
+      cells.push_back(make_inter_cca_spec("bbr", 1, "newreno", flows, rtt_ms, d,
+                                          /*scale_group_a=*/false));
+      rtts.push_back(rtt_ms);
+      bench.add(cells.back().name, cells.back().spec);
+    }
+  }
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_fig6_one_bbr_vs_reno",
+                {"reno flows(paper)", "reno flows(run)", "rtt(ms)", "bbr share",
+                 "ware model", "paper"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const InterCcaCell cell = analyze_inter_cca_cell(cells[i], outcomes[i].result);
+    double scale = 1.0;
+    const ccas::Scenario s = make_scenario(ccas::Setting::kCoreScale, d, &scale);
+    log.add_row({std::to_string(cell.nominal_b), std::to_string(cell.actual_b),
+                 std::to_string(rtts[i]), fmt_pct(cell.share_a),
+                 fmt_pct(ware_prediction(s, rtts[i], cell.actual_b)), "~40%"});
+  }
+  log.finish(
+      "Figure 6 analog - one BBR flow vs thousands of NewReno flows.\n"
+      "Paper: BBR holds ~40% of the link at every flow count (Ware\n"
+      "et al.'s in-flight-cap model, validated at scale).\n"
+      "Expected shape: a large BBR share, flat in the flow count.");
+  return 0;
+}

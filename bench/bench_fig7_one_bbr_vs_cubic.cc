@@ -3,41 +3,38 @@
 //
 // Paper's result: ~40% of the link irrespective of the number of Cubic
 // competitors, as for NewReno (Figure 6).
+#include <vector>
+
 #include "bench/inter_cca_suite.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_fig7_one_bbr_vs_cubic", argc, argv);
 
-ResultLog& log() {
-  static ResultLog log("bench_fig7_one_bbr_vs_cubic",
-                       {"cubic flows(paper)", "cubic flows(run)", "rtt(ms)",
-                        "bbr share", "paper"});
-  return log;
-}
-
-void BM_Fig7(benchmark::State& state) {
-  const int flows = static_cast<int>(state.range(0));
-  const int rtt_ms = static_cast<int>(state.range(1));
   const BenchDurations d{2.0, 30.0, 60.0};
-  InterCcaCell cell;
-  for (auto _ : state) {
-    cell = run_inter_cca_cell("bbr", 1, "cubic", flows, rtt_ms, d,
-                              /*scale_group_a=*/false);
+  std::vector<InterCcaSpec> cells;
+  std::vector<int> rtts;
+  for (const int flows : {1000, 3000, 5000}) {
+    for (const int rtt_ms : {20, 100, 200}) {
+      cells.push_back(make_inter_cca_spec("bbr", 1, "cubic", flows, rtt_ms, d,
+                                          /*scale_group_a=*/false));
+      rtts.push_back(rtt_ms);
+      bench.add(cells.back().name, cells.back().spec);
+    }
   }
-  state.counters["bbr_share"] = cell.share_a;
-  log().add_row({std::to_string(flows), std::to_string(cell.actual_b),
-                 std::to_string(rtt_ms), fmt_pct(cell.share_a), "~40%"});
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_fig7_one_bbr_vs_cubic",
+                {"cubic flows(paper)", "cubic flows(run)", "rtt(ms)", "bbr share",
+                 "paper"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const InterCcaCell cell = analyze_inter_cca_cell(cells[i], outcomes[i].result);
+    log.add_row({std::to_string(cell.nominal_b), std::to_string(cell.actual_b),
+                 std::to_string(rtts[i]), fmt_pct(cell.share_a), "~40%"});
+  }
+  log.finish(
+      "Figure 7 analog - one BBR flow vs thousands of Cubic flows.\n"
+      "Paper: BBR holds ~40% of the link at every flow count.\n"
+      "Expected shape: a large BBR share, flat in the flow count.");
+  return 0;
 }
-
-BENCHMARK(BM_Fig7)
-    ->ArgsProduct({{1000, 3000, 5000}, {20, 100, 200}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Figure 7 analog - one BBR flow vs thousands of Cubic flows.\n"
-                "Paper: BBR holds ~40% of the link at every flow count.\n"
-                "Expected shape: a large BBR share, flat in the flow count.")

@@ -5,43 +5,44 @@
 // edge-setting result (90-99%) to scale. See EXPERIMENTS.md for where our
 // simulator lands and why (BBRv1's bandwidth-estimate dynamics through
 // synchronized PROBE_RTT episodes).
+#include <string>
+#include <vector>
+
 #include "bench/inter_cca_suite.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_fig8_bbr_equal_count", argc, argv);
 
-ResultLog& log() {
-  static ResultLog log("bench_fig8_bbr_equal_count",
-                       {"vs", "flows/side(paper)", "flows/side(run)", "rtt(ms)",
-                        "bbr share", "bbr JFI", "paper"});
-  return log;
-}
-
-void BM_Fig8(benchmark::State& state) {
-  const char* other = state.range(0) == 0 ? "newreno" : "cubic";
-  const int flows = static_cast<int>(state.range(1));
-  const int rtt_ms = static_cast<int>(state.range(2));
   const BenchDurations d{2.0, 20.0, 45.0};
-  InterCcaCell cell;
-  for (auto _ : state) {
-    cell = run_inter_cca_cell("bbr", flows / 2, other, flows / 2, rtt_ms, d,
-                              /*scale_group_a=*/true);
+  std::vector<InterCcaSpec> cells;
+  std::vector<std::string> others;
+  std::vector<int> rtts;
+  for (const char* other : {"newreno", "cubic"}) {
+    for (const int flows : {1000, 3000, 5000}) {
+      for (const int rtt_ms : {20, 100, 200}) {
+        cells.push_back(make_inter_cca_spec("bbr", flows / 2, other, flows / 2,
+                                            rtt_ms, d, /*scale_group_a=*/true));
+        others.emplace_back(other);
+        rtts.push_back(rtt_ms);
+        bench.add(cells.back().name, cells.back().spec);
+      }
+    }
   }
-  state.counters["bbr_share"] = cell.share_a;
-  log().add_row({other, std::to_string(cell.nominal_a), std::to_string(cell.actual_a),
-                 std::to_string(rtt_ms), fmt_pct(cell.share_a), fmt(cell.jfi_a),
-                 "95-99.9%"});
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_fig8_bbr_equal_count",
+                {"vs", "flows/side(paper)", "flows/side(run)", "rtt(ms)",
+                 "bbr share", "bbr JFI", "paper"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const InterCcaCell cell = analyze_inter_cca_cell(cells[i], outcomes[i].result);
+    log.add_row({others[i], std::to_string(cell.nominal_a),
+                 std::to_string(cell.actual_a), std::to_string(rtts[i]),
+                 fmt_pct(cell.share_a), fmt(cell.jfi_a), "95-99.9%"});
+  }
+  log.finish(
+      "Figure 8 analog - BBR vs an equal number of NewReno/Cubic flows\n"
+      "at CoreScale. Paper: BBR takes ~99.9% of total throughput.\n"
+      "Expected shape: BBR well above its 50% fair share.");
+  return 0;
 }
-
-BENCHMARK(BM_Fig8)
-    ->ArgsProduct({{0, 1}, {1000, 3000, 5000}, {20, 100, 200}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Figure 8 analog - BBR vs an equal number of NewReno/Cubic flows\n"
-                "at CoreScale. Paper: BBR takes ~99.9% of total throughput.\n"
-                "Expected shape: BBR well above its 50% fair share.")

@@ -5,53 +5,62 @@
 // several AIMD sawtooth periods (the paper runs hours; we size the window
 // to >= 2 periods of the smallest flow count and verify convergence).
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 
-namespace ccas::bench {
 namespace {
 
-ResultLog& log() {
-  static ResultLog log("bench_finding4_loss_based_jfi",
-                       {"cca", "flows(paper)", "flows(run)", "rtt(ms)", "JFI",
-                        "util", "paper"});
-  return log;
-}
-
-void BM_Finding4(benchmark::State& state) {
-  const char* cca = state.range(0) == 0 ? "newreno" : "cubic";
-  const int flows = static_cast<int>(state.range(1));
-  const int rtt_ms = static_cast<int>(state.range(2));
-
-  // The window must cover several AIMD sawtooth periods; the period scales
-  // with per-flow cwnd, i.e. inversely with the flow count.
-  BenchDurations d{2.0, 20.0, std::clamp(300.0 * 1000.0 / flows, 100.0, 300.0)};
-  double scale = 1.0;
-  ExperimentSpec spec;
-  spec.scenario = make_scenario(Setting::kCoreScale, d, &scale);
-  const int actual = scaled_flow_count(flows, scale);
-  spec.groups.push_back(FlowGroup{cca, actual, TimeDelta::millis(rtt_ms)});
-  spec.seed = 42;
-  ExperimentResult result;
-  for (auto _ : state) {
-    result = run_experiment(spec);
-  }
-  const double jfi = result.jfi_all();
-  state.counters["jfi"] = jfi;
-  log().add_row({cca, std::to_string(flows), std::to_string(actual),
-                 std::to_string(rtt_ms), fmt(jfi), fmt_pct(result.utilization),
-                 "> 0.99"});
-}
-
-BENCHMARK(BM_Finding4)
-    ->ArgsProduct({{0, 1}, {1000, 3000, 5000}, {20}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
+struct Finding4Cell {
+  std::string cca;
+  int nominal_flows;
+  int actual_flows;
+  int rtt_ms;
+};
 
 }  // namespace
-}  // namespace ccas::bench
 
-CCAS_BENCH_MAIN(ccas::bench::log(),
-                "Finding 4 - NewReno & Cubic intra-CCA fairness at CoreScale.\n"
-                "Paper: JFI > 0.99 (time-averaged over a long run).\n"
-                "Expected shape: high JFI at every flow count for both CCAs.")
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_finding4_loss_based_jfi", argc, argv);
+
+  std::vector<Finding4Cell> cells;
+  for (const char* cca : {"newreno", "cubic"}) {
+    for (const int flows : {1000, 3000, 5000}) {
+      const int rtt_ms = 20;
+      // The window must cover several AIMD sawtooth periods; the period
+      // scales with per-flow cwnd, i.e. inversely with the flow count.
+      const BenchDurations d{2.0, 20.0,
+                             std::clamp(300.0 * 1000.0 / flows, 100.0, 300.0)};
+      double scale = 1.0;
+      ccas::ExperimentSpec spec;
+      spec.scenario = make_scenario(ccas::Setting::kCoreScale, d, &scale);
+      const int actual = ccas::scaled_flow_count(flows, scale);
+      spec.groups.push_back(
+          ccas::FlowGroup{cca, actual, ccas::TimeDelta::millis(rtt_ms)});
+      spec.seed = 42;
+      cells.push_back(Finding4Cell{cca, flows, actual, rtt_ms});
+      bench.add(std::string(cca) + "/flows=" + std::to_string(flows) +
+                    "/rtt=" + std::to_string(rtt_ms),
+                std::move(spec));
+    }
+  }
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_finding4_loss_based_jfi",
+                {"cca", "flows(paper)", "flows(run)", "rtt(ms)", "JFI", "util",
+                 "paper"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Finding4Cell& cell = cells[i];
+    const ccas::ExperimentResult& result = outcomes[i].result;
+    log.add_row({cell.cca, std::to_string(cell.nominal_flows),
+                 std::to_string(cell.actual_flows), std::to_string(cell.rtt_ms),
+                 fmt(result.jfi_all()), fmt_pct(result.utilization), "> 0.99"});
+  }
+  log.finish(
+      "Finding 4 - NewReno & Cubic intra-CCA fairness at CoreScale.\n"
+      "Paper: JFI > 0.99 (time-averaged over a long run).\n"
+      "Expected shape: high JFI at every flow count for both CCAs.");
+  return 0;
+}

@@ -7,46 +7,27 @@
 // derived C is consistent (1.47 edge, 1.34-1.36 core).
 #include "bench/mathis_suite.h"
 
-namespace ccas::bench {
-namespace {
+int main(int argc, char** argv) {
+  using namespace ccas::bench;
+  SweepBench bench("bench_table1_mathis_constant", argc, argv);
+  const std::vector<MathisCellSpec> cells = add_mathis_grid(bench);
+  const auto& outcomes = bench.run();
 
-ResultLog& log() {
-  static ResultLog log("bench_table1_mathis_constant",
-                       {"setting", "flows(paper)", "flows(run)", "C(packet loss)",
-                        "C(cwnd halving)", "util"});
-  return log;
-}
-
-void BM_Table1(benchmark::State& state) {
-  const auto setting = static_cast<Setting>(state.range(0));
-  const int flows = static_cast<int>(state.range(1));
-  const BenchDurations durations =
-      setting == Setting::kEdgeScale ? edge_durations() : core_durations();
-  MathisCell cell;
-  for (auto _ : state) {
-    cell = run_mathis_cell(setting, flows, durations);
-  }
-  state.counters["C_loss"] = cell.fit_loss.c;
-  state.counters["C_halving"] = cell.fit_halving.c;
-  log().add_row({cell.setting == Setting::kEdgeScale ? "EdgeScale" : "CoreScale",
+  ResultLog log("bench_table1_mathis_constant",
+                {"setting", "flows(paper)", "flows(run)", "C(packet loss)",
+                 "C(cwnd halving)", "util"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const MathisCell cell = analyze_mathis_cell(cells[i], outcomes[i].result);
+    log.add_row({cell.setting == ccas::Setting::kEdgeScale ? "EdgeScale" : "CoreScale",
                  std::to_string(cell.nominal_flows), std::to_string(cell.actual_flows),
                  fmt(cell.fit_loss.c), fmt(cell.fit_halving.c),
                  fmt_pct(cell.utilization)});
+  }
+  log.finish(
+      "Table 1 analog - Mathis constant C by p-interpretation.\n"
+      "Paper: C(loss) varies 1.78 (edge) -> 3.2-4.0 (core, flow-count-dependent);\n"
+      "       C(halving) stays ~1.47 (edge) / 1.34-1.36 (core).\n"
+      "Expected shape: C(halving) consistent across settings & flow counts;\n"
+      "C(loss) inflated and drifting at CoreScale.");
+  return 0;
 }
-
-BENCHMARK(BM_Table1)
-    ->ArgsProduct({{static_cast<long>(Setting::kEdgeScale)}, {10, 30, 50}})
-    ->ArgsProduct({{static_cast<long>(Setting::kCoreScale)}, {1000, 3000, 5000}})
-    ->Iterations(1)
-    ->Unit(benchmark::kSecond);
-
-}  // namespace
-}  // namespace ccas::bench
-
-CCAS_BENCH_MAIN(
-    ccas::bench::log(),
-    "Table 1 analog - Mathis constant C by p-interpretation.\n"
-    "Paper: C(loss) varies 1.78 (edge) -> 3.2-4.0 (core, flow-count-dependent);\n"
-    "       C(halving) stays ~1.47 (edge) / 1.34-1.36 (core).\n"
-    "Expected shape: C(halving) consistent across settings & flow counts;\n"
-    "C(loss) inflated and drifting at CoreScale.")

@@ -1,6 +1,7 @@
-// Shared runner for the inter-CCA fairness figures (5-8): two flow groups
+// Shared grid for the inter-CCA fairness figures (5-8): two flow groups
 // with the same RTT competing at CoreScale, reporting the first group's
-// share of aggregate throughput.
+// share of aggregate throughput. Spec building and result analysis are
+// split so the cells can be fanned out through the sweep executor.
 #pragma once
 
 #include <string>
@@ -22,27 +23,45 @@ struct InterCcaCell {
   double goodput_b_bps = 0.0;
 };
 
-inline InterCcaCell run_inter_cca_cell(const std::string& cca_a, int nominal_a,
-                                       const std::string& cca_b, int nominal_b,
-                                       int rtt_ms, const BenchDurations& durations,
-                                       bool scale_group_a, uint64_t seed = 42) {
-  double scale = 1.0;
+struct InterCcaSpec {
+  std::string name;  // stable cell key, e.g. "cubic-vs-newreno/1000/rtt=20"
+  int nominal_a = 0;
+  int actual_a = 0;
+  int nominal_b = 0;
+  int actual_b = 0;
   ExperimentSpec spec;
-  spec.scenario = make_scenario(Setting::kCoreScale, durations, &scale);
-  InterCcaCell cell;
+};
+
+inline InterCcaSpec make_inter_cca_spec(const std::string& cca_a, int nominal_a,
+                                        const std::string& cca_b, int nominal_b,
+                                        int rtt_ms, const BenchDurations& durations,
+                                        bool scale_group_a, uint64_t seed = 42) {
+  double scale = 1.0;
+  InterCcaSpec cell;
+  cell.spec.scenario = make_scenario(Setting::kCoreScale, durations, &scale);
   cell.nominal_a = nominal_a;
   cell.nominal_b = nominal_b;
   // For "1 BBR vs thousands" the single flow stays single at any scale.
   cell.actual_a = scale_group_a ? scaled_flow_count(nominal_a, scale) : nominal_a;
   cell.actual_b = scaled_flow_count(nominal_b, scale);
-  spec.groups.push_back(
+  cell.spec.groups.push_back(
       FlowGroup{cca_a, cell.actual_a, TimeDelta::millis(rtt_ms)});
-  spec.groups.push_back(
+  cell.spec.groups.push_back(
       FlowGroup{cca_b, cell.actual_b, TimeDelta::millis(rtt_ms)});
-  spec.seed = seed;
-  spec.record_drop_log = false;  // not needed; saves RAM on long runs
+  cell.spec.seed = seed;
+  cell.spec.record_drop_log = false;  // not needed; saves RAM on long runs
+  cell.name = cca_a + ":" + std::to_string(nominal_a) + "-vs-" + cca_b + ":" +
+              std::to_string(nominal_b) + "/rtt=" + std::to_string(rtt_ms);
+  return cell;
+}
 
-  const ExperimentResult result = run_experiment(spec);
+inline InterCcaCell analyze_inter_cca_cell(const InterCcaSpec& cell_spec,
+                                           const ExperimentResult& result) {
+  InterCcaCell cell;
+  cell.nominal_a = cell_spec.nominal_a;
+  cell.actual_a = cell_spec.actual_a;
+  cell.nominal_b = cell_spec.nominal_b;
+  cell.actual_b = cell_spec.actual_b;
   cell.share_a = result.groups[0].throughput_share;
   cell.jfi_a = result.groups[0].jfi;
   cell.jfi_b = result.groups[1].jfi;

@@ -1,8 +1,11 @@
-// Shared experiment runner for the Mathis-model suite (Table 1, Figure 2,
+// Shared experiment grid for the Mathis-model suite (Table 1, Figure 2,
 // Figure 3, and the burstiness corroboration of Finding 3): all-NewReno
-// runs at 20 ms RTT across the paper's EdgeScale and CoreScale flow counts.
+// runs at 20 ms RTT across the paper's EdgeScale and CoreScale flow
+// counts. Spec building and result analysis are split so the cells can be
+// fanned out through the sweep executor and analyzed afterwards.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -25,21 +28,37 @@ struct MathisCell {
   double mean_rtt_ms = 0.0;
 };
 
-inline MathisCell run_mathis_cell(Setting setting, int nominal_flows,
-                                  const BenchDurations& durations,
-                                  uint64_t seed = 42) {
-  double scale = 1.0;
+struct MathisCellSpec {
+  std::string name;  // stable cell key, e.g. "CoreScale/flows=3000"
+  Setting setting = Setting::kCoreScale;
+  int nominal_flows = 0;
+  int actual_flows = 0;
   ExperimentSpec spec;
-  spec.scenario = make_scenario(setting, durations, &scale);
-  const int flows = scaled_flow_count(nominal_flows, scale);
-  spec.groups.push_back(FlowGroup{"newreno", flows, TimeDelta::millis(20)});
-  spec.seed = seed;
-  const ExperimentResult result = run_experiment(spec);
+};
 
-  MathisCell cell;
+inline MathisCellSpec make_mathis_spec(Setting setting, int nominal_flows,
+                                       const BenchDurations& durations,
+                                       uint64_t seed = 42) {
+  MathisCellSpec cell;
   cell.setting = setting;
   cell.nominal_flows = nominal_flows;
-  cell.actual_flows = flows;
+  double scale = 1.0;
+  cell.spec.scenario = make_scenario(setting, durations, &scale);
+  cell.actual_flows = scaled_flow_count(nominal_flows, scale);
+  cell.spec.groups.push_back(
+      FlowGroup{"newreno", cell.actual_flows, TimeDelta::millis(20)});
+  cell.spec.seed = seed;
+  cell.name = std::string(setting == Setting::kEdgeScale ? "EdgeScale" : "CoreScale") +
+              "/flows=" + std::to_string(nominal_flows);
+  return cell;
+}
+
+inline MathisCell analyze_mathis_cell(const MathisCellSpec& cell_spec,
+                                      const ExperimentResult& result) {
+  MathisCell cell;
+  cell.setting = cell_spec.setting;
+  cell.nominal_flows = cell_spec.nominal_flows;
+  cell.actual_flows = cell_spec.actual_flows;
   cell.utilization = result.utilization;
 
   std::vector<MathisObservation> obs_loss;
@@ -86,5 +105,19 @@ inline const std::vector<int>& core_flow_counts() {
 // *smallest* flow count (~45 s per period at 1000 flows / 20 ms).
 inline BenchDurations edge_durations() { return BenchDurations{2.0, 60.0, 240.0}; }
 inline BenchDurations core_durations() { return BenchDurations{2.0, 15.0, 90.0}; }
+
+// Registers the full Edge+Core grid on `bench` and returns the cell specs
+// in registration order (the common shape of the four Mathis benches).
+inline std::vector<MathisCellSpec> add_mathis_grid(SweepBench& bench) {
+  std::vector<MathisCellSpec> cells;
+  for (const int flows : edge_flow_counts()) {
+    cells.push_back(make_mathis_spec(Setting::kEdgeScale, flows, edge_durations()));
+  }
+  for (const int flows : core_flow_counts()) {
+    cells.push_back(make_mathis_spec(Setting::kCoreScale, flows, core_durations()));
+  }
+  for (const MathisCellSpec& c : cells) bench.add(c.name, c.spec);
+  return cells;
+}
 
 }  // namespace ccas::bench

@@ -41,6 +41,9 @@ double ChurnResult::mean_fct_sized(uint64_t min_size, uint64_t max_size) const {
 namespace {
 
 struct ChurnFlow {
+  // Owns the flow's RNG: CCAs keep a reference to it, so it must live
+  // exactly as long as the sender.
+  std::unique_ptr<Rng> rng;
   std::unique_ptr<TcpSender> sender;
   std::unique_ptr<TcpReceiver> receiver;
   Time started = Time::zero();
@@ -78,13 +81,13 @@ ChurnResult run_churn_experiment(const ChurnSpec& spec) {
   // Background long-running flows, staggered like the fixed experiments.
   for (const FlowGroup& g : spec.background) {
     for (int i = 0; i < g.count; ++i) {
-      Rng flow_rng = rng.fork();
       auto f = std::make_unique<ChurnFlow>();
+      f->rng = std::make_unique<Rng>(rng.fork());
       f->is_background = true;
       const uint32_t id = next_flow_id++;
       f->receiver =
           std::make_unique<TcpReceiver>(sim, id, &topo.ack_entry(), spec.receiver);
-      f->sender = std::make_unique<TcpSender>(sim, id, make_cca(g.cca, flow_rng),
+      f->sender = std::make_unique<TcpSender>(sim, id, make_cca(g.cca, *f->rng),
                                               &topo.data_entry(id), spec.tcp);
       topo.register_flow(id, g.rtt, f->sender.get(), f->receiver.get());
       TcpSender* sender = f->sender.get();
@@ -115,8 +118,8 @@ ChurnResult run_churn_experiment(const ChurnSpec& spec) {
     if (active_churn >= spec.max_concurrent) {
       ++result.arrivals_rejected;
     } else {
-      Rng flow_rng = rng.fork();
       auto f = std::make_unique<ChurnFlow>();
+      f->rng = std::make_unique<Rng>(rng.fork());
       const uint32_t id = next_flow_id++;
       f->size = sample_size();
       f->started = sim.now();
@@ -124,7 +127,7 @@ ChurnResult run_churn_experiment(const ChurnSpec& spec) {
           std::make_unique<TcpReceiver>(sim, id, &topo.ack_entry(), spec.receiver);
       TcpSenderConfig cfg = spec.tcp;
       cfg.data_segments = f->size;
-      f->sender = std::make_unique<TcpSender>(sim, id, make_cca(spec.cca, flow_rng),
+      f->sender = std::make_unique<TcpSender>(sim, id, make_cca(spec.cca, *f->rng),
                                               &topo.data_entry(id), cfg);
       topo.register_flow(id, spec.rtt, f->sender.get(), f->receiver.get());
       ChurnFlow* raw = f.get();

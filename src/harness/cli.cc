@@ -65,12 +65,17 @@ std::string cli_usage() {
          "  --no-sack --no-delack --no-gro\n"
          "  --trace=<sec>         time-series sampling interval (0 = off)\n"
          "  --csv=<prefix>        write trace CSVs with this prefix\n"
+         "  --seeds=<n,n,...>     run one cell per seed (parallel sweep)\n"
+         "  --jobs=<n>            worker threads (0 = hardware concurrency)\n"
+         "  --cache-dir=<path>    enable the on-disk result cache\n"
+         "  --no-cache            bypass the cache even if a dir is set\n"
          "CCAs: newreno, cubic, bbr, bbr2, vegas, copa (plus registry extensions)\n";
 }
 
 CliOptions parse_cli(const std::vector<std::string>& args) {
   CliOptions opts;
   opts.spec.scenario = Scenario::core_scale();
+  opts.sweep = sweep::sweep_options_from_env();
   bool have_groups = false;
   bool have_rate = false;
   bool have_buffer = false;
@@ -140,6 +145,26 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (key == "--csv") {
       need_value();
       opts.csv_prefix = value;
+    } else if (key == "--seeds") {
+      need_value();
+      for (const auto& s : split(value, ',')) {
+        const double v = parse_number(key, s);
+        if (v < 0) throw std::invalid_argument("--seeds entries must be >= 0");
+        opts.seeds.push_back(static_cast<uint64_t>(v));
+      }
+      if (opts.seeds.empty()) {
+        throw std::invalid_argument("--seeds needs at least one seed");
+      }
+    } else if (key == "--jobs") {
+      need_value();
+      const double v = parse_number(key, value);
+      if (v < 0) throw std::invalid_argument("--jobs must be >= 0");
+      opts.sweep.jobs = static_cast<int>(v);
+    } else if (key == "--cache-dir") {
+      need_value();
+      opts.sweep.cache_dir = value;
+    } else if (key == "--no-cache") {
+      opts.sweep.use_cache = false;
     } else {
       throw std::invalid_argument("unknown flag '" + key + "'\n" + cli_usage());
     }

@@ -16,18 +16,26 @@
 //   --no-sack / --no-delack / --no-gro
 //   --trace=<sec>              time-series sample interval (0 = off)
 //   --csv=<prefix>             write trace CSVs with this prefix
+//   --seeds=<n,n,...>          run one cell per seed (parallel sweep)
+//   --jobs=<n>                 worker threads (0 = hardware concurrency)
+//   --cache-dir=<path>         enable the on-disk result cache
+//   --no-cache                 bypass the cache even if a dir is set
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/sweep/executor.h"
 
 namespace ccas {
 
 struct CliOptions {
   ExperimentSpec spec;
-  std::string csv_prefix;  // empty = no CSV
+  std::string csv_prefix;        // empty = no CSV
+  std::vector<uint64_t> seeds;   // extra seeds beyond spec.seed (--seeds)
+  sweep::SweepOptions sweep;     // --jobs / --cache-dir / --no-cache
 };
 
 // Parses argv-style arguments (excluding argv[0]). Throws

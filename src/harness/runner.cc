@@ -18,6 +18,9 @@ namespace ccas {
 namespace {
 
 struct Flow {
+  // Owns the flow's RNG: CCAs (e.g. BBR's randomized ProbeBW phase) keep a
+  // reference to it, so it must live exactly as long as the sender.
+  std::unique_ptr<Rng> rng;
   std::unique_ptr<TcpSender> sender;
   std::unique_ptr<TcpReceiver> receiver;
   int group = 0;
@@ -74,12 +77,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
     const FlowGroup& g = spec.groups[gi];
     for (int i = 0; i < g.count; ++i, ++flow_id) {
-      Rng flow_rng = rng.fork();
       Flow f;
+      f.rng = std::make_unique<Rng>(rng.fork());
       f.group = static_cast<int>(gi);
       f.receiver = std::make_unique<TcpReceiver>(sim, flow_id, &topo.ack_entry(),
                                                  spec.receiver);
-      f.sender = std::make_unique<TcpSender>(sim, flow_id, make_cca(g.cca, flow_rng),
+      f.sender = std::make_unique<TcpSender>(sim, flow_id, make_cca(g.cca, *f.rng),
                                              &topo.data_entry(flow_id), spec.tcp);
       topo.register_flow(flow_id, g.rtt, f.sender.get(), f.receiver.get());
       flows.push_back(std::move(f));

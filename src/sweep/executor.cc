@@ -1,0 +1,121 @@
+#include "src/sweep/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/harness/runner.h"
+#include "src/sweep/progress.h"
+
+namespace ccas::sweep {
+
+SweepOptions sweep_options_from_env() {
+  SweepOptions opts;
+  if (const char* v = std::getenv("CCAS_JOBS")) {
+    const int jobs = std::atoi(v);
+    if (jobs > 0) opts.jobs = jobs;
+  }
+  if (const char* v = std::getenv("CCAS_CACHE_DIR")) {
+    opts.cache_dir = v;
+  }
+  if (const char* v = std::getenv("CCAS_NO_CACHE")) {
+    if (v[0] != '\0' && v[0] != '0') opts.use_cache = false;
+  }
+  return opts;
+}
+
+SweepExecutor::SweepExecutor(SweepOptions options) : options_(std::move(options)) {}
+
+std::vector<CellOutcome> SweepExecutor::run(const SweepSpec& sweep) {
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  std::unique_ptr<ResultCache> cache;
+  if (options_.use_cache && !options_.cache_dir.empty()) {
+    cache = std::make_unique<ResultCache>(options_.cache_dir);
+  }
+
+  int jobs = options_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  jobs = std::min(jobs, static_cast<int>(std::max<size_t>(sweep.cells.size(), 1)));
+
+  std::vector<CellOutcome> outcomes(sweep.cells.size());
+  ProgressReporter progress(sweep.name.empty() ? "sweep" : sweep.name,
+                            static_cast<int>(sweep.cells.size()),
+                            options_.progress);
+
+  std::atomic<size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::atomic<bool> abort{false};
+
+  auto worker = [&] {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= sweep.cells.size()) return;
+      const SweepCell& cell = sweep.cells[i];
+      CellOutcome& out = outcomes[i];
+      out.name = cell.name;
+      out.cache_key = spec_cache_key(cell.spec, options_.cache_salt);
+      const bool cacheable = cell.spec.trace_interval <= TimeDelta::zero();
+      const auto cell_start = std::chrono::steady_clock::now();
+      try {
+        if (cache && cacheable) {
+          if (auto cached = cache->load(out.cache_key)) {
+            out.result = std::move(*cached);
+            out.from_cache = true;
+          }
+        }
+        if (!out.from_cache) {
+          out.result = run_experiment(cell.spec);
+          if (cache && cacheable) cache->store(out.cache_key, out.result);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      out.wall_sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                   cell_start)
+                         .count();
+      progress.cell_done(out.name, out.from_cache, out.result.sim_events,
+                         out.wall_sec);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  progress.finish();
+  summary_ = SweepSummary{};
+  summary_.total_cells = static_cast<int>(sweep.cells.size());
+  summary_.jobs = jobs;
+  summary_.wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
+          .count();
+  for (const CellOutcome& out : outcomes) {
+    if (out.from_cache) {
+      ++summary_.from_cache;
+    } else {
+      summary_.sim_events += out.result.sim_events;
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace ccas::sweep

@@ -1,0 +1,71 @@
+// Thread-pool sweep executor. Each cell is one complete, single-threaded,
+// deterministic simulation (run_experiment), so cells parallelize with no
+// shared mutable state: results are a pure function of each cell's spec
+// and are byte-identical at any --jobs level. With a cache directory set,
+// cells whose canonical spec hash is already on disk are served from the
+// cache instead of simulated (result_cache.h); traced specs
+// (trace_interval > 0) always simulate, since traces are not cached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sweep/result_cache.h"
+#include "src/sweep/spec_hash.h"
+#include "src/sweep/sweep_spec.h"
+
+namespace ccas::sweep {
+
+struct SweepOptions {
+  // Worker threads; 0 = std::thread::hardware_concurrency() (at least 1).
+  int jobs = 0;
+  // Result cache directory; empty disables caching entirely.
+  std::string cache_dir;
+  // When false, the cache is neither read nor written even if cache_dir
+  // is set (the --no-cache flag).
+  bool use_cache = true;
+  // Live per-cell progress lines on stderr.
+  bool progress = true;
+  // Cache-key salt; defaults to the library's code-version salt.
+  std::string cache_salt = std::string(kSweepCodeSalt);
+};
+
+// Reads CCAS_JOBS, CCAS_CACHE_DIR and CCAS_NO_CACHE into a SweepOptions
+// (the benches' environment interface; CLI flags override on top).
+[[nodiscard]] SweepOptions sweep_options_from_env();
+
+struct CellOutcome {
+  std::string name;
+  uint64_t cache_key = 0;
+  bool from_cache = false;
+  double wall_sec = 0.0;
+  ExperimentResult result;
+};
+
+struct SweepSummary {
+  int total_cells = 0;
+  int from_cache = 0;
+  double wall_sec = 0.0;       // whole sweep, wall clock
+  uint64_t sim_events = 0;     // simulated (non-cached) cells only
+  int jobs = 0;                // resolved worker count
+};
+
+class SweepExecutor {
+ public:
+  explicit SweepExecutor(SweepOptions options = {});
+
+  // Runs every cell and returns outcomes in cell order. Rethrows the
+  // first cell failure (e.g. an invalid spec) after all workers stop.
+  [[nodiscard]] std::vector<CellOutcome> run(const SweepSpec& sweep);
+
+  // Statistics of the last run().
+  [[nodiscard]] const SweepSummary& summary() const { return summary_; }
+  [[nodiscard]] const SweepOptions& options() const { return options_; }
+
+ private:
+  SweepOptions options_;
+  SweepSummary summary_;
+};
+
+}  // namespace ccas::sweep

@@ -1,0 +1,82 @@
+#include "src/sweep/progress.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ccas::sweep {
+
+namespace {
+
+std::string format_events(double per_sec) {
+  char buf[32];
+  if (per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", per_sec / 1e6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fk", per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", per_sec);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(std::string label, int total_cells, bool enabled)
+    : label_(std::move(label)),
+      total_(total_cells),
+      enabled_(enabled),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressReporter::cell_done(const std::string& cell_name, bool from_cache,
+                                 uint64_t sim_events, double cell_wall_sec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  if (from_cache) {
+    ++cached_;
+  } else {
+    sim_events_ += sim_events;
+    simulated_wall_sec_ += cell_wall_sec;
+  }
+  if (!enabled_) return;
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const int simulated = done_ - cached_;
+  // ETA assumes remaining cells cost the mean *simulated* cell and run at
+  // the observed worker parallelism (summed cell time / elapsed time).
+  std::string eta = "?";
+  if (simulated > 0 && elapsed > 0.0) {
+    const double mean_cell = simulated_wall_sec_ / simulated;
+    const double parallelism = std::max(simulated_wall_sec_ / elapsed, 1.0);
+    const double remaining = mean_cell * (total_ - done_) / parallelism;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0fs", remaining);
+    eta = buf;
+  } else if (done_ == cached_) {
+    eta = "0s";  // everything so far came from cache
+  }
+  const double events_rate =
+      simulated_wall_sec_ > 0.0
+          ? static_cast<double>(sim_events_) / simulated_wall_sec_
+          : 0.0;
+  std::fprintf(stderr, "[%s] %d/%d cells (%d cached) | %s ev/s | ETA %s | %s\n",
+               label_.c_str(), done_, total_, cached_,
+               format_events(events_rate).c_str(), eta.c_str(), cell_name.c_str());
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  const double events_rate =
+      simulated_wall_sec_ > 0.0
+          ? static_cast<double>(sim_events_) / simulated_wall_sec_
+          : 0.0;
+  std::fprintf(stderr,
+               "[%s] done: %d cells (%d cached) in %.1fs | %s sim-events/s\n",
+               label_.c_str(), done_, cached_, elapsed,
+               format_events(events_rate).c_str());
+}
+
+}  // namespace ccas::sweep

@@ -1,0 +1,41 @@
+// Live sweep progress on stderr: cells done/total, cache hits, aggregate
+// simulation throughput (sim-events/sec across workers) and a wall-clock
+// ETA extrapolated from the mean simulated-cell duration. Thread-safe;
+// one line is printed per completed cell so output works the same on
+// terminals, CI logs, and under TSan.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace ccas::sweep {
+
+class ProgressReporter {
+ public:
+  // `label` prefixes every line (typically the sweep name); disabled
+  // reporters swallow updates so callers need no conditionals.
+  ProgressReporter(std::string label, int total_cells, bool enabled);
+
+  // Called by workers as each cell finishes.
+  void cell_done(const std::string& cell_name, bool from_cache, uint64_t sim_events,
+                 double cell_wall_sec);
+
+  // Prints the closing summary line (wall time, events/sec, cache hits).
+  void finish();
+
+ private:
+  std::string label_;
+  int total_ = 0;
+  bool enabled_ = false;
+
+  std::mutex mu_;
+  int done_ = 0;
+  int cached_ = 0;
+  uint64_t sim_events_ = 0;
+  double simulated_wall_sec_ = 0.0;  // summed across workers
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ccas::sweep

@@ -1,0 +1,226 @@
+#include "src/sweep/result_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "src/sweep/spec_hash.h"
+#include "src/sweep/wire.h"
+#include "src/util/logging.h"
+
+namespace ccas::sweep {
+
+namespace {
+
+constexpr std::string_view kMagic = "CCASRES\n";
+constexpr uint64_t kFormatVersion = 1;
+
+void put_flow(std::string& out, const FlowMeasurement& f) {
+  put_u32(out, f.flow_id);
+  put_i64(out, f.window.ns());
+  put_double(out, f.goodput_bps);
+  put_u64(out, f.segments_sent);
+  put_u64(out, f.retransmits);
+  put_u64(out, f.delivered);
+  put_u64(out, f.congestion_events);
+  put_u64(out, f.rto_events);
+  put_u64(out, f.queue_drops);
+  put_double(out, f.packet_loss_rate);
+  put_double(out, f.cwnd_halving_rate);
+  put_i64(out, f.mean_rtt.ns());
+}
+
+bool get_flow(WireReader& r, FlowMeasurement& f) {
+  int64_t window_ns = 0;
+  int64_t mean_rtt_ns = 0;
+  const bool ok = r.get_u32(f.flow_id) && r.get_i64(window_ns) &&
+                  r.get_double(f.goodput_bps) && r.get_u64(f.segments_sent) &&
+                  r.get_u64(f.retransmits) && r.get_u64(f.delivered) &&
+                  r.get_u64(f.congestion_events) && r.get_u64(f.rto_events) &&
+                  r.get_u64(f.queue_drops) && r.get_double(f.packet_loss_rate) &&
+                  r.get_double(f.cwnd_halving_rate) && r.get_i64(mean_rtt_ns);
+  if (!ok) return false;
+  f.window = TimeDelta::nanos(window_ns);
+  f.mean_rtt = TimeDelta::nanos(mean_rtt_ns);
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_result(const ExperimentResult& result) {
+  std::string out;
+  out.reserve(128 + result.flows.size() * 96 + result.drop_times.size() * 8);
+
+  put_u64(out, result.flows.size());
+  for (const FlowMeasurement& f : result.flows) put_flow(out, f);
+
+  put_u64(out, result.flow_group.size());
+  for (const int g : result.flow_group) put_i64(out, g);
+
+  put_u64(out, result.groups.size());
+  for (const GroupResult& g : result.groups) {
+    put_string(out, g.cca);
+    put_i64(out, g.count);
+    put_i64(out, g.rtt.ns());
+    put_double(out, g.aggregate_goodput_bps);
+    put_double(out, g.throughput_share);
+    put_double(out, g.jfi);
+  }
+
+  put_u64(out, result.queue.enqueued_packets);
+  put_u64(out, result.queue.enqueued_bytes);
+  put_u64(out, result.queue.dequeued_packets);
+  put_u64(out, result.queue.dropped_packets);
+  put_u64(out, result.queue.dropped_bytes);
+  put_i64(out, result.queue.max_queued_bytes);
+
+  put_u64(out, result.drop_times.size());
+  for (const Time t : result.drop_times) put_i64(out, t.ns());
+
+  put_double(out, result.aggregate_goodput_bps);
+  put_double(out, result.utilization);
+  put_i64(out, result.measured_for.ns());
+  put_bool(out, result.converged_early);
+  put_u64(out, result.sim_events);
+  return out;
+}
+
+std::optional<ExperimentResult> deserialize_result(const std::string& payload) {
+  WireReader r(payload);
+  ExperimentResult result;
+
+  uint64_t n = 0;
+  if (!r.get_count(n, 12 * 8)) return std::nullopt;
+  result.flows.resize(n);
+  for (FlowMeasurement& f : result.flows) {
+    if (!get_flow(r, f)) return std::nullopt;
+  }
+
+  if (!r.get_count(n, 8)) return std::nullopt;
+  result.flow_group.resize(n);
+  for (int& g : result.flow_group) {
+    int64_t v = 0;
+    if (!r.get_i64(v)) return std::nullopt;
+    g = static_cast<int>(v);
+  }
+
+  if (!r.get_count(n, 6 * 8)) return std::nullopt;
+  result.groups.resize(n);
+  for (GroupResult& g : result.groups) {
+    int64_t count = 0;
+    int64_t rtt_ns = 0;
+    if (!r.get_string(g.cca) || !r.get_i64(count) || !r.get_i64(rtt_ns) ||
+        !r.get_double(g.aggregate_goodput_bps) || !r.get_double(g.throughput_share) ||
+        !r.get_double(g.jfi)) {
+      return std::nullopt;
+    }
+    g.count = static_cast<int>(count);
+    g.rtt = TimeDelta::nanos(rtt_ns);
+  }
+
+  if (!r.get_u64(result.queue.enqueued_packets) ||
+      !r.get_u64(result.queue.enqueued_bytes) ||
+      !r.get_u64(result.queue.dequeued_packets) ||
+      !r.get_u64(result.queue.dropped_packets) ||
+      !r.get_u64(result.queue.dropped_bytes) ||
+      !r.get_i64(result.queue.max_queued_bytes)) {
+    return std::nullopt;
+  }
+
+  if (!r.get_count(n, 8)) return std::nullopt;
+  result.drop_times.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t t = 0;
+    if (!r.get_i64(t)) return std::nullopt;
+    result.drop_times.push_back(Time::nanos(t));
+  }
+
+  int64_t measured_ns = 0;
+  if (!r.get_double(result.aggregate_goodput_bps) ||
+      !r.get_double(result.utilization) || !r.get_i64(measured_ns) ||
+      !r.get_bool(result.converged_early) || !r.get_u64(result.sim_events)) {
+    return std::nullopt;
+  }
+  result.measured_for = TimeDelta::nanos(measured_ns);
+  if (!r.exhausted()) return std::nullopt;  // trailing garbage
+  return result;
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("cannot create cache dir '" + dir_ +
+                             "': " + ec.message());
+  }
+}
+
+std::string ResultCache::entry_path(uint64_t key) const {
+  return dir_ + "/" + cache_key_hex(key) + ".ccres";
+}
+
+std::optional<ExperimentResult> ResultCache::load(uint64_t key) const {
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+
+  WireReader header(file);
+  std::string magic;
+  uint64_t version = 0;
+  uint64_t stored_key = 0;
+  std::string payload;
+  uint64_t checksum = 0;
+  if (!header.get_string(magic) || magic != kMagic ||       //
+      !header.get_u64(version) || version != kFormatVersion ||
+      !header.get_u64(stored_key) || stored_key != key ||   //
+      !header.get_string(payload) ||                        //
+      !header.get_u64(checksum) || !header.exhausted()) {
+    log_warn("sweep cache: malformed entry %s ignored", entry_path(key).c_str());
+    return std::nullopt;
+  }
+  if (fnv1a64(payload) != checksum) {
+    log_warn("sweep cache: checksum mismatch in %s, recomputing",
+             entry_path(key).c_str());
+    return std::nullopt;
+  }
+  auto result = deserialize_result(payload);
+  if (!result) {
+    log_warn("sweep cache: undecodable payload in %s, recomputing",
+             entry_path(key).c_str());
+  }
+  return result;
+}
+
+bool ResultCache::store(uint64_t key, const ExperimentResult& result) const {
+  const std::string payload = serialize_result(result);
+  std::string file;
+  file.reserve(payload.size() + 64);
+  put_string(file, kMagic);
+  put_u64(file, kFormatVersion);
+  put_u64(file, key);
+  put_string(file, payload);
+  put_u64(file, fnv1a64(payload));
+
+  // Unique temp name per key+thread is unnecessary: rename is atomic and
+  // any two writers of the same key write identical bytes.
+  const std::string tmp = entry_path(key) + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, entry_path(key), ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ccas::sweep

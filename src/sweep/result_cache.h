@@ -1,0 +1,51 @@
+// On-disk cache of ExperimentResults keyed by the canonical spec hash
+// (spec_hash.h). One file per cell under the cache directory:
+//
+//   <dir>/<16-hex key>.ccres
+//
+// File layout: 8-byte magic, format version, the key (sanity check), a
+// length-prefixed payload (the serialized result), and an FNV-1a checksum
+// of the payload. Entries that are truncated, bit-flipped, mis-keyed, or
+// from another format version fail to load and are recomputed — a corrupt
+// cache can cost time, never correctness.
+//
+// Writes go to a temp file in the same directory and are renamed into
+// place, so concurrent sweeps sharing a cache directory see only complete
+// entries. Results carrying a time-series trace are not cached (the trace
+// is unbounded; the executor bypasses the cache for traced specs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/harness/experiment.h"
+
+namespace ccas::sweep {
+
+// Serialization used by the cache files (exposed for tests).
+[[nodiscard]] std::string serialize_result(const ExperimentResult& result);
+[[nodiscard]] std::optional<ExperimentResult> deserialize_result(
+    const std::string& payload);
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) if missing. Throws std::runtime_error if
+  // the directory cannot be created.
+  explicit ResultCache(std::string dir);
+
+  // nullopt on miss, corruption, version or key mismatch.
+  [[nodiscard]] std::optional<ExperimentResult> load(uint64_t key) const;
+
+  // Best-effort: returns false (without throwing) if the entry could not
+  // be written — a read-only cache dir degrades to cache-off.
+  bool store(uint64_t key, const ExperimentResult& result) const;
+
+  [[nodiscard]] std::string entry_path(uint64_t key) const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ccas::sweep

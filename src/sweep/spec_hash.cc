@@ -1,0 +1,108 @@
+#include "src/sweep/spec_hash.h"
+
+#include <cstdio>
+
+#include "src/sweep/wire.h"
+
+namespace ccas::sweep {
+
+namespace {
+
+// Field tags keep the encoding self-delimiting: reordering or removing a
+// field changes the byte stream even if the raw values happen to align.
+void tagged_i64(std::string& out, std::string_view tag, int64_t v) {
+  put_string(out, tag);
+  put_i64(out, v);
+}
+
+void tagged_u64(std::string& out, std::string_view tag, uint64_t v) {
+  put_string(out, tag);
+  put_u64(out, v);
+}
+
+void tagged_bool(std::string& out, std::string_view tag, bool v) {
+  put_string(out, tag);
+  put_bool(out, v);
+}
+
+void tagged_double(std::string& out, std::string_view tag, double v) {
+  put_string(out, tag);
+  put_double(out, v);
+}
+
+void tagged_string(std::string& out, std::string_view tag, std::string_view v) {
+  put_string(out, tag);
+  put_string(out, v);
+}
+
+}  // namespace
+
+std::string canonical_spec_bytes(const ExperimentSpec& spec) {
+  std::string out;
+  out.reserve(512);
+
+  const Scenario& sc = spec.scenario;
+  tagged_i64(out, "setting", static_cast<int64_t>(sc.setting));
+  tagged_i64(out, "net.rate_bps", sc.net.bottleneck_rate.bits_per_sec());
+  tagged_i64(out, "net.buffer", sc.net.buffer_bytes);
+  tagged_i64(out, "net.pairs", sc.net.num_pairs);
+  tagged_i64(out, "net.edge_rate_bps", sc.net.edge_rate.bits_per_sec());
+  tagged_i64(out, "net.edge_buffer", sc.net.edge_buffer_bytes);
+  tagged_i64(out, "net.jitter_ns", sc.net.jitter.ns());
+  tagged_u64(out, "net.jitter_seed", sc.net.jitter_seed);
+  tagged_i64(out, "stagger_ns", sc.stagger.ns());
+  tagged_i64(out, "warmup_ns", sc.warmup.ns());
+  tagged_i64(out, "measure_ns", sc.measure.ns());
+
+  tagged_u64(out, "groups", spec.groups.size());
+  for (const FlowGroup& g : spec.groups) {
+    tagged_string(out, "g.cca", g.cca);
+    tagged_i64(out, "g.count", g.count);
+    tagged_i64(out, "g.rtt_ns", g.rtt.ns());
+  }
+
+  tagged_u64(out, "seed", spec.seed);
+
+  tagged_u64(out, "tcp.iw", spec.tcp.initial_cwnd);
+  tagged_u64(out, "tcp.max_window", spec.tcp.max_window);
+  tagged_u64(out, "tcp.dup_thresh", spec.tcp.dup_thresh);
+  tagged_bool(out, "tcp.sack", spec.tcp.sack_enabled);
+  tagged_u64(out, "tcp.data_segments", spec.tcp.data_segments);
+  tagged_i64(out, "tcp.min_rto_ns", spec.tcp.rtt.min_rto.ns());
+  tagged_i64(out, "tcp.max_rto_ns", spec.tcp.rtt.max_rto.ns());
+  tagged_i64(out, "tcp.initial_rto_ns", spec.tcp.rtt.initial_rto.ns());
+
+  tagged_bool(out, "rcv.delack", spec.receiver.delayed_ack);
+  tagged_u64(out, "rcv.delack_segs", spec.receiver.delack_segment_threshold);
+  tagged_i64(out, "rcv.delack_timeout_ns", spec.receiver.delack_timeout.ns());
+  tagged_bool(out, "rcv.gro", spec.receiver.gro_enabled);
+  tagged_i64(out, "rcv.gro_flush_ns", spec.receiver.gro_flush_timeout.ns());
+  tagged_u64(out, "rcv.gro_max_segs", spec.receiver.gro_max_segments);
+
+  tagged_i64(out, "conv.window_ns", spec.convergence_window.ns());
+  tagged_i64(out, "conv.poll_ns", spec.convergence_poll.ns());
+  tagged_double(out, "conv.tolerance", spec.convergence_tolerance);
+
+  tagged_bool(out, "drop_log", spec.record_drop_log);
+
+  tagged_i64(out, "trace.interval_ns", spec.trace_interval.ns());
+  tagged_u64(out, "trace.flows", spec.trace_flows.size());
+  for (const uint32_t id : spec.trace_flows) tagged_u64(out, "trace.flow", id);
+
+  return out;
+}
+
+uint64_t spec_cache_key(const ExperimentSpec& spec, std::string_view salt) {
+  std::string bytes;
+  put_string(bytes, salt);
+  bytes += canonical_spec_bytes(spec);
+  return fnv1a64(bytes);
+}
+
+std::string cache_key_hex(uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace ccas::sweep

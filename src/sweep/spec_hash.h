@@ -1,0 +1,34 @@
+// Canonical content hash of an ExperimentSpec, used as the sweep result
+// cache key. Every field that influences a simulation's outcome is folded
+// into the hash (scenario, network, flow groups, TCP/receiver configs,
+// convergence settings, seed, tracing), so two specs collide only if they
+// would produce the same ExperimentResult.
+//
+// The key additionally mixes in a code-version salt: bump
+// kSweepCodeSalt whenever a change anywhere in the simulator can alter
+// results, and every stale cache entry is invalidated at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/harness/experiment.h"
+
+namespace ccas::sweep {
+
+// Bump the trailing number on any simulator-visible behaviour change.
+inline constexpr std::string_view kSweepCodeSalt = "ccas-sim-v1";
+
+// The canonical byte encoding of the spec (exposed for tests: two specs
+// hash equal iff their canonical encodings are equal).
+[[nodiscard]] std::string canonical_spec_bytes(const ExperimentSpec& spec);
+
+// 64-bit cache key of `spec` under `salt`.
+[[nodiscard]] uint64_t spec_cache_key(const ExperimentSpec& spec,
+                                      std::string_view salt = kSweepCodeSalt);
+
+// The key as the 16-hex-digit string used for cache file names.
+[[nodiscard]] std::string cache_key_hex(uint64_t key);
+
+}  // namespace ccas::sweep

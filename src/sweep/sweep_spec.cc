@@ -1,0 +1,30 @@
+#include "src/sweep/sweep_spec.h"
+
+#include <utility>
+
+#include "src/sweep/wire.h"
+
+namespace ccas::sweep {
+
+uint64_t derive_cell_seed(uint64_t base_seed, std::string_view cell_name) {
+  // SplitMix64-style finalizer over the name hash keyed by the base seed:
+  // well-mixed even for cell names differing in one character.
+  uint64_t z = fnv1a64(cell_name) ^ (base_seed * 0x9E3779B97f4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+SweepCell& SweepSpec::add_cell(std::string cell_name, ExperimentSpec spec) {
+  cells.push_back(SweepCell{std::move(cell_name), std::move(spec)});
+  return cells.back();
+}
+
+SweepCell& SweepSpec::add_cell_derived_seed(std::string cell_name,
+                                            ExperimentSpec spec) {
+  spec.seed = derive_cell_seed(base_seed, cell_name);
+  return add_cell(std::move(cell_name), std::move(spec));
+}
+
+}  // namespace ccas::sweep

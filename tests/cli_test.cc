@@ -72,6 +72,34 @@ TEST(Cli, Rejections) {
                std::invalid_argument);
 }
 
+TEST(Cli, SweepFlags) {
+  const CliOptions o =
+      parse_cli({"--groups=newreno:1:20", "--seeds=1,2,3", "--jobs=4",
+                 "--cache-dir=cachedir", "--no-cache"});
+  EXPECT_EQ(o.seeds, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(o.sweep.jobs, 4);
+  EXPECT_EQ(o.sweep.cache_dir, "cachedir");
+  EXPECT_FALSE(o.sweep.use_cache);
+}
+
+TEST(Cli, SweepDefaults) {
+  const CliOptions o = parse_cli({"--groups=newreno:1:20"});
+  EXPECT_TRUE(o.seeds.empty());
+  EXPECT_TRUE(o.sweep.cache_dir.empty());
+  EXPECT_TRUE(o.sweep.use_cache);
+}
+
+TEST(Cli, SweepRejections) {
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--jobs=-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--seeds="}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--seeds=1,x"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cache-dir="}),
+               std::invalid_argument);
+}
+
 TEST(Cli, UsageMentionsEveryCca) {
   const std::string usage = cli_usage();
   for (const char* cca : {"newreno", "cubic", "bbr", "bbr2", "vegas", "copa"}) {

@@ -3,6 +3,11 @@
 //
 //   ccas_run --setting=edge --groups=cubic:5:20,newreno:5:20 --measure=120
 //   ccas_run --groups=bbr:1:20,newreno:1000:20 --rate=2000 --trace=0.5 --csv=run1
+//   ccas_run --groups=newreno:600:20 --seeds=1,2,3,4 --jobs=4 --cache-dir=.ccas-cache
+//
+// Every run goes through the sweep executor: a plain invocation is a
+// one-cell sweep, and --seeds fans one cell per seed across --jobs worker
+// threads, with optional on-disk result caching (--cache-dir).
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -10,7 +15,7 @@
 
 #include "src/harness/cli.h"
 #include "src/harness/report.h"
-#include "src/harness/runner.h"
+#include "src/sweep/executor.h"
 
 int main(int argc, char** argv) {
   using namespace ccas;
@@ -24,18 +29,49 @@ int main(int argc, char** argv) {
   try {
     const CliOptions opts = parse_cli(args);
     std::printf("bottleneck %s, buffer %lld B, stagger %.1fs + warmup %.1fs + "
-                "measure %.1fs, seed %llu\n\n",
+                "measure %.1fs\n\n",
                 opts.spec.scenario.net.bottleneck_rate.to_string().c_str(),
                 static_cast<long long>(opts.spec.scenario.net.buffer_bytes),
                 opts.spec.scenario.stagger.sec(), opts.spec.scenario.warmup.sec(),
-                opts.spec.scenario.measure.sec(),
-                static_cast<unsigned long long>(opts.spec.seed));
-    const ExperimentResult result = run_experiment(opts.spec);
-    std::printf("%s", summarize(result).c_str());
-    if (!opts.csv_prefix.empty() && !result.trace.empty()) {
-      result.trace.write_csv(opts.csv_prefix);
-      std::printf("trace written to %s_flows.csv / %s_queue.csv\n",
-                  opts.csv_prefix.c_str(), opts.csv_prefix.c_str());
+                opts.spec.scenario.measure.sec());
+
+    sweep::SweepSpec sweep;
+    sweep.name = "ccas_run";
+    const std::vector<uint64_t> seeds =
+        opts.seeds.empty() ? std::vector<uint64_t>{opts.spec.seed} : opts.seeds;
+    for (const uint64_t seed : seeds) {
+      ExperimentSpec spec = opts.spec;
+      spec.seed = seed;
+      sweep.add_cell("seed=" + std::to_string(seed), std::move(spec));
+    }
+
+    sweep::SweepExecutor executor(opts.sweep);
+    const std::vector<sweep::CellOutcome> outcomes = executor.run(sweep);
+
+    for (const sweep::CellOutcome& out : outcomes) {
+      if (outcomes.size() > 1) {
+        std::printf("=== %s%s ===\n", out.name.c_str(),
+                    out.from_cache ? " (cached)" : "");
+      }
+      std::printf("%s", summarize(out.result).c_str());
+      if (!opts.csv_prefix.empty() && !out.result.trace.empty()) {
+        // With several seeds each trace gets a per-cell suffix.
+        const std::string prefix =
+            outcomes.size() > 1 ? opts.csv_prefix + "_" + out.name
+                                : opts.csv_prefix;
+        out.result.trace.write_csv(prefix);
+        std::printf("trace written to %s_flows.csv / %s_queue.csv\n",
+                    prefix.c_str(), prefix.c_str());
+      }
+      if (outcomes.size() > 1) std::printf("\n");
+    }
+
+    const sweep::SweepSummary& summary = executor.summary();
+    if (summary.total_cells > 1 || summary.from_cache > 0) {
+      std::fprintf(stderr,
+                   "[ccas_run] %d cells (%d cached) in %.2fs with %d jobs\n",
+                   summary.total_cells, summary.from_cache, summary.wall_sec,
+                   summary.jobs);
     }
     return 0;
   } catch (const std::exception& e) {
