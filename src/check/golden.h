@@ -1,0 +1,73 @@
+// Golden-trace regression harness: canonical digests of full experiment
+// outcomes for a fixed grid of Edge/Core cells.
+//
+// A golden digest is fnv1a64 over (version tag | canonical spec bytes |
+// serialized result) — the same tagged wire encoding the sweep cache uses,
+// so the digest covers every per-flow counter, the drop log, and the
+// per-flow congestion-event log, byte for byte. Any behavioral drift in
+// the simulator or the TCP stack changes at least one digest; an intended
+// change becomes an explicit golden bump via `tools/ccas_check record`.
+//
+// The checked-in goldens file (tests/golden/goldens.txt) is text: one line
+// per cell with the digest plus human-diffable summary fields, so a golden
+// bump's review diff shows *what* moved, not just that something did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace ccas::check {
+
+// Bump when the digest inputs change meaning (spec encoding, result
+// serialization, or the grid itself): old goldens are then incomparable.
+inline constexpr const char* kGoldenVersionTag = "ccas-golden-v1";
+
+struct GoldenCell {
+  std::string name;
+  ExperimentSpec spec;
+};
+
+// The fixed grid: small, fast cells covering both settings, the three main
+// CCAs, mixed-CCA competition, the no-SACK path, and the GRO regime
+// (>= ~600 Mbps, where coalescing actually activates). Independent of all
+// REPRO_* environment overrides by construction.
+[[nodiscard]] std::vector<GoldenCell> golden_grid();
+
+struct GoldenRecord {
+  std::string name;
+  uint64_t digest = 0;
+  // Summary fields — informational context for diffs; the digest alone
+  // decides pass/fail.
+  double aggregate_goodput_bps = 0.0;
+  double utilization = 0.0;
+  uint64_t dropped_packets = 0;
+  uint64_t congestion_events = 0;
+  uint64_t sim_events = 0;
+  uint64_t flows = 0;
+};
+
+[[nodiscard]] uint64_t golden_digest(const ExperimentSpec& spec,
+                                     const ExperimentResult& result);
+[[nodiscard]] GoldenRecord make_golden_record(const std::string& name,
+                                              const ExperimentSpec& spec,
+                                              const ExperimentResult& result);
+
+// Text round-trip. parse/load throw std::runtime_error on malformed input.
+[[nodiscard]] std::string format_goldens(const std::vector<GoldenRecord>& records);
+[[nodiscard]] std::vector<GoldenRecord> parse_goldens(const std::string& text);
+[[nodiscard]] std::vector<GoldenRecord> load_goldens(const std::string& path);
+void save_goldens(const std::string& path, const std::vector<GoldenRecord>& records);
+
+struct GoldenDiff {
+  bool ok = false;
+  std::string report;  // one line per cell: match / MISMATCH / missing
+};
+
+// Compares actual records against the expected (checked-in) set by name.
+[[nodiscard]] GoldenDiff compare_goldens(const std::vector<GoldenRecord>& expected,
+                                         const std::vector<GoldenRecord>& actual);
+
+}  // namespace ccas::check

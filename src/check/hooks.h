@@ -1,0 +1,22 @@
+// Compile-time switch for the runtime invariant-audit hook layer.
+//
+// This is the one header the simulation kernel pulls in from src/check/:
+// it must stay dependency-free so that sim -> check is a leaf edge, not a
+// cycle. The hooks themselves are calls through Simulator::auditor();
+// when CCAS_NO_CHECK_HOOKS is defined (cmake -DCCAS_CHECK_HOOKS=OFF),
+// auditor() constant-folds to nullptr and every hook call site is dead
+// code — the audited build and the bare build differ by exactly one
+// compile definition.
+#pragma once
+
+namespace ccas::check {
+
+#ifdef CCAS_NO_CHECK_HOOKS
+inline constexpr bool kAuditHooksCompiled = false;
+#else
+inline constexpr bool kAuditHooksCompiled = true;
+#endif
+
+class InvariantAuditor;
+
+}  // namespace ccas::check

@@ -34,6 +34,18 @@ double parse_number(const std::string& flag, const std::string& value) {
   return v;
 }
 
+// Count-like flags (--jobs, --seed, --seeds) take strict integers: "2.5"
+// or "1e3" silently truncating to a worker count or a different RNG seed
+// is exactly the kind of quiet misconfiguration a sweep can't detect.
+int64_t parse_integer(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("bad integer value for " + flag + ": '" + value + "'");
+  }
+  return v;
+}
+
 FlowGroup parse_group(const std::string& text) {
   const auto parts = split(text, ':');
   if (parts.size() != 3) {
@@ -66,7 +78,7 @@ std::string cli_usage() {
          "  --trace=<sec>         time-series sampling interval (0 = off)\n"
          "  --csv=<prefix>        write trace CSVs with this prefix\n"
          "  --seeds=<n,n,...>     run one cell per seed (parallel sweep)\n"
-         "  --jobs=<n>            worker threads (0 = hardware concurrency)\n"
+         "  --jobs=<n>            worker threads (default: hardware concurrency)\n"
          "  --cache-dir=<path>    enable the on-disk result cache\n"
          "  --no-cache            bypass the cache even if a dir is set\n"
          "CCAs: newreno, cubic, bbr, bbr2, vegas, copa (plus registry extensions)\n";
@@ -128,7 +140,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opts.spec.scenario.measure = TimeDelta::seconds_f(parse_number(key, value));
     } else if (key == "--seed") {
       need_value();
-      opts.spec.seed = static_cast<uint64_t>(parse_number(key, value));
+      const int64_t v = parse_integer(key, value);
+      if (v < 0) throw std::invalid_argument("--seed must be >= 0");
+      opts.spec.seed = static_cast<uint64_t>(v);
     } else if (key == "--jitter") {
       need_value();
       opts.spec.scenario.net.jitter =
@@ -148,7 +162,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (key == "--seeds") {
       need_value();
       for (const auto& s : split(value, ',')) {
-        const double v = parse_number(key, s);
+        const int64_t v = parse_integer(key, s);
         if (v < 0) throw std::invalid_argument("--seeds entries must be >= 0");
         opts.seeds.push_back(static_cast<uint64_t>(v));
       }
@@ -157,8 +171,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       }
     } else if (key == "--jobs") {
       need_value();
-      const double v = parse_number(key, value);
-      if (v < 0) throw std::invalid_argument("--jobs must be >= 0");
+      const int64_t v = parse_integer(key, value);
+      // 0 is not "hardware concurrency" here: that's the *default* when
+      // the flag is absent. An explicit --jobs=0 is a typo'd request for
+      // zero workers and must not silently run at full parallelism.
+      if (v <= 0) throw std::invalid_argument("--jobs needs a positive integer");
       opts.sweep.jobs = static_cast<int>(v);
     } else if (key == "--cache-dir") {
       need_value();

@@ -17,7 +17,7 @@
 //   --trace=<sec>              time-series sample interval (0 = off)
 //   --csv=<prefix>             write trace CSVs with this prefix
 //   --seeds=<n,n,...>          run one cell per seed (parallel sweep)
-//   --jobs=<n>                 worker threads (0 = hardware concurrency)
+//   --jobs=<n>                 worker threads (default: hardware concurrency)
 //   --cache-dir=<path>         enable the on-disk result cache
 //   --no-cache                 bypass the cache even if a dir is set
 #pragma once

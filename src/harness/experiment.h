@@ -42,6 +42,17 @@ struct ExperimentSpec {
   // Record bottleneck drop timestamps (needed for burstiness; costs RAM).
   bool record_drop_log = true;
 
+  // Record per-flow congestion-event timestamps (the golden-trace harness
+  // digests them). Part of the canonical spec encoding: it changes the
+  // result content, so it must change the cache key.
+  bool record_congestion_log = false;
+
+  // Run the invariant auditor alongside the experiment and throw on any
+  // violation. Observational only — it never alters behaviour — so it is
+  // deliberately NOT part of the canonical spec encoding (an audited run
+  // shares its cache entry with a bare one). Also forced on by CCAS_CHECK=1.
+  bool audit = false;
+
   // Time-series tracing (tcpprobe analog): when trace_interval > 0, sample
   // the flows in trace_flows (empty = every flow) and the bottleneck queue
   // at that interval, including the warm-up period.
@@ -76,6 +87,9 @@ struct ExperimentResult {
   bool converged_early = false;
   uint64_t sim_events = 0;
   TraceLog trace;  // empty unless trace_interval was set
+  // Per-flow congestion-event (fast-recovery entry) timestamps, covering
+  // the whole run; empty unless record_congestion_log was set.
+  std::vector<std::vector<Time>> congestion_log;
 
   // Jain fairness index over an arbitrary subset (by group, or all flows).
   [[nodiscard]] double jfi_all() const;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/cca/cca.h"
+#include "src/check/audit.h"
 #include "src/stats/fairness.h"
 #include "src/net/topology.h"
 #include "src/sim/simulator.h"
@@ -65,12 +66,28 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   Simulator sim;
   Rng rng(spec.seed);
+
+  // The auditor (when enabled) must attach before the topology is built so
+  // components register their packet holders; it is declared first so it
+  // outlives everything that may call hooks during teardown.
+  std::unique_ptr<check::InvariantAuditor> auditor;
+  if (check::kAuditHooksCompiled &&
+      (spec.audit || check::check_enabled_from_env())) {
+    auditor = std::make_unique<check::InvariantAuditor>(sim);
+  }
+
   DumbbellTopology topo(sim, spec.scenario.net);
   DropTailQueue& queue = topo.bottleneck_queue();
   queue.set_drop_log_enabled(spec.record_drop_log);
 
   // Build flows: ids are assigned in group order, so flows of one group
   // are spread round-robin over the sender/receiver pairs like all others.
+  // Declared before `flows`: senders capture references to its elements
+  // (stable — sized once, never reallocated) in their event callbacks.
+  std::vector<std::vector<Time>> congestion_log;
+  if (spec.record_congestion_log) {
+    congestion_log.resize(static_cast<size_t>(spec.total_flows()));
+  }
   std::vector<Flow> flows;
   flows.reserve(static_cast<size_t>(spec.total_flows()));
   uint32_t flow_id = 0;
@@ -85,8 +102,19 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       f.sender = std::make_unique<TcpSender>(sim, flow_id, make_cca(g.cca, *f.rng),
                                              &topo.data_entry(flow_id), spec.tcp);
       topo.register_flow(flow_id, g.rtt, f.sender.get(), f.receiver.get());
+      if (spec.record_congestion_log) {
+        std::vector<Time>& log = congestion_log[flow_id];
+        f.sender->set_congestion_event_callback(
+            [&log](Time at) { log.push_back(at); });
+      }
+      if (auditor) auditor->watch_sender(flow_id, *f.sender);
       flows.push_back(std::move(f));
     }
+  }
+  if (auditor) {
+    // Checkpoint a few times per simulated second; fine-grained invariants
+    // (queue occupancy, PRR budget, rate monotonicity) run per hook anyway.
+    auditor->schedule_periodic(TimeDelta::millis(250));
   }
 
   // Time-series tracing (optional).
@@ -171,6 +199,14 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     sim.run_until(measure_end);
   }
 
+  // Final audit checkpoint: the whole run must end conservation-clean.
+  if (auditor) {
+    auditor->run_checks(sim.now());
+    if (auditor->total_violations() > 0) {
+      throw std::runtime_error(auditor->report());
+    }
+  }
+
   // Final snapshots and result assembly.
   result.converged_early = converged_early;
   result.measured_for = sim.now() - warmup_end;
@@ -190,6 +226,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     result.flow_group.push_back(flows[i].group);
   }
   result.aggregate_goodput_bps = total_goodput;
+  result.congestion_log = std::move(congestion_log);
   // Normalize by the payload efficiency (1448 MSS / 1500 wire bytes): a
   // saturated link carries payload at MSS/wire of its line rate.
   const double payload_capacity =

@@ -53,6 +53,7 @@ void NetemDelay::accept(Packet&& pkt) {
     slots_.push_back(std::move(pkt));
   }
   ++in_transit_;
+  in_transit_bytes_ += slots_[slot].size_bytes;
   const uint32_t flow = slots_[slot].flow_id;
   TimeDelta delay = flow_delay(flow);
   if (jitter_rng_ != nullptr) {
@@ -73,6 +74,7 @@ void NetemDelay::on_event(uint32_t /*tag*/, uint64_t arg) {
   Packet p = std::move(slots_[slot]);
   free_slots_.push_back(slot);
   --in_transit_;
+  in_transit_bytes_ -= p.size_bytes;
   dest_->accept(std::move(p));
 }
 

@@ -56,6 +56,7 @@ class NetemDelay final : public PacketSink, public EventHandler {
   void on_event(uint32_t tag, uint64_t arg) override;
 
   [[nodiscard]] size_t in_transit() const { return in_transit_; }
+  [[nodiscard]] int64_t in_transit_bytes() const { return in_transit_bytes_; }
 
  private:
   Simulator& sim_;
@@ -70,6 +71,7 @@ class NetemDelay final : public PacketSink, public EventHandler {
   std::vector<Packet> slots_;
   std::vector<uint32_t> free_slots_;
   size_t in_transit_ = 0;
+  int64_t in_transit_bytes_ = 0;
 };
 
 }  // namespace ccas

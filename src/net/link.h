@@ -21,6 +21,11 @@ class Link final : public EventHandler {
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] uint64_t delivered_packets() const { return delivered_packets_; }
   [[nodiscard]] uint64_t delivered_bytes() const { return delivered_bytes_; }
+  // Bytes of the packet currently being serialized (0 when idle); the
+  // invariant auditor counts them as in-flight.
+  [[nodiscard]] int64_t held_bytes() const {
+    return busy_ ? in_flight_.size_bytes : 0;
+  }
 
   void set_source(DropTailQueue* queue) { queue_ = queue; }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/check/audit.h"
 #include "src/net/link.h"
 #include "src/sim/simulator.h"
 
@@ -22,6 +23,7 @@ void DropTailQueue::accept(Packet&& pkt) {
     stats_.dropped_bytes += pkt.size_bytes;
     if (pkt.flow_id < per_flow_drops_.size()) ++per_flow_drops_[pkt.flow_id];
     if (drop_log_enabled_) drop_log_.push_back(DropRecord{sim_.now(), pkt.flow_id});
+    if (auto* a = sim_.auditor()) a->on_enqueue(*this, pkt, /*dropped=*/true);
     return;
   }
   queued_bytes_ += pkt.size_bytes;
@@ -29,6 +31,7 @@ void DropTailQueue::accept(Packet&& pkt) {
   stats_.enqueued_bytes += pkt.size_bytes;
   stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
   fifo_.push_back(std::move(pkt));
+  if (auto* a = sim_.auditor()) a->on_enqueue(*this, fifo_.back(), /*dropped=*/false);
   if (downstream_ != nullptr) downstream_->notify_pending();
 }
 
@@ -37,6 +40,7 @@ Packet DropTailQueue::pop() {
   fifo_.pop_front();
   queued_bytes_ -= p.size_bytes;
   ++stats_.dequeued_packets;
+  if (auto* a = sim_.auditor()) a->on_dequeue(*this, p);
   return p;
 }
 
@@ -45,6 +49,7 @@ void DropTailQueue::reset_accounting() {
   stats_.max_queued_bytes = queued_bytes_;
   std::fill(per_flow_drops_.begin(), per_flow_drops_.end(), 0);
   drop_log_.clear();
+  if (auto* a = sim_.auditor()) a->on_queue_reset(*this);
 }
 
 }  // namespace ccas

@@ -56,6 +56,7 @@ class DropTailQueue final : public PacketSink {
   }
   [[nodiscard]] const std::vector<DropRecord>& drop_log() const { return drop_log_; }
   void set_drop_log_enabled(bool enabled) { drop_log_enabled_ = enabled; }
+  [[nodiscard]] bool drop_log_enabled() const { return drop_log_enabled_; }
 
   // Clears counters and the drop log (used at the end of the warm-up
   // period so measurements cover only steady state).

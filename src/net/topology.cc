@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/check/audit.h"
+
 namespace ccas {
 
 DumbbellTopology::DumbbellTopology(Simulator& sim, const DumbbellConfig& config)
@@ -33,6 +35,30 @@ DumbbellTopology::DumbbellTopology(Simulator& sim, const DumbbellConfig& config)
       l->set_source(q.get());
       host_queues_.push_back(std::move(q));
       host_links_.push_back(std::move(l));
+    }
+  }
+
+  // Conservation audit: queues report through their own hooks; everything
+  // else that can hold a packet between events registers as a holder here.
+  if (auto* a = sim_.auditor()) {
+    a->register_holder("bottleneck-link", [this](int64_t& pkts, int64_t& bytes) {
+      pkts += link_->busy() ? 1 : 0;
+      bytes += link_->held_bytes();
+    });
+    a->register_holder("forward-netem", [this](int64_t& pkts, int64_t& bytes) {
+      pkts += static_cast<int64_t>(forward_netem_->in_transit());
+      bytes += forward_netem_->in_transit_bytes();
+    });
+    a->register_holder("reverse-netem", [this](int64_t& pkts, int64_t& bytes) {
+      pkts += static_cast<int64_t>(reverse_netem_->in_transit());
+      bytes += reverse_netem_->in_transit_bytes();
+    });
+    for (size_t i = 0; i < host_links_.size(); ++i) {
+      Link* l = host_links_[i].get();
+      a->register_holder("host-link", [l](int64_t& pkts, int64_t& bytes) {
+        pkts += l->busy() ? 1 : 0;
+        bytes += l->held_bytes();
+      });
     }
   }
 }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/check/audit.h"
+
 namespace ccas {
 
 void Simulator::schedule_at(Time at, EventHandler* handler, uint32_t tag, uint64_t arg) {
@@ -35,6 +37,7 @@ void Simulator::FnDispatcher::on_event(uint32_t /*tag*/, uint64_t arg) {
 }
 
 void Simulator::dispatch(const Event& e) {
+  if (auto* a = auditor()) a->on_event_dispatched(now_, e.at);
   now_ = e.at;
   ++events_processed_;
   e.handler->on_event(e.tag, e.arg);

@@ -10,6 +10,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "src/check/hooks.h"
 #include "src/sim/event_queue.h"
 
 namespace ccas {
@@ -40,6 +41,15 @@ class Simulator {
   // Requests the loop to exit after the current event.
   void stop() { stopped_ = true; }
 
+  // Invariant-audit hook point. Components guard their hook calls with
+  // `if (auto* a = sim.auditor())`; with CCAS_CHECK_HOOKS=OFF auditor()
+  // constant-folds to nullptr and those branches compile away.
+  [[nodiscard]] check::InvariantAuditor* auditor() const {
+    if constexpr (!check::kAuditHooksCompiled) return nullptr;
+    return auditor_;
+  }
+  void set_auditor(check::InvariantAuditor* a) { auditor_ = a; }
+
  private:
   class FnDispatcher : public EventHandler {
    public:
@@ -59,6 +69,7 @@ class Simulator {
   EventQueue queue_;
   uint64_t events_processed_ = 0;
   bool stopped_ = false;
+  check::InvariantAuditor* auditor_ = nullptr;
   FnDispatcher fn_dispatcher_{*this};
 };
 

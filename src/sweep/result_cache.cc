@@ -15,7 +15,8 @@ namespace ccas::sweep {
 namespace {
 
 constexpr std::string_view kMagic = "CCASRES\n";
-constexpr uint64_t kFormatVersion = 1;
+// v2: per-flow congestion-event log appended to the payload.
+constexpr uint64_t kFormatVersion = 2;
 
 void put_flow(std::string& out, const FlowMeasurement& f) {
   put_u32(out, f.flow_id);
@@ -84,6 +85,12 @@ std::string serialize_result(const ExperimentResult& result) {
   put_i64(out, result.measured_for.ns());
   put_bool(out, result.converged_early);
   put_u64(out, result.sim_events);
+
+  put_u64(out, result.congestion_log.size());
+  for (const std::vector<Time>& flow_log : result.congestion_log) {
+    put_u64(out, flow_log.size());
+    for (const Time t : flow_log) put_i64(out, t.ns());
+  }
   return out;
 }
 
@@ -144,6 +151,19 @@ std::optional<ExperimentResult> deserialize_result(const std::string& payload) {
     return std::nullopt;
   }
   result.measured_for = TimeDelta::nanos(measured_ns);
+
+  if (!r.get_count(n, 8)) return std::nullopt;
+  result.congestion_log.resize(n);
+  for (std::vector<Time>& flow_log : result.congestion_log) {
+    uint64_t m = 0;
+    if (!r.get_count(m, 8)) return std::nullopt;
+    flow_log.reserve(m);
+    for (uint64_t i = 0; i < m; ++i) {
+      int64_t t = 0;
+      if (!r.get_i64(t)) return std::nullopt;
+      flow_log.push_back(Time::nanos(t));
+    }
+  }
   if (!r.exhausted()) return std::nullopt;  // trailing garbage
   return result;
 }

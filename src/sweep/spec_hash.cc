@@ -84,6 +84,9 @@ std::string canonical_spec_bytes(const ExperimentSpec& spec) {
   tagged_double(out, "conv.tolerance", spec.convergence_tolerance);
 
   tagged_bool(out, "drop_log", spec.record_drop_log);
+  tagged_bool(out, "cong_log", spec.record_congestion_log);
+  // spec.audit is deliberately NOT encoded: the auditor is observational,
+  // so an audited run may share a cache entry with a bare one.
 
   tagged_i64(out, "trace.interval_ns", spec.trace_interval.ns());
   tagged_u64(out, "trace.flows", spec.trace_flows.size());

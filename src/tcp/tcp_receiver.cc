@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/check/audit.h"
 #include "src/net/topology.h"
 
 namespace ccas {
@@ -65,6 +66,7 @@ void TcpReceiver::deliver_segment(uint64_t seq, bool& was_duplicate, bool& fille
 
 void TcpReceiver::accept(Packet&& pkt) {
   if (pkt.type != PacketType::kData) return;  // receivers only consume data
+  if (auto* a = sim_.auditor()) a->on_packet_delivered(pkt);
   ++segments_received_;
   const uint64_t seq = pkt.seq;
   const bool in_order = (seq == rcv_nxt_);
@@ -154,6 +156,7 @@ void TcpReceiver::send_ack_now(uint64_t trigger_seq) {
   Packet ack = Packet::make_ack(flow_id_, DumbbellTopology::kToSenders, rcv_nxt_);
   fill_sack_blocks(ack, trigger_seq);
   ++acks_sent_;
+  if (auto* a = sim_.auditor()) a->on_packet_injected(ack);
   ack_path_->accept(std::move(ack));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/check/audit.h"
 #include "src/net/topology.h"
 #include "src/sim/simulator.h"
 
@@ -32,6 +33,7 @@ void TcpSender::start() {
 
 void TcpSender::accept(Packet&& pkt) {
   if (pkt.type != PacketType::kAck) return;
+  if (auto* a = sim_.auditor()) a->on_packet_delivered(pkt);
   process_ack(pkt);
 }
 
@@ -76,14 +78,29 @@ void TcpSender::process_ack(const Packet& ack) {
   // is reported either way).
   if (cum_advanced) {
     dupack_count_ = 0;
+    reno_deflate_hint_ = 0;
   } else if (!sb_.empty()) {
     ++dupack_count_;
     ++stats_.dupacks;
-    if (!config_.sack_enabled && pipe_ > 0) {
+    if (!config_.sack_enabled) {
       // Without SACK, each dupack still proves one segment left the
       // network (RFC 5681's cwnd-inflation expressed as pipe deflation);
       // this is what lets recovery proceed instead of stalling into RTO.
-      --pipe_;
+      // The deflation retires a specific segment (the earliest one still
+      // presumed in flight beyond the hole — dupacks mean the receiver is
+      // buffering out-of-order data) so that the cumulative ACK ending
+      // recovery cannot deflate the same segment a second time and
+      // underflow the pipe.
+      reno_deflate_hint_ = std::max(reno_deflate_hint_, sb_.snd_una() + 1);
+      for (uint64_t s = reno_deflate_hint_; s < sb_.snd_nxt(); ++s) {
+        SegmentState& st = sb_.seg(s);
+        if (st.outstanding) {
+          st.outstanding = false;
+          --pipe_;
+          reno_deflate_hint_ = s + 1;
+          break;
+        }
+      }
     }
   }
 
@@ -122,6 +139,7 @@ void TcpSender::process_ack(const Packet& ack) {
     state_ = State::kRecovery;
     recovery_point_ = sb_.snd_nxt();
     ++stats_.congestion_events;
+    if (congestion_event_cb_) congestion_event_cb_(now);
     // PRR (RFC 6937) epoch starts here.
     prr_delivered_ = 0;
     prr_out_ = 0;
@@ -175,6 +193,10 @@ void TcpSender::process_ack(const Packet& ack) {
   // takes one segment per RTT.
   ev.in_recovery = (state_ == State::kRecovery);
   cca_->on_ack(ev);
+  if (auto* a = sim_.auditor()) {
+    a->on_ack_processed(flow_id_, ev, cca_->cwnd(), rate_est_.delivered_time(),
+                        rate_est_.delivered());
+  }
 
   // RTO timer: restart on progress, stop when nothing is outstanding and
   // nothing awaits retransmission.
@@ -188,7 +210,7 @@ void TcpSender::process_ack(const Packet& ack) {
     retx_hint_ = std::max(retx_hint_, sb_.snd_una());
     if (auto lost = sb_.find_lost_from(retx_hint_)) {
       retx_hint_ = *lost + 1;
-      transmit_segment(now, *lost, /*retransmit=*/true);
+      transmit_segment(now, *lost, /*retransmit=*/true, /*prr_exempt=*/true);
     }
   }
   try_send();
@@ -217,7 +239,10 @@ void TcpSender::on_rto_fire() {
   ++stats_.rto_events;
   rto_backoff_shift_ = std::min<uint32_t>(rto_backoff_shift_ + 1, 10);
   cca_->on_rto(sim_.now());
-  sb_.mark_all_lost([](uint64_t, SegmentState&) {});
+  // Everything is presumed lost: the outstanding flags must be cleared
+  // along with the pipe, or deliveries of pre-RTO copies that do arrive
+  // would deflate a pipe that no longer counts them.
+  sb_.mark_all_lost([](uint64_t, SegmentState& st) { st.outstanding = false; });
   pipe_ = 0;
   state_ = State::kLoss;
   recovery_point_ = sb_.snd_nxt();
@@ -271,7 +296,13 @@ bool TcpSender::send_one(Time now) {
   return true;
 }
 
-void TcpSender::transmit_segment(Time now, uint64_t seq, bool retransmit) {
+void TcpSender::transmit_segment(Time now, uint64_t seq, bool retransmit,
+                                 bool prr_exempt) {
+  if (auto* a = sim_.auditor()) {
+    const bool prr_active =
+        state_ == State::kRecovery && !cca_->owns_recovery_cwnd();
+    a->on_transmit(flow_id_, prr_active, prr_budget_, prr_exempt);
+  }
   sb_.note_transmit(seq);
   SegmentState& st = sb_.seg(seq);
   rate_est_.on_packet_sent(now, st, /*pipe_was_empty=*/pipe_ == 0);
@@ -295,8 +326,10 @@ void TcpSender::transmit_segment(Time now, uint64_t seq, bool retransmit) {
   }
   if (!rto_timer_.is_armed()) arm_rto();
 
-  data_path_->accept(
-      Packet::make_data(flow_id_, DumbbellTopology::kToReceivers, seq, retransmit));
+  Packet pkt =
+      Packet::make_data(flow_id_, DumbbellTopology::kToReceivers, seq, retransmit);
+  if (auto* a = sim_.auditor()) a->on_packet_injected(pkt);
+  data_path_->accept(std::move(pkt));
 }
 
 }  // namespace ccas

@@ -67,6 +67,11 @@ class TcpSender final : public PacketSink {
   [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
   [[nodiscard]] const CongestionController& cca() const { return *cca_; }
   [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] const SackScoreboard& scoreboard() const { return sb_; }
+  [[nodiscard]] const DeliveryRateEstimator& rate_estimator() const {
+    return rate_est_;
+  }
+  [[nodiscard]] const TcpSenderConfig& config() const { return config_; }
   [[nodiscard]] uint64_t inflight() const { return pipe_; }
   [[nodiscard]] uint64_t snd_una() const { return sb_.snd_una(); }
   [[nodiscard]] uint64_t snd_nxt() const { return sb_.snd_nxt(); }
@@ -81,6 +86,11 @@ class TcpSender final : public PacketSink {
   void set_completion_callback(std::function<void()> cb) {
     completion_cb_ = std::move(cb);
   }
+  // Invoked at every congestion event (fast-recovery entry) with the sim
+  // time; the golden-trace harness records these per flow.
+  void set_congestion_event_callback(std::function<void(Time)> cb) {
+    congestion_event_cb_ = std::move(cb);
+  }
 
  private:
   enum class State { kOpen, kRecovery, kLoss };
@@ -88,7 +98,10 @@ class TcpSender final : public PacketSink {
   void process_ack(const Packet& ack);
   void try_send();
   [[nodiscard]] bool send_one(Time now);
-  void transmit_segment(Time now, uint64_t seq, bool retransmit);
+  // `prr_exempt` marks the one immediate fast retransmit RFC 5681 allows
+  // outside the PRR send budget (audit hook bookkeeping only).
+  void transmit_segment(Time now, uint64_t seq, bool retransmit,
+                        bool prr_exempt = false);
   void arm_rto();
   void on_rto_fire();
   [[nodiscard]] TimeDelta current_rto() const;
@@ -113,6 +126,7 @@ class TcpSender final : public PacketSink {
   uint64_t recovery_point_ = 0;  // snd_nxt at recovery entry
   uint64_t dupack_count_ = 0;
   uint64_t retx_hint_ = 0;  // scan cursor for lost-segment retransmission
+  uint64_t reno_deflate_hint_ = 0;  // scan cursor for dupack pipe deflation
 
   // Proportional Rate Reduction (RFC 6937) state, active in kRecovery:
   // transmissions are clocked against deliveries so the reduction to
@@ -131,6 +145,7 @@ class TcpSender final : public PacketSink {
 
   std::function<void()> completion_cb_;
   bool completion_fired_ = false;
+  std::function<void(Time)> congestion_event_cb_;
 };
 
 }  // namespace ccas

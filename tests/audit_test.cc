@@ -1,0 +1,121 @@
+#include "src/check/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/check/golden.h"
+#include "src/harness/runner.h"
+#include "src/sim/simulator.h"
+
+namespace ccas::check {
+namespace {
+
+ExperimentSpec small_edge_spec() {
+  ExperimentSpec spec;
+  spec.scenario = Scenario::edge_scale();
+  spec.scenario.stagger = TimeDelta::millis(100);
+  spec.scenario.warmup = TimeDelta::millis(300);
+  spec.scenario.measure = TimeDelta::millis(500);
+  spec.groups.push_back({"cubic", 3, TimeDelta::millis(20)});
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(AuditTest, CheckEnabledFromEnvParsesCommonValues) {
+  unsetenv("CCAS_CHECK");
+  EXPECT_FALSE(check_enabled_from_env());
+  setenv("CCAS_CHECK", "", 1);
+  EXPECT_FALSE(check_enabled_from_env());
+  setenv("CCAS_CHECK", "0", 1);
+  EXPECT_FALSE(check_enabled_from_env());
+  setenv("CCAS_CHECK", "1", 1);
+  EXPECT_TRUE(check_enabled_from_env());
+  setenv("CCAS_CHECK", "yes", 1);
+  EXPECT_TRUE(check_enabled_from_env());
+  unsetenv("CCAS_CHECK");
+}
+
+TEST(AuditTest, AttachesAndDetachesFromSimulator) {
+  Simulator sim;
+  EXPECT_EQ(sim.auditor(), nullptr);
+  {
+    InvariantAuditor auditor(sim);
+    EXPECT_EQ(sim.auditor(), &auditor);
+  }
+  EXPECT_EQ(sim.auditor(), nullptr);
+}
+
+TEST(AuditTest, FlagsNonMonotoneEventDispatch) {
+  Simulator sim;
+  InvariantAuditor auditor(sim);
+  auditor.on_event_dispatched(Time::zero() + TimeDelta::millis(10), Time::zero() + TimeDelta::millis(10));
+  EXPECT_EQ(auditor.total_violations(), 0u);
+  auditor.on_event_dispatched(Time::zero() + TimeDelta::millis(10), Time::zero() + TimeDelta::millis(5));
+  ASSERT_EQ(auditor.total_violations(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "event-queue.monotonic-time");
+  EXPECT_NE(auditor.report().find("event-queue.monotonic-time"),
+            std::string::npos);
+}
+
+TEST(AuditTest, FlagsPrrBudgetOverrun) {
+  Simulator sim;
+  InvariantAuditor auditor(sim);
+  // Outside recovery, or with budget, or on the exempt fast retransmit:
+  // no violation.
+  auditor.on_transmit(3, /*prr_active=*/false, /*prr_budget=*/0, false);
+  auditor.on_transmit(3, /*prr_active=*/true, /*prr_budget=*/2, false);
+  auditor.on_transmit(3, /*prr_active=*/true, /*prr_budget=*/0, /*prr_exempt=*/true);
+  EXPECT_EQ(auditor.total_violations(), 0u);
+  auditor.on_transmit(3, /*prr_active=*/true, /*prr_budget=*/0, false);
+  ASSERT_EQ(auditor.total_violations(), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "prr.budget-exceeded");
+  EXPECT_EQ(auditor.violations()[0].flow_id, 3u);
+}
+
+TEST(AuditTest, FlagsBackwardDeliveryClock) {
+  Simulator sim;
+  InvariantAuditor auditor(sim);
+  AckEvent ev;
+  ev.now = Time::zero() + TimeDelta::millis(50);
+  auditor.on_ack_processed(0, ev, /*cwnd=*/10, Time::zero() + TimeDelta::millis(40), 100);
+  EXPECT_EQ(auditor.total_violations(), 0u);
+  // Delivered count and delivered_time must both be monotone.
+  auditor.on_ack_processed(0, ev, /*cwnd=*/10, Time::zero() + TimeDelta::millis(30), 90);
+  EXPECT_EQ(auditor.total_violations(), 2u);
+  // cwnd of zero is always a violation.
+  auditor.on_ack_processed(1, ev, /*cwnd=*/0, Time::zero() + TimeDelta::millis(60), 1);
+  EXPECT_EQ(auditor.violations().back().invariant, "cca.cwnd-bounds");
+}
+
+TEST(AuditTest, CleanRunAuditsWithoutViolations) {
+  ExperimentSpec spec = small_edge_spec();
+  spec.audit = true;
+  // run_experiment throws on any violation; completing is the assertion.
+  const ExperimentResult result = run_experiment(spec);
+  EXPECT_GT(result.aggregate_goodput_bps, 0.0);
+}
+
+TEST(AuditTest, AuditingDoesNotChangeBehavior) {
+  // The auditor must be purely observational: identical golden digests
+  // with and without it (this also covers why spec.audit stays out of the
+  // canonical spec encoding and the sweep cache key).
+  ExperimentSpec bare = small_edge_spec();
+  ExperimentSpec audited = small_edge_spec();
+  audited.audit = true;
+  const ExperimentResult r1 = run_experiment(bare);
+  const ExperimentResult r2 = run_experiment(audited);
+  EXPECT_EQ(golden_digest(bare, r1), golden_digest(bare, r2));
+  EXPECT_EQ(r1.sim_events, r2.sim_events);
+}
+
+TEST(AuditTest, EnvToggleForcesAuditOn) {
+  setenv("CCAS_CHECK", "1", 1);
+  ExperimentSpec spec = small_edge_spec();  // spec.audit stays false
+  const ExperimentResult result = run_experiment(spec);
+  unsetenv("CCAS_CHECK");
+  EXPECT_GT(result.aggregate_goodput_bps, 0.0);
+}
+
+}  // namespace
+}  // namespace ccas::check

@@ -1,0 +1,167 @@
+// Tier-2 auditor stress grid: one representative cell per reproduction
+// bench (bench/bench_*.cc), run at REPRO_SCALE=0.05 with the invariant
+// auditor enabled. run_experiment throws on any violation, so completing
+// the grid IS the assertion: the whole configuration space the benches
+// exercise (both settings, every CCA mix, SACK off, delayed-ACK off,
+// undersized buffers) holds the conservation/scoreboard/PRR invariants.
+//
+// Gated behind CCAS_CHECK so plain `ctest` (tier 1) stays fast; the ASan
+// CI job runs it with CCAS_CHECK=1.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/check/audit.h"
+#include "src/harness/runner.h"
+#include "src/harness/scenario.h"
+
+namespace ccas::check {
+namespace {
+
+constexpr double kScale = 0.05;
+
+// Mirrors bench_common.h's make_scenario: CoreScale shrinks with
+// REPRO_SCALE (bandwidth + buffer together, per-flow BDP preserved),
+// EdgeScale always runs at the paper's parameters. Durations are
+// compressed far below the bench defaults — this grid probes invariants,
+// not steady-state statistics.
+Scenario stress_scenario(Setting setting) {
+  Scenario s = Scenario::for_setting(setting);
+  if (setting == Setting::kCoreScale) {
+    s.net.bottleneck_rate = s.net.bottleneck_rate * kScale;
+    s.net.buffer_bytes = std::max<int64_t>(
+        static_cast<int64_t>(static_cast<double>(s.net.buffer_bytes) * kScale),
+        16 * kDataPacketBytes);
+  }
+  s.stagger = TimeDelta::millis(200);
+  s.warmup = TimeDelta::millis(500);
+  s.measure = TimeDelta::seconds(1);
+  return s;
+}
+
+struct StressCell {
+  std::string bench;  // which bench binary this cell represents
+  ExperimentSpec spec;
+};
+
+ExperimentSpec base_spec(Setting setting) {
+  ExperimentSpec spec;
+  spec.scenario = stress_scenario(setting);
+  spec.seed = 42;
+  spec.audit = true;
+  return spec;
+}
+
+int core_flows(int paper_count) { return scaled_flow_count(paper_count, kScale); }
+
+// One cell per bench, at that bench's characteristic coordinate.
+std::vector<StressCell> stress_grid() {
+  std::vector<StressCell> grid;
+  const TimeDelta rtt20 = TimeDelta::millis(20);
+  const TimeDelta rtt100 = TimeDelta::millis(100);
+
+  {  // fig2: Mathis error, NewReno at CoreScale flow counts.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.groups.push_back({"newreno", core_flows(1000), rtt20});
+    grid.push_back({"bench_fig2_mathis_error", std::move(s)});
+  }
+  {  // fig3: loss rate vs halving rate, NewReno at EdgeScale.
+    ExperimentSpec s = base_spec(Setting::kEdgeScale);
+    s.groups.push_back({"newreno", 10, rtt20});
+    grid.push_back({"bench_fig3_loss_halving_ratio", std::move(s)});
+  }
+  {  // table1: Mathis constant fit, NewReno EdgeScale.
+    ExperimentSpec s = base_spec(Setting::kEdgeScale);
+    s.groups.push_back({"newreno", 30, rtt20});
+    grid.push_back({"bench_table1_mathis_constant", std::move(s)});
+  }
+  {  // fig4: BBR intra-CCA fairness at CoreScale.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.groups.push_back({"bbr", core_flows(1000), rtt100});
+    grid.push_back({"bench_fig4_bbr_intra_jfi", std::move(s)});
+  }
+  {  // fig5: Cubic vs Reno population split.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.groups.push_back({"cubic", core_flows(500), rtt20});
+    s.groups.push_back({"newreno", core_flows(500), rtt20});
+    grid.push_back({"bench_fig5_cubic_vs_reno", std::move(s)});
+  }
+  {  // fig6: one BBR flow against a NewReno population.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.groups.push_back({"bbr", 1, rtt100});
+    s.groups.push_back({"newreno", core_flows(1000), rtt100});
+    grid.push_back({"bench_fig6_one_bbr_vs_reno", std::move(s)});
+  }
+  {  // fig7: one BBR flow against a Cubic population.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.groups.push_back({"bbr", 1, rtt100});
+    s.groups.push_back({"cubic", core_flows(1000), rtt100});
+    grid.push_back({"bench_fig7_one_bbr_vs_cubic", std::move(s)});
+  }
+  {  // fig8: equal-count BBR vs Cubic.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.groups.push_back({"bbr", core_flows(500), rtt100});
+    s.groups.push_back({"cubic", core_flows(500), rtt100});
+    grid.push_back({"bench_fig8_bbr_equal_count", std::move(s)});
+  }
+  {  // finding4: loss-based CCAs stay fair at scale.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.groups.push_back({"cubic", core_flows(1000), rtt100});
+    grid.push_back({"bench_finding4_loss_based_jfi", std::move(s)});
+  }
+  {  // burstiness: drop-process burstiness needs the drop log.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.groups.push_back({"newreno", core_flows(1000), rtt20});
+    s.record_drop_log = true;
+    grid.push_back({"bench_burstiness", std::move(s)});
+  }
+  {  // ablation: 0.1x bottleneck buffer.
+    ExperimentSpec s = base_spec(Setting::kCoreScale);
+    s.scenario.net.buffer_bytes = std::max<int64_t>(
+        s.scenario.net.buffer_bytes / 10, 16 * kDataPacketBytes);
+    s.groups.push_back({"newreno", core_flows(1000), rtt20});
+    grid.push_back({"bench_ablation_buffer", std::move(s)});
+  }
+  {  // ablation: delayed ACKs off.
+    ExperimentSpec s = base_spec(Setting::kEdgeScale);
+    s.groups.push_back({"newreno", 10, rtt20});
+    s.receiver.delayed_ack = false;
+    grid.push_back({"bench_ablation_delack", std::move(s)});
+  }
+  {  // ablation: SACK off (dupack-only recovery is the auditor's hardest
+     // customer: pipe deflation, RFC 5681 forced retransmits).
+    ExperimentSpec s = base_spec(Setting::kEdgeScale);
+    s.groups.push_back({"newreno", 10, rtt20});
+    s.tcp.sack_enabled = false;
+    grid.push_back({"bench_ablation_sack", std::move(s)});
+  }
+  {  // ablation: BBR min_cwnd (default config's floor, mixed RTTs).
+    ExperimentSpec s = base_spec(Setting::kEdgeScale);
+    s.groups.push_back({"bbr", 5, rtt20});
+    s.groups.push_back({"bbr", 5, rtt100});
+    grid.push_back({"bench_ablation_bbr_mincwnd", std::move(s)});
+  }
+  return grid;
+}
+
+TEST(check_stress, BenchGridRunsAuditCleanAtSmallScale) {
+  if (!kAuditHooksCompiled) {
+    GTEST_SKIP() << "audit hooks compiled out (CCAS_CHECK_HOOKS=OFF)";
+  }
+  if (!check_enabled_from_env()) {
+    GTEST_SKIP() << "tier-2 stress grid; set CCAS_CHECK=1 to run";
+  }
+  for (const StressCell& cell : stress_grid()) {
+    SCOPED_TRACE(cell.bench);
+    ExperimentResult result;
+    // run_experiment throws with the auditor's report on any violation.
+    ASSERT_NO_THROW(result = run_experiment(cell.spec)) << cell.bench;
+    EXPECT_GT(result.aggregate_goodput_bps, 0.0) << cell.bench;
+    EXPECT_GT(result.sim_events, 0u) << cell.bench;
+  }
+}
+
+}  // namespace
+}  // namespace ccas::check

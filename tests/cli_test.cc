@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 namespace ccas {
 namespace {
 
@@ -98,6 +100,54 @@ TEST(Cli, SweepRejections) {
                std::invalid_argument);
   EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cache-dir="}),
                std::invalid_argument);
+}
+
+TEST(Cli, JobsRequiresPositiveInteger) {
+  // --jobs=0 is NOT "hardware concurrency" (that's the no-flag default):
+  // it must error rather than silently run at full parallelism.
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--jobs=0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--jobs=2.5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--jobs=1e2"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--jobs=abc"}),
+               std::invalid_argument);
+  EXPECT_EQ(parse_cli({"--groups=cubic:1:20", "--jobs=1"}).sweep.jobs, 1);
+  // Absent flag: stays 0, resolved to hardware concurrency by the executor.
+  EXPECT_EQ(parse_cli({"--groups=cubic:1:20"}).sweep.jobs, 0);
+}
+
+TEST(Cli, SeedsRejectNegativeAndFractionalEntries) {
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--seeds=-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--seeds=1,-2,3"}),
+               std::invalid_argument);
+  // "1.5" truncating to seed 1 would silently run a different experiment.
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--seeds=1.5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--seed=-7"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--seed=7.5"}),
+               std::invalid_argument);
+  EXPECT_EQ(parse_cli({"--groups=cubic:1:20", "--seeds=0,2"}).seeds,
+            (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(Cli, NoCacheEnvTakesPrecedenceOverCacheDirFlag) {
+  // CCAS_NO_CACHE must win over --cache-dir deterministically: the dir is
+  // still recorded, but the cache is neither read nor written.
+  setenv("CCAS_NO_CACHE", "1", 1);
+  const CliOptions off = parse_cli({"--groups=cubic:1:20", "--cache-dir=d"});
+  EXPECT_FALSE(off.sweep.use_cache);
+  EXPECT_EQ(off.sweep.cache_dir, "d");
+  // CCAS_NO_CACHE=0 and empty both mean "not set".
+  setenv("CCAS_NO_CACHE", "0", 1);
+  EXPECT_TRUE(parse_cli({"--groups=cubic:1:20", "--cache-dir=d"}).sweep.use_cache);
+  setenv("CCAS_NO_CACHE", "", 1);
+  EXPECT_TRUE(parse_cli({"--groups=cubic:1:20", "--cache-dir=d"}).sweep.use_cache);
+  unsetenv("CCAS_NO_CACHE");
+  EXPECT_TRUE(parse_cli({"--groups=cubic:1:20", "--cache-dir=d"}).sweep.use_cache);
 }
 
 TEST(Cli, UsageMentionsEveryCca) {

@@ -51,6 +51,56 @@ TEST(DeliveryRate, RejectsSamplesShorterThanMinRtt) {
                    .valid());
 }
 
+TEST(DeliveryRate, MinRttRejectionBoundaryIsStrict) {
+  // Linux tcp_rate_gen rejects interval < min_rtt, strictly: an interval of
+  // exactly min_rtt is a legitimate one-RTT sample and must be accepted.
+  // Locks the `<` (not `<=`) in take_sample.
+  const TimeDelta min_rtt = TimeDelta::millis(20);
+  {
+    DeliveryRateEstimator est;
+    SegmentState s;
+    est.on_packet_sent(Time::zero(), s, /*pipe_was_empty=*/true);
+    s.last_sent = Time::zero();
+    const Time ack = Time::zero() + min_rtt;  // interval == min_rtt exactly
+    est.on_packet_delivered(ack, s);
+    EXPECT_TRUE(est.take_sample(ack, min_rtt).valid());
+  }
+  {
+    DeliveryRateEstimator est;
+    SegmentState s;
+    est.on_packet_sent(Time::zero(), s, /*pipe_was_empty=*/true);
+    s.last_sent = Time::zero();
+    const Time ack = Time::zero() + min_rtt - TimeDelta::nanos(1);
+    est.on_packet_delivered(ack, s);
+    EXPECT_FALSE(est.take_sample(ack, min_rtt).valid());
+  }
+}
+
+TEST(DeliveryRate, InfiniteMinRttDisablesRejection) {
+  // Before the first RTT sample min_rtt is infinite; the rejection is
+  // explicitly skipped then (otherwise no sample could ever be taken).
+  DeliveryRateEstimator est;
+  SegmentState s;
+  est.on_packet_sent(Time::zero(), s, /*pipe_was_empty=*/true);
+  s.last_sent = Time::zero();
+  const Time ack = Time::zero() + TimeDelta::micros(5);
+  est.on_packet_delivered(ack, s);
+  EXPECT_TRUE(est.take_sample(ack, TimeDelta::infinite()).valid());
+}
+
+TEST(DeliveryRate, SampleConsumedOncePerAck) {
+  // take_sample resets per-ACK state: the second call for the same ACK
+  // must return invalid rather than re-emitting (BBR would double-count).
+  DeliveryRateEstimator est;
+  SegmentState s;
+  est.on_packet_sent(Time::zero(), s, /*pipe_was_empty=*/true);
+  s.last_sent = Time::zero();
+  const Time ack = Time::zero() + TimeDelta::millis(30);
+  est.on_packet_delivered(ack, s);
+  EXPECT_TRUE(est.take_sample(ack, TimeDelta::millis(20)).valid());
+  EXPECT_FALSE(est.take_sample(ack, TimeDelta::millis(20)).valid());
+}
+
 TEST(DeliveryRate, BurstDeliveryUsesSendInterval) {
   // Segments sent over 100 ms but all delivered in one burst ACK: the rate
   // must reflect the (slower) send interval, not the ACK burst.

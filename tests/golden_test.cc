@@ -1,0 +1,113 @@
+// Golden-trace regression tests: every grid cell's digest must match the
+// checked-in goldens file (`ctest -R golden`). A failure means simulator or
+// TCP-stack behavior drifted; if the change is intended, re-record with
+// `tools/ccas_check record` and review the summary-field diff.
+//
+// The suite name is lowercase so `ctest -R golden` selects exactly these.
+#include "src/check/golden.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/harness/runner.h"
+
+namespace ccas::check {
+namespace {
+
+TEST(golden, GridIsStableAndUnique) {
+  const std::vector<GoldenCell> grid = golden_grid();
+  ASSERT_FALSE(grid.empty());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_FALSE(grid[i].name.empty());
+    for (size_t j = i + 1; j < grid.size(); ++j) {
+      EXPECT_NE(grid[i].name, grid[j].name) << "duplicate cell name";
+    }
+  }
+}
+
+TEST(golden, FormatParsesRoundTrip) {
+  GoldenRecord a;
+  a.name = "cell-a";
+  a.digest = 0x0123456789abcdefULL;
+  a.aggregate_goodput_bps = 1.25e8;
+  a.utilization = 0.937;
+  a.dropped_packets = 42;
+  a.congestion_events = 7;
+  a.sim_events = 123456;
+  a.flows = 4;
+  GoldenRecord b;
+  b.name = "cell-b";
+  b.digest = 0xffffffffffffffffULL;
+  const std::string text = format_goldens({a, b});
+  const std::vector<GoldenRecord> parsed = parse_goldens(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].name, a.name);
+  EXPECT_EQ(parsed[0].digest, a.digest);
+  EXPECT_DOUBLE_EQ(parsed[0].aggregate_goodput_bps, a.aggregate_goodput_bps);
+  EXPECT_DOUBLE_EQ(parsed[0].utilization, a.utilization);
+  EXPECT_EQ(parsed[0].dropped_packets, a.dropped_packets);
+  EXPECT_EQ(parsed[0].congestion_events, a.congestion_events);
+  EXPECT_EQ(parsed[0].sim_events, a.sim_events);
+  EXPECT_EQ(parsed[0].flows, a.flows);
+  EXPECT_EQ(parsed[1].digest, b.digest);
+  // Round-trip must be byte-stable: format(parse(format(x))) == format(x).
+  EXPECT_EQ(format_goldens(parsed), text);
+}
+
+TEST(golden, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_goldens("cell deadbeef 1.0 0.5 1 2 3"),
+               std::runtime_error);  // missing field + no version tag
+  EXPECT_THROW(
+      (void)parse_goldens("# ccas-golden-v1\ncell notahexdigest 1 0.5 1 2 3 4"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_goldens("cell 00000000000000aa 1 0.5 1 2 3 4"),
+               std::runtime_error);  // records without a version tag
+  EXPECT_TRUE(parse_goldens("").empty());
+  EXPECT_TRUE(parse_goldens("# just a comment\n").empty());
+}
+
+TEST(golden, CompareFlagsMismatchMissingAndUnknown) {
+  GoldenRecord exp;
+  exp.name = "cell";
+  exp.digest = 1;
+  GoldenRecord act = exp;
+  EXPECT_TRUE(compare_goldens({exp}, {act}).ok);
+
+  act.digest = 2;
+  const GoldenDiff mismatch = compare_goldens({exp}, {act});
+  EXPECT_FALSE(mismatch.ok);
+  EXPECT_NE(mismatch.report.find("MISMATCH"), std::string::npos);
+
+  EXPECT_FALSE(compare_goldens({exp}, {}).ok);
+  EXPECT_FALSE(compare_goldens({}, {act}).ok);
+}
+
+// The acceptance check: recompute every grid cell (auditor on — a golden
+// recorded under a violated invariant would be worthless) and compare the
+// digests against the checked-in file.
+TEST(golden, GridMatchesCheckedInDigests) {
+  std::vector<GoldenRecord> expected;
+  try {
+    expected = load_goldens(CCAS_GOLDENS_FILE);
+  } catch (const std::exception& e) {
+    FAIL() << "cannot load goldens (" << e.what()
+           << "); run `tools/ccas_check record` once to create them";
+  }
+  ASSERT_FALSE(expected.empty());
+
+  std::vector<GoldenRecord> actual;
+  for (const GoldenCell& cell : golden_grid()) {
+    ExperimentSpec spec = cell.spec;
+    spec.audit = true;
+    const ExperimentResult result = run_experiment(spec);
+    actual.push_back(make_golden_record(cell.name, cell.spec, result));
+  }
+  const GoldenDiff diff = compare_goldens(expected, actual);
+  EXPECT_TRUE(diff.ok) << diff.report
+                       << "re-record with `tools/ccas_check record` if this "
+                          "behavior change is intended";
+}
+
+}  // namespace
+}  // namespace ccas::check

@@ -40,6 +40,57 @@ TEST(RttEstimator, RtoHasVarianceFloor) {
   EXPECT_LE(est.rto(), TimeDelta::millis(260) + TimeDelta::millis(210));
 }
 
+TEST(RttEstimator, RttvarFloorBoundaryExact) {
+  // Linux semantics: RTO = SRTT + max(4*RTTVAR, rto_min) — the floor is on
+  // the variance term, not on the total. These lock the exact boundary.
+  {
+    // 4*RTTVAR == rto_min exactly (first sample 100 ms -> RTTVAR 50 ms):
+    // both sides of the max agree, RTO = 100 + 200.
+    RttEstimator est;
+    est.add_sample(TimeDelta::millis(100));
+    EXPECT_EQ(est.rto(), TimeDelta::millis(300));
+  }
+  {
+    // 4*RTTVAR one step above the floor (first sample 101 ms -> RTTVAR
+    // 50.5 ms, 4*RTTVAR = 202 ms > 200 ms): the variance term wins.
+    RttEstimator est;
+    est.add_sample(TimeDelta::millis(101));
+    EXPECT_EQ(est.rto(), TimeDelta::millis(101) + TimeDelta::micros(202'000));
+  }
+  {
+    // Decayed variance on a stable path: RTTVAR -> 0, so the floor fully
+    // determines the margin and RTO == SRTT + rto_min exactly. Were the
+    // floor applied to the total instead (max(srtt + 4*rttvar, rto_min)),
+    // this would collapse to 260 ms and fire on every delayed ACK.
+    RttEstimator est;
+    for (int i = 0; i < 200; ++i) est.add_sample(TimeDelta::millis(260));
+    EXPECT_EQ(est.rtt_var(), TimeDelta::zero());
+    EXPECT_EQ(est.rto(), TimeDelta::millis(260) + TimeDelta::millis(200));
+  }
+}
+
+TEST(RttEstimator, RttvarIntegerDecaySequence) {
+  // The EWMA is integer nanosecond arithmetic; lock the first few decay
+  // steps on a stable path (err = 0 -> RTTVAR := 3/4 RTTVAR each sample).
+  RttEstimator est;
+  est.add_sample(TimeDelta::millis(100));
+  EXPECT_EQ(est.rtt_var(), TimeDelta::millis(50));
+  est.add_sample(TimeDelta::millis(100));
+  EXPECT_EQ(est.rtt_var(), TimeDelta::micros(37'500));
+  est.add_sample(TimeDelta::millis(100));
+  EXPECT_EQ(est.rtt_var(), TimeDelta::micros(28'125));
+  // 4*RTTVAR dipped below rto_min (112.5 ms < 200 ms): floor takes over.
+  EXPECT_EQ(est.rto(), TimeDelta::millis(300));
+}
+
+TEST(RttEstimator, CustomMinRtoMovesTheFloor) {
+  RttEstimator::Config cfg;
+  cfg.min_rto = TimeDelta::millis(50);
+  RttEstimator est(cfg);
+  for (int i = 0; i < 200; ++i) est.add_sample(TimeDelta::millis(30));
+  EXPECT_EQ(est.rto(), TimeDelta::millis(30) + TimeDelta::millis(50));
+}
+
 TEST(RttEstimator, TracksMinAndLatest) {
   RttEstimator est;
   est.add_sample(TimeDelta::millis(50));

@@ -1,0 +1,218 @@
+// Property test: SackScoreboard (deque + counters + monotone loss-scan
+// cursor) against a naive reference model (plain std::set bookkeeping,
+// everything recomputed the obvious way). Randomized, seeded ACK/SACK/RTO
+// sequences must produce identical sacked/lost/retransmit decisions —
+// any divergence is a real bug in one of the two, and the naive model is
+// simple enough to be right by inspection.
+#include "src/tcp/sack_scoreboard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace ccas {
+namespace {
+
+// The reference model: the RFC 6675 rules written with no cleverness.
+class ReferenceScoreboard {
+ public:
+  [[nodiscard]] uint64_t snd_una() const { return una_; }
+  [[nodiscard]] uint64_t snd_nxt() const { return nxt_; }
+  [[nodiscard]] uint64_t sacked_count() const { return sacked_.size(); }
+  [[nodiscard]] uint64_t lost_count() const { return lost_.size(); }
+  [[nodiscard]] bool is_sacked(uint64_t seq) const { return sacked_.count(seq) > 0; }
+  [[nodiscard]] bool is_lost(uint64_t seq) const { return lost_.count(seq) > 0; }
+
+  void extend() { ++nxt_; }
+
+  uint64_t advance_una(uint64_t new_una) {
+    uint64_t newly = 0;
+    for (uint64_t s = una_; s < new_una; ++s) {
+      if (sacked_.count(s) == 0) ++newly;
+      sacked_.erase(s);
+      lost_.erase(s);
+    }
+    una_ = new_una;
+    scan_ = std::max(scan_, una_);
+    highest_sacked_end_ = std::max(highest_sacked_end_, una_);
+    return newly;
+  }
+
+  uint64_t apply_sack(uint64_t start, uint64_t end) {
+    start = std::max(start, una_);
+    end = std::min(end, nxt_);
+    uint64_t newly = 0;
+    for (uint64_t s = start; s < end; ++s) {
+      if (sacked_.insert(s).second) {
+        ++newly;
+        lost_.erase(s);  // presumed-lost segment actually arrived
+      }
+    }
+    if (end > highest_sacked_end_ && newly > 0) highest_sacked_end_ = end;
+    return newly;
+  }
+
+  uint64_t mark_lost_by_sack(uint64_t dup_thresh) {
+    if (highest_sacked_end_ <= una_) return 0;
+    const uint64_t highest_sacked_seq = highest_sacked_end_ - 1;
+    if (highest_sacked_seq < dup_thresh) return 0;
+    const uint64_t limit = highest_sacked_seq - dup_thresh + 1;
+    uint64_t count = 0;
+    for (; scan_ < limit; ++scan_) {
+      if (sacked_.count(scan_) == 0 && lost_.insert(scan_).second) ++count;
+    }
+    return count;
+  }
+
+  uint64_t mark_all_lost() {
+    uint64_t count = 0;
+    for (uint64_t s = una_; s < nxt_; ++s) {
+      if (sacked_.count(s) == 0 && lost_.insert(s).second) ++count;
+    }
+    scan_ = una_;  // post-RTO rescan from scratch
+    return count;
+  }
+
+  void note_transmit(uint64_t seq) { lost_.erase(seq); }
+
+  [[nodiscard]] std::optional<uint64_t> find_lost_from(uint64_t from) const {
+    for (uint64_t s = std::max(from, una_); s < nxt_; ++s) {
+      if (lost_.count(s) > 0) return s;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  uint64_t una_ = 0;
+  uint64_t nxt_ = 0;
+  std::set<uint64_t> sacked_;
+  std::set<uint64_t> lost_;
+  uint64_t highest_sacked_end_ = 0;
+  uint64_t scan_ = 0;
+};
+
+void expect_identical(const SackScoreboard& sb, const ReferenceScoreboard& ref,
+                      uint64_t step) {
+  ASSERT_EQ(sb.snd_una(), ref.snd_una()) << "step " << step;
+  ASSERT_EQ(sb.snd_nxt(), ref.snd_nxt()) << "step " << step;
+  ASSERT_EQ(sb.sacked_count(), ref.sacked_count()) << "step " << step;
+  ASSERT_EQ(sb.lost_count(), ref.lost_count()) << "step " << step;
+  for (uint64_t s = sb.snd_una(); s < sb.snd_nxt(); ++s) {
+    ASSERT_EQ(sb.seg(s).sacked, ref.is_sacked(s)) << "seq " << s << " step " << step;
+    ASSERT_EQ(sb.seg(s).lost, ref.is_lost(s)) << "seq " << s << " step " << step;
+  }
+}
+
+void run_random_trace(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  SackScoreboard sb;
+  ReferenceScoreboard ref;
+  const uint64_t dup_thresh = 3;
+  auto rand_in = [&](uint64_t lo, uint64_t hi) {  // inclusive range
+    return lo + rng() % (hi - lo + 1);
+  };
+
+  for (uint64_t step = 0; step < 2000; ++step) {
+    const uint64_t op = rng() % 100;
+    if (op < 35 || sb.empty()) {
+      // Send a burst of new segments.
+      const uint64_t burst = rand_in(1, 8);
+      for (uint64_t i = 0; i < burst; ++i) {
+        sb.extend();
+        ref.extend();
+        sb.note_transmit(sb.snd_nxt() - 1);
+        ref.note_transmit(ref.snd_nxt() - 1);
+      }
+    } else if (op < 80) {
+      // An ACK: cumulative point plus up to 3 SACK blocks, then the loss
+      // inference pass — exactly the sender's per-ACK sequence.
+      const uint64_t new_una = rand_in(sb.snd_una(), sb.snd_nxt());
+      uint64_t d1 = sb.advance_una(new_una, [](uint64_t, SegmentState&) {});
+      uint64_t d2 = ref.advance_una(new_una);
+      ASSERT_EQ(d1, d2) << "advance_una(" << new_una << ") step " << step;
+      const uint64_t blocks = rng() % 4;
+      for (uint64_t b = 0; b < blocks && !sb.empty(); ++b) {
+        // Deliberately unclamped: blocks may straddle una/nxt or be empty.
+        const uint64_t start = rand_in(sb.snd_una(), sb.snd_nxt() + 2);
+        const uint64_t end = start + rng() % 6;
+        d1 = sb.apply_sack(start, end, [](uint64_t, SegmentState&) {});
+        d2 = ref.apply_sack(start, end);
+        ASSERT_EQ(d1, d2) << "apply_sack(" << start << "," << end << ") step "
+                          << step;
+      }
+      d1 = sb.mark_lost_by_sack(dup_thresh, [](uint64_t, SegmentState&) {});
+      d2 = ref.mark_lost_by_sack(dup_thresh);
+      ASSERT_EQ(d1, d2) << "mark_lost_by_sack step " << step;
+    } else if (op < 95) {
+      // Retransmit what the scoreboard says is lost; both models must pick
+      // the same segments in the same order.
+      uint64_t hint = sb.snd_una();
+      for (int i = 0; i < 4; ++i) {
+        const auto lost = sb.find_lost_from(hint);
+        const auto ref_lost = ref.find_lost_from(hint);
+        ASSERT_EQ(lost.has_value(), ref_lost.has_value()) << "step " << step;
+        if (!lost) break;
+        ASSERT_EQ(*lost, *ref_lost) << "step " << step;
+        sb.note_transmit(*lost);
+        ref.note_transmit(*lost);
+        hint = *lost + 1;
+      }
+    } else {
+      // RTO: everything outstanding is presumed lost, scan restarts.
+      const uint64_t d1 = sb.mark_all_lost([](uint64_t, SegmentState&) {});
+      const uint64_t d2 = ref.mark_all_lost();
+      ASSERT_EQ(d1, d2) << "mark_all_lost step " << step;
+    }
+    expect_identical(sb, ref, step);
+  }
+}
+
+TEST(ScoreboardProperty, MatchesReferenceModelAcrossSeeds) {
+  for (const uint64_t seed : {1ULL, 2ULL, 3ULL, 0xdeadbeefULL, 0xc0ffeeULL}) {
+    SCOPED_TRACE(seed);
+    run_random_trace(seed);
+  }
+}
+
+TEST(ScoreboardProperty, LostRetransmitRescueInterleaving) {
+  // Directed mini-trace for the rescue rule: a segment marked lost, then
+  // retransmitted, then SACKed must end neither lost nor double-counted.
+  SackScoreboard sb;
+  ReferenceScoreboard ref;
+  for (int i = 0; i < 10; ++i) {
+    sb.extend();
+    ref.extend();
+  }
+  // SACK 5..10: segments 0..6 are candidates; with dup_thresh 3 segments
+  // 0..6 (below seq 9-3+1=7) become lost.
+  (void)sb.apply_sack(5, 10, [](uint64_t, SegmentState&) {});
+  (void)ref.apply_sack(5, 10);
+  EXPECT_EQ(sb.mark_lost_by_sack(3, [](uint64_t, SegmentState&) {}),
+            ref.mark_lost_by_sack(3));
+  EXPECT_EQ(sb.lost_count(), 5u);  // 0..4 (5..9 sacked)
+  // Retransmit 0 and 1, then a SACK for 1 arrives (the retransmitted copy
+  // got through); the monotone cursor must not re-mark either.
+  sb.note_transmit(0);
+  ref.note_transmit(0);
+  sb.note_transmit(1);
+  ref.note_transmit(1);
+  (void)sb.apply_sack(1, 2, [](uint64_t, SegmentState&) {});
+  (void)ref.apply_sack(1, 2);
+  EXPECT_EQ(sb.mark_lost_by_sack(3, [](uint64_t, SegmentState&) {}),
+            ref.mark_lost_by_sack(3));
+  expect_identical(sb, ref, 0);
+  EXPECT_FALSE(sb.seg(0).lost);
+  EXPECT_TRUE(sb.seg(1).sacked);
+  // Cumulative ACK past everything clears the board identically.
+  EXPECT_EQ(sb.advance_una(10, [](uint64_t, SegmentState&) {}),
+            ref.advance_una(10));
+  expect_identical(sb, ref, 1);
+  EXPECT_TRUE(sb.empty());
+}
+
+}  // namespace
+}  // namespace ccas

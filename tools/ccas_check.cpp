@@ -1,0 +1,97 @@
+// ccas_check — record and verify the golden-trace regression digests.
+//
+//   ccas_check list                 show the grid cells
+//   ccas_check record [file]       run the grid, write goldens
+//   ccas_check verify [file]       run the grid, compare against goldens
+//
+// Without an explicit file the checked-in default (tests/golden/goldens.txt,
+// resolved at configure time) is used. `verify` exits non-zero on any digest
+// mismatch and prints a per-cell diff with the summary deltas. Runs audit
+// the grid with the invariant auditor enabled: a golden that only records
+// under a violated invariant is worthless.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "src/check/audit.h"
+#include "src/check/golden.h"
+#include "src/harness/runner.h"
+
+#ifndef CCAS_DEFAULT_GOLDENS
+#define CCAS_DEFAULT_GOLDENS "tests/golden/goldens.txt"
+#endif
+
+namespace {
+
+std::vector<ccas::check::GoldenRecord> run_grid() {
+  std::vector<ccas::check::GoldenRecord> records;
+  for (const ccas::check::GoldenCell& cell : ccas::check::golden_grid()) {
+    ccas::ExperimentSpec spec = cell.spec;
+    spec.audit = true;  // run_experiment throws on any invariant violation
+    std::printf("running %-22s ...", cell.name.c_str());
+    std::fflush(stdout);
+    const ccas::ExperimentResult result = ccas::run_experiment(spec);
+    // Digest the spec as declared in the grid (without the observational
+    // audit flag forced on above, which is not encoded anyway).
+    records.push_back(
+        ccas::check::make_golden_record(cell.name, cell.spec, result));
+    std::printf(" %016llx\n",
+                static_cast<unsigned long long>(records.back().digest));
+  }
+  return records;
+}
+
+int usage() {
+  std::fputs(
+      "usage: ccas_check <list|record|verify> [goldens-file]\n"
+      "  list    print the golden grid cells\n"
+      "  record  run the grid and (over)write the goldens file\n"
+      "  verify  run the grid and compare digests against the goldens file\n"
+      "default goldens file: " CCAS_DEFAULT_GOLDENS "\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::string path = argc > 2 ? argv[2] : CCAS_DEFAULT_GOLDENS;
+  try {
+    if (cmd == "list") {
+      for (const ccas::check::GoldenCell& cell : ccas::check::golden_grid()) {
+        std::printf("%-22s %s, %d flows, seed %llu\n", cell.name.c_str(),
+                    cell.spec.scenario.name().c_str(), cell.spec.total_flows(),
+                    static_cast<unsigned long long>(cell.spec.seed));
+      }
+      return 0;
+    }
+    if (cmd == "record") {
+      const auto records = run_grid();
+      ccas::check::save_goldens(path, records);
+      std::printf("wrote %zu goldens to %s\n", records.size(), path.c_str());
+      return 0;
+    }
+    if (cmd == "verify") {
+      const auto expected = ccas::check::load_goldens(path);
+      const auto actual = run_grid();
+      const ccas::check::GoldenDiff diff =
+          ccas::check::compare_goldens(expected, actual);
+      std::fputs(diff.report.c_str(), stdout);
+      if (!diff.ok) {
+        std::fputs("golden verification FAILED; if the behavior change is "
+                   "intended, re-record with `ccas_check record`\n",
+                   stderr);
+        return 1;
+      }
+      std::printf("all %zu goldens match\n", expected.size());
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ccas_check: %s\n", e.what());
+    return 1;
+  }
+}
