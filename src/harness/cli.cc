@@ -75,6 +75,9 @@ std::string cli_usage() {
          "  --seed=<n>            RNG seed (default 1)\n"
          "  --jitter=<microsec>   forward-path jitter (default 500)\n"
          "  --no-sack --no-delack --no-gro\n"
+         "  --rto-slack=<microsec> coalesce RTO re-arms within this slack\n"
+         "                        (0 = exact timing, the default)\n"
+         "  --perf                print the kernel profiler summary per cell\n"
          "  --trace=<sec>         time-series sampling interval (0 = off)\n"
          "  --csv=<prefix>        write trace CSVs with this prefix\n"
          "  --seeds=<n,n,...>     run one cell per seed (parallel sweep)\n"
@@ -153,6 +156,13 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opts.spec.receiver.delayed_ack = false;
     } else if (key == "--no-gro") {
       opts.spec.receiver.gro_enabled = false;
+    } else if (key == "--rto-slack") {
+      need_value();
+      const double us = parse_number(key, value);
+      if (us < 0.0) throw std::invalid_argument("--rto-slack must be >= 0");
+      opts.spec.tcp.rto_rearm_slack = TimeDelta::seconds_f(us / 1e6);
+    } else if (key == "--perf") {
+      opts.perf = true;
     } else if (key == "--trace") {
       need_value();
       opts.spec.trace_interval = TimeDelta::seconds_f(parse_number(key, value));

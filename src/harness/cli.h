@@ -14,6 +14,8 @@
 //   --seed=<n>
 //   --jitter=<microsec>        forward-path jitter
 //   --no-sack / --no-delack / --no-gro
+//   --rto-slack=<microsec>     coalesce RTO re-arms within this slack
+//   --perf                     print the kernel profiler summary per cell
 //   --trace=<sec>              time-series sample interval (0 = off)
 //   --csv=<prefix>             write trace CSVs with this prefix
 //   --seeds=<n,n,...>          run one cell per seed (parallel sweep)
@@ -36,6 +38,9 @@ struct CliOptions {
   std::string csv_prefix;        // empty = no CSV
   std::vector<uint64_t> seeds;   // extra seeds beyond spec.seed (--seeds)
   sweep::SweepOptions sweep;     // --jobs / --cache-dir / --no-cache
+  // --perf: print the kernel profiler summary (events/sec, scheduler and
+  // timer counters) after each cell. Output-only — not part of the spec.
+  bool perf = false;
 };
 
 // Parses argv-style arguments (excluding argv[0]). Throws

@@ -10,6 +10,7 @@
 
 #include "src/harness/scenario.h"
 #include "src/net/queue.h"
+#include "src/sim/profiler.h"
 #include "src/stats/flow_recorder.h"
 #include "src/stats/trace.h"
 #include "src/tcp/tcp_receiver.h"
@@ -86,6 +87,10 @@ struct ExperimentResult {
   TimeDelta measured_for = TimeDelta::zero();
   bool converged_early = false;
   uint64_t sim_events = 0;
+  // Kernel profiler snapshot (events/sec, scheduler and timer counters).
+  // Like `trace`, this is per-run observational output: it is not part of
+  // the serialized result, so cached cells come back with an empty profile.
+  SimProfile sim_profile;
   TraceLog trace;  // empty unless trace_interval was set
   // Per-flow congestion-event (fast-recovery entry) timestamps, covering
   // the whole run; empty unless record_congestion_log was set.

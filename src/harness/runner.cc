@@ -211,6 +211,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.converged_early = converged_early;
   result.measured_for = sim.now() - warmup_end;
   result.sim_events = sim.events_processed();
+  result.sim_profile = sim.profile();
   result.queue = queue.stats();
   result.drop_times.reserve(queue.drop_log().size());
   for (const DropRecord& d : queue.drop_log()) result.drop_times.push_back(d.at);

@@ -16,9 +16,7 @@ void DelayLine::accept(Packet&& pkt) {
 }
 
 void DelayLine::on_event(uint32_t /*tag*/, uint64_t /*arg*/) {
-  Packet p = std::move(fifo_.front());
-  fifo_.pop_front();
-  dest_->accept(std::move(p));
+  dest_->accept(fifo_.pop_front());
 }
 
 NetemDelay::NetemDelay(Simulator& sim, PacketSink* dest) : sim_(sim), dest_(dest) {

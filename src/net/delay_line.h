@@ -6,13 +6,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "src/net/packet.h"
 #include "src/sim/simulator.h"
+#include "src/util/ring_buffer.h"
 #include "src/util/rng.h"
 
 namespace ccas {
@@ -33,7 +33,7 @@ class DelayLine final : public PacketSink, public EventHandler {
   PacketSink* dest_;
   // The delay is uniform, so arrivals happen in insertion order and a FIFO
   // suffices — no per-packet bookkeeping.
-  std::deque<Packet> fifo_;
+  RingBuffer<Packet> fifo_;
 };
 
 class NetemDelay final : public PacketSink, public EventHandler {

@@ -36,8 +36,7 @@ void DropTailQueue::accept(Packet&& pkt) {
 }
 
 Packet DropTailQueue::pop() {
-  Packet p = std::move(fifo_.front());
-  fifo_.pop_front();
+  Packet p = fifo_.pop_front();
   queued_bytes_ -= p.size_bytes;
   ++stats_.dequeued_packets;
   if (auto* a = sim_.auditor()) a->on_dequeue(*this, p);

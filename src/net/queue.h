@@ -6,10 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/net/packet.h"
+#include "src/util/ring_buffer.h"
 
 namespace ccas {
 
@@ -66,7 +66,7 @@ class DropTailQueue final : public PacketSink {
   Simulator& sim_;
   int64_t capacity_bytes_;
   int64_t queued_bytes_ = 0;
-  std::deque<Packet> fifo_;
+  RingBuffer<Packet> fifo_;
   Link* downstream_ = nullptr;
   QueueStats stats_;
   std::vector<uint64_t> per_flow_drops_;

@@ -1,60 +1,143 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
 #include <utility>
+
+#include "src/sim/profiler.h"
 
 namespace ccas {
 
-namespace {
-// Strict-weak "earlier" ordering: (time, seq) lexicographic.
-inline bool earlier(const Event& a, const Event& b) {
-  if (a.at != b.at) return a.at < b.at;
-  return a.seq < b.seq;
+EventQueue::EventQueue(SimProfile* profile) : profile_(profile) {
+  due_.reserve(64);
+  overflow_.reserve(64);
 }
-}  // namespace
-
-EventQueue::EventQueue() { heap_.reserve(1024); }
 
 void EventQueue::push(Time at, EventHandler* handler, uint32_t tag, uint64_t arg) {
-  heap_.push_back(Event{at, next_seq_++, handler, tag, arg});
-  sift_up(heap_.size() - 1);
+  place(Event{at, next_seq_++, handler, tag, arg});
+  ++size_;
+}
+
+void EventQueue::place(Event&& e) {
+  const auto t = static_cast<uint64_t>(e.at.ns());
+  if (t < due_end_) {
+    due_.push_back(e);
+    std::push_heap(due_.begin(), due_.end(), EventAfter{});
+    if (profile_) ++profile_->pushes_due;
+    return;
+  }
+  // A level-L wheel spans exactly one level-(L+1) slot, so the event goes
+  // into the finest level whose current page contains it.
+  for (int level = 0; level < kLevels; ++level) {
+    const int slot_shift = kShift0 + level * kSlotBits;
+    const int page_shift = slot_shift + kSlotBits;
+    if ((t >> page_shift) == (cursor_ >> page_shift)) {
+      const size_t idx = (t >> slot_shift) & kSlotMask;
+      slots_[level][idx].push_back(e);
+      occ_[level][idx >> 6] |= uint64_t{1} << (idx & 63);
+      if (profile_) ++profile_->pushes_wheel;
+      return;
+    }
+  }
+  overflow_.push_back(e);
+  std::push_heap(overflow_.begin(), overflow_.end(), EventAfter{});
+  if (profile_) ++profile_->pushes_overflow;
+}
+
+size_t EventQueue::next_occupied(const std::array<uint64_t, 4>& occ,
+                                 size_t from) const {
+  if (from >= kSlots) return kNoSlot;
+  size_t word = from >> 6;
+  uint64_t bits = occ[word] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (bits != 0) return (word << 6) + static_cast<size_t>(std::countr_zero(bits));
+    if (++word >= occ.size()) return kNoSlot;
+    bits = occ[word];
+  }
+}
+
+void EventQueue::settle() {
+  while (due_.empty()) {
+    // 1) Advance to the next occupied level-0 slot of the current page.
+    const size_t cur0 = (cursor_ >> kShift0) & kSlotMask;
+    const size_t s0 = next_occupied(occ_[0], cur0 + 1);
+    if (s0 != kNoSlot) {
+      constexpr uint64_t kPageMask = (uint64_t{1} << (kShift0 + kSlotBits)) - 1;
+      cursor_ = (cursor_ & ~kPageMask) | (static_cast<uint64_t>(s0) << kShift0);
+      due_end_ = cursor_ + (uint64_t{1} << kShift0);
+      // Adopt the slot's events as the new due heap; the slot vector
+      // inherits due_'s empty-but-allocated buffer for reuse.
+      std::swap(due_, slots_[0][s0]);
+      std::make_heap(due_.begin(), due_.end(), EventAfter{});
+      occ_[0][s0 >> 6] &= ~(uint64_t{1} << (s0 & 63));
+      continue;
+    }
+    // 2) Cascade the next occupied slot of the finest non-empty coarser
+    // level into the levels below it.
+    bool cascaded = false;
+    for (int level = 1; level < kLevels && !cascaded; ++level) {
+      const int slot_shift = kShift0 + level * kSlotBits;
+      const size_t cur = (cursor_ >> slot_shift) & kSlotMask;
+      const size_t s = next_occupied(occ_[level], cur + 1);
+      if (s == kNoSlot) continue;
+      const uint64_t page_mask = (uint64_t{1} << (slot_shift + kSlotBits)) - 1;
+      cursor_ = (cursor_ & ~page_mask) | (static_cast<uint64_t>(s) << slot_shift);
+      due_end_ = cursor_ + (uint64_t{1} << kShift0);
+      occ_[level][s >> 6] &= ~(uint64_t{1} << (s & 63));
+      std::vector<Event> batch = std::move(slots_[level][s]);
+      slots_[level][s].clear();
+      for (Event& e : batch) place(std::move(e));
+      if (profile_) ++profile_->wheel_cascades;
+      cascaded = true;
+    }
+    if (cascaded) continue;
+    // 3) Wheels empty: everything pending lives in the overflow heap
+    // (size_ > 0 guarantees it is non-empty). Re-anchor the cursor on the
+    // earliest overflow page and pull that whole page back in.
+    const auto t0 = static_cast<uint64_t>(overflow_.front().at.ns());
+    cursor_ = t0 & ~((uint64_t{1} << kShift0) - 1);
+    due_end_ = cursor_ + (uint64_t{1} << kShift0);
+    const uint64_t page = t0 >> kTopPageShift;
+    while (!overflow_.empty() &&
+           (static_cast<uint64_t>(overflow_.front().at.ns()) >> kTopPageShift) ==
+               page) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), EventAfter{});
+      Event e = std::move(overflow_.back());
+      overflow_.pop_back();
+      place(std::move(e));
+    }
+    if (profile_) ++profile_->overflow_drains;
+  }
+}
+
+const Event& EventQueue::top() {
+  if (size_ == 0) throw std::logic_error("EventQueue::top on empty queue");
+  settle();
+  return due_.front();
 }
 
 Event EventQueue::pop() {
-  Event out = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  return out;
+  if (size_ == 0) throw std::logic_error("EventQueue::pop on empty queue");
+  settle();
+  std::pop_heap(due_.begin(), due_.end(), EventAfter{});
+  Event e = due_.back();
+  due_.pop_back();
+  --size_;
+  return e;
 }
 
 void EventQueue::clear() {
-  heap_.clear();
+  due_.clear();
+  overflow_.clear();
+  for (auto& level : slots_) {
+    for (auto& slot : level) slot.clear();
+  }
+  for (auto& level : occ_) level.fill(0);
+  cursor_ = 0;
+  due_end_ = uint64_t{1} << kShift0;
+  size_ = 0;
   next_seq_ = 0;
-}
-
-void EventQueue::sift_up(size_t i) {
-  Event e = heap_[i];
-  while (i > 0) {
-    const size_t parent = (i - 1) / 2;
-    if (!earlier(e, heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
-  }
-  heap_[i] = e;
-}
-
-void EventQueue::sift_down(size_t i) {
-  const size_t n = heap_.size();
-  Event e = heap_[i];
-  while (true) {
-    size_t child = 2 * i + 1;
-    if (child >= n) break;
-    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
-    if (!earlier(heap_[child], e)) break;
-    heap_[i] = heap_[child];
-    i = child;
-  }
-  heap_[i] = e;
 }
 
 }  // namespace ccas

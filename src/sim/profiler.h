@@ -1,0 +1,60 @@
+// Always-on lightweight simulation profiler.
+//
+// A SimProfile lives inside each Simulator and is updated with plain
+// counter increments on the hot paths (event dispatch, scheduler tier
+// placement, timer wakeups) — cheap enough to leave enabled in every run.
+// run()/run_until() accumulate wall-clock and simulated time, so the
+// profile can report events/sec and wall-clock per simulated second, the
+// two numbers the CoreScale reproduction budget is written in. Exposed via
+// `ccas_run --perf` and the `ccas_perf` microbenchmark.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ccas {
+
+struct SimProfile {
+  // Dispatch counters, by event tag (tags >= kMaxTag share the last
+  // bucket; the simulator's handlers use small tags).
+  static constexpr size_t kMaxTag = 8;
+  uint64_t events_dispatched = 0;
+  std::array<uint64_t, kMaxTag + 1> events_by_tag{};
+
+  // Scheduler tier placement (timing-wheel internals).
+  uint64_t pushes_due = 0;       // landed in the current-slot heap
+  uint64_t pushes_wheel = 0;     // landed in a wheel slot
+  uint64_t pushes_overflow = 0;  // beyond the wheels' horizon
+  uint64_t wheel_cascades = 0;   // coarse slots re-filed into finer levels
+  uint64_t overflow_drains = 0;  // overflow pages pulled back into the wheels
+
+  // Timer wakeup accounting (the lazy re-arm cost, satellite of the
+  // scheduler rework): stale = superseded generation, chase = entry fired
+  // before a later re-armed deadline, coalesced = earlier re-arms absorbed
+  // into an existing entry within the configured slack.
+  uint64_t timer_stale_wakeups = 0;
+  uint64_t timer_chase_wakeups = 0;
+  uint64_t timer_coalesced_rearms = 0;
+
+  // Wall clock, accumulated across run()/run_until() calls.
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+
+  [[nodiscard]] uint64_t timer_wasted_wakeups() const {
+    return timer_stale_wakeups + timer_chase_wakeups;
+  }
+  [[nodiscard]] double events_per_wall_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events_dispatched) / wall_seconds
+                              : 0.0;
+  }
+  [[nodiscard]] double wall_sec_per_sim_sec() const {
+    return sim_seconds > 0.0 ? wall_seconds / sim_seconds : 0.0;
+  }
+
+  // Multi-line human-readable report (the `--perf` output).
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace ccas

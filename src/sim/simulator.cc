@@ -1,5 +1,6 @@
 #include "src/sim/simulator.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -40,22 +41,37 @@ void Simulator::dispatch(const Event& e) {
   if (auto* a = auditor()) a->on_event_dispatched(now_, e.at);
   now_ = e.at;
   ++events_processed_;
+  ++profile_.events_dispatched;
+  ++profile_.events_by_tag[e.tag < SimProfile::kMaxTag ? e.tag
+                                                       : SimProfile::kMaxTag];
   e.handler->on_event(e.tag, e.arg);
 }
 
 void Simulator::run() {
   stopped_ = false;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const Time sim_start = now_;
   while (!stopped_ && !queue_.empty()) {
     dispatch(queue_.pop());
   }
+  profile_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  profile_.sim_seconds += (now_ - sim_start).sec();
 }
 
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const Time sim_start = now_;
   while (!stopped_ && !queue_.empty() && queue_.top().at <= deadline) {
     dispatch(queue_.pop());
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
+  profile_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  profile_.sim_seconds += (now_ - sim_start).sec();
 }
 
 }  // namespace ccas

@@ -12,18 +12,24 @@
 
 #include "src/check/hooks.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/profiler.h"
 
 namespace ccas {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : queue_(&profile_) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] Time now() const { return now_; }
   [[nodiscard]] uint64_t events_processed() const { return events_processed_; }
   [[nodiscard]] size_t pending_events() const { return queue_.size(); }
+
+  // Always-on lightweight profiler (dispatch/scheduler/timer counters plus
+  // wall-clock accumulated over run()/run_until()).
+  [[nodiscard]] const SimProfile& profile() const { return profile_; }
+  [[nodiscard]] SimProfile& mutable_profile() { return profile_; }
 
   // Fast-path scheduling: handler/tag/arg, no allocation.
   void schedule_at(Time at, EventHandler* handler, uint32_t tag, uint64_t arg = 0);
@@ -66,6 +72,7 @@ class Simulator {
   void dispatch(const Event& e);
 
   Time now_ = Time::zero();
+  SimProfile profile_;  // before queue_: the queue holds a pointer into it
   EventQueue queue_;
   uint64_t events_processed_ = 0;
   bool stopped_ = false;

@@ -1,11 +1,18 @@
 // A cancellable, re-armable one-shot timer.
 //
 // The event queue does not support removal, so the timer is lazy: it keeps
-// at most one live heap entry. Re-arming *later* (the common case — e.g.
-// a TCP RTO restarted on every cumulative ACK) does not touch the heap at
+// at most one live queue entry. Re-arming *later* (the common case — e.g.
+// a TCP RTO restarted on every cumulative ACK) does not touch the queue at
 // all; the existing entry fires early, notices the new deadline, and
 // re-schedules itself once per deadline interval. Re-arming *earlier*
-// pushes a new entry and invalidates the old one via a generation counter.
+// pushes a new entry and invalidates the old one via a generation counter
+// — unless the existing entry is within `rearm_slack` of the new deadline,
+// in which case it is reused and the callback fires at most `slack` late
+// (set_rearm_slack; default zero, i.e. exact).
+//
+// Both lazy paths cost wasted wakeups (entries dispatched only to discover
+// they are stale or early); the profiler counts them so the trade-off is
+// visible (`ccas_run --perf`).
 #pragma once
 
 #include <functional>
@@ -22,11 +29,26 @@ class Timer final : public EventHandler {
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
+  // Allows re-arms to an earlier deadline to reuse a pending entry that is
+  // at most `slack` later, instead of pushing a replacement entry. The
+  // callback then fires up to `slack` after the requested deadline, so a
+  // non-zero slack trades timer precision for queue traffic (and changes
+  // simulation timing: golden-traced configurations keep it at zero).
+  void set_rearm_slack(TimeDelta slack) { rearm_slack_ = slack; }
+  [[nodiscard]] TimeDelta rearm_slack() const { return rearm_slack_; }
+
   // (Re)arms the timer; a previously pending expiry is superseded.
   void arm_at(Time at) {
     armed_ = true;
     expiry_ = at;
-    if (scheduled_ && scheduled_at_ <= at) return;  // lazy: reuse the entry
+    if (scheduled_) {
+      if (scheduled_at_ <= at) return;  // lazy: reuse the entry
+      if (scheduled_at_ - at <= rearm_slack_) {
+        // Coalesce: the existing entry is close enough; fire late.
+        ++sim_.mutable_profile().timer_coalesced_rearms;
+        return;
+      }
+    }
     ++generation_;
     scheduled_ = true;
     scheduled_at_ = at;
@@ -45,11 +67,16 @@ class Timer final : public EventHandler {
   [[nodiscard]] Time expiry() const { return expiry_; }
 
   void on_event(uint32_t /*tag*/, uint64_t arg) override {
-    if (arg != generation_) return;  // superseded by an earlier re-arm
+    if (arg != generation_) {
+      // Superseded by an earlier re-arm.
+      ++sim_.mutable_profile().timer_stale_wakeups;
+      return;
+    }
     scheduled_ = false;
     if (!armed_) return;  // cancelled
     if (sim_.now() < expiry_) {
       // Re-armed later since this entry was pushed: chase the deadline.
+      ++sim_.mutable_profile().timer_chase_wakeups;
       ++generation_;
       scheduled_ = true;
       scheduled_at_ = expiry_;
@@ -66,6 +93,7 @@ class Timer final : public EventHandler {
   uint64_t generation_ = 0;
   Time expiry_ = Time::zero();
   Time scheduled_at_ = Time::zero();
+  TimeDelta rearm_slack_ = TimeDelta::zero();
   bool armed_ = false;
   bool scheduled_ = false;
 };

@@ -71,6 +71,11 @@ std::string canonical_spec_bytes(const ExperimentSpec& spec) {
   tagged_i64(out, "tcp.min_rto_ns", spec.tcp.rtt.min_rto.ns());
   tagged_i64(out, "tcp.max_rto_ns", spec.tcp.rtt.max_rto.ns());
   tagged_i64(out, "tcp.initial_rto_ns", spec.tcp.rtt.initial_rto.ns());
+  // Appended conditionally so every pre-existing spec (slack disabled)
+  // keeps its historical byte encoding, cache keys and golden digests.
+  if (spec.tcp.rto_rearm_slack > TimeDelta::zero()) {
+    tagged_i64(out, "tcp.rto_slack_ns", spec.tcp.rto_rearm_slack.ns());
+  }
 
   tagged_bool(out, "rcv.delack", spec.receiver.delayed_ack);
   tagged_u64(out, "rcv.delack_segs", spec.receiver.delack_segment_threshold);

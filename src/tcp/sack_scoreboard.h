@@ -1,16 +1,34 @@
 // Sender-side SACK scoreboard (RFC 6675 flavour): per-segment delivery /
 // loss / transmission state for the window [snd_una, snd_nxt).
 //
-// Segment sequence numbers count MSS-sized segments. The scoreboard is a
-// deque indexed by (seq - snd_una); cumulative ACKs pop from the front.
+// Segment sequence numbers count MSS-sized segments. Per-segment state
+// lives in a ring buffer indexed by (seq - snd_una); cumulative ACKs pop
+// from the front. The sacked / lost / outstanding flag sets are *also*
+// mirrored as run-length interval lists (RunList), which is what makes ACK
+// processing O(changed runs) instead of O(window): a SACK block covering
+// an already-SACKed range is a no-op after one gap probe, RFC 6675 loss
+// marking walks only the not-yet-marked gaps, and retransmit / RTO-guard
+// scans (`find_lost_from`, `first_outstanding`) are run lookups instead of
+// per-segment sweeps. At CoreScale window sizes these per-segment sweeps
+// were the simulator's single largest CPU sink.
+//
+// Invariant: the run lists exactly mirror the per-segment flags. All flag
+// transitions therefore go through scoreboard methods — callers must not
+// write st.sacked / st.lost / st.outstanding directly (the non-flag fields
+// of seg() remain caller-mutable). Delivery/loss callbacks observe the
+// segment *before* the scoreboard clears its outstanding flag, so callers
+// can deflate their in-flight count exactly once per segment.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "src/util/ring_buffer.h"
+#include "src/util/run_list.h"
 #include "src/util/units.h"
 
 namespace ccas {
@@ -54,10 +72,7 @@ class SackScoreboard {
 
   // Creates the state for segment snd_nxt (about to be transmitted for the
   // first time) and returns a reference to it.
-  SegmentState& extend() {
-    segs_.emplace_back();
-    return segs_.back();
-  }
+  SegmentState& extend() { return segs_.emplace_back(); }
 
   // Advances the cumulative-ACK point. Invokes on_newly_delivered(seq, st)
   // for every freed segment that had not already been SACKed; returns that
@@ -76,34 +91,48 @@ class SackScoreboard {
         --sacked_count_;
       }
       if (st.lost) --lost_count_;
-      segs_.pop_front();
+      segs_.drop_front();
       ++una_;
     }
+    sacked_runs_.erase_below(una_);
+    lost_runs_.erase_below(una_);
+    outstanding_runs_.erase_below(una_);
     if (loss_scan_seq_ < una_) loss_scan_seq_ = una_;
     if (highest_sacked_end_ < una_) highest_sacked_end_ = una_;
     return newly;
   }
 
   // Applies one SACK block (clamped to the window). Invokes
-  // on_newly_delivered(seq, st) per newly SACKed segment; returns count.
+  // on_newly_delivered(seq, st) per newly SACKed segment (outstanding is
+  // cleared after the callback); returns the count. Cost is O(runs +
+  // newly-SACKed segments): re-reported blocks touch no segment state.
   template <typename F>
   uint64_t apply_sack(uint64_t start, uint64_t end, F&& on_newly_delivered) {
     start = std::max(start, una_);
     end = std::min(end, snd_nxt());
+    if (start >= end) return 0;
+    scratch_.clear();
+    sacked_runs_.for_each_gap(
+        start, end, [this](uint64_t a, uint64_t b) { scratch_.emplace_back(a, b); });
     uint64_t newly = 0;
-    for (uint64_t s = start; s < end; ++s) {
-      SegmentState& st = segs_[static_cast<size_t>(s - una_)];
-      if (st.sacked) continue;
-      st.sacked = true;
-      ++sacked_count_;
-      if (st.lost) {
-        // A segment we presumed lost actually arrived.
-        st.lost = false;
-        --lost_count_;
+    for (const auto& [a, b] : scratch_) {
+      for (uint64_t s = a; s < b; ++s) {
+        SegmentState& st = segs_[static_cast<size_t>(s - una_)];
+        st.sacked = true;
+        ++sacked_count_;
+        if (st.lost) {
+          // A segment we presumed lost actually arrived.
+          st.lost = false;
+          --lost_count_;
+        }
+        ++newly;
+        on_newly_delivered(s, st);
+        st.outstanding = false;  // SACKed: no copy is in flight any more
       }
-      ++newly;
-      on_newly_delivered(s, st);
+      lost_runs_.remove(a, b);
+      outstanding_runs_.remove(a, b);
     }
+    if (newly > 0) sacked_runs_.add(start, end);
     if (end > highest_sacked_end_ && newly > 0) highest_sacked_end_ = end;
     return newly;
   }
@@ -112,7 +141,8 @@ class SackScoreboard {
   // `dup_thresh` segments below the highest SACK is presumed lost. Scans
   // monotonically (segments retransmitted after being marked are not
   // re-marked; only the RTO recovers a lost retransmission). Invokes
-  // on_lost(seq, st) per newly marked segment; returns count.
+  // on_lost(seq, st) per newly marked segment (outstanding cleared after
+  // the callback); returns the count. O(runs + newly lost).
   template <typename F>
   uint64_t mark_lost_by_sack(uint64_t dup_thresh, F&& on_lost) {
     if (highest_sacked_end_ <= una_) return 0;
@@ -120,38 +150,57 @@ class SackScoreboard {
     // Segment S is lost if highest_sacked_seq >= S + dup_thresh.
     if (highest_sacked_seq < dup_thresh) return 0;
     const uint64_t limit = highest_sacked_seq - dup_thresh + 1;  // exclusive
+    if (loss_scan_seq_ >= limit) return 0;
+    // Newly lost = [scan, limit) minus SACKed minus already-lost, as
+    // maximal ranges (staged in scratch_: the run lists must not mutate
+    // while their gaps are walked).
+    scratch_.clear();
+    sacked_runs_.for_each_gap(loss_scan_seq_, limit, [this](uint64_t ga, uint64_t gb) {
+      lost_runs_.for_each_gap(
+          ga, gb, [this](uint64_t a, uint64_t b) { scratch_.emplace_back(a, b); });
+    });
+    loss_scan_seq_ = limit;
     uint64_t count = 0;
-    while (loss_scan_seq_ < limit) {
-      SegmentState& st = segs_[static_cast<size_t>(loss_scan_seq_ - una_)];
-      if (!st.sacked && !st.lost) {
+    for (const auto& [a, b] : scratch_) {
+      for (uint64_t s = a; s < b; ++s) {
+        SegmentState& st = segs_[static_cast<size_t>(s - una_)];
         st.lost = true;
         ++lost_count_;
         ++count;
-        on_lost(loss_scan_seq_, st);
+        on_lost(s, st);
+        st.outstanding = false;
       }
-      ++loss_scan_seq_;
+      lost_runs_.add(a, b);
+      outstanding_runs_.remove(a, b);
     }
     return count;
   }
 
   // Marks a single segment lost (dupack-threshold path without SACK).
+  // Outstanding is cleared after the callback, as above.
   template <typename F>
   uint64_t mark_lost(uint64_t seq, F&& on_lost) {
     SegmentState& st = seg(seq);
     if (st.sacked || st.lost) return 0;
     st.lost = true;
     ++lost_count_;
+    lost_runs_.add_point(seq);
     on_lost(seq, st);
+    if (st.outstanding) {
+      st.outstanding = false;
+      outstanding_runs_.remove_point(seq);
+    }
     return 1;
   }
 
   // RTO: every non-SACKed segment in the window is presumed lost and no
-  // copy is considered in flight any more. Invokes on_lost per newly
-  // marked segment.
+  // copy is considered in flight any more (all outstanding flags are
+  // cleared). Invokes on_lost per newly marked segment.
   template <typename F>
   uint64_t mark_all_lost(F&& on_lost) {
     uint64_t count = 0;
-    for (uint64_t s = una_; s < snd_nxt(); ++s) {
+    const uint64_t nxt = snd_nxt();
+    for (uint64_t s = una_; s < nxt; ++s) {
       SegmentState& st = segs_[static_cast<size_t>(s - una_)];
       st.outstanding = false;
       if (!st.sacked && !st.lost) {
@@ -161,48 +210,69 @@ class SackScoreboard {
         on_lost(s, st);
       }
     }
+    outstanding_runs_.clear();
+    // Post-RTO the lost set is exactly the complement of the SACKed set.
+    lost_runs_.clear();
+    sacked_runs_.for_each_gap(
+        una_, nxt, [this](uint64_t a, uint64_t b) { lost_runs_.add(a, b); });
     // Allow the post-RTO scan to re-examine everything.
     loss_scan_seq_ = una_;
     return count;
   }
 
   // Records a (re)transmission of `seq`: a pending lost mark is cleared
-  // (the retransmitted copy is now the one presumed in flight).
+  // and the segment becomes outstanding (the transmitted copy is now the
+  // one presumed in flight).
   void note_transmit(uint64_t seq) {
     SegmentState& st = seg(seq);
     if (st.lost) {
       st.lost = false;
       --lost_count_;
+      lost_runs_.remove_point(seq);
+    }
+    if (!st.outstanding) {
+      st.outstanding = true;
+      outstanding_runs_.add_point(seq);
     }
   }
 
   // First segment marked lost at or after `from` that still awaits
   // retransmission; nullopt if none.
   [[nodiscard]] std::optional<uint64_t> find_lost_from(uint64_t from) const {
-    for (uint64_t s = std::max(from, una_); s < snd_nxt(); ++s) {
-      const SegmentState& st = segs_[static_cast<size_t>(s - una_)];
-      if (st.lost) return s;
-    }
-    return std::nullopt;
+    return lost_runs_.first_at_or_after(std::max(from, una_));
   }
 
   // Earliest outstanding (in-flight, non-SACKed) segment — the one the RTO
   // timer conceptually guards. nullopt if nothing is outstanding.
   [[nodiscard]] std::optional<uint64_t> first_outstanding() const {
-    for (uint64_t s = una_; s < snd_nxt(); ++s) {
-      const SegmentState& st = segs_[static_cast<size_t>(s - una_)];
-      if (st.outstanding) return s;
-    }
-    return std::nullopt;
+    return outstanding_runs_.first_at_or_after(una_);
+  }
+
+  // Clears the outstanding flag of the first outstanding segment at or
+  // after `from` and returns its sequence; nullopt if none. This is the
+  // no-SACK dupack pipe-deflation step (RFC 5681 expressed on the
+  // scoreboard), previously an O(window) scan in the sender.
+  std::optional<uint64_t> clear_first_outstanding_from(uint64_t from) {
+    const auto s = outstanding_runs_.first_at_or_after(std::max(from, una_));
+    if (!s) return std::nullopt;
+    segs_[static_cast<size_t>(*s - una_)].outstanding = false;
+    outstanding_runs_.remove_point(*s);
+    return s;
   }
 
  private:
   uint64_t una_ = 0;
-  std::deque<SegmentState> segs_;
+  RingBuffer<SegmentState> segs_;
   uint64_t sacked_count_ = 0;
   uint64_t lost_count_ = 0;
   uint64_t highest_sacked_end_ = 0;
   uint64_t loss_scan_seq_ = 0;  // monotonic mark_lost_by_sack cursor
+
+  // Run-compressed mirrors of the per-segment flags (see file comment).
+  RunList sacked_runs_;
+  RunList lost_runs_;
+  RunList outstanding_runs_;
+  std::vector<std::pair<uint64_t, uint64_t>> scratch_;  // staged ranges
 };
 
 }  // namespace ccas

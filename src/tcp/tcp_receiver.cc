@@ -28,40 +28,19 @@ void TcpReceiver::deliver_segment(uint64_t seq, bool& was_duplicate, bool& fille
   if (seq == rcv_nxt_) {
     ++rcv_nxt_;
     // Merge any out-of-order range that is now contiguous.
-    auto it = ooo_.begin();
-    if (it != ooo_.end() && it->first == rcv_nxt_) {
+    if (!ooo_.empty() && ooo_.run(0).start == rcv_nxt_) {
       filled_hole = true;
-      rcv_nxt_ = it->second;
-      ooo_.erase(it);
+      rcv_nxt_ = ooo_.run(0).end;
+      ooo_.erase_below(rcv_nxt_);
     }
     return;
   }
-  // Out of order: insert/extend a range.
-  auto next = ooo_.upper_bound(seq);
-  if (next != ooo_.begin()) {
-    auto prev = std::prev(next);
-    if (seq < prev->second) {
-      was_duplicate = true;  // already buffered
-      return;
-    }
-    if (seq == prev->second) {
-      // Extends prev by one; may now touch next.
-      prev->second = seq + 1;
-      if (next != ooo_.end() && next->first == prev->second) {
-        prev->second = next->second;
-        ooo_.erase(next);
-      }
-      return;
-    }
-  }
-  if (next != ooo_.end() && seq + 1 == next->first) {
-    // Prepends to next.
-    const uint64_t end = next->second;
-    ooo_.erase(next);
-    ooo_.emplace(seq, end);
+  // Out of order: buffer it (add_point merges into adjacent runs).
+  if (ooo_.contains(seq)) {
+    was_duplicate = true;  // already buffered
     return;
   }
-  ooo_.emplace(seq, seq + 1);
+  ooo_.add_point(seq);
 }
 
 void TcpReceiver::accept(Packet&& pkt) {
@@ -137,16 +116,12 @@ void TcpReceiver::fill_sack_blocks(Packet& ack, uint64_t trigger_seq) const {
   ack.num_sacks = 0;
   if (ooo_.empty()) return;
   // Find the range containing the trigger.
-  auto it = ooo_.upper_bound(trigger_seq);
-  if (it != ooo_.begin()) {
-    auto prev = std::prev(it);
-    if (trigger_seq >= prev->first && trigger_seq < prev->second) {
-      ack.add_sack(prev->first, prev->second);
-    }
+  if (const auto r = ooo_.run_containing(trigger_seq)) {
+    ack.add_sack(r->start, r->end);
   }
-  for (const auto& [start, end] : ooo_) {
+  for (size_t i = 0; i < ooo_.run_count(); ++i) {
     if (ack.num_sacks >= kMaxSackBlocks) break;
-    ack.add_sack(start, end);
+    ack.add_sack(ooo_.run(i).start, ooo_.run(i).end);
   }
 }
 

@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 
 #include "src/net/packet.h"
 #include "src/sim/timer.h"
+#include "src/util/run_list.h"
 
 namespace ccas {
 
@@ -52,7 +52,7 @@ class TcpReceiver final : public PacketSink {
   [[nodiscard]] uint64_t segments_received() const { return segments_received_; }
   [[nodiscard]] uint64_t duplicate_segments() const { return duplicate_segments_; }
   [[nodiscard]] uint64_t acks_sent() const { return acks_sent_; }
-  [[nodiscard]] size_t out_of_order_ranges() const { return ooo_.size(); }
+  [[nodiscard]] size_t out_of_order_ranges() const { return ooo_.run_count(); }
 
  private:
   void deliver_segment(uint64_t seq, bool& was_duplicate, bool& filled_hole);
@@ -70,7 +70,7 @@ class TcpReceiver final : public PacketSink {
 
   uint64_t rcv_nxt_ = 0;
   // Out-of-order ranges [start, end), disjoint and non-adjacent, all > rcv_nxt_.
-  std::map<uint64_t, uint64_t> ooo_;
+  RunList ooo_;
 
   uint32_t unacked_in_order_ = 0;  // delayed-ACK counter (in batches)
   Timer delack_timer_;

@@ -23,6 +23,7 @@ TcpSender::TcpSender(Simulator& sim, uint32_t flow_id,
   if (cca_ == nullptr) throw std::invalid_argument("TcpSender: null CCA");
   if (data_path_ == nullptr) throw std::invalid_argument("TcpSender: null data path");
   if (config.dup_thresh == 0) throw std::invalid_argument("dup_thresh must be >= 1");
+  rto_timer_.set_rearm_slack(config.rto_rearm_slack);
 }
 
 void TcpSender::start() {
@@ -56,10 +57,8 @@ void TcpSender::process_ack(const Packet& ack) {
   };
 
   auto on_delivered = [&](uint64_t /*seq*/, SegmentState& st) {
-    if (st.outstanding) {
-      st.outstanding = false;
-      --pipe_;
-    }
+    // The scoreboard clears st.outstanding right after this callback.
+    if (st.outstanding) --pipe_;
     consider_rtt_sample(st);
     rate_est_.on_packet_delivered(now, st);
   };
@@ -92,14 +91,9 @@ void TcpSender::process_ack(const Packet& ack) {
       // recovery cannot deflate the same segment a second time and
       // underflow the pipe.
       reno_deflate_hint_ = std::max(reno_deflate_hint_, sb_.snd_una() + 1);
-      for (uint64_t s = reno_deflate_hint_; s < sb_.snd_nxt(); ++s) {
-        SegmentState& st = sb_.seg(s);
-        if (st.outstanding) {
-          st.outstanding = false;
-          --pipe_;
-          reno_deflate_hint_ = s + 1;
-          break;
-        }
+      if (const auto s = sb_.clear_first_outstanding_from(reno_deflate_hint_)) {
+        --pipe_;
+        reno_deflate_hint_ = *s + 1;
       }
     }
   }
@@ -108,10 +102,8 @@ void TcpSender::process_ack(const Packet& ack) {
   uint64_t newly_lost = 0;
   auto on_lost = [&](uint64_t /*seq*/, SegmentState& st) {
     ++newly_lost;
-    if (st.outstanding) {
-      st.outstanding = false;
-      --pipe_;
-    }
+    // As with on_delivered, the scoreboard clears st.outstanding after us.
+    if (st.outstanding) --pipe_;
   };
   bool force_retransmit = false;
   if (config_.sack_enabled) {
@@ -239,10 +231,10 @@ void TcpSender::on_rto_fire() {
   ++stats_.rto_events;
   rto_backoff_shift_ = std::min<uint32_t>(rto_backoff_shift_ + 1, 10);
   cca_->on_rto(sim_.now());
-  // Everything is presumed lost: the outstanding flags must be cleared
-  // along with the pipe, or deliveries of pre-RTO copies that do arrive
-  // would deflate a pipe that no longer counts them.
-  sb_.mark_all_lost([](uint64_t, SegmentState& st) { st.outstanding = false; });
+  // Everything is presumed lost; mark_all_lost also clears every
+  // outstanding flag along with the pipe, or deliveries of pre-RTO copies
+  // that do arrive would deflate a pipe that no longer counts them.
+  sb_.mark_all_lost([](uint64_t, SegmentState&) {});
   pipe_ = 0;
   state_ = State::kLoss;
   recovery_point_ = sb_.snd_nxt();
@@ -303,12 +295,11 @@ void TcpSender::transmit_segment(Time now, uint64_t seq, bool retransmit,
         state_ == State::kRecovery && !cca_->owns_recovery_cwnd();
     a->on_transmit(flow_id_, prr_active, prr_budget_, prr_exempt);
   }
-  sb_.note_transmit(seq);
+  sb_.note_transmit(seq);  // clears a lost mark, sets outstanding
   SegmentState& st = sb_.seg(seq);
   rate_est_.on_packet_sent(now, st, /*pipe_was_empty=*/pipe_ == 0);
   st.last_sent = now;
   ++st.tx_count;
-  st.outstanding = true;
   ++pipe_;
 
   ++stats_.segments_sent;

@@ -31,6 +31,12 @@ struct TcpSenderConfig {
   // paper's long-running flows). Finite flows complete once everything is
   // cumulatively acknowledged (used by the churn extension).
   uint64_t data_segments = 0;
+  // RTO re-arm coalescing slack (Timer::set_rearm_slack): an earlier RTO
+  // re-arm reuses a pending expiry at most this much later instead of
+  // pushing a replacement queue entry, so the RTO fires up to `slack`
+  // late. Zero (the default) keeps exact timing — golden-traced
+  // configurations rely on that.
+  TimeDelta rto_rearm_slack = TimeDelta::zero();
   RttEstimator::Config rtt;
 };
 

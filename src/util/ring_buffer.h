@@ -1,0 +1,81 @@
+// Power-of-two ring buffer: the FIFO used on the packet hot paths
+// (DropTailQueue, DelayLine) and for the SACK scoreboard's segment window.
+//
+// std::deque pays a double indirection (block map + block) per access and
+// allocates/frees blocks as the queue breathes; at CoreScale event rates
+// that overhead is measurable. A ring keeps everything in one contiguous
+// power-of-two allocation with mask-indexed access and only reallocates on
+// growth. Requires T to be default-constructible and movable.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ccas {
+
+template <typename T>
+class RingBuffer {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] size_t size() const { return count_; }
+
+  [[nodiscard]] T& front() { return buf_[head_]; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
+  [[nodiscard]] T& back() { return buf_[(head_ + count_ - 1) & mask_]; }
+  [[nodiscard]] const T& back() const { return buf_[(head_ + count_ - 1) & mask_]; }
+
+  // i-th element from the front, i < size().
+  [[nodiscard]] T& operator[](size_t i) { return buf_[(head_ + i) & mask_]; }
+  [[nodiscard]] const T& operator[](size_t i) const {
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void push_back(T&& v) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & mask_] = std::move(v);
+    ++count_;
+  }
+  void push_back(const T& v) { push_back(T(v)); }
+  // Appends a default-constructed element and returns it.
+  T& emplace_back() {
+    push_back(T{});
+    return back();
+  }
+
+  // Removes and returns the front element.
+  T pop_front() {
+    T v = std::move(buf_[head_]);
+    drop_front();
+    return v;
+  }
+  // Removes the front element without returning it.
+  void drop_front() {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow() {
+    const size_t new_cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace ccas

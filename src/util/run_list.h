@@ -1,0 +1,179 @@
+// RunList: a sorted set of disjoint, non-adjacent half-open intervals
+// [start, end) over uint64_t, stored in a flat vector.
+//
+// This is the run-length backbone of the hot-path state trackers: the SACK
+// scoreboard's sacked/lost/outstanding sets and the receiver's out-of-order
+// reassembly map. The workloads share a shape — membership grows in long
+// contiguous runs (SACK blocks, in-order bursts) and is consumed from the
+// front (cumulative ACKs, rcv_nxt advances) — so a vector of runs with an
+// eroding-front offset beats both std::map (pointer chasing) and per-element
+// flags (O(window) scans): membership queries are O(log R), front erosion is
+// O(1) amortized, and set operations touch only the runs they change.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ccas {
+
+class RunList {
+ public:
+  struct Run {
+    uint64_t start = 0;
+    uint64_t end = 0;  // exclusive
+  };
+
+  [[nodiscard]] bool empty() const { return base_ == runs_.size(); }
+  [[nodiscard]] size_t run_count() const { return runs_.size() - base_; }
+  // i-th run in ascending order, i < run_count().
+  [[nodiscard]] const Run& run(size_t i) const { return runs_[base_ + i]; }
+
+  void clear() {
+    runs_.clear();
+    base_ = 0;
+  }
+
+  [[nodiscard]] bool contains(uint64_t v) const {
+    const size_t i = first_run_ending_after(v);
+    return i < runs_.size() && runs_[i].start <= v;
+  }
+
+  // Smallest member >= v; nullopt if none.
+  [[nodiscard]] std::optional<uint64_t> first_at_or_after(uint64_t v) const {
+    const size_t i = first_run_ending_after(v);
+    if (i == runs_.size()) return std::nullopt;
+    return std::max(v, runs_[i].start);
+  }
+
+  // The run containing v, if any.
+  [[nodiscard]] std::optional<Run> run_containing(uint64_t v) const {
+    const size_t i = first_run_ending_after(v);
+    if (i < runs_.size() && runs_[i].start <= v) return runs_[i];
+    return std::nullopt;
+  }
+
+  // Unions [start, end) into the set, merging with overlapping or adjacent
+  // runs. No-op when start >= end.
+  void add(uint64_t start, uint64_t end) {
+    if (start >= end) return;
+    // First run that overlaps or is right-adjacent: end >= start.
+    size_t i = base_;
+    {
+      size_t lo = base_;
+      size_t hi = runs_.size();
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (runs_[mid].end >= start) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      i = lo;
+    }
+    if (i == runs_.size()) {
+      runs_.push_back(Run{start, end});
+      return;
+    }
+    if (runs_[i].start > end) {
+      // Strictly before run i, not even adjacent: insert.
+      runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(i), Run{start, end});
+      return;
+    }
+    // Merge with runs [i, j) that overlap or touch [start, end).
+    uint64_t new_start = std::min(start, runs_[i].start);
+    uint64_t new_end = end;
+    size_t j = i;
+    while (j < runs_.size() && runs_[j].start <= end) {
+      new_end = std::max(new_end, runs_[j].end);
+      ++j;
+    }
+    runs_[i] = Run{new_start, new_end};
+    runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(i + 1),
+                runs_.begin() + static_cast<ptrdiff_t>(j));
+  }
+  void add_point(uint64_t v) { add(v, v + 1); }
+
+  // Subtracts [start, end) from the set, splitting runs as needed.
+  void remove(uint64_t start, uint64_t end) {
+    if (start >= end) return;
+    size_t i = first_run_ending_after(start);
+    if (i == runs_.size()) return;
+    // A run split in the middle: handle fully-inside removal first.
+    if (runs_[i].start < start && runs_[i].end > end) {
+      const uint64_t tail = runs_[i].end;
+      runs_[i].end = start;
+      runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(i + 1), Run{end, tail});
+      return;
+    }
+    if (runs_[i].start < start) {
+      // Trim the right side of run i, then continue with the next run.
+      runs_[i].end = start;
+      ++i;
+    }
+    // Drop runs fully covered by [start, end).
+    const size_t del_begin = i;
+    while (i < runs_.size() && runs_[i].end <= end) ++i;
+    if (i < runs_.size() && runs_[i].start < end) runs_[i].start = end;
+    runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(del_begin),
+                runs_.begin() + static_cast<ptrdiff_t>(i));
+  }
+  void remove_point(uint64_t v) { remove(v, v + 1); }
+
+  // Removes every member < bound. O(1) amortized: the front run erodes in
+  // place and fully-erased runs are skipped via an offset, compacted lazily.
+  void erase_below(uint64_t bound) {
+    while (base_ < runs_.size() && runs_[base_].end <= bound) ++base_;
+    if (base_ < runs_.size() && runs_[base_].start < bound) {
+      runs_[base_].start = bound;
+    }
+    if (base_ >= 32 && base_ * 2 >= runs_.size()) {
+      runs_.erase(runs_.begin(), runs_.begin() + static_cast<ptrdiff_t>(base_));
+      base_ = 0;
+    }
+  }
+
+  // Invokes fn(a, b) for each maximal non-member gap [a, b) within
+  // [start, end), in ascending order. fn must not mutate this RunList.
+  template <typename F>
+  void for_each_gap(uint64_t start, uint64_t end, F&& fn) const {
+    uint64_t cur = start;
+    size_t i = first_run_ending_after(start);
+    while (cur < end) {
+      if (i == runs_.size() || runs_[i].start >= end) {
+        fn(cur, end);
+        return;
+      }
+      const Run& r = runs_[i];
+      if (r.start > cur) fn(cur, r.start);
+      if (r.end >= end) return;
+      cur = r.end;
+      ++i;
+    }
+  }
+
+ private:
+  // Index of the first run with end > v (the run containing v, or the next
+  // one after it); runs_.size() if none.
+  [[nodiscard]] size_t first_run_ending_after(uint64_t v) const {
+    size_t lo = base_;
+    size_t hi = runs_.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (runs_[mid].end > v) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  std::vector<Run> runs_;
+  size_t base_ = 0;  // runs before base_ have been eroded by erase_below
+};
+
+}  // namespace ccas

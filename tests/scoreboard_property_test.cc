@@ -24,8 +24,12 @@ class ReferenceScoreboard {
   [[nodiscard]] uint64_t snd_nxt() const { return nxt_; }
   [[nodiscard]] uint64_t sacked_count() const { return sacked_.size(); }
   [[nodiscard]] uint64_t lost_count() const { return lost_.size(); }
+  [[nodiscard]] uint64_t highest_sacked_end() const { return highest_sacked_end_; }
   [[nodiscard]] bool is_sacked(uint64_t seq) const { return sacked_.count(seq) > 0; }
   [[nodiscard]] bool is_lost(uint64_t seq) const { return lost_.count(seq) > 0; }
+  [[nodiscard]] bool is_outstanding(uint64_t seq) const {
+    return outstanding_.count(seq) > 0;
+  }
 
   void extend() { ++nxt_; }
 
@@ -35,6 +39,7 @@ class ReferenceScoreboard {
       if (sacked_.count(s) == 0) ++newly;
       sacked_.erase(s);
       lost_.erase(s);
+      outstanding_.erase(s);
     }
     una_ = new_una;
     scan_ = std::max(scan_, una_);
@@ -50,6 +55,7 @@ class ReferenceScoreboard {
       if (sacked_.insert(s).second) {
         ++newly;
         lost_.erase(s);  // presumed-lost segment actually arrived
+        outstanding_.erase(s);
       }
     }
     if (end > highest_sacked_end_ && newly > 0) highest_sacked_end_ = end;
@@ -63,9 +69,19 @@ class ReferenceScoreboard {
     const uint64_t limit = highest_sacked_seq - dup_thresh + 1;
     uint64_t count = 0;
     for (; scan_ < limit; ++scan_) {
-      if (sacked_.count(scan_) == 0 && lost_.insert(scan_).second) ++count;
+      if (sacked_.count(scan_) == 0 && lost_.insert(scan_).second) {
+        ++count;
+        outstanding_.erase(scan_);
+      }
     }
     return count;
+  }
+
+  uint64_t mark_lost(uint64_t seq) {
+    if (sacked_.count(seq) > 0 || lost_.count(seq) > 0) return 0;
+    lost_.insert(seq);
+    outstanding_.erase(seq);
+    return 1;
   }
 
   uint64_t mark_all_lost() {
@@ -73,15 +89,33 @@ class ReferenceScoreboard {
     for (uint64_t s = una_; s < nxt_; ++s) {
       if (sacked_.count(s) == 0 && lost_.insert(s).second) ++count;
     }
+    outstanding_.clear();
     scan_ = una_;  // post-RTO rescan from scratch
     return count;
   }
 
-  void note_transmit(uint64_t seq) { lost_.erase(seq); }
+  void note_transmit(uint64_t seq) {
+    lost_.erase(seq);
+    outstanding_.insert(seq);
+  }
 
   [[nodiscard]] std::optional<uint64_t> find_lost_from(uint64_t from) const {
     for (uint64_t s = std::max(from, una_); s < nxt_; ++s) {
       if (lost_.count(s) > 0) return s;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::optional<uint64_t> first_outstanding() const {
+    for (uint64_t s = una_; s < nxt_; ++s) {
+      if (outstanding_.count(s) > 0) return s;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<uint64_t> clear_first_outstanding_from(uint64_t from) {
+    for (uint64_t s = std::max(from, una_); s < nxt_; ++s) {
+      if (outstanding_.erase(s) > 0) return s;
     }
     return std::nullopt;
   }
@@ -91,6 +125,7 @@ class ReferenceScoreboard {
   uint64_t nxt_ = 0;
   std::set<uint64_t> sacked_;
   std::set<uint64_t> lost_;
+  std::set<uint64_t> outstanding_;
   uint64_t highest_sacked_end_ = 0;
   uint64_t scan_ = 0;
 };
@@ -101,9 +136,12 @@ void expect_identical(const SackScoreboard& sb, const ReferenceScoreboard& ref,
   ASSERT_EQ(sb.snd_nxt(), ref.snd_nxt()) << "step " << step;
   ASSERT_EQ(sb.sacked_count(), ref.sacked_count()) << "step " << step;
   ASSERT_EQ(sb.lost_count(), ref.lost_count()) << "step " << step;
+  ASSERT_EQ(sb.highest_sacked_end(), ref.highest_sacked_end()) << "step " << step;
   for (uint64_t s = sb.snd_una(); s < sb.snd_nxt(); ++s) {
     ASSERT_EQ(sb.seg(s).sacked, ref.is_sacked(s)) << "seq " << s << " step " << step;
     ASSERT_EQ(sb.seg(s).lost, ref.is_lost(s)) << "seq " << s << " step " << step;
+    ASSERT_EQ(sb.seg(s).outstanding, ref.is_outstanding(s))
+        << "seq " << s << " step " << step;
   }
 }
 
@@ -147,7 +185,7 @@ void run_random_trace(uint64_t seed) {
       d1 = sb.mark_lost_by_sack(dup_thresh, [](uint64_t, SegmentState&) {});
       d2 = ref.mark_lost_by_sack(dup_thresh);
       ASSERT_EQ(d1, d2) << "mark_lost_by_sack step " << step;
-    } else if (op < 95) {
+    } else if (op < 90) {
       // Retransmit what the scoreboard says is lost; both models must pick
       // the same segments in the same order.
       uint64_t hint = sb.snd_una();
@@ -160,6 +198,23 @@ void run_random_trace(uint64_t seed) {
         sb.note_transmit(*lost);
         ref.note_transmit(*lost);
         hint = *lost + 1;
+      }
+    } else if (op < 95) {
+      // The RFC 5681 no-SACK path: dupack pipe deflation retires a
+      // specific outstanding segment beyond the hole, and fast retransmit
+      // marks the hole itself lost.
+      const auto fo = sb.first_outstanding();
+      const auto ref_fo = ref.first_outstanding();
+      ASSERT_EQ(fo, ref_fo) << "first_outstanding step " << step;
+      const uint64_t from = rand_in(sb.snd_una(), sb.snd_nxt());
+      const auto c1 = sb.clear_first_outstanding_from(from);
+      const auto c2 = ref.clear_first_outstanding_from(from);
+      ASSERT_EQ(c1, c2) << "clear_first_outstanding_from(" << from << ") step "
+                        << step;
+      if (!sb.empty()) {
+        ASSERT_EQ(sb.mark_lost(sb.snd_una(), [](uint64_t, SegmentState&) {}),
+                  ref.mark_lost(ref.snd_una()))
+            << "mark_lost step " << step;
       }
     } else {
       // RTO: everything outstanding is presumed lost, scan restarts.

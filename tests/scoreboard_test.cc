@@ -121,7 +121,7 @@ TEST(Scoreboard, NoteTransmitClearsLost) {
 TEST(Scoreboard, MarkAllLostOnRto) {
   SackScoreboard sb;
   extend_to(sb, 6);
-  for (uint64_t s = 0; s < 6; ++s) sb.seg(s).outstanding = true;
+  for (uint64_t s = 0; s < 6; ++s) sb.note_transmit(s);
   sb.apply_sack(2, 3, nop);
   const uint64_t lost = sb.mark_all_lost(nop);
   EXPECT_EQ(lost, 5u);  // all but the SACKed segment 2
@@ -146,7 +146,7 @@ TEST(Scoreboard, FirstOutstanding) {
   SackScoreboard sb;
   extend_to(sb, 5);
   EXPECT_FALSE(sb.first_outstanding().has_value());
-  sb.seg(3).outstanding = true;
+  sb.note_transmit(3);
   EXPECT_EQ(sb.first_outstanding().value(), 3u);
 }
 

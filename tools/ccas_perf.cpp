@@ -1,0 +1,248 @@
+// ccas_perf — perf-regression microbenchmark over pinned experiment cells.
+//
+// Runs a fixed grid of cells through the harness, reports events/sec from
+// the kernel profiler, and writes the numbers as JSON (BENCH_events.json).
+// With --baseline it compares against a previous JSON and fails (exit 2)
+// when any cell regresses by more than --max-regress (default 25%) —
+// that is the CI perf-smoke gate.
+//
+//   ccas_perf                                     # full grid, print JSON
+//   ccas_perf --out=BENCH_events.json
+//   ccas_perf --cells=smoke-edge,smoke-core --baseline=BENCH_events.json
+//   ccas_perf --repeat=3 --max-regress=0.25
+//
+// The full cells (edge50, core1000) match the README's measured numbers;
+// the smoke-* cells are small enough for CI (a few seconds each).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/runner.h"
+#include "src/harness/scenario.h"
+
+namespace {
+
+using namespace ccas;
+
+struct BenchCell {
+  std::string name;
+  ExperimentSpec spec;
+};
+
+FlowGroup group(const char* cca, int count, int rtt_ms) {
+  FlowGroup g;
+  g.cca = cca;
+  g.count = count;
+  g.rtt = TimeDelta::millis(rtt_ms);
+  return g;
+}
+
+ExperimentSpec pinned_spec(Scenario scenario, std::vector<FlowGroup> groups,
+                           double stagger_s, double warmup_s, double measure_s) {
+  ExperimentSpec spec;
+  spec.scenario = scenario;
+  spec.scenario.stagger = TimeDelta::seconds_f(stagger_s);
+  spec.scenario.warmup = TimeDelta::seconds_f(warmup_s);
+  spec.scenario.measure = TimeDelta::seconds_f(measure_s);
+  spec.groups = std::move(groups);
+  spec.seed = 1;
+  spec.record_drop_log = false;  // benchmark the simulator, not the logs
+  return spec;
+}
+
+// The pinned grid. Changing any cell invalidates committed baselines, so
+// treat these as append-only.
+std::vector<BenchCell> all_cells() {
+  std::vector<BenchCell> cells;
+  cells.push_back({"edge50", pinned_spec(Scenario::edge_scale(),
+                                         {group("cubic", 25, 20), group("newreno", 25, 80)},
+                                         1.0, 2.0, 20.0)});
+  cells.push_back({"core1000",
+                   pinned_spec(Scenario::core_scale(),
+                               {group("newreno", 600, 20), group("cubic", 400, 80)},
+                               1.0, 2.0, 5.0)});
+  // CI-sized cells.
+  cells.push_back({"smoke-edge", pinned_spec(Scenario::edge_scale(),
+                                             {group("cubic", 10, 20), group("newreno", 10, 80)},
+                                             0.5, 1.0, 5.0)});
+  {
+    Scenario sc = Scenario::core_scale();
+    sc.net.bottleneck_rate = DataRate::bps_f(2e9);
+    sc.net.buffer_bytes = 75'000'000;  // ~1 BDP at 2 Gbps, 300 ms
+    cells.push_back({"smoke-core", pinned_spec(sc,
+                                               {group("newreno", 120, 20), group("cubic", 80, 80)},
+                                               0.5, 1.0, 3.0)});
+  }
+  return cells;
+}
+
+struct CellResult {
+  std::string name;
+  int flows = 0;
+  uint64_t sim_events = 0;
+  double wall_sec = 0.0;
+  double sim_sec = 0.0;
+  double events_per_sec = 0.0;
+};
+
+std::string to_json(const std::vector<CellResult>& results) {
+  std::ostringstream out;
+  out << "{\n  \"ccas_perf\": 1,\n  \"cells\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"flows\": %d, \"sim_events\": %llu, "
+                  "\"wall_sec\": %.3f, \"sim_sec\": %.3f, \"events_per_sec\": %.0f}",
+                  r.name.c_str(), r.flows,
+                  static_cast<unsigned long long>(r.sim_events), r.wall_sec,
+                  r.sim_sec, r.events_per_sec);
+    out << line << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+// Minimal extraction from a previous ccas_perf JSON: finds the cell object
+// by name and reads its events_per_sec. Only needs to parse what this tool
+// itself writes.
+std::optional<double> baseline_events_per_sec(const std::string& json,
+                                              const std::string& cell) {
+  const std::string needle = "\"name\": \"" + cell + "\"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::string key = "\"events_per_sec\":";
+  const size_t k = json.find(key, at);
+  if (k == std::string::npos) return std::nullopt;
+  const size_t obj_end = json.find('}', at);
+  if (obj_end != std::string::npos && k > obj_end) return std::nullopt;
+  return std::strtod(json.c_str() + k + key.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> only;
+  std::string out_path;
+  std::string baseline_path;
+  double max_regress = 0.25;
+  int repeat = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--help" || key == "-h") {
+      std::puts(
+          "usage: ccas_perf [--cells=a,b] [--out=file.json] [--repeat=n]\n"
+          "                 [--baseline=file.json] [--max-regress=frac]\n"
+          "cells: edge50 core1000 smoke-edge smoke-core (default: all)\n"
+          "exit 2 if any cell's events/sec falls more than max-regress\n"
+          "(default 0.25) below the baseline");
+      return 0;
+    } else if (key == "--cells") {
+      size_t start = 0;
+      while (start <= value.size()) {
+        const size_t pos = value.find(',', start);
+        only.push_back(value.substr(start, pos - start));
+        if (pos == std::string::npos) break;
+        start = pos + 1;
+      }
+    } else if (key == "--out") {
+      out_path = value;
+    } else if (key == "--baseline") {
+      baseline_path = value;
+    } else if (key == "--max-regress") {
+      max_regress = std::strtod(value.c_str(), nullptr);
+    } else if (key == "--repeat") {
+      repeat = std::atoi(value.c_str());
+      if (repeat < 1) repeat = 1;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", key.c_str());
+      return 1;
+    }
+  }
+
+  std::string baseline_json;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    baseline_json = ss.str();
+  }
+
+  try {
+    std::vector<CellResult> results;
+    bool regressed = false;
+    for (const BenchCell& cell : all_cells()) {
+      if (!only.empty() &&
+          std::find(only.begin(), only.end(), cell.name) == only.end()) {
+        continue;
+      }
+      CellResult best;
+      for (int rep = 0; rep < repeat; ++rep) {
+        const ExperimentResult res = run_experiment(cell.spec);
+        CellResult r;
+        r.name = cell.name;
+        r.flows = cell.spec.total_flows();
+        r.sim_events = res.sim_events;
+        r.wall_sec = res.sim_profile.wall_seconds;
+        r.sim_sec = res.sim_profile.sim_seconds;
+        r.events_per_sec = res.sim_profile.events_per_wall_sec();
+        if (rep == 0 || r.events_per_sec > best.events_per_sec) best = r;
+      }
+      std::printf("%-12s %6d flows  %12llu events  %7.2fs wall  %11.0f events/sec\n",
+                  best.name.c_str(), best.flows,
+                  static_cast<unsigned long long>(best.sim_events), best.wall_sec,
+                  best.events_per_sec);
+      if (!baseline_json.empty()) {
+        if (const auto base = baseline_events_per_sec(baseline_json, best.name)) {
+          const double ratio = *base > 0.0 ? best.events_per_sec / *base : 1.0;
+          std::printf("%-12s        vs baseline %11.0f events/sec  (%+.1f%%)\n", "",
+                      *base, (ratio - 1.0) * 100.0);
+          if (ratio < 1.0 - max_regress) {
+            std::fprintf(stderr,
+                         "REGRESSION: %s at %.0f events/sec is %.1f%% below "
+                         "baseline %.0f (allowed %.0f%%)\n",
+                         best.name.c_str(), best.events_per_sec,
+                         (1.0 - ratio) * 100.0, *base, max_regress * 100.0);
+            regressed = true;
+          }
+        } else {
+          std::printf("%-12s        (no baseline entry)\n", "");
+        }
+      }
+      results.push_back(best);
+    }
+
+    if (results.empty()) {
+      std::fprintf(stderr, "no cells selected\n");
+      return 1;
+    }
+    const std::string json = to_json(results);
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      out << json;
+      std::printf("wrote %s\n", out_path.c_str());
+    } else {
+      std::fputs(json.c_str(), stdout);
+    }
+    return regressed ? 2 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -54,6 +54,15 @@ int main(int argc, char** argv) {
                     out.from_cache ? " (cached)" : "");
       }
       std::printf("%s", summarize(out.result).c_str());
+      if (opts.perf) {
+        // Profiles are per-run observational output, not serialized into
+        // the cache, so cached cells come back without one.
+        if (out.from_cache) {
+          std::printf("perf: (cached result, no profile)\n");
+        } else {
+          std::printf("%s", out.result.sim_profile.summary().c_str());
+        }
+      }
       if (!opts.csv_prefix.empty() && !out.result.trace.empty()) {
         // With several seeds each trace gets a per-cell suffix.
         const std::string prefix =
