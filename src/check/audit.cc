@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/net/impairment.h"
 #include "src/net/queue.h"
 #include "src/tcp/tcp_sender.h"
 
@@ -45,6 +46,10 @@ void InvariantAuditor::register_holder(
 
 void InvariantAuditor::watch_sender(uint32_t flow_id, const TcpSender& sender) {
   flow_shadow(flow_id).sender = &sender;
+}
+
+void InvariantAuditor::watch_impairment(const ImpairedLink& link) {
+  impairments_.push_back(&link);
 }
 
 InvariantAuditor::QueueShadow& InvariantAuditor::shadow_of(const DropTailQueue& q) {
@@ -125,7 +130,11 @@ void InvariantAuditor::on_enqueue(const DropTailQueue& q, const Packet& pkt,
                   static_cast<long long>(s.bytes), q.queued_packets(),
                   static_cast<long long>(q.queued_bytes())));
   }
-  if (q.queued_bytes() < 0 || q.queued_bytes() > q.capacity_bytes()) {
+  // The upper bound only applies when this enqueue was admitted: after a
+  // kBuffer fault shrinks capacity below the current occupancy, the queue
+  // legally stays over capacity (drop-tail only refuses new arrivals)
+  // until it drains.
+  if (q.queued_bytes() < 0 || (!dropped && q.queued_bytes() > q.capacity_bytes())) {
     violation("queue.capacity", pkt.flow_id, sim_.now(),
               fmt("occupancy %lld B outside [0, %lld B]",
                   static_cast<long long>(q.queued_bytes()),
@@ -169,6 +178,18 @@ void InvariantAuditor::on_packet_injected(const Packet& pkt) {
 void InvariantAuditor::on_packet_delivered(const Packet& pkt) {
   ++delivered_packets_;
   delivered_bytes_ += pkt.size_bytes;
+}
+
+void InvariantAuditor::on_impairment_drop(const Packet& pkt) {
+  ++impaired_drop_packets_;
+  ++dropped_packets_;
+  dropped_bytes_ += pkt.size_bytes;
+}
+
+void InvariantAuditor::on_impairment_duplicate(const Packet& pkt) {
+  ++impaired_dup_packets_;
+  ++injected_packets_;
+  injected_bytes_ += pkt.size_bytes;
 }
 
 void InvariantAuditor::on_ack_processed(uint32_t flow_id, const AckEvent& ev,
@@ -339,6 +360,43 @@ void InvariantAuditor::run_checks(Time now) {
   for (const QueueShadow& s : queues_) check_queue(s, now);
   for (uint32_t id = 0; id < flows_.size(); ++id) {
     if (flows_[id].sender != nullptr) check_sender(id, *flows_[id].sender, now);
+  }
+  check_impairments(now);
+}
+
+void InvariantAuditor::check_impairments(Time now) {
+  uint64_t stage_drops = 0;
+  uint64_t stage_dups = 0;
+  for (const ImpairedLink* link : impairments_) {
+    const ImpairmentStats& st = link->stats();
+    stage_drops += st.dropped_total();
+    stage_dups += st.duplicated;
+    // Internal stage conservation: every packet accepted (plus every copy
+    // created) was delivered downstream, dropped, or is still held for a
+    // reorder/jitter delay.
+    if (st.processed + st.duplicated !=
+        st.delivered + st.dropped_total() + link->in_transit()) {
+      violation("impairment.stage-conservation", kNoFlow, now,
+                fmt("processed %llu + dup %llu != delivered %llu + dropped "
+                    "%llu + held %zu",
+                    static_cast<unsigned long long>(st.processed),
+                    static_cast<unsigned long long>(st.duplicated),
+                    static_cast<unsigned long long>(st.delivered),
+                    static_cast<unsigned long long>(st.dropped_total()),
+                    link->in_transit()));
+    }
+  }
+  // The hook-side shadow must agree with the stages' own counters: a
+  // mismatch means a drop or duplication happened without its hook (or
+  // vice versa) and flow-level conservation can no longer be trusted.
+  if (stage_drops != impaired_drop_packets_ || stage_dups != impaired_dup_packets_) {
+    violation("impairment.hook-reconciliation", kNoFlow, now,
+              fmt("stage counters drops=%llu dups=%llu vs hook shadow "
+                  "drops=%llu dups=%llu",
+                  static_cast<unsigned long long>(stage_drops),
+                  static_cast<unsigned long long>(stage_dups),
+                  static_cast<unsigned long long>(impaired_drop_packets_),
+                  static_cast<unsigned long long>(impaired_dup_packets_)));
   }
 }
 

@@ -36,6 +36,7 @@
 
 namespace ccas {
 class DropTailQueue;
+class ImpairedLink;
 class TcpSender;
 }  // namespace ccas
 
@@ -74,6 +75,10 @@ class InvariantAuditor {
   void register_holder(std::string name,
                        std::function<void(int64_t&, int64_t&)> held);
   void watch_sender(uint32_t flow_id, const TcpSender& sender);
+  // Registers an impairment stage for per-checkpoint reconciliation: the
+  // stage's own counters must balance (processed + duplicated == delivered
+  // + dropped + held) and must match the hook-side shadow counts.
+  void watch_impairment(const ImpairedLink& link);
 
   // ---- hot-path hooks (called through Simulator::auditor()) ---------
   // Simulator::dispatch, before now() advances to `event_time`.
@@ -88,6 +93,12 @@ class InvariantAuditor {
   void on_packet_injected(const Packet& pkt);
   // A packet reached its endpoint (receiver data / sender ACK).
   void on_packet_delivered(const Packet& pkt);
+  // ImpairedLink dropped a packet (random loss / GE loss / link-down
+  // fault): counts toward the network-wide dropped totals.
+  void on_impairment_drop(const Packet& pkt);
+  // ImpairedLink created a duplicate copy: the copy is a fresh injection
+  // for conservation purposes (it will be delivered or dropped downstream).
+  void on_impairment_duplicate(const Packet& pkt);
   // TcpSender, end of ACK processing (after the CCA saw the event).
   void on_ack_processed(uint32_t flow_id, const AckEvent& ev, uint64_t cwnd,
                         Time est_delivered_time, uint64_t est_delivered);
@@ -138,6 +149,7 @@ class InvariantAuditor {
   FlowShadow& flow_shadow(uint32_t flow_id);
   void check_queue(const QueueShadow& s, Time now);
   void check_sender(uint32_t flow_id, const TcpSender& sender, Time now);
+  void check_impairments(Time now);
   void violation(std::string invariant, uint32_t flow_id, Time at,
                  std::string detail);
 
@@ -153,6 +165,12 @@ class InvariantAuditor {
   int64_t delivered_bytes_ = 0;
   int64_t dropped_packets_ = 0;
   int64_t dropped_bytes_ = 0;
+
+  // Impairment shadow counters (hook-side view of every watched stage,
+  // reconciled against the stages' own ImpairmentStats at checkpoints).
+  std::vector<const ImpairedLink*> impairments_;
+  uint64_t impaired_drop_packets_ = 0;
+  uint64_t impaired_dup_packets_ = 0;
 
   std::vector<Violation> violations_;
   uint64_t total_violations_ = 0;

@@ -76,6 +76,31 @@ std::vector<GoldenCell> golden_grid() {
   cells.push_back(cell("core-cubic", core_spec(), {{"cubic", 8, rtt20}}));
   cells.push_back(cell("core-cubic-vs-bbr", core_spec(),
                        {{"cubic", 4, rtt20}, {"bbr", 4, rtt20}}));
+  // Impaired cells: pin the exogenous-loss/reorder/jitter machinery. Both
+  // leave impairments.seed at 0, so the recorded digests also pin the
+  // derive_impairment_seed path in run_experiment.
+  {
+    // Bursty GE loss in the Edge regime: ~0.5% per-packet transition into
+    // a bad state dropping half its packets — loss episodes a few packets
+    // long, the regime where Mathis diverges most from i.i.d.
+    ExperimentSpec spec = edge_spec();
+    spec.scenario.net.impairments.ge.p_good_to_bad = 0.005;
+    spec.scenario.net.impairments.ge.p_bad_to_good = 0.3;
+    spec.scenario.net.impairments.ge.loss_bad = 0.5;
+    cells.push_back(cell("edge-ge-loss", std::move(spec), {{"cubic", 4, rtt20}}));
+  }
+  {
+    // Wire jitter plus delay-swap reordering in the Core regime: stresses
+    // the RFC 6675 scoreboard (spurious dupacks) and GRO flush behaviour.
+    ExperimentSpec spec = core_spec();
+    spec.scenario.net.impairments.jitter = TimeDelta::micros(200);
+    spec.scenario.net.impairments.jitter_dist =
+        ImpairmentConfig::JitterDist::kNormal;
+    spec.scenario.net.impairments.reorder = 0.02;
+    spec.scenario.net.impairments.reorder_delay = TimeDelta::millis(1);
+    cells.push_back(
+        cell("core-jitter-reorder", std::move(spec), {{"cubic", 8, rtt20}}));
+  }
   return cells;
 }
 

@@ -1,6 +1,8 @@
 #include "src/harness/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <stdexcept>
 
 #include "src/cca/cca.h"
@@ -46,6 +48,37 @@ int64_t parse_integer(const std::string& flag, const std::string& value) {
   return v;
 }
 
+double parse_probability(const std::string& flag, const std::string& value) {
+  const double p = parse_number(flag, value);
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(flag + " must be a probability in [0, 1]");
+  }
+  return p;
+}
+
+// Parses "sec:value[,sec:value...]" fault schedules; times must be
+// strictly increasing within one flag (cross-flag ties are caught by the
+// final ImpairmentConfig::validate()).
+void parse_fault_schedule(const std::string& flag, const std::string& value,
+                          std::vector<LinkFault>& out,
+                          const std::function<LinkFault(double, const std::string&)>& make) {
+  double prev = -1.0;
+  for (const auto& entry : split(value, ',')) {
+    const auto parts = split(entry, ':');
+    if (parts.size() != 2) {
+      throw std::invalid_argument("bad " + flag + " entry '" + entry +
+                                  "' (want sec:value)");
+    }
+    const double at = parse_number(flag + " time", parts[0]);
+    if (at < 0.0) throw std::invalid_argument(flag + " times must be >= 0");
+    if (at <= prev) {
+      throw std::invalid_argument(flag + " schedule must be strictly increasing");
+    }
+    prev = at;
+    out.push_back(make(at, parts[1]));
+  }
+}
+
 FlowGroup parse_group(const std::string& text) {
   const auto parts = split(text, ':');
   if (parts.size() != 3) {
@@ -74,6 +107,16 @@ std::string cli_usage() {
          "  --stagger=<sec> --warmup=<sec> --measure=<sec>\n"
          "  --seed=<n>            RNG seed (default 1)\n"
          "  --jitter=<microsec>   forward-path jitter (default 500)\n"
+         "  --loss=<p>            i.i.d. exogenous loss probability\n"
+         "  --ge-loss=<p_gb>:<p_bg>:<loss_bad>[:<loss_good>]\n"
+         "                        Gilbert-Elliott bursty loss chain\n"
+         "  --dup=<p>             duplication probability\n"
+         "  --reorder=<p>:<max_ms> delay-swap reordering (bounded window)\n"
+         "  --link-jitter=<microsec>[:uniform|normal]\n"
+         "                        per-packet wire jitter (impairment stage)\n"
+         "  --flap=<down_s>:<up_s>[,...]   link down/up fault windows\n"
+         "  --rate-change=<sec>:<mbps>[,...]   scheduled rate faults\n"
+         "  --buffer-change=<sec>:<bytes>[,...] scheduled buffer faults\n"
          "  --no-sack --no-delack --no-gro\n"
          "  --rto-slack=<microsec> coalesce RTO re-arms within this slack\n"
          "                        (0 = exact timing, the default)\n"
@@ -150,6 +193,125 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       need_value();
       opts.spec.scenario.net.jitter =
           TimeDelta::seconds_f(parse_number(key, value) / 1e6);
+    } else if (key == "--loss") {
+      need_value();
+      opts.spec.scenario.net.impairments.loss = parse_probability(key, value);
+    } else if (key == "--ge-loss") {
+      need_value();
+      const auto parts = split(value, ':');
+      if (parts.size() != 3 && parts.size() != 4) {
+        throw std::invalid_argument(
+            "bad --ge-loss '" + value +
+            "' (want p_good_to_bad:p_bad_to_good:loss_bad[:loss_good])");
+      }
+      GilbertElliottConfig& ge = opts.spec.scenario.net.impairments.ge;
+      ge.p_good_to_bad = parse_probability("--ge-loss p_good_to_bad", parts[0]);
+      ge.p_bad_to_good = parse_probability("--ge-loss p_bad_to_good", parts[1]);
+      ge.loss_bad = parse_probability("--ge-loss loss_bad", parts[2]);
+      ge.loss_good =
+          parts.size() == 4 ? parse_probability("--ge-loss loss_good", parts[3]) : 0.0;
+      if (ge.p_good_to_bad > 0.0 && ge.p_bad_to_good <= 0.0) {
+        throw std::invalid_argument(
+            "--ge-loss p_bad_to_good must be positive (the bad state must be "
+            "leavable)");
+      }
+    } else if (key == "--dup") {
+      need_value();
+      opts.spec.scenario.net.impairments.duplicate = parse_probability(key, value);
+    } else if (key == "--reorder") {
+      need_value();
+      const auto parts = split(value, ':');
+      if (parts.size() != 2) {
+        throw std::invalid_argument("bad --reorder '" + value +
+                                    "' (want probability:max_delay_ms)");
+      }
+      ImpairmentConfig& imp = opts.spec.scenario.net.impairments;
+      imp.reorder = parse_probability("--reorder probability", parts[0]);
+      const double ms = parse_number("--reorder max_delay", parts[1]);
+      if (ms <= 0.0) {
+        throw std::invalid_argument("--reorder max delay must be positive");
+      }
+      imp.reorder_delay = TimeDelta::seconds_f(ms / 1e3);
+    } else if (key == "--link-jitter") {
+      need_value();
+      const auto parts = split(value, ':');
+      if (parts.size() > 2) {
+        throw std::invalid_argument("bad --link-jitter '" + value +
+                                    "' (want microsec[:uniform|normal])");
+      }
+      ImpairmentConfig& imp = opts.spec.scenario.net.impairments;
+      const double us = parse_number("--link-jitter", parts[0]);
+      if (us < 0.0) throw std::invalid_argument("--link-jitter must be >= 0");
+      imp.jitter = TimeDelta::seconds_f(us / 1e6);
+      if (parts.size() == 2) {
+        if (parts[1] == "uniform") {
+          imp.jitter_dist = ImpairmentConfig::JitterDist::kUniform;
+        } else if (parts[1] == "normal") {
+          imp.jitter_dist = ImpairmentConfig::JitterDist::kNormal;
+        } else {
+          throw std::invalid_argument(
+              "--link-jitter distribution must be uniform or normal");
+        }
+      }
+    } else if (key == "--flap") {
+      need_value();
+      // Each entry is one down:up window; windows must not overlap.
+      double prev = -1.0;
+      for (const auto& entry : split(value, ',')) {
+        const auto parts = split(entry, ':');
+        if (parts.size() != 2) {
+          throw std::invalid_argument("bad --flap entry '" + entry +
+                                      "' (want down_sec:up_sec)");
+        }
+        const double down = parse_number("--flap down", parts[0]);
+        const double up = parse_number("--flap up", parts[1]);
+        if (down < 0.0) throw std::invalid_argument("--flap times must be >= 0");
+        if (up <= down) {
+          throw std::invalid_argument("--flap up time must follow its down time");
+        }
+        if (down <= prev) {
+          throw std::invalid_argument("--flap schedule must be strictly increasing");
+        }
+        prev = up;
+        LinkFault d;
+        d.at = Time::seconds_f(down);
+        d.kind = LinkFault::Kind::kDown;
+        LinkFault u;
+        u.at = Time::seconds_f(up);
+        u.kind = LinkFault::Kind::kUp;
+        opts.spec.scenario.net.impairments.faults.push_back(d);
+        opts.spec.scenario.net.impairments.faults.push_back(u);
+      }
+    } else if (key == "--rate-change") {
+      need_value();
+      parse_fault_schedule(key, value, opts.spec.scenario.net.impairments.faults,
+                           [&key](double at, const std::string& v) {
+                             const double mbps = parse_number(key + " rate", v);
+                             if (mbps <= 0.0) {
+                               throw std::invalid_argument(
+                                   "--rate-change rate must be positive");
+                             }
+                             LinkFault f;
+                             f.at = Time::seconds_f(at);
+                             f.kind = LinkFault::Kind::kRate;
+                             f.rate = DataRate::bps_f(mbps * 1e6);
+                             return f;
+                           });
+    } else if (key == "--buffer-change") {
+      need_value();
+      parse_fault_schedule(key, value, opts.spec.scenario.net.impairments.faults,
+                           [&key](double at, const std::string& v) {
+                             const int64_t bytes = parse_integer(key + " bytes", v);
+                             if (bytes <= 0) {
+                               throw std::invalid_argument(
+                                   "--buffer-change bytes must be positive");
+                             }
+                             LinkFault f;
+                             f.at = Time::seconds_f(at);
+                             f.kind = LinkFault::Kind::kBuffer;
+                             f.buffer_bytes = bytes;
+                             return f;
+                           });
     } else if (key == "--no-sack") {
       opts.spec.tcp.sack_enabled = false;
     } else if (key == "--no-delack") {
@@ -212,6 +374,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   if (!have_groups) {
     throw std::invalid_argument("--groups is required\n" + cli_usage());
   }
+  // Faults from different flags (--flap, --rate-change, --buffer-change)
+  // merge into one schedule; validate() then rejects cross-flag ties.
+  auto& faults = opts.spec.scenario.net.impairments.faults;
+  std::stable_sort(faults.begin(), faults.end(),
+                   [](const LinkFault& a, const LinkFault& b) { return a.at < b.at; });
+  opts.spec.scenario.net.impairments.validate();
   return opts;
 }
 

@@ -13,6 +13,14 @@
 //   --stagger/--warmup/--measure=<sec>
 //   --seed=<n>
 //   --jitter=<microsec>        forward-path jitter
+//   --loss=<p>                 i.i.d. exogenous loss probability
+//   --ge-loss=<p_gb>:<p_bg>:<loss_bad>[:<loss_good>]  GE bursty loss
+//   --dup=<p>                  duplication probability
+//   --reorder=<p>:<max_ms>     delay-swap reordering
+//   --link-jitter=<microsec>[:uniform|normal]  impairment-stage jitter
+//   --flap=<down_s>:<up_s>[,...]       link down/up fault windows
+//   --rate-change=<sec>:<mbps>[,...]   scheduled rate faults
+//   --buffer-change=<sec>:<bytes>[,...] scheduled buffer faults
 //   --no-sack / --no-delack / --no-gro
 //   --rto-slack=<microsec>     coalesce RTO re-arms within this slack
 //   --perf                     print the kernel profiler summary per cell

@@ -57,6 +57,7 @@ void validate(const ExperimentSpec& spec) {
   if (spec.scenario.measure <= TimeDelta::zero()) {
     throw std::invalid_argument("non-positive measurement window");
   }
+  spec.scenario.net.impairments.validate();
 }
 
 }  // namespace
@@ -76,7 +77,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     auditor = std::make_unique<check::InvariantAuditor>(sim);
   }
 
-  DumbbellTopology topo(sim, spec.scenario.net);
+  // Impairment seed derivation: a pure function of the experiment seed,
+  // independent of the master Rng's stream (whose consumption order the
+  // pre-impairment goldens depend on), so sweep cells stay byte-identical
+  // at any --jobs level.
+  DumbbellConfig net = spec.scenario.net;
+  if ((net.impairments.enabled() || net.impairments.force_stage) &&
+      net.impairments.seed == 0) {
+    net.impairments.seed = derive_impairment_seed(spec.seed);
+  }
+  DumbbellTopology topo(sim, net);
   DropTailQueue& queue = topo.bottleneck_queue();
   queue.set_drop_log_enabled(spec.record_drop_log);
 

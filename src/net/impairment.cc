@@ -1,0 +1,211 @@
+#include "src/net/impairment.h"
+
+#include <string>
+#include <utility>
+
+#include "src/check/audit.h"
+#include "src/net/link.h"
+#include "src/net/queue.h"
+
+namespace ccas {
+
+namespace {
+
+constexpr uint32_t kDeliverTag = 1;
+constexpr uint32_t kFaultTag = 2;
+
+void check_probability(const char* name, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string(name) +
+                                " must be a probability in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void ImpairmentConfig::validate() const {
+  check_probability("impairment loss", loss);
+  check_probability("impairment duplicate", duplicate);
+  check_probability("impairment reorder", reorder);
+  check_probability("ge p_good_to_bad", ge.p_good_to_bad);
+  check_probability("ge p_bad_to_good", ge.p_bad_to_good);
+  check_probability("ge loss_bad", ge.loss_bad);
+  check_probability("ge loss_good", ge.loss_good);
+  if (ge.p_good_to_bad > 0.0 && ge.p_bad_to_good <= 0.0) {
+    throw std::invalid_argument(
+        "ge p_bad_to_good must be positive (the bad state must be leavable)");
+  }
+  if (reorder > 0.0 && reorder_delay <= TimeDelta::zero()) {
+    throw std::invalid_argument("reorder_delay must be positive when reordering");
+  }
+  if (jitter < TimeDelta::zero()) {
+    throw std::invalid_argument("impairment jitter must be >= 0");
+  }
+  Time prev = Time::zero();
+  bool first = true;
+  for (const LinkFault& f : faults) {
+    if (!first && f.at <= prev) {
+      throw std::invalid_argument("fault schedule must be strictly increasing");
+    }
+    prev = f.at;
+    first = false;
+    if (f.kind == LinkFault::Kind::kRate &&
+        (f.rate.is_zero() || f.rate.bits_per_sec() < 0)) {
+      throw std::invalid_argument("fault rate must be positive");
+    }
+    if (f.kind == LinkFault::Kind::kBuffer && f.buffer_bytes <= 0) {
+      throw std::invalid_argument("fault buffer must be positive");
+    }
+  }
+}
+
+uint64_t derive_impairment_seed(uint64_t cell_seed) {
+  // SplitMix64 finalizer under a fixed salt: independent of the master
+  // Rng's stream (which existing goldens depend on) yet a pure function
+  // of the cell seed, so sweeps stay byte-identical at any --jobs.
+  uint64_t z = cell_seed ^ 0x1B873593CC9E2D51ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z;
+}
+
+ImpairedLink::ImpairedLink(Simulator& sim, const ImpairmentConfig& config,
+                           PacketSink* dest)
+    : sim_(sim), config_(config), dest_(dest), rng_(config.seed) {
+  if (dest == nullptr) throw std::invalid_argument("ImpairedLink needs a destination");
+  config_.validate();
+  for (size_t i = 0; i < config_.faults.size(); ++i) {
+    sim_.schedule_at(config_.faults[i].at, this, kFaultTag, i);
+  }
+}
+
+void ImpairedLink::attach_fault_targets(Link* link, DropTailQueue* queue) {
+  fault_link_ = link;
+  fault_queue_ = queue;
+}
+
+TimeDelta ImpairedLink::draw_jitter() {
+  if (config_.jitter_dist == ImpairmentConfig::JitterDist::kUniform) {
+    return config_.jitter * rng_.next_double();
+  }
+  // Irwin-Hall normal approximation (sum of 4 uniforms): mean jitter/2,
+  // sigma jitter/6, clamped to [0, jitter). Platform-exact — no libm.
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) sum += rng_.next_double();
+  const double z = (sum - 2.0) / 0.5773502691896258;  // sqrt(4/12)
+  double frac = 0.5 + z / 6.0;
+  if (frac < 0.0) frac = 0.0;
+  if (frac > 1.0) frac = 1.0;
+  return config_.jitter * frac;
+}
+
+void ImpairedLink::accept(Packet&& pkt) {
+  ++stats_.processed;
+  // Draw order is part of the determinism contract: down check (no draw),
+  // GE loss + transition, i.i.d. loss, duplication, jitter, reorder. Each
+  // feature draws only when enabled, so an inert stage consumes no
+  // randomness and forwards synchronously.
+  if (down_) {
+    ++stats_.dropped_down;
+    sim_.mutable_profile().impair_drops++;
+    if (auto* a = sim_.auditor()) a->on_impairment_drop(pkt);
+    return;
+  }
+  if (config_.ge.enabled()) {
+    const double loss_p = ge_bad_ ? config_.ge.loss_bad : config_.ge.loss_good;
+    const bool dropped = loss_p > 0.0 && rng_.next_double() < loss_p;
+    const double flip_p =
+        ge_bad_ ? config_.ge.p_bad_to_good : config_.ge.p_good_to_bad;
+    if (rng_.next_double() < flip_p) ge_bad_ = !ge_bad_;
+    if (dropped) {
+      ++stats_.dropped_ge;
+      sim_.mutable_profile().impair_drops++;
+      if (auto* a = sim_.auditor()) a->on_impairment_drop(pkt);
+      return;
+    }
+  }
+  if (config_.loss > 0.0 && rng_.next_double() < config_.loss) {
+    ++stats_.dropped_iid;
+    sim_.mutable_profile().impair_drops++;
+    if (auto* a = sim_.auditor()) a->on_impairment_drop(pkt);
+    return;
+  }
+  const bool duplicate =
+      config_.duplicate > 0.0 && rng_.next_double() < config_.duplicate;
+  TimeDelta extra = TimeDelta::zero();
+  if (config_.jitter > TimeDelta::zero()) {
+    const TimeDelta j = draw_jitter();
+    if (j > TimeDelta::zero()) ++stats_.jittered;
+    extra += j;
+  }
+  if (config_.reorder > 0.0 && rng_.next_double() < config_.reorder) {
+    ++stats_.reordered;
+    extra += config_.reorder_delay * rng_.next_double();
+  }
+  if (duplicate) {
+    // The copy is a fresh injection for conservation purposes; it departs
+    // immediately (netem sends duplicates back-to-back), so a delayed
+    // original is overtaken by its own copy.
+    ++stats_.duplicated;
+    sim_.mutable_profile().impair_dups++;
+    Packet copy = pkt;
+    if (auto* a = sim_.auditor()) a->on_impairment_duplicate(copy);
+    forward(std::move(copy), TimeDelta::zero());
+  }
+  forward(std::move(pkt), extra);
+}
+
+void ImpairedLink::forward(Packet&& pkt, TimeDelta extra_delay) {
+  if (extra_delay <= TimeDelta::zero()) {
+    ++stats_.delivered;
+    dest_->accept(std::move(pkt));
+    return;
+  }
+  sim_.mutable_profile().impair_delays++;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(pkt);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(pkt));
+  }
+  ++in_transit_;
+  in_transit_bytes_ += slots_[slot].size_bytes;
+  sim_.schedule_in(extra_delay, this, kDeliverTag, slot);
+}
+
+void ImpairedLink::apply_fault(const LinkFault& fault) {
+  switch (fault.kind) {
+    case LinkFault::Kind::kDown:
+      down_ = true;
+      break;
+    case LinkFault::Kind::kUp:
+      down_ = false;
+      break;
+    case LinkFault::Kind::kRate:
+      if (fault_link_ != nullptr) fault_link_->set_rate(fault.rate);
+      break;
+    case LinkFault::Kind::kBuffer:
+      if (fault_queue_ != nullptr) fault_queue_->set_capacity(fault.buffer_bytes);
+      break;
+  }
+}
+
+void ImpairedLink::on_event(uint32_t tag, uint64_t arg) {
+  if (tag == kFaultTag) {
+    apply_fault(config_.faults[arg]);
+    return;
+  }
+  const auto slot = static_cast<uint32_t>(arg);
+  Packet p = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
+  --in_transit_;
+  in_transit_bytes_ -= p.size_bytes;
+  ++stats_.delivered;
+  dest_->accept(std::move(p));
+}
+
+}  // namespace ccas

@@ -19,6 +19,11 @@ void Link::notify_pending() {
   if (!busy_) start_transmission();
 }
 
+void Link::set_rate(DataRate rate) {
+  if (rate.is_zero()) throw std::invalid_argument("Link rate must be positive");
+  rate_ = rate;
+}
+
 void Link::start_transmission() {
   if (queue_ == nullptr || !queue_->has_packet()) return;
   in_flight_ = queue_->pop();

@@ -29,6 +29,11 @@ class Link final : public EventHandler {
 
   void set_source(DropTailQueue* queue) { queue_ = queue; }
 
+  // Retargets the drain rate (scheduled link faults). Takes effect from
+  // the next transmission; the packet currently serializing keeps the
+  // rate it started with, exactly like a real NIC reconfiguration.
+  void set_rate(DataRate rate);
+
   void on_event(uint32_t tag, uint64_t arg) override;
 
  private:

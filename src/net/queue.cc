@@ -17,6 +17,13 @@ DropTailQueue::DropTailQueue(Simulator& sim, int64_t capacity_bytes)
   }
 }
 
+void DropTailQueue::set_capacity(int64_t capacity_bytes) {
+  if (capacity_bytes <= 0) {
+    throw std::invalid_argument("DropTailQueue capacity must be positive");
+  }
+  capacity_bytes_ = capacity_bytes;
+}
+
 void DropTailQueue::accept(Packet&& pkt) {
   if (queued_bytes_ + pkt.size_bytes > capacity_bytes_) {
     ++stats_.dropped_packets;

@@ -47,6 +47,10 @@ class DropTailQueue final : public PacketSink {
   [[nodiscard]] int64_t queued_bytes() const { return queued_bytes_; }
   [[nodiscard]] size_t queued_packets() const { return fifo_.size(); }
   [[nodiscard]] int64_t capacity_bytes() const { return capacity_bytes_; }
+  // Retargets the buffer capacity (scheduled link faults). Packets already
+  // queued beyond a shrunken capacity stay queued — drop-tail only refuses
+  // new arrivals — which keeps occupancy accounting trivially consistent.
+  void set_capacity(int64_t capacity_bytes);
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
   // Per-flow drop counters (indexed by flow id) and the full drop log.

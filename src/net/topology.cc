@@ -11,13 +11,26 @@ DumbbellTopology::DumbbellTopology(Simulator& sim, const DumbbellConfig& config)
   if (config.num_pairs <= 0) {
     throw std::invalid_argument("DumbbellTopology needs at least one host pair");
   }
-  // Receiver direction: queue -> bottleneck link -> forward netem -> demux.
+  // Receiver direction: queue -> bottleneck link -> [impairments] ->
+  // forward netem -> demux. The impairment stage sits after serialization
+  // and before propagation (where tc-netem shapes the physical testbed)
+  // and is only built when the config is non-inert, so default runs keep
+  // the historical wiring and event stream byte-for-byte.
   forward_netem_ = std::make_unique<NetemDelay>(sim_, &receiver_demux_);
   forward_netem_->set_jitter(config.jitter, config.jitter_seed);
   queue_ = std::make_unique<DropTailQueue>(sim_, config.buffer_bytes);
-  link_ = std::make_unique<Link>(sim_, config.bottleneck_rate, forward_netem_.get());
+  PacketSink* link_dest = forward_netem_.get();
+  if (config.impairments.enabled() || config.impairments.force_stage) {
+    impaired_ = std::make_unique<ImpairedLink>(sim_, config.impairments,
+                                               forward_netem_.get());
+    link_dest = impaired_.get();
+  }
+  link_ = std::make_unique<Link>(sim_, config.bottleneck_rate, link_dest);
   queue_->set_downstream(link_.get());
   link_->set_source(queue_.get());
+  if (impaired_ != nullptr) {
+    impaired_->attach_fault_targets(link_.get(), queue_.get());
+  }
   switch_.add_route(kToReceivers, queue_.get());
 
   // Sender direction (ACKs): reverse netem -> demux. The testbed's return
@@ -45,6 +58,13 @@ DumbbellTopology::DumbbellTopology(Simulator& sim, const DumbbellConfig& config)
       pkts += link_->busy() ? 1 : 0;
       bytes += link_->held_bytes();
     });
+    if (impaired_ != nullptr) {
+      a->watch_impairment(*impaired_);
+      a->register_holder("impaired-link", [this](int64_t& pkts, int64_t& bytes) {
+        pkts += static_cast<int64_t>(impaired_->in_transit());
+        bytes += impaired_->in_transit_bytes();
+      });
+    }
     a->register_holder("forward-netem", [this](int64_t& pkts, int64_t& bytes) {
       pkts += static_cast<int64_t>(forward_netem_->in_transit());
       bytes += forward_netem_->in_transit_bytes();

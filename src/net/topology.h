@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/net/delay_line.h"
+#include "src/net/impairment.h"
 #include "src/net/link.h"
 #include "src/net/queue.h"
 #include "src/net/switch.h"
@@ -41,6 +42,13 @@ struct DumbbellConfig {
   // into globally synchronized loss episodes. Zero disables.
   TimeDelta jitter = TimeDelta::micros(500);
   uint64_t jitter_seed = 0x6a09e667f3bcc908ULL;
+
+  // Exogenous wire impairments (netem-equivalent), applied between the
+  // bottleneck link and the forward netem — after serialization, before
+  // propagation, matching where tc-netem shapes the physical testbed. The
+  // stage is only constructed when enabled() (or force_stage), so default
+  // configs keep the pre-impairment wiring byte-for-byte.
+  ImpairmentConfig impairments;
 };
 
 class DumbbellTopology {
@@ -65,6 +73,9 @@ class DumbbellTopology {
   [[nodiscard]] DropTailQueue& bottleneck_queue() { return *queue_; }
   [[nodiscard]] const DropTailQueue& bottleneck_queue() const { return *queue_; }
   [[nodiscard]] Link& bottleneck_link() { return *link_; }
+  // Null when the impairment config is inert (stage not constructed).
+  [[nodiscard]] ImpairedLink* impaired_link() { return impaired_.get(); }
+  [[nodiscard]] const ImpairedLink* impaired_link() const { return impaired_.get(); }
   [[nodiscard]] const DumbbellConfig& config() const { return config_; }
   [[nodiscard]] int pair_of_flow(uint32_t flow_id) const {
     return static_cast<int>(flow_id) % config_.num_pairs;
@@ -77,6 +88,7 @@ class DumbbellTopology {
   SoftwareSwitch switch_;
   std::unique_ptr<DropTailQueue> queue_;
   std::unique_ptr<Link> link_;
+  std::unique_ptr<ImpairedLink> impaired_;
   std::unique_ptr<NetemDelay> forward_netem_;
   std::unique_ptr<NetemDelay> reverse_netem_;
   FlowDemux receiver_demux_;

@@ -48,6 +48,12 @@ std::string SimProfile::summary() const {
           static_cast<unsigned long long>(timer_stale_wakeups),
           static_cast<unsigned long long>(timer_chase_wakeups),
           static_cast<unsigned long long>(timer_coalesced_rearms));
+  if (impair_drops != 0 || impair_dups != 0 || impair_delays != 0) {
+    appendf(out, "  impairments: drops=%llu dups=%llu delayed=%llu\n",
+            static_cast<unsigned long long>(impair_drops),
+            static_cast<unsigned long long>(impair_dups),
+            static_cast<unsigned long long>(impair_delays));
+  }
   return out;
 }
 

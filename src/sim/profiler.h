@@ -38,6 +38,13 @@ struct SimProfile {
   uint64_t timer_chase_wakeups = 0;
   uint64_t timer_coalesced_rearms = 0;
 
+  // Impairment-stage activity (ImpairedLink): packets dropped by random
+  // loss / GE loss / link-down faults, duplicate copies created, and
+  // packets held for a jitter/reorder delay.
+  uint64_t impair_drops = 0;
+  uint64_t impair_dups = 0;
+  uint64_t impair_delays = 0;
+
   // Wall clock, accumulated across run()/run_until() calls.
   double wall_seconds = 0.0;
   double sim_seconds = 0.0;

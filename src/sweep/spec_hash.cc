@@ -50,6 +50,31 @@ std::string canonical_spec_bytes(const ExperimentSpec& spec) {
   tagged_i64(out, "net.edge_buffer", sc.net.edge_buffer_bytes);
   tagged_i64(out, "net.jitter_ns", sc.net.jitter.ns());
   tagged_u64(out, "net.jitter_seed", sc.net.jitter_seed);
+  // Appended only when the impairment stage is active, so every
+  // pre-impairment spec keeps its historical byte encoding, cache keys and
+  // golden digests. force_stage is deliberately NOT encoded: an inert
+  // stage never alters behaviour (like spec.audit).
+  const ImpairmentConfig& imp = sc.net.impairments;
+  if (imp.enabled()) {
+    tagged_double(out, "imp.loss", imp.loss);
+    tagged_double(out, "imp.ge.p_gb", imp.ge.p_good_to_bad);
+    tagged_double(out, "imp.ge.p_bg", imp.ge.p_bad_to_good);
+    tagged_double(out, "imp.ge.loss_bad", imp.ge.loss_bad);
+    tagged_double(out, "imp.ge.loss_good", imp.ge.loss_good);
+    tagged_double(out, "imp.dup", imp.duplicate);
+    tagged_double(out, "imp.reorder", imp.reorder);
+    tagged_i64(out, "imp.reorder_delay_ns", imp.reorder_delay.ns());
+    tagged_i64(out, "imp.jitter_ns", imp.jitter.ns());
+    tagged_i64(out, "imp.jitter_dist", static_cast<int64_t>(imp.jitter_dist));
+    tagged_u64(out, "imp.seed", imp.seed);
+    tagged_u64(out, "imp.faults", imp.faults.size());
+    for (const LinkFault& f : imp.faults) {
+      tagged_i64(out, "imp.f.at_ns", f.at.ns());
+      tagged_i64(out, "imp.f.kind", static_cast<int64_t>(f.kind));
+      tagged_i64(out, "imp.f.rate_bps", f.rate.bits_per_sec());
+      tagged_i64(out, "imp.f.buffer", f.buffer_bytes);
+    }
+  }
   tagged_i64(out, "stagger_ns", sc.stagger.ns());
   tagged_i64(out, "warmup_ns", sc.warmup.ns());
   tagged_i64(out, "measure_ns", sc.measure.ns());

@@ -157,5 +157,118 @@ TEST(Cli, UsageMentionsEveryCca) {
   }
 }
 
+// ------------------------------------------------- impairment flags ----
+
+TEST(Cli, ParsesImpairmentFlags) {
+  const CliOptions o = parse_cli(
+      {"--groups=cubic:1:20", "--loss=0.001", "--ge-loss=0.01:0.3:0.5:0.002",
+       "--dup=0.005", "--reorder=0.02:1.5", "--link-jitter=200:normal",
+       "--flap=2:3,10:11", "--rate-change=5:250", "--buffer-change=7:500000"});
+  const ImpairmentConfig& imp = o.spec.scenario.net.impairments;
+  EXPECT_TRUE(imp.enabled());
+  EXPECT_DOUBLE_EQ(imp.loss, 0.001);
+  EXPECT_DOUBLE_EQ(imp.ge.p_good_to_bad, 0.01);
+  EXPECT_DOUBLE_EQ(imp.ge.p_bad_to_good, 0.3);
+  EXPECT_DOUBLE_EQ(imp.ge.loss_bad, 0.5);
+  EXPECT_DOUBLE_EQ(imp.ge.loss_good, 0.002);
+  EXPECT_DOUBLE_EQ(imp.duplicate, 0.005);
+  EXPECT_DOUBLE_EQ(imp.reorder, 0.02);
+  EXPECT_EQ(imp.reorder_delay, TimeDelta::micros(1500));
+  EXPECT_EQ(imp.jitter, TimeDelta::micros(200));
+  EXPECT_EQ(imp.jitter_dist, ImpairmentConfig::JitterDist::kNormal);
+  // Faults from all three flags merge into one time-sorted schedule.
+  ASSERT_EQ(imp.faults.size(), 6u);
+  EXPECT_EQ(imp.faults[0].at, Time::seconds_f(2.0));
+  EXPECT_EQ(imp.faults[0].kind, LinkFault::Kind::kDown);
+  EXPECT_EQ(imp.faults[1].kind, LinkFault::Kind::kUp);
+  EXPECT_EQ(imp.faults[2].at, Time::seconds_f(5.0));
+  EXPECT_EQ(imp.faults[2].kind, LinkFault::Kind::kRate);
+  EXPECT_EQ(imp.faults[2].rate, DataRate::mbps(250));
+  EXPECT_EQ(imp.faults[3].kind, LinkFault::Kind::kBuffer);
+  EXPECT_EQ(imp.faults[3].buffer_bytes, 500'000);
+  EXPECT_EQ(imp.faults[4].at, Time::seconds_f(10.0));
+  // The whole merged schedule must validate (strictly increasing).
+  EXPECT_NO_THROW(imp.validate());
+}
+
+TEST(Cli, ImpairmentsDefaultToDisabled) {
+  const CliOptions o = parse_cli({"--groups=cubic:1:20"});
+  EXPECT_FALSE(o.spec.scenario.net.impairments.enabled());
+  // The legacy --jitter flag targets the forward netem, not the stage.
+  const CliOptions j = parse_cli({"--groups=cubic:1:20", "--jitter=100"});
+  EXPECT_FALSE(j.spec.scenario.net.impairments.enabled());
+  EXPECT_EQ(j.spec.scenario.net.jitter, TimeDelta::micros(100));
+}
+
+TEST(Cli, ImpairmentProbabilitiesMustBeInUnitInterval) {
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--loss=1.5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--loss=-0.1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--dup=2"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--reorder=1.1:1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--ge-loss=1.5:0.3:0.5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--ge-loss=0.01:0.3:-0.5"}),
+               std::invalid_argument);
+  // GE bad state must be leavable.
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--ge-loss=0.01:0:0.5"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, ImpairmentFlagShapesAreStrict) {
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--loss=abc"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--ge-loss=0.01:0.3"}),
+               std::invalid_argument);  // too few fields
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--reorder=0.02"}),
+               std::invalid_argument);  // missing window
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--reorder=0.02:0"}),
+               std::invalid_argument);  // non-positive window
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--link-jitter=-5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--link-jitter=10:gaussian"}),
+               std::invalid_argument);  // unknown distribution
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--flap=2"}),
+               std::invalid_argument);  // not down:up
+}
+
+TEST(Cli, FaultSchedulesMustBeMonotonicAndPositive) {
+  // Non-monotonic within one flag.
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--flap=5:6,2:3"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--rate-change=5:100,5:200"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--buffer-change=3:100,2:200"}),
+               std::invalid_argument);
+  // A flap window must close after it opens.
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--flap=3:3"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--flap=-1:2"}),
+               std::invalid_argument);
+  // Positive-value requirements.
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--rate-change=5:0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--rate-change=5:-10"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--buffer-change=5:0"}),
+               std::invalid_argument);
+  // Cross-flag ties are rejected by the merged-schedule validation.
+  EXPECT_THROW(
+      parse_cli({"--groups=cubic:1:20", "--flap=5:6", "--rate-change=5:100"}),
+      std::invalid_argument);
+}
+
+TEST(Cli, UsageMentionsImpairmentFlags) {
+  const std::string usage = cli_usage();
+  for (const char* flag : {"--loss", "--ge-loss", "--dup", "--reorder",
+                           "--link-jitter", "--flap", "--rate-change",
+                           "--buffer-change"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
 }  // namespace
 }  // namespace ccas
