@@ -128,6 +128,9 @@ class SweepBench {
     sweep_.name = std::move(name);
     options_ = sweep::sweep_options_from_env();
     if (options_.cache_dir.empty()) options_.cache_dir = ".ccas-cache";
+    // Benches want the legacy contract: any cell failure aborts the grid
+    // and surfaces as an exception, not as a hole in the printed table.
+    options_.fail_fast = true;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       const size_t eq = arg.find('=');

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,16 @@ namespace ccas::check {
 // True when the CCAS_CHECK environment variable is set to a non-empty,
 // non-"0" value (the runtime toggle; the benches and CI use it).
 [[nodiscard]] bool check_enabled_from_env();
+
+// Thrown by run_experiment when the final audit finds violations. A
+// distinct type (rather than a bare std::runtime_error) lets the sweep
+// supervisor classify audited-cell failures as their own deterministic
+// failure class instead of lumping them with ordinary exceptions; what()
+// carries the auditor's multi-line report.
+class AuditViolationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct Violation {
   static constexpr uint32_t kNoFlow = 0xffffffffu;

@@ -1,8 +1,11 @@
 #include "src/harness/cli.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <stdexcept>
 
 #include "src/cca/cca.h"
@@ -127,6 +130,16 @@ std::string cli_usage() {
          "  --jobs=<n>            worker threads (default: hardware concurrency)\n"
          "  --cache-dir=<path>    enable the on-disk result cache\n"
          "  --no-cache            bypass the cache even if a dir is set\n"
+         "  --cell-timeout=<sec>  wall-clock watchdog per cell attempt\n"
+         "  --cell-events=<n>     simulated-event ceiling per cell attempt\n"
+         "  --cell-rss=<mb>       estimated-peak-RSS ceiling per cell attempt\n"
+         "  --retries=<n>         retries for transient failures, 0-16 (default 2)\n"
+         "  --max-failures=<n>    abort the sweep after n terminal cell failures\n"
+         "  --resume=<dir>        resumable manifest; journaled-ok cells are skipped\n"
+         "  --quarantine=<dir>    where failed cells write .repro replay files\n"
+         "  --fail-fast           abort on the first failure and exit nonzero\n"
+         "Exit codes: 0 ok, 1 usage/config, 2 deterministic cell failure,\n"
+         "            3 budget exceeded, 4 transient failure after retries\n"
          "CCAs: newreno, cubic, bbr, bbr2, vegas, copa (plus registry extensions)\n";
 }
 
@@ -354,6 +367,58 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       opts.sweep.cache_dir = value;
     } else if (key == "--no-cache") {
       opts.sweep.use_cache = false;
+    } else if (key == "--cell-timeout") {
+      need_value();
+      const double sec = parse_number(key, value);
+      if (sec <= 0.0) {
+        throw std::invalid_argument("--cell-timeout must be positive");
+      }
+      opts.sweep.cell_timeout = TimeDelta::seconds_f(sec);
+      if (opts.sweep.cell_timeout <= TimeDelta::zero()) {
+        throw std::invalid_argument("--cell-timeout rounds to zero nanoseconds");
+      }
+    } else if (key == "--cell-events") {
+      need_value();
+      const int64_t v = parse_integer(key, value);
+      // 0 means "no ceiling" internally; an explicit --cell-events=0 is a
+      // typo'd request for a zero budget and must not silently disable it.
+      if (v <= 0) throw std::invalid_argument("--cell-events must be positive");
+      opts.sweep.max_cell_events = static_cast<uint64_t>(v);
+    } else if (key == "--cell-rss") {
+      need_value();
+      const double mb = parse_number(key, value);
+      if (mb <= 0.0) throw std::invalid_argument("--cell-rss must be positive");
+      opts.sweep.max_cell_rss_bytes = static_cast<int64_t>(mb * 1e6);
+      if (opts.sweep.max_cell_rss_bytes <= 0) {
+        throw std::invalid_argument("--cell-rss rounds to zero bytes");
+      }
+    } else if (key == "--retries") {
+      need_value();
+      const int64_t v = parse_integer(key, value);
+      if (v < 0 || v > 16) {
+        throw std::invalid_argument("--retries must be in [0, 16]");
+      }
+      opts.sweep.retries = static_cast<int>(v);
+    } else if (key == "--max-failures") {
+      need_value();
+      const int64_t v = parse_integer(key, value);
+      if (v <= 0) {
+        throw std::invalid_argument(
+            "--max-failures must be positive (use --fail-fast to abort on the "
+            "first failure)");
+      }
+      opts.sweep.max_failures = static_cast<int>(v);
+    } else if (key == "--resume") {
+      need_value();
+      opts.sweep.resume_dir = value;
+    } else if (key == "--quarantine") {
+      need_value();
+      opts.sweep.quarantine_dir = value;
+    } else if (key == "--fail-fast") {
+      if (!value.empty()) {
+        throw std::invalid_argument("--fail-fast takes no value");
+      }
+      opts.sweep.fail_fast = true;
     } else {
       throw std::invalid_argument("unknown flag '" + key + "'\n" + cli_usage());
     }
@@ -374,6 +439,16 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   if (!have_groups) {
     throw std::invalid_argument("--groups is required\n" + cli_usage());
   }
+  if (opts.sweep.fail_fast && opts.sweep.max_failures > 0) {
+    throw std::invalid_argument(
+        "--fail-fast and --max-failures are mutually exclusive (--fail-fast "
+        "already aborts on the first failure)");
+  }
+  if (opts.sweep.fail_fast && !opts.sweep.resume_dir.empty()) {
+    throw std::invalid_argument(
+        "--fail-fast aborts without journaling completed cells consistently; "
+        "use --max-failures=1 together with --resume instead");
+  }
   // Faults from different flags (--flap, --rate-change, --buffer-change)
   // merge into one schedule; validate() then rejects cross-flag ties.
   auto& faults = opts.spec.scenario.net.impairments.faults;
@@ -381,6 +456,240 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
                    [](const LinkFault& a, const LinkFault& b) { return a.at < b.at; });
   opts.spec.scenario.net.impairments.validate();
   return opts;
+}
+
+namespace {
+
+std::string render_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Decimal text that reproduces `target` exactly after the flag's
+// parse-and-truncate transform. %.17g round-trips the double itself, but
+// TimeDelta::seconds_f / DataRate::bps_f truncate toward zero, so the
+// printed value is nudged by ULPs until the transform lands on the exact
+// integer. The transforms are monotonic with sub-integer granularity at
+// every realistic magnitude, so a handful of nudges always converges.
+template <typename Transform>
+std::string render_exact(double start, int64_t target, Transform&& apply) {
+  double v = start;
+  for (int i = 0; i < 64; ++i) {
+    std::string text = render_value(v);
+    const int64_t got = apply(std::strtod(text.c_str(), nullptr));
+    if (got == target) return text;
+    v = std::nextafter(v, got < target ? std::numeric_limits<double>::infinity()
+                                       : -std::numeric_limits<double>::infinity());
+  }
+  return render_value(start);
+}
+
+std::string render_flag_seconds(TimeDelta d) {
+  if (d.ns() == 0) return "0";
+  return render_exact(d.sec(), d.ns(),
+                      [](double v) { return TimeDelta::seconds_f(v).ns(); });
+}
+
+std::string render_flag_time(Time t) {
+  if (t.ns() == 0) return "0";
+  return render_exact(t.sec(), t.ns(),
+                      [](double v) { return Time::seconds_f(v).ns(); });
+}
+
+// Flag value expressed in `per_second`-ths of a second (1e3 = ms, 1e6 = us).
+std::string render_flag_scaled(TimeDelta d, double per_second) {
+  if (d.ns() == 0) return "0";
+  return render_exact(static_cast<double>(d.ns()) / 1e9 * per_second, d.ns(),
+                      [per_second](double v) {
+                        return TimeDelta::seconds_f(v / per_second).ns();
+                      });
+}
+
+std::string render_flag_mbps(DataRate r) {
+  return render_exact(r.mbps_f(), r.bits_per_sec(), [](double v) {
+    return DataRate::bps_f(v * 1e6).bits_per_sec();
+  });
+}
+
+}  // namespace
+
+SpecCliRendering spec_to_cli(const ExperimentSpec& spec) {
+  SpecCliRendering out;
+  auto flag = [&out](const std::string& key, const std::string& value) {
+    out.args.push_back(key + "=" + value);
+  };
+  auto note = [&out](std::string text) { out.notes.push_back(std::move(text)); };
+
+  const Scenario& sc = spec.scenario;
+  const Scenario preset = Scenario::for_setting(sc.setting);
+  flag("--setting", sc.setting == Setting::kEdgeScale ? "edge" : "core");
+
+  std::string groups;
+  for (const FlowGroup& g : spec.groups) {
+    if (!groups.empty()) groups += ",";
+    groups += g.cca + ":" + std::to_string(g.count) + ":" +
+              render_flag_scaled(g.rtt, 1e3);
+  }
+  flag("--groups", groups);
+
+  if (sc.net.bottleneck_rate != preset.net.bottleneck_rate) {
+    flag("--rate", render_flag_mbps(sc.net.bottleneck_rate));
+  }
+  if (sc.net.buffer_bytes != preset.net.buffer_bytes) {
+    flag("--buffer", std::to_string(sc.net.buffer_bytes));
+  }
+  flag("--stagger", render_flag_seconds(sc.stagger));
+  flag("--warmup", render_flag_seconds(sc.warmup));
+  flag("--measure", render_flag_seconds(sc.measure));
+  flag("--seed", std::to_string(spec.seed));
+  if (sc.net.jitter != preset.net.jitter) {
+    flag("--jitter", render_flag_scaled(sc.net.jitter, 1e6));
+  }
+
+  const ImpairmentConfig& imp = sc.net.impairments;
+  const ImpairmentConfig imp_defaults;
+  if (imp.loss > 0.0) flag("--loss", render_value(imp.loss));
+  if (imp.ge.p_good_to_bad != 0.0 || imp.ge.p_bad_to_good != 0.0 ||
+      imp.ge.loss_bad != 0.0 || imp.ge.loss_good != 0.0) {
+    std::string ge = render_value(imp.ge.p_good_to_bad) + ":" +
+                     render_value(imp.ge.p_bad_to_good) + ":" +
+                     render_value(imp.ge.loss_bad);
+    if (imp.ge.loss_good != 0.0) ge += ":" + render_value(imp.ge.loss_good);
+    flag("--ge-loss", ge);
+  }
+  if (imp.duplicate > 0.0) flag("--dup", render_value(imp.duplicate));
+  if (imp.reorder > 0.0) {
+    flag("--reorder", render_value(imp.reorder) + ":" +
+                          render_flag_scaled(imp.reorder_delay, 1e3));
+  } else if (imp.reorder_delay != imp_defaults.reorder_delay) {
+    note("inert reorder_delay override (reorder probability is zero)");
+  }
+  if (imp.jitter > TimeDelta::zero()) {
+    std::string j = render_flag_scaled(imp.jitter, 1e6);
+    if (imp.jitter_dist == ImpairmentConfig::JitterDist::kNormal) j += ":normal";
+    flag("--link-jitter", j);
+  } else if (imp.jitter_dist != imp_defaults.jitter_dist) {
+    note("inert link-jitter distribution override (jitter is zero)");
+  }
+
+  // The fault schedule back to the flags that built it: kDown/kUp pair
+  // into --flap windows, kRate/kBuffer become their own schedules. Faults
+  // are sorted by time, so each per-flag schedule stays strictly
+  // increasing and re-parses cleanly.
+  std::string flap;
+  std::string rate_changes;
+  std::string buffer_changes;
+  const LinkFault* pending_down = nullptr;
+  for (const LinkFault& f : imp.faults) {
+    switch (f.kind) {
+      case LinkFault::Kind::kDown:
+        if (pending_down != nullptr) {
+          note("unpaired link-down fault at " +
+               render_flag_time(pending_down->at) + "s is not renderable");
+        }
+        pending_down = &f;
+        break;
+      case LinkFault::Kind::kUp:
+        if (pending_down == nullptr) {
+          note("unpaired link-up fault at " + render_flag_time(f.at) +
+               "s is not renderable");
+          break;
+        }
+        if (!flap.empty()) flap += ",";
+        flap += render_flag_time(pending_down->at) + ":" + render_flag_time(f.at);
+        pending_down = nullptr;
+        break;
+      case LinkFault::Kind::kRate:
+        if (!rate_changes.empty()) rate_changes += ",";
+        rate_changes += render_flag_time(f.at) + ":" + render_flag_mbps(f.rate);
+        break;
+      case LinkFault::Kind::kBuffer:
+        if (!buffer_changes.empty()) buffer_changes += ",";
+        buffer_changes +=
+            render_flag_time(f.at) + ":" + std::to_string(f.buffer_bytes);
+        break;
+    }
+  }
+  if (pending_down != nullptr) {
+    note("unpaired link-down fault at " + render_flag_time(pending_down->at) +
+         "s is not renderable");
+  }
+  if (!flap.empty()) flag("--flap", flap);
+  if (!rate_changes.empty()) flag("--rate-change", rate_changes);
+  if (!buffer_changes.empty()) flag("--buffer-change", buffer_changes);
+
+  if (!spec.tcp.sack_enabled) out.args.emplace_back("--no-sack");
+  if (!spec.receiver.delayed_ack) out.args.emplace_back("--no-delack");
+  if (!spec.receiver.gro_enabled) out.args.emplace_back("--no-gro");
+  if (spec.tcp.rto_rearm_slack > TimeDelta::zero()) {
+    flag("--rto-slack", render_flag_scaled(spec.tcp.rto_rearm_slack, 1e6));
+  }
+  if (spec.trace_interval > TimeDelta::zero()) {
+    flag("--trace", render_flag_seconds(spec.trace_interval));
+  }
+
+  // Spec fields with no flag are surfaced as notes, so quarantine .repro
+  // files are honest about what their replay command cannot reproduce.
+  const DumbbellConfig net_defaults;
+  if (sc.net.num_pairs != preset.net.num_pairs) {
+    note("num_pairs=" + std::to_string(sc.net.num_pairs) + " has no flag");
+  }
+  if (!sc.net.edge_rate.is_infinite()) {
+    note("finite edge_rate (host-NIC ablation) has no flag");
+  }
+  if (sc.net.edge_buffer_bytes != net_defaults.edge_buffer_bytes) {
+    note("edge_buffer_bytes override has no flag");
+  }
+  if (sc.net.jitter_seed != net_defaults.jitter_seed) {
+    note("jitter_seed override has no flag");
+  }
+  if (imp.seed != 0) note("impairment seed override has no flag");
+  if (imp.force_stage) note("force_stage is set (observational; no flag)");
+
+  const TcpSenderConfig tcp_defaults;
+  if (spec.tcp.initial_cwnd != tcp_defaults.initial_cwnd) {
+    note("tcp.initial_cwnd override has no flag");
+  }
+  if (spec.tcp.max_window != tcp_defaults.max_window) {
+    note("tcp.max_window override has no flag");
+  }
+  if (spec.tcp.dup_thresh != tcp_defaults.dup_thresh) {
+    note("tcp.dup_thresh override has no flag");
+  }
+  if (spec.tcp.data_segments != tcp_defaults.data_segments) {
+    note("tcp.data_segments override has no flag");
+  }
+
+  const TcpReceiverConfig recv_defaults;
+  if (spec.receiver.delack_segment_threshold !=
+      recv_defaults.delack_segment_threshold) {
+    note("receiver.delack_segment_threshold override has no flag");
+  }
+  if (spec.receiver.delack_timeout != recv_defaults.delack_timeout) {
+    note("receiver.delack_timeout override has no flag");
+  }
+  if (spec.receiver.gro_flush_timeout != recv_defaults.gro_flush_timeout) {
+    note("receiver.gro_flush_timeout override has no flag");
+  }
+  if (spec.receiver.gro_max_segments != recv_defaults.gro_max_segments) {
+    note("receiver.gro_max_segments override has no flag");
+  }
+
+  if (spec.convergence_window != TimeDelta::zero()) {
+    note("convergence early-stop is enabled (no flag)");
+  }
+  if (!spec.record_drop_log) note("record_drop_log=false has no flag");
+  if (spec.record_congestion_log) note("record_congestion_log=true has no flag");
+  if (!spec.trace_flows.empty()) note("trace_flows subset has no flag");
+
+  return out;
+}
+
+std::string spec_to_cli_command(const ExperimentSpec& spec) {
+  std::string cmd = "ccas_run";
+  for (const std::string& arg : spec_to_cli(spec).args) cmd += " " + arg;
+  return cmd;
 }
 
 }  // namespace ccas

@@ -30,6 +30,16 @@
 //   --jobs=<n>                 worker threads (default: hardware concurrency)
 //   --cache-dir=<path>         enable the on-disk result cache
 //   --no-cache                 bypass the cache even if a dir is set
+//
+// Supervision (see src/sweep/supervisor.h and tools/EXIT_CODES.md):
+//   --cell-timeout=<sec>       wall-clock watchdog per cell attempt
+//   --cell-events=<n>          simulated-event ceiling per cell attempt
+//   --cell-rss=<mb>            estimated-peak-RSS ceiling per cell attempt
+//   --retries=<n>              retries for transient failures (default 2)
+//   --max-failures=<n>         abort the sweep after n terminal failures
+//   --resume=<dir>             resumable manifest dir; journaled-ok cells skip
+//   --quarantine=<dir>         where failed cells write .repro replay files
+//   --fail-fast                abort on the first failure (legacy contract)
 #pragma once
 
 #include <cstdint>
@@ -57,5 +67,23 @@ struct CliOptions {
 
 // The --help text.
 [[nodiscard]] std::string cli_usage();
+
+// Inverse of parse_cli for a single cell: `args` reproduces `spec` exactly
+// — spec_cache_key-identical after a parse_cli round trip — despite the
+// truncating double→int64 casts in TimeDelta::seconds_f / DataRate::bps_f
+// (values are nudged by ULPs until the re-parse lands on the same
+// nanosecond / bit). Spec fields no flag can express (num_pairs, GRO
+// timings, convergence knobs, ...) are listed in `notes` instead of being
+// silently dropped. The sweep supervisor's quarantine .repro files are
+// built from this.
+struct SpecCliRendering {
+  std::vector<std::string> args;
+  std::vector<std::string> notes;
+};
+
+[[nodiscard]] SpecCliRendering spec_to_cli(const ExperimentSpec& spec);
+
+// "ccas_run <args...>" on one line, for humans and quarantine files.
+[[nodiscard]] std::string spec_to_cli_command(const ExperimentSpec& spec);
 
 }  // namespace ccas

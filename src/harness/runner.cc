@@ -63,6 +63,10 @@ void validate(const ExperimentSpec& spec) {
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  return run_experiment(spec, nullptr);
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* budget) {
   validate(spec);
 
   Simulator sim;
@@ -163,6 +167,30 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     sim.schedule_fn_in(spec.trace_interval, trace_tick);
   }
 
+  // Cooperative budget: installed only when the caller set any limit, so
+  // unbudgeted runs keep the exact historical dispatch path. The local
+  // copy augments the RSS estimate with the harness's own unbounded
+  // buffers (drop log, congestion log) plus a per-flow state constant;
+  // it must outlive every run_until below, hence function scope.
+  SimBudget budget_local;
+  if (budget != nullptr && budget->any()) {
+    budget_local = *budget;
+    auto caller_extra = budget->extra_rss_bytes;
+    budget_local.extra_rss_bytes = [&flows, &queue, &congestion_log,
+                                    caller_extra]() {
+      // ~4 KB per flow: sender + receiver + scoreboard runs + timers.
+      int64_t est = static_cast<int64_t>(flows.size()) * 4096;
+      est += static_cast<int64_t>(queue.drop_log().size()) *
+             static_cast<int64_t>(sizeof(DropRecord));
+      for (const std::vector<Time>& log : congestion_log) {
+        est += static_cast<int64_t>(log.size()) * static_cast<int64_t>(sizeof(Time));
+      }
+      if (caller_extra) est += caller_extra();
+      return est;
+    };
+    sim.set_budget(&budget_local);
+  }
+
   // Staggered starts over [0, stagger), as in the testbed (0-2 minutes).
   for (auto& f : flows) {
     const double offset =
@@ -213,7 +241,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   if (auditor) {
     auditor->run_checks(sim.now());
     if (auditor->total_violations() > 0) {
-      throw std::runtime_error(auditor->report());
+      throw check::AuditViolationError(auditor->report());
     }
   }
 

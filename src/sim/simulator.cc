@@ -45,6 +45,38 @@ void Simulator::dispatch(const Event& e) {
   ++profile_.events_by_tag[e.tag < SimProfile::kMaxTag ? e.tag
                                                        : SimProfile::kMaxTag];
   e.handler->on_event(e.tag, e.arg);
+  if (budget_ != nullptr) enforce_budget();
+}
+
+void Simulator::enforce_budget() const {
+  const SimBudget& b = *budget_;
+  if (b.max_events != 0 && events_processed_ >= b.max_events) {
+    throw BudgetExceeded(
+        BudgetExceeded::Kind::kSimEvents,
+        "simulated-event budget exceeded: " + std::to_string(events_processed_) +
+            " events (ceiling " + std::to_string(b.max_events) + ")");
+  }
+  // The cancel token and the RSS estimate are approximate by nature;
+  // polling them every 1024 events keeps the common case to one branch.
+  if ((events_processed_ & 1023u) != 0) return;
+  if (b.cancel != nullptr && b.cancel->load(std::memory_order_relaxed)) {
+    throw BudgetExceeded(BudgetExceeded::Kind::kWallClock,
+                         "cancelled: wall-clock watchdog fired at t=" +
+                             std::to_string(now_.sec()) + "s after " +
+                             std::to_string(events_processed_) + " events");
+  }
+  if (b.max_rss_bytes > 0) {
+    int64_t estimate = static_cast<int64_t>(queue_.size()) *
+                       SimBudget::kPendingEventRssBytes;
+    if (b.extra_rss_bytes) estimate += b.extra_rss_bytes();
+    if (estimate > b.max_rss_bytes) {
+      throw BudgetExceeded(
+          BudgetExceeded::Kind::kRssEstimate,
+          "estimated RSS " + std::to_string(estimate) + " B over ceiling " +
+              std::to_string(b.max_rss_bytes) + " B (" +
+              std::to_string(queue_.size()) + " pending events)");
+    }
+  }
 }
 
 void Simulator::run() {

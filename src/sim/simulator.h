@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "src/check/hooks.h"
+#include "src/sim/budget.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/profiler.h"
 
@@ -56,6 +57,14 @@ class Simulator {
   }
   void set_auditor(check::InvariantAuditor* a) { auditor_ = a; }
 
+  // Installs a cooperative resource budget (budget.h); nullptr disables.
+  // The budget (and its cancellation token) must outlive every
+  // run()/run_until() call made while installed. With no budget the
+  // dispatch path is a single null-pointer test, so unbudgeted runs stay
+  // byte- and event-identical to builds without this layer.
+  void set_budget(const SimBudget* budget) { budget_ = budget; }
+  [[nodiscard]] const SimBudget* budget() const { return budget_; }
+
  private:
   class FnDispatcher : public EventHandler {
    public:
@@ -70,6 +79,10 @@ class Simulator {
   };
 
   void dispatch(const Event& e);
+  // Throws BudgetExceeded when the installed budget is exceeded. The
+  // event ceiling is exact (checked per dispatch); the cancellation token
+  // and the RSS estimate are polled every 1024 events.
+  void enforce_budget() const;
 
   Time now_ = Time::zero();
   SimProfile profile_;  // before queue_: the queue holds a pointer into it
@@ -77,6 +90,7 @@ class Simulator {
   uint64_t events_processed_ = 0;
   bool stopped_ = false;
   check::InvariantAuditor* auditor_ = nullptr;
+  const SimBudget* budget_ = nullptr;
   FnDispatcher fn_dispatcher_{*this};
 };
 

@@ -10,10 +10,27 @@
 #include <thread>
 #include <utility>
 
+#include "src/check/audit.h"
 #include "src/harness/runner.h"
+#include "src/sim/budget.h"
+#include "src/sweep/manifest.h"
 #include "src/sweep/progress.h"
+#include "src/util/logging.h"
 
 namespace ccas::sweep {
+
+namespace {
+
+FailureClass budget_failure_class(BudgetExceeded::Kind kind) {
+  switch (kind) {
+    case BudgetExceeded::Kind::kWallClock: return FailureClass::kBudgetWall;
+    case BudgetExceeded::Kind::kSimEvents: return FailureClass::kBudgetEvents;
+    case BudgetExceeded::Kind::kRssEstimate: return FailureClass::kBudgetRss;
+  }
+  return FailureClass::kException;
+}
+
+}  // namespace
 
 SweepOptions sweep_options_from_env() {
   SweepOptions opts;
@@ -40,6 +57,24 @@ std::vector<CellOutcome> SweepExecutor::run(const SweepSpec& sweep) {
     cache = std::make_unique<ResultCache>(options_.cache_dir);
   }
 
+  // The manifest (resume_dir) is self-contained: its own journal, its own
+  // results store (independent of the ordinary cache, which may be shared
+  // or disabled), and its quarantine directory. Construction throws
+  // std::invalid_argument on a salt mismatch — a resume across simulator
+  // versions must be refused loudly, not silently recomputed into a mixed
+  // journal.
+  std::unique_ptr<SweepManifest> manifest;
+  std::unique_ptr<ResultCache> manifest_results;
+  if (!options_.resume_dir.empty()) {
+    manifest = std::make_unique<SweepManifest>(options_.resume_dir,
+                                               options_.cache_salt);
+    manifest_results = std::make_unique<ResultCache>(manifest->results_dir());
+  }
+  std::string quarantine_dir = options_.quarantine_dir;
+  if (quarantine_dir.empty() && manifest) {
+    quarantine_dir = manifest->quarantine_dir();
+  }
+
   int jobs = options_.jobs;
   if (jobs <= 0) {
     jobs = static_cast<int>(std::thread::hardware_concurrency());
@@ -48,14 +83,23 @@ std::vector<CellOutcome> SweepExecutor::run(const SweepSpec& sweep) {
   jobs = std::min(jobs, static_cast<int>(std::max<size_t>(sweep.cells.size(), 1)));
 
   std::vector<CellOutcome> outcomes(sweep.cells.size());
+  // Names and keys are prefilled so cells skipped after a max_failures
+  // abort still report coherently (status kSkipped, name intact).
+  for (size_t i = 0; i < sweep.cells.size(); ++i) {
+    outcomes[i].name = sweep.cells[i].name;
+    outcomes[i].cache_key = spec_cache_key(sweep.cells[i].spec, options_.cache_salt);
+  }
+
   ProgressReporter progress(sweep.name.empty() ? "sweep" : sweep.name,
                             static_cast<int>(sweep.cells.size()),
                             options_.progress);
+  FaultPlan faults = FaultPlan::from_env();
 
   std::atomic<size_t> next{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
   std::atomic<bool> abort{false};
+  std::atomic<int> terminal_failures{0};
 
   auto worker = [&] {
     while (!abort.load(std::memory_order_relaxed)) {
@@ -63,34 +107,176 @@ std::vector<CellOutcome> SweepExecutor::run(const SweepSpec& sweep) {
       if (i >= sweep.cells.size()) return;
       const SweepCell& cell = sweep.cells[i];
       CellOutcome& out = outcomes[i];
-      out.name = cell.name;
-      out.cache_key = spec_cache_key(cell.spec, options_.cache_salt);
       const bool cacheable = cell.spec.trace_interval <= TimeDelta::zero();
       const auto cell_start = std::chrono::steady_clock::now();
-      try {
-        if (cache && cacheable) {
-          if (auto cached = cache->load(out.cache_key)) {
-            out.result = std::move(*cached);
+      auto cell_elapsed = [&cell_start] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             cell_start)
+            .count();
+      };
+
+      // Resume short-circuit: a journaled-ok cacheable cell is served from
+      // the manifest's results store without re-running. A journaled-ok
+      // cell whose stored result is missing or corrupt — and any traced
+      // cell — falls through and recomputes (deterministic, so identical).
+      // Journaled *failures* are never short-circuited: resuming is the
+      // natural moment to retry them, and deterministic ones will simply
+      // reproduce.
+      if (manifest && cacheable) {
+        if (const ManifestRecord* rec = manifest->find(out.cache_key);
+            rec != nullptr && rec->ok) {
+          if (auto stored = manifest_results->load(out.cache_key)) {
+            out.result = std::move(*stored);
+            out.status = CellStatus::kOk;
             out.from_cache = true;
+            out.resumed = true;
+            out.attempts = rec->attempts;
+            out.wall_sec = cell_elapsed();
+            progress.cell_done(out.name, /*from_cache=*/true,
+                               out.result.sim_events, out.wall_sec);
+            continue;
           }
         }
-        if (!out.from_cache) {
-          out.result = run_experiment(cell.spec);
-          if (cache && cacheable) cache->store(out.cache_key, out.result);
-        }
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        abort.store(true, std::memory_order_relaxed);
-        return;
       }
-      out.wall_sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                                   cell_start)
-                         .count();
-      progress.cell_done(out.name, out.from_cache, out.result.sim_events,
-                         out.wall_sec);
+
+      std::optional<CellFailure> failure;
+      std::optional<InjectedFault> injected;
+      int attempt = 0;
+      for (;;) {
+        ++attempt;
+        failure.reset();
+        std::exception_ptr eptr;
+        try {
+          if (!out.from_cache && cache && cacheable) {
+            if (auto cached = cache->load(out.cache_key)) {
+              out.result = std::move(*cached);
+              out.from_cache = true;
+            }
+          }
+          if (!out.from_cache) {
+            // Budget scope: the cancellation token and watchdog live
+            // exactly as long as this attempt; the watchdog joins (in its
+            // destructor) before the token leaves scope.
+            std::atomic<bool> cancelled{false};
+            SimBudget budget;
+            if (options_.cell_timeout > TimeDelta::zero()) {
+              budget.cancel = &cancelled;
+            }
+            budget.max_events = options_.max_cell_events;
+            budget.max_rss_bytes = options_.max_cell_rss_bytes;
+            CellWatchdog watchdog(options_.cell_timeout, &cancelled);
+            if (!faults.empty()) {
+              if (auto f = faults.next(cell.name)) {
+                injected = f;
+                execute_injected_fault(*f, &cancelled);
+              }
+            }
+            out.result =
+                run_experiment(cell.spec, budget.any() ? &budget : nullptr);
+            if (cache && cacheable) {
+              (void)cache->store(out.cache_key, out.result);  // best-effort
+            }
+          }
+          if (manifest && cacheable) {
+            // Resume integrity depends on the manifest's own results
+            // store and journal, so unlike the ordinary cache their
+            // failures are not best-effort: they surface as the transient
+            // kCacheIo class and go through the retry/backoff path.
+            if (!manifest_results->store(out.cache_key, out.result)) {
+              throw CacheIoError("sweep manifest: cannot store result for " +
+                                 cache_key_hex(out.cache_key) + " under " +
+                                 manifest->results_dir());
+            }
+          }
+          if (manifest) manifest->record_ok(out.cache_key, attempt);
+        } catch (const BudgetExceeded& e) {
+          eptr = std::current_exception();
+          failure = CellFailure{cell.name, budget_failure_class(e.kind()),
+                                e.what(), out.cache_key, attempt};
+        } catch (const check::AuditViolationError& e) {
+          eptr = std::current_exception();
+          failure = CellFailure{cell.name, FailureClass::kAuditViolation,
+                                e.what(), out.cache_key, attempt};
+        } catch (const CacheIoError& e) {
+          eptr = std::current_exception();
+          failure = CellFailure{cell.name, FailureClass::kCacheIo, e.what(),
+                                out.cache_key, attempt};
+        } catch (const std::exception& e) {
+          eptr = std::current_exception();
+          failure = CellFailure{cell.name, FailureClass::kException, e.what(),
+                                out.cache_key, attempt};
+        }
+        if (!failure) break;  // success
+
+        if (options_.fail_fast) {
+          // Legacy contract: first failure aborts the sweep and is
+          // rethrown (as the original exception) after all workers stop.
+          if (manifest) {
+            try {
+              manifest->record_failure(*failure);
+            } catch (const std::exception& e) {
+              log_warn("sweep manifest: %s", e.what());
+            }
+          }
+          {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = eptr;
+          }
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (failure_is_transient(failure->cls) && attempt <= options_.retries) {
+          progress.cell_retry(cell.name, failure_class_name(failure->cls),
+                              attempt);
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(retry_backoff(attempt).ns()));
+          continue;
+        }
+        break;  // terminal failure
+      }
+      out.attempts = attempt;
+      out.wall_sec = cell_elapsed();
+
+      if (!failure) {
+        out.status = CellStatus::kOk;
+        progress.cell_done(out.name, out.from_cache, out.result.sim_events,
+                           out.wall_sec);
+        continue;
+      }
+
+      // Terminal failure: capture it in the outcome (an explicit hole in
+      // the partial results), journal it, quarantine a minimal repro, and
+      // keep the sweep going.
+      out.status = CellStatus::kFailed;
+      out.result = ExperimentResult{};
+      out.failure = failure;
+      if (manifest) {
+        try {
+          manifest->record_failure(*failure);
+        } catch (const std::exception& e) {
+          log_warn("sweep manifest: %s", e.what());
+        }
+      }
+      if (!quarantine_dir.empty()) {
+        QuarantineContext ctx;
+        ctx.cell_timeout = options_.cell_timeout;
+        ctx.max_cell_events = options_.max_cell_events;
+        ctx.max_cell_rss_bytes = options_.max_cell_rss_bytes;
+        if (injected) {
+          // Single-cell replays through ccas_run name their cell
+          // "seed=<n>", so the injection env is rewritten to match.
+          ctx.injection_env = "seed=" + std::to_string(cell.spec.seed) + ":" +
+                              injected_fault_name(*injected);
+        }
+        (void)write_quarantine_file(quarantine_dir, cell, *failure, ctx);
+      }
+      progress.cell_failed(out.name, failure_class_name(failure->cls),
+                           failure->attempts);
+      if (options_.max_failures > 0 &&
+          terminal_failures.fetch_add(1, std::memory_order_relaxed) + 1 >=
+              options_.max_failures) {
+        abort.store(true, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -103,16 +289,30 @@ std::vector<CellOutcome> SweepExecutor::run(const SweepSpec& sweep) {
 
   progress.finish();
   summary_ = SweepSummary{};
+  failures_.clear();
   summary_.total_cells = static_cast<int>(sweep.cells.size());
   summary_.jobs = jobs;
   summary_.wall_sec =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start)
           .count();
   for (const CellOutcome& out : outcomes) {
-    if (out.from_cache) {
-      ++summary_.from_cache;
-    } else {
-      summary_.sim_events += out.result.sim_events;
+    if (out.attempts > 1) summary_.retries += out.attempts - 1;
+    if (out.resumed) ++summary_.resumed;
+    switch (out.status) {
+      case CellStatus::kOk:
+        if (out.from_cache) {
+          ++summary_.from_cache;
+        } else {
+          summary_.sim_events += out.result.sim_events;
+        }
+        break;
+      case CellStatus::kFailed:
+        ++summary_.failed;
+        failures_.push_back(*out.failure);
+        break;
+      case CellStatus::kSkipped:
+        ++summary_.skipped;
+        break;
     }
   }
   return outcomes;

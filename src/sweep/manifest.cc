@@ -1,0 +1,181 @@
+#include "src/sweep/manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/sweep/spec_hash.h"
+#include "src/util/logging.h"
+
+namespace ccas::sweep {
+
+namespace {
+
+constexpr std::string_view kHeaderPrefix = "ccas-sweep-manifest v1 salt=";
+
+// The journal is line-oriented; failure messages are folded to one
+// sanitized line (control characters would break parsing).
+std::string sanitize_one_line(const std::string& s, size_t max_len = 200) {
+  std::string out;
+  out.reserve(s.size() < max_len ? s.size() : max_len);
+  for (const char c : s) {
+    if (out.size() >= max_len) break;
+    out.push_back((c == '\n' || c == '\r' || c == '\t') ? ' ' : c);
+  }
+  return out;
+}
+
+bool parse_hex16(const std::string& text, uint64_t& value) {
+  if (text.size() != 16) return false;
+  value = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return true;
+}
+
+}  // namespace
+
+SweepManifest::SweepManifest(std::string dir, std::string salt)
+    : dir_(std::move(dir)), salt_(std::move(salt)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("cannot create sweep manifest dir '" + dir_ +
+                             "': " + ec.message());
+  }
+
+  // Load the existing journal (if any), skipping torn/unparseable lines.
+  bool have_header = false;
+  {
+    std::ifstream in(journal_path());
+    std::string line;
+    int lineno = 0;
+    while (in && std::getline(in, line)) {
+      ++lineno;
+      if (lineno == 1) {
+        if (line.rfind(kHeaderPrefix, 0) != 0) {
+          throw std::invalid_argument("sweep manifest " + journal_path() +
+                                      " has an unrecognized header ('" +
+                                      sanitize_one_line(line, 64) +
+                                      "'); refusing to resume");
+        }
+        const std::string file_salt(line.substr(kHeaderPrefix.size()));
+        if (file_salt != salt_) {
+          throw std::invalid_argument(
+              "sweep manifest " + journal_path() + " was written under salt '" +
+              file_salt + "' but this build uses salt '" + salt_ +
+              "'; its journaled results were produced by different simulator "
+              "code — re-run the sweep into a fresh directory");
+        }
+        have_header = true;
+        continue;
+      }
+      std::istringstream fields(line);
+      std::string tag, hash_text, status;
+      if (!(fields >> tag >> hash_text >> status) || tag != "cell") {
+        log_warn("sweep manifest: skipping unparseable line %d of %s", lineno,
+                 journal_path().c_str());
+        continue;
+      }
+      ManifestRecord rec;
+      if (!parse_hex16(hash_text, rec.spec_hash)) {
+        log_warn("sweep manifest: bad spec hash on line %d of %s", lineno,
+                 journal_path().c_str());
+        continue;
+      }
+      if (status == "ok") {
+        rec.ok = true;
+        std::string field;
+        while (fields >> field) {
+          if (field.rfind("attempts=", 0) == 0) {
+            rec.attempts = std::atoi(field.c_str() + 9);
+          }
+        }
+      } else if (status == "fail") {
+        rec.ok = false;
+        std::string field;
+        bool have_class = false;
+        while (fields >> field) {
+          if (field.rfind("class=", 0) == 0) {
+            const auto cls = failure_class_from_name(field.substr(6));
+            if (cls) {
+              rec.cls = *cls;
+              have_class = true;
+            }
+          } else if (field.rfind("attempts=", 0) == 0) {
+            rec.attempts = std::atoi(field.c_str() + 9);
+          } else if (field.rfind("what=", 0) == 0) {
+            // `what` is the final field and may contain spaces: recover
+            // the rest of the line from the stream position.
+            std::string rest;
+            std::getline(fields, rest);
+            rec.what = field.substr(5) + rest;
+            break;
+          }
+        }
+        if (!have_class) {
+          log_warn("sweep manifest: fail record without class on line %d of %s",
+                   lineno, journal_path().c_str());
+          continue;
+        }
+      } else {
+        log_warn("sweep manifest: unknown record status '%s' on line %d of %s",
+                 status.c_str(), lineno, journal_path().c_str());
+        continue;
+      }
+      if (rec.attempts < 1) rec.attempts = 1;
+      records_[rec.spec_hash] = std::move(rec);  // later duplicate wins
+    }
+  }
+
+  out_.open(journal_path(), std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("cannot open sweep manifest journal " +
+                             journal_path() + " for append");
+  }
+  if (!have_header) {
+    out_ << kHeaderPrefix << salt_ << "\n";
+    out_.flush();
+    if (!out_.good()) {
+      throw std::runtime_error("cannot write sweep manifest header to " +
+                               journal_path());
+    }
+  }
+}
+
+const ManifestRecord* SweepManifest::find(uint64_t spec_hash) const {
+  const auto it = records_.find(spec_hash);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void SweepManifest::append_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << "\n";
+  out_.flush();
+  if (!out_.good()) {
+    out_.clear();
+    throw CacheIoError("sweep manifest: append to " + journal_path() +
+                       " failed (disk full?)");
+  }
+}
+
+void SweepManifest::record_ok(uint64_t spec_hash, int attempts) {
+  append_line("cell " + cache_key_hex(spec_hash) +
+              " ok attempts=" + std::to_string(attempts));
+}
+
+void SweepManifest::record_failure(const CellFailure& failure) {
+  append_line("cell " + cache_key_hex(failure.spec_hash) +
+              " fail class=" + failure_class_name(failure.cls) +
+              " attempts=" + std::to_string(failure.attempts) +
+              " what=" + sanitize_one_line(failure.what));
+}
+
+}  // namespace ccas::sweep

@@ -1,0 +1,82 @@
+// Resumable on-disk sweep manifest: an append-only journal of per-cell
+// outcomes keyed by the canonical spec hash, plus the directories that
+// make a sweep self-contained on disk:
+//
+//   <dir>/manifest.log   the journal (text, one line per outcome)
+//   <dir>/results/       a ResultCache holding every completed cacheable
+//                        cell's serialized result
+//   <dir>/quarantine/    one .repro replay file per failed cell
+//
+// Journal format (version 1):
+//
+//   ccas-sweep-manifest v1 salt=<cache salt>
+//   cell <16-hex spec hash> ok attempts=<n>
+//   cell <16-hex spec hash> fail class=<name> attempts=<n> what=<one line>
+//
+// Records are keyed by spec hash, not by cell name or position, so a
+// resumed sweep may reorder, drop, or add cells and only re-runs what is
+// actually new. Later duplicates win: a cell journaled fail and later
+// journaled ok (a successful retry on resume) counts as ok. Torn or
+// unparseable lines — the tail of a sweep killed mid-append — are
+// skipped with a warning, never fatal: losing the last record costs one
+// recompute, not the sweep.
+//
+// The header pins the cache salt (kSweepCodeSalt unless overridden):
+// resuming a manifest written under a different salt is refused with
+// std::invalid_argument, because the journaled hashes were computed by
+// different simulator code and silently reusing them would mix results
+// from two incompatible versions.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/sweep/supervisor.h"
+
+namespace ccas::sweep {
+
+struct ManifestRecord {
+  uint64_t spec_hash = 0;
+  bool ok = false;
+  FailureClass cls = FailureClass::kException;  // meaningful when !ok
+  int attempts = 1;
+  std::string what;  // first line of the failure message (when !ok)
+};
+
+class SweepManifest {
+ public:
+  // Opens (creating if needed) <dir>/manifest.log and loads every intact
+  // record. Throws std::invalid_argument on a salt mismatch and
+  // std::runtime_error when the directory/journal cannot be created.
+  SweepManifest(std::string dir, std::string salt);
+
+  [[nodiscard]] const ManifestRecord* find(uint64_t spec_hash) const;
+  [[nodiscard]] size_t size() const { return records_.size(); }
+
+  // Append one outcome and flush (the journal must survive a kill right
+  // after the cell completes). Thread-safe. Throws CacheIoError on a
+  // failed append: a journal that silently drops records would make a
+  // later --resume quietly recompute (correct but slow) or, worse, hide
+  // a failure record — the supervisor treats it as transient I/O.
+  void record_ok(uint64_t spec_hash, int attempts);
+  void record_failure(const CellFailure& failure);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::string results_dir() const { return dir_ + "/results"; }
+  [[nodiscard]] std::string quarantine_dir() const { return dir_ + "/quarantine"; }
+  [[nodiscard]] std::string journal_path() const { return dir_ + "/manifest.log"; }
+
+ private:
+  void append_line(const std::string& line);
+
+  std::string dir_;
+  std::string salt_;
+  std::unordered_map<uint64_t, ManifestRecord> records_;
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+}  // namespace ccas::sweep

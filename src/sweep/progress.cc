@@ -64,6 +64,25 @@ void ProgressReporter::cell_done(const std::string& cell_name, bool from_cache,
                format_events(events_rate).c_str(), eta.c_str(), cell_name.c_str());
 }
 
+void ProgressReporter::cell_retry(const std::string& cell_name,
+                                  const char* failure_class, int attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  std::fprintf(stderr, "[%s] retrying %s after transient %s (attempt %d)\n",
+               label_.c_str(), cell_name.c_str(), failure_class, attempt);
+}
+
+void ProgressReporter::cell_failed(const std::string& cell_name,
+                                   const char* failure_class, int attempts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  ++failed_;
+  if (!enabled_) return;
+  std::fprintf(stderr, "[%s] %d/%d cells | FAILED %s [%s] after %d attempt%s\n",
+               label_.c_str(), done_, total_, cell_name.c_str(), failure_class,
+               attempts, attempts == 1 ? "" : "s");
+}
+
 void ProgressReporter::finish() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!enabled_) return;
@@ -73,9 +92,13 @@ void ProgressReporter::finish() {
       simulated_wall_sec_ > 0.0
           ? static_cast<double>(sim_events_) / simulated_wall_sec_
           : 0.0;
+  std::string failed_note;
+  if (failed_ > 0) {
+    failed_note = ", " + std::to_string(failed_) + " FAILED";
+  }
   std::fprintf(stderr,
-               "[%s] done: %d cells (%d cached) in %.1fs | %s sim-events/s\n",
-               label_.c_str(), done_, cached_, elapsed,
+               "[%s] done: %d cells (%d cached%s) in %.1fs | %s sim-events/s\n",
+               label_.c_str(), done_, cached_, failed_note.c_str(), elapsed,
                format_events(events_rate).c_str());
 }
 

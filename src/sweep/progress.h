@@ -22,7 +22,16 @@ class ProgressReporter {
   void cell_done(const std::string& cell_name, bool from_cache, uint64_t sim_events,
                  double cell_wall_sec);
 
-  // Prints the closing summary line (wall time, events/sec, cache hits).
+  // A transient failure is being retried (attempt = attempts already made).
+  void cell_retry(const std::string& cell_name, const char* failure_class,
+                  int attempt);
+
+  // The cell failed terminally; counts toward done (the sweep proceeds).
+  void cell_failed(const std::string& cell_name, const char* failure_class,
+                   int attempts);
+
+  // Prints the closing summary line (wall time, events/sec, cache hits,
+  // failures when any).
   void finish();
 
  private:
@@ -33,6 +42,7 @@ class ProgressReporter {
   std::mutex mu_;
   int done_ = 0;
   int cached_ = 0;
+  int failed_ = 0;
   uint64_t sim_events_ = 0;
   double simulated_wall_sec_ = 0.0;  // summed across workers
   std::chrono::steady_clock::time_point start_;

@@ -1,10 +1,12 @@
 #include "src/sweep/result_cache.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 
 #include "src/sweep/spec_hash.h"
 #include "src/sweep/wire.h"
@@ -228,19 +230,45 @@ bool ResultCache::store(uint64_t key, const ExperimentResult& result) const {
   // Unique temp name per key+thread is unnecessary: rename is atomic and
   // any two writers of the same key write identical bytes.
   const std::string tmp = entry_path(key) + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(file.data(), static_cast<std::streamsize>(file.size()));
-    if (!out.good()) return false;
+  for (int attempt = 0; attempt < kStoreAttempts; ++attempt) {
+    if (attempt > 0) {
+      // Deterministic backoff: transient conditions (ENOSPC window, a
+      // flaky network FS) often clear within milliseconds.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2LL << attempt));
+    }
+    size_t write_len = file.size();
+    if (fail_next_writes_.load(std::memory_order_relaxed) > 0 &&
+        fail_next_writes_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      write_len /= 2;  // injected torn write
+    }
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) continue;
+      out.write(file.data(), static_cast<std::streamsize>(write_len));
+      out.flush();
+      if (!out.good()) continue;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, entry_path(key), ec);
+    if (ec) {
+      std::filesystem::remove(tmp, ec);
+      continue;
+    }
+    // Verify after rename: read the entry back and byte-compare. A torn
+    // or bit-flipped write is removed (load() would only warn and
+    // recompute later — better to pay one retry now) and re-attempted.
+    std::ifstream in(entry_path(key), std::ios::binary);
+    std::string readback((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    if (in.good() || in.eof()) {
+      if (readback == file) return true;
+    }
+    log_warn("sweep cache: verify-after-rename mismatch in %s (attempt %d), "
+             "rewriting",
+             entry_path(key).c_str(), attempt + 1);
+    std::filesystem::remove(entry_path(key), ec);
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, entry_path(key), ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return false;
-  }
-  return true;
+  return false;
 }
 
 }  // namespace ccas::sweep

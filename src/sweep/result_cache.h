@@ -11,10 +11,15 @@
 //
 // Writes go to a temp file in the same directory and are renamed into
 // place, so concurrent sweeps sharing a cache directory see only complete
-// entries. Results carrying a time-series trace are not cached (the trace
-// is unbounded; the executor bypasses the cache for traced specs).
+// entries; each write is verified after the rename (read back and
+// byte-compared) and retried with a short backoff, so a transient write
+// error (ENOSPC window, flaky network FS) costs milliseconds instead of
+// leaving a torn entry behind. Results carrying a time-series trace are
+// not cached (the trace is unbounded; the executor bypasses the cache
+// for traced specs).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -38,14 +43,25 @@ class ResultCache {
   [[nodiscard]] std::optional<ExperimentResult> load(uint64_t key) const;
 
   // Best-effort: returns false (without throwing) if the entry could not
-  // be written — a read-only cache dir degrades to cache-off.
+  // be written after kStoreAttempts verified tries — a read-only cache
+  // dir degrades to cache-off. Each attempt writes a temp file, renames
+  // it into place, re-reads the entry and byte-compares it against what
+  // was meant to be written; a mismatch removes the bad entry and
+  // retries after a short deterministic backoff.
   bool store(uint64_t key, const ExperimentResult& result) const;
+  static constexpr int kStoreAttempts = 3;
+
+  // Test-only: make the next `n` store attempts write a truncated entry
+  // (simulating a torn write), which verify-after-rename must catch and
+  // retry. Thread-safe; counts attempts, not store() calls.
+  void inject_write_failures(int n) { fail_next_writes_.store(n); }
 
   [[nodiscard]] std::string entry_path(uint64_t key) const;
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
  private:
   std::string dir_;
+  mutable std::atomic<int> fail_next_writes_{0};
 };
 
 }  // namespace ccas::sweep

@@ -1,0 +1,287 @@
+#include "src/sweep/supervisor.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "src/check/audit.h"
+#include "src/harness/cli.h"
+#include "src/sim/budget.h"
+#include "src/sweep/spec_hash.h"
+#include "src/util/logging.h"
+
+namespace ccas::sweep {
+
+namespace {
+
+std::chrono::nanoseconds to_chrono(TimeDelta d) {
+  return std::chrono::nanoseconds(d.ns());
+}
+
+}  // namespace
+
+// ---- failure taxonomy ----------------------------------------------------
+
+const char* failure_class_name(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::kException: return "exception";
+    case FailureClass::kAuditViolation: return "audit-violation";
+    case FailureClass::kBudgetWall: return "budget-wall-clock";
+    case FailureClass::kBudgetEvents: return "budget-events";
+    case FailureClass::kBudgetRss: return "budget-rss";
+    case FailureClass::kCacheIo: return "cache-io";
+  }
+  return "unknown";
+}
+
+std::optional<FailureClass> failure_class_from_name(std::string_view name) {
+  for (const FailureClass cls :
+       {FailureClass::kException, FailureClass::kAuditViolation,
+        FailureClass::kBudgetWall, FailureClass::kBudgetEvents,
+        FailureClass::kBudgetRss, FailureClass::kCacheIo}) {
+    if (name == failure_class_name(cls)) return cls;
+  }
+  return std::nullopt;
+}
+
+bool failure_is_transient(FailureClass cls) {
+  return cls == FailureClass::kCacheIo;
+}
+
+bool failure_is_budget(FailureClass cls) {
+  return cls == FailureClass::kBudgetWall || cls == FailureClass::kBudgetEvents ||
+         cls == FailureClass::kBudgetRss;
+}
+
+TimeDelta retry_backoff(int attempt) {
+  if (attempt < 1) attempt = 1;
+  const int shift = attempt - 1 > 4 ? 4 : attempt - 1;
+  TimeDelta d = TimeDelta::millis(10LL << shift);
+  const TimeDelta cap = TimeDelta::millis(200);
+  return d < cap ? d : cap;
+}
+
+// ---- wall-clock watchdog -------------------------------------------------
+
+CellWatchdog::CellWatchdog(TimeDelta timeout, std::atomic<bool>* expired) {
+  if (timeout <= TimeDelta::zero() || expired == nullptr) return;
+  thread_ = std::thread([this, timeout, expired] {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (cv_.wait_for(lock, to_chrono(timeout), [this] { return disarmed_; })) {
+      return;  // cell finished in time
+    }
+    expired->store(true, std::memory_order_relaxed);
+  });
+}
+
+CellWatchdog::~CellWatchdog() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    disarmed_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+// ---- fault injection (test-only) -----------------------------------------
+
+const char* injected_fault_name(InjectedFault f) {
+  switch (f) {
+    case InjectedFault::kThrow: return "throw";
+    case InjectedFault::kAudit: return "audit";
+    case InjectedFault::kHang: return "hang";
+    case InjectedFault::kEvents: return "events";
+    case InjectedFault::kRss: return "rss";
+    case InjectedFault::kCacheIo: return "cacheio";
+  }
+  return "unknown";
+}
+
+std::vector<FaultInjection> parse_fault_injections(std::string_view env_value) {
+  std::vector<FaultInjection> out;
+  size_t start = 0;
+  while (start <= env_value.size()) {
+    size_t end = env_value.find(';', start);
+    if (end == std::string_view::npos) end = env_value.size();
+    const std::string_view entry = env_value.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    // "<cell>:<class>[:<count>]" — split from the right: cell names may
+    // themselves contain ':' but classes and counts never do.
+    FaultInjection inj;
+    size_t cls_end = entry.size();
+    const size_t last_colon = entry.rfind(':');
+    if (last_colon == std::string_view::npos) {
+      throw std::invalid_argument("CCAS_FAIL_CELL entry '" + std::string(entry) +
+                                  "' wants <cell>:<class>[:<count>]");
+    }
+    const std::string_view last_field = entry.substr(last_colon + 1);
+    bool last_is_count = !last_field.empty();
+    for (const char c : last_field) last_is_count = last_is_count && c >= '0' && c <= '9';
+    size_t cls_start;
+    if (last_is_count) {
+      inj.count = std::atoi(std::string(last_field).c_str());
+      if (inj.count <= 0) {
+        throw std::invalid_argument("CCAS_FAIL_CELL count must be >= 1 in '" +
+                                    std::string(entry) + "'");
+      }
+      cls_end = last_colon;
+      const size_t cls_colon = entry.rfind(':', last_colon - 1);
+      if (cls_colon == std::string_view::npos) {
+        throw std::invalid_argument("CCAS_FAIL_CELL entry '" + std::string(entry) +
+                                    "' wants <cell>:<class>[:<count>]");
+      }
+      cls_start = cls_colon + 1;
+    } else {
+      cls_start = last_colon + 1;
+    }
+    const std::string_view cls_name = entry.substr(cls_start, cls_end - cls_start);
+    inj.cell = std::string(entry.substr(0, cls_start - 1));
+    if (inj.cell.empty()) {
+      throw std::invalid_argument("CCAS_FAIL_CELL entry '" + std::string(entry) +
+                                  "' has an empty cell name");
+    }
+    bool known = false;
+    for (const InjectedFault f :
+         {InjectedFault::kThrow, InjectedFault::kAudit, InjectedFault::kHang,
+          InjectedFault::kEvents, InjectedFault::kRss, InjectedFault::kCacheIo}) {
+      if (cls_name == injected_fault_name(f)) {
+        inj.fault = f;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw std::invalid_argument("CCAS_FAIL_CELL unknown fault class '" +
+                                  std::string(cls_name) +
+                                  "' (want throw|audit|hang|events|rss|cacheio)");
+    }
+    out.push_back(std::move(inj));
+  }
+  return out;
+}
+
+FaultPlan::FaultPlan(std::vector<FaultInjection> injections)
+    : injections_(std::move(injections)) {}
+
+FaultPlan FaultPlan::from_env() {
+  const char* v = std::getenv("CCAS_FAIL_CELL");
+  if (v == nullptr || v[0] == '\0') return FaultPlan{};
+  return FaultPlan(parse_fault_injections(v));
+}
+
+std::optional<InjectedFault> FaultPlan::next(const std::string& cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FaultInjection& inj : injections_) {
+    if (inj.cell == cell && inj.count > 0) {
+      --inj.count;
+      return inj.fault;
+    }
+  }
+  return std::nullopt;
+}
+
+void execute_injected_fault(InjectedFault fault, const std::atomic<bool>* cancel) {
+  switch (fault) {
+    case InjectedFault::kThrow:
+      throw std::runtime_error("injected fault: throw");
+    case InjectedFault::kAudit:
+      throw check::AuditViolationError(
+          "injected fault: audit violation (1 violation, conservation.packets)");
+    case InjectedFault::kEvents:
+      throw BudgetExceeded(BudgetExceeded::Kind::kSimEvents,
+                           "injected fault: simulated-event budget exceeded");
+    case InjectedFault::kRss:
+      throw BudgetExceeded(BudgetExceeded::Kind::kRssEstimate,
+                           "injected fault: estimated RSS over ceiling");
+    case InjectedFault::kCacheIo:
+      throw CacheIoError("injected fault: cache write failed (ENOSPC)");
+    case InjectedFault::kHang: {
+      // Behave like a hung cell as observed by the supervisor: make no
+      // progress until the watchdog cancels us. The 5 s cap keeps a hang
+      // injected without a watchdog from stalling a test run forever.
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+          throw BudgetExceeded(BudgetExceeded::Kind::kWallClock,
+                               "injected hang cancelled by the watchdog");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      throw std::runtime_error(
+          "injected hang: no watchdog fired within 5s (set --cell-timeout)");
+    }
+  }
+}
+
+// ---- quarantine (minimal repro) ------------------------------------------
+
+std::string write_quarantine_file(const std::string& dir, const SweepCell& cell,
+                                  const CellFailure& failure,
+                                  const QuarantineContext& ctx) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec && !std::filesystem::is_directory(dir)) {
+    log_warn("sweep quarantine: cannot create %s: %s", dir.c_str(),
+             ec.message().c_str());
+    return "";
+  }
+  const std::string path = dir + "/" + cache_key_hex(failure.spec_hash) + ".repro";
+
+  const SpecCliRendering cli = spec_to_cli(cell.spec);
+  std::string replay;
+  if (!ctx.injection_env.empty()) {
+    replay += "CCAS_FAIL_CELL='" + ctx.injection_env + "' ";
+  }
+  replay += "ccas_run";
+  for (const std::string& arg : cli.args) replay += " " + arg;
+  // Budget flags so budget-class failures replay with the same ceilings.
+  char buf[64];
+  if (ctx.cell_timeout > TimeDelta::zero()) {
+    std::snprintf(buf, sizeof(buf), " --cell-timeout=%.17g", ctx.cell_timeout.sec());
+    replay += buf;
+  }
+  if (ctx.max_cell_events != 0) {
+    std::snprintf(buf, sizeof(buf), " --cell-events=%llu",
+                  static_cast<unsigned long long>(ctx.max_cell_events));
+    replay += buf;
+  }
+  if (ctx.max_cell_rss_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), " --cell-rss=%.17g",
+                  static_cast<double>(ctx.max_cell_rss_bytes) / 1e6);
+    replay += buf;
+  }
+
+  std::string what_line = failure.what;
+  const size_t nl = what_line.find('\n');
+  if (nl != std::string::npos) what_line.resize(nl);
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    log_warn("sweep quarantine: cannot write %s", path.c_str());
+    return "";
+  }
+  out << "# ccas sweep quarantine record\n"
+      << "# cell: " << failure.cell << "\n"
+      << "# spec-hash: " << cache_key_hex(failure.spec_hash) << "\n"
+      << "# class: " << failure_class_name(failure.cls) << "\n"
+      << "# attempts: " << failure.attempts << "\n"
+      << "# error: " << what_line << "\n";
+  for (const std::string& note : cli.notes) {
+    out << "# note: " << note << "\n";
+  }
+  out << replay << "\n";
+  out.flush();
+  if (!out.good()) {
+    log_warn("sweep quarantine: short write to %s", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+}  // namespace ccas::sweep

@@ -270,5 +270,99 @@ TEST(Cli, UsageMentionsImpairmentFlags) {
   }
 }
 
+TEST(Cli, ParsesSupervisionFlags) {
+  const CliOptions o = parse_cli(
+      {"--groups=newreno:1:20", "--cell-timeout=30", "--cell-events=1000000",
+       "--cell-rss=512", "--retries=5", "--max-failures=3",
+       "--resume=run1", "--quarantine=quar"});
+  EXPECT_EQ(o.sweep.cell_timeout, TimeDelta::seconds(30));
+  EXPECT_EQ(o.sweep.max_cell_events, 1'000'000u);
+  EXPECT_EQ(o.sweep.max_cell_rss_bytes, 512'000'000);
+  EXPECT_EQ(o.sweep.retries, 5);
+  EXPECT_EQ(o.sweep.max_failures, 3);
+  EXPECT_EQ(o.sweep.resume_dir, "run1");
+  EXPECT_EQ(o.sweep.quarantine_dir, "quar");
+  EXPECT_FALSE(o.sweep.fail_fast);
+}
+
+TEST(Cli, SupervisionDefaultsAreIsolationWithTwoRetries) {
+  const CliOptions o = parse_cli({"--groups=newreno:1:20"});
+  EXPECT_EQ(o.sweep.cell_timeout, TimeDelta::zero());
+  EXPECT_EQ(o.sweep.max_cell_events, 0u);
+  EXPECT_EQ(o.sweep.max_cell_rss_bytes, 0);
+  EXPECT_EQ(o.sweep.retries, 2);
+  EXPECT_EQ(o.sweep.max_failures, 0);
+  EXPECT_FALSE(o.sweep.fail_fast);
+}
+
+TEST(Cli, SupervisionBudgetsMustBePositive) {
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cell-timeout=0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cell-timeout=-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cell-timeout=1e-12"}),
+               std::invalid_argument);  // rounds to zero nanoseconds
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cell-events=0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cell-events=-5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cell-events=2.5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cell-rss=0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--cell-rss=1e-9"}),
+               std::invalid_argument);  // rounds to zero bytes
+}
+
+TEST(Cli, RetriesMustBeInRange) {
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--retries=-1"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--retries=17"}),
+               std::invalid_argument);
+  EXPECT_EQ(parse_cli({"--groups=cubic:1:20", "--retries=0"}).sweep.retries, 0);
+  EXPECT_EQ(parse_cli({"--groups=cubic:1:20", "--retries=16"}).sweep.retries,
+            16);
+}
+
+TEST(Cli, MaxFailuresZeroSuggestsFailFast) {
+  try {
+    (void)parse_cli({"--groups=cubic:1:20", "--max-failures=0"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--fail-fast"), std::string::npos);
+  }
+}
+
+TEST(Cli, FailFastTakesNoValueAndExcludesMaxFailures) {
+  EXPECT_TRUE(
+      parse_cli({"--groups=cubic:1:20", "--fail-fast"}).sweep.fail_fast);
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--fail-fast=1"}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_cli({"--groups=cubic:1:20", "--fail-fast", "--max-failures=2"}),
+      std::invalid_argument);
+}
+
+TEST(Cli, FailFastRejectsResume) {
+  try {
+    (void)parse_cli({"--groups=cubic:1:20", "--fail-fast", "--resume=dir"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error steers toward the supported equivalent.
+    EXPECT_NE(std::string(e.what()).find("--max-failures=1"),
+              std::string::npos);
+  }
+}
+
+TEST(Cli, UsageMentionsSupervisionFlagsAndExitCodes) {
+  const std::string usage = cli_usage();
+  for (const char* flag :
+       {"--cell-timeout", "--cell-events", "--cell-rss", "--retries",
+        "--max-failures", "--resume", "--quarantine", "--fail-fast"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+  EXPECT_NE(usage.find("Exit codes"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccas

@@ -436,12 +436,30 @@ TEST(SweepExecutor, TracedCellsBypassTheCache) {
   EXPECT_FALSE(b[0].result.trace.empty());
 }
 
-TEST(SweepExecutor, InvalidSpecThrows) {
+TEST(SweepExecutor, InvalidSpecThrowsUnderFailFast) {
+  SweepSpec sweep;
+  sweep.add_cell("bad", small_spec("no-such-cca", 1, 1));
+  sweep.add_cell("good", small_spec("newreno", 1, 2));
+  SweepOptions opts = quiet_options();
+  opts.fail_fast = true;
+  SweepExecutor executor(opts);
+  EXPECT_THROW((void)executor.run(sweep), std::exception);
+}
+
+TEST(SweepExecutor, InvalidSpecIsAnExplicitHoleByDefault) {
   SweepSpec sweep;
   sweep.add_cell("bad", small_spec("no-such-cca", 1, 1));
   sweep.add_cell("good", small_spec("newreno", 1, 2));
   SweepExecutor executor(quiet_options());
-  EXPECT_THROW((void)executor.run(sweep), std::exception);
+  const auto outcomes = executor.run(sweep);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status, CellStatus::kFailed);
+  ASSERT_TRUE(outcomes[0].failure.has_value());
+  EXPECT_EQ(outcomes[0].failure->cls, FailureClass::kException);
+  EXPECT_EQ(outcomes[1].status, CellStatus::kOk);
+  EXPECT_EQ(executor.summary().failed, 1);
+  ASSERT_EQ(executor.failures().size(), 1u);
+  EXPECT_EQ(executor.failures()[0].cell, "bad");
 }
 
 TEST(SweepExecutor, SaltChangeInvalidatesCache) {

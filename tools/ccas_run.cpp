@@ -7,7 +7,17 @@
 //
 // Every run goes through the sweep executor: a plain invocation is a
 // one-cell sweep, and --seeds fans one cell per seed across --jobs worker
-// threads, with optional on-disk result caching (--cache-dir).
+// threads, with optional on-disk result caching (--cache-dir). Failing
+// cells do not abort the sweep (unless --fail-fast): they are reported as
+// explicit holes, quarantined as .repro replay files (--quarantine /
+// --resume), and reflected in the exit code (tools/EXIT_CODES.md):
+//
+//   0  every cell succeeded
+//   1  usage or configuration error (bad flags, manifest salt mismatch,
+//      or any failure under --fail-fast)
+//   2  at least one deterministic cell failure (exception, audit violation)
+//   3  at least one budget blowout (and nothing deterministic)
+//   4  only transient failures that exhausted their retries (cache I/O)
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -49,6 +59,31 @@ int main(int argc, char** argv) {
     const std::vector<sweep::CellOutcome> outcomes = executor.run(sweep);
 
     for (const sweep::CellOutcome& out : outcomes) {
+      if (out.status == sweep::CellStatus::kFailed) {
+        if (outcomes.size() > 1) {
+          std::printf("=== %s (FAILED) ===\n", out.name.c_str());
+        }
+        std::printf("FAILED [%s] after %d attempt%s: %s\n",
+                    sweep::failure_class_name(out.failure->cls),
+                    out.failure->attempts, out.failure->attempts == 1 ? "" : "s",
+                    out.failure->what.c_str());
+        // One self-contained replay line; the quarantine .repro (if a dir
+        // was configured) carries the same command plus budget flags.
+        ExperimentSpec spec = opts.spec;
+        spec.seed = seeds[static_cast<size_t>(&out - outcomes.data())];
+        std::printf("repro: %s\n", spec_to_cli_command(spec).c_str());
+        if (outcomes.size() > 1) std::printf("\n");
+        continue;
+      }
+      if (out.status == sweep::CellStatus::kSkipped) {
+        if (outcomes.size() > 1) {
+          std::printf("=== %s (SKIPPED) ===\n", out.name.c_str());
+        }
+        std::printf("skipped: sweep aborted (--max-failures) before this cell "
+                    "was claimed\n");
+        if (outcomes.size() > 1) std::printf("\n");
+        continue;
+      }
       if (outcomes.size() > 1) {
         std::printf("=== %s%s ===\n", out.name.c_str(),
                     out.from_cache ? " (cached)" : "");
@@ -76,12 +111,36 @@ int main(int argc, char** argv) {
     }
 
     const sweep::SweepSummary& summary = executor.summary();
-    if (summary.total_cells > 1 || summary.from_cache > 0) {
+    if (summary.failed > 0 || summary.skipped > 0) {
+      std::fprintf(stderr,
+                   "[ccas_run] %d cells (%d cached, %d FAILED, %d skipped) in "
+                   "%.2fs with %d jobs\n",
+                   summary.total_cells, summary.from_cache, summary.failed,
+                   summary.skipped, summary.wall_sec, summary.jobs);
+    } else if (summary.total_cells > 1 || summary.from_cache > 0) {
       std::fprintf(stderr,
                    "[ccas_run] %d cells (%d cached) in %.2fs with %d jobs\n",
                    summary.total_cells, summary.from_cache, summary.wall_sec,
                    summary.jobs);
     }
+
+    // Exit taxonomy, most-actionable class first: a deterministic failure
+    // (2) beats a budget blowout (3) beats exhausted transients (4).
+    bool any_deterministic = false;
+    bool any_budget = false;
+    bool any_transient = false;
+    for (const sweep::CellFailure& f : executor.failures()) {
+      if (sweep::failure_is_budget(f.cls)) {
+        any_budget = true;
+      } else if (sweep::failure_is_transient(f.cls)) {
+        any_transient = true;
+      } else {
+        any_deterministic = true;
+      }
+    }
+    if (any_deterministic) return 2;
+    if (any_budget) return 3;
+    if (any_transient) return 4;
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

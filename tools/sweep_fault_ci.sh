@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the sweep supervision layer through the ccas_run
+# binary: exit-code taxonomy (tools/EXIT_CODES.md), failure isolation
+# (healthy cells byte-identical next to injected faults), quarantine
+# .repro replay, transient retry, resume-after-abort byte identity, and
+# manifest salt pinning. Run from the repo root:
+#
+#   tools/sweep_fault_ci.sh [path/to/ccas_run]
+#
+# CI runs it against the ASan build so every injected failure path is
+# also leak/UB-checked. Uses only the CCAS_FAIL_CELL test hook; no cell
+# here simulates more than a second of virtual time.
+set -u
+
+RUN="${1:-./build/tools/ccas_run}"
+if [ ! -x "$RUN" ]; then
+  echo "error: ccas_run binary not found at $RUN" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ccas_fault_ci.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+# The grid under test: three seeds of a tiny two-flow EdgeScale cell.
+BASE_FLAGS=(--setting=edge --groups=newreno:2:20 --rate=10 --buffer=100000
+            --stagger=0.1 --warmup=0.3 --measure=0.5 --jobs=1)
+
+run_case() {
+  # run_case <name> <expected-exit> <stdout-file> [args...]
+  local name="$1" want="$2" out="$3"
+  shift 3
+  "$@" >"$out" 2>"$out.err"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL [$name]: expected exit $want, got $got" >&2
+    sed 's/^/    /' "$out.err" >&2
+    FAILURES=$((FAILURES + 1))
+    return 1
+  fi
+  echo "ok   [$name] (exit $got)"
+}
+
+# Prints the per-cell stdout block for one seed (header line through the
+# blank separator), so healthy sections can be compared byte-for-byte
+# across runs that differ only in which other cells failed. Resumed
+# cells drop the "(cached)" suffix first.
+cell_block() {
+  sed 's/ (cached)//' "$1" | awk -v cell="=== seed=$2 ===" '
+    $0 == cell { on = 1 }
+    on { print; if ($0 == "") exit }'
+}
+
+# --- 1. Baseline: all healthy, exit 0 -------------------------------------
+run_case baseline 0 "$WORK/ref.out" \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1,2,3
+
+# --- 2. Deterministic fault: exit 2, healthy cells intact, .repro ----------
+run_case inject-throw 2 "$WORK/throw.out" \
+  env CCAS_FAIL_CELL='seed=2:throw' \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1,2,3 --quarantine="$WORK/quar"
+
+for seed in 1 3; do
+  cell_block "$WORK/ref.out" "$seed" >"$WORK/ref.cell"
+  cell_block "$WORK/throw.out" "$seed" >"$WORK/throw.cell"
+  if ! cmp -s "$WORK/ref.cell" "$WORK/throw.cell"; then
+    echo "FAIL [inject-throw]: healthy cell seed=$seed diverged" >&2
+    diff "$WORK/ref.cell" "$WORK/throw.cell" | sed 's/^/    /' >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+if ! grep -q 'FAILED \[exception\]' "$WORK/throw.out"; then
+  echo "FAIL [inject-throw]: missing FAILED [exception] line" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+REPRO=$(ls "$WORK"/quar/*.repro 2>/dev/null | head -n1)
+if [ -z "$REPRO" ]; then
+  echo "FAIL [inject-throw]: no .repro file in quarantine dir" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- 3. Real event budget: exit 3, and the .repro replays to exit 3 --------
+run_case event-budget 3 "$WORK/events.out" \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1 --cell-events=100 \
+  --quarantine="$WORK/quar_events"
+grep -q 'FAILED \[budget-events\]' "$WORK/events.out" || {
+  echo "FAIL [event-budget]: missing FAILED [budget-events] line" >&2
+  FAILURES=$((FAILURES + 1))
+}
+EVENTS_REPRO=$(ls "$WORK"/quar_events/*.repro 2>/dev/null | head -n1)
+if [ -n "$EVENTS_REPRO" ]; then
+  # The last line of the .repro is the replay command; swap in the binary
+  # under test (the file names a bare `ccas_run`).
+  REPLAY=$(tail -n1 "$EVENTS_REPRO" | sed "s|ccas_run|\"$RUN\"|")
+  ( eval "$REPLAY" ) >"$WORK/replay.out" 2>&1
+  got=$?
+  if [ "$got" -ne 3 ]; then
+    echo "FAIL [repro-replay]: expected exit 3 replaying $EVENTS_REPRO, got $got" >&2
+    sed 's/^/    /' "$WORK/replay.out" >&2
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok   [repro-replay] (exit 3)"
+  fi
+else
+  echo "FAIL [event-budget]: no .repro file written" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- 4. Hung cell: the watchdog cancels it quickly, exit 3 -----------------
+START=$(date +%s)
+run_case hang-watchdog 3 "$WORK/hang.out" \
+  env CCAS_FAIL_CELL='seed=1:hang' \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1 --cell-timeout=1
+ELAPSED=$(( $(date +%s) - START ))
+if [ "$ELAPSED" -gt 30 ]; then
+  echo "FAIL [hang-watchdog]: took ${ELAPSED}s, watchdog did not cancel" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+grep -q 'FAILED \[budget-wall-clock\]' "$WORK/hang.out" || {
+  echo "FAIL [hang-watchdog]: missing FAILED [budget-wall-clock] line" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# --- 5. Transient faults: retries absorb two, three exhaust --retries=1 ----
+run_case transient-recovers 0 "$WORK/cacheio_ok.out" \
+  env CCAS_FAIL_CELL='seed=1:cacheio:2' \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1 --retries=2
+run_case transient-exhausts 4 "$WORK/cacheio_bad.out" \
+  env CCAS_FAIL_CELL='seed=1:cacheio:3' \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1 --retries=1
+
+# --- 6. Interrupted sweep resumes byte-identically -------------------------
+# --max-failures=1 plus an injected throw on the first cell aborts the
+# sweep with seeds 2 and 3 never claimed; the resumed run re-attempts the
+# failure and fills the holes. Merged output must equal the baseline
+# (modulo the "(cached)" suffix on resumed cells).
+run_case resume-interrupt 2 "$WORK/interrupted.out" \
+  env CCAS_FAIL_CELL='seed=1:throw' \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1,2,3 --max-failures=1 \
+  --resume="$WORK/resume"
+run_case resume-finish 0 "$WORK/resumed.out" \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1,2,3 --resume="$WORK/resume"
+sed 's/ (cached)//' "$WORK/resumed.out" >"$WORK/resumed.norm"
+if ! cmp -s "$WORK/ref.out" "$WORK/resumed.norm"; then
+  echo "FAIL [resume-finish]: resumed output differs from uninterrupted run" >&2
+  diff "$WORK/ref.out" "$WORK/resumed.norm" | sed 's/^/    /' >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- 7. Manifest salt mismatch is refused with exit 1 ----------------------
+mkdir -p "$WORK/stale"
+printf 'ccas-sweep-manifest v1 salt=some-older-simulator\n' \
+  >"$WORK/stale/manifest.log"
+run_case salt-mismatch 1 "$WORK/salt.out" \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds=1 --resume="$WORK/stale"
+
+echo
+if [ "$FAILURES" -ne 0 ]; then
+  echo "sweep_fault_ci: $FAILURES scenario(s) FAILED" >&2
+  exit 1
+fi
+echo "sweep_fault_ci: all scenarios passed"
