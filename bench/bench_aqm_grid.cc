@@ -1,0 +1,144 @@
+// Re-asks the paper's fairness questions under AQM instead of drop-tail:
+// sweep {drop-tail, codel, fq-codel, pie, red+ecn} x {newreno, cubic, bbr}
+// in both the Edge and (scaled) Core regimes, plus the two head-to-head
+// cells the paper builds its fairness findings on — cubic-vs-bbr and the
+// short-vs-long-RTT cubic pair — per qdisc in the Edge regime.
+//
+// Expected shape: the paper's drop-tail findings (BBR's intra-CCA
+// unfairness, cubic-vs-bbr share depending on buffer depth, RTT unfairness
+// of loss-based CCAs) mostly survive codel/pie/red, which control delay but
+// still share one FIFO; fq-codel's per-flow DRR should invert the
+// RTT-unfairness and cubic-vs-bbr outcomes by construction. RED+ECN shows
+// whether marking (no retransmissions) changes the loss-based CCAs' JFI.
+// EXPERIMENTS.md §bench_aqm_grid holds the observed survive/invert table.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/net/qdisc/qdisc.h"
+
+namespace ccas::bench {
+namespace {
+
+struct AqmCell {
+  std::string name;
+  std::string qdisc;
+  std::string setting;
+  std::string flows_desc;
+  bool mixed = false;  // two groups: report the first group's share
+  ExperimentSpec spec;
+};
+
+QdiscConfig qdisc_by_name(const std::string& name) {
+  QdiscConfig qd;
+  if (name == "red+ecn") {
+    qd.kind = QdiscKind::kRed;
+    qd.ecn = true;
+  } else {
+    qd.kind = qdisc_kind_from_name(name);
+  }
+  return qd;
+}
+
+std::vector<AqmCell> make_grid() {
+  const BenchDurations durations{0.5, 2.0, 8.0};
+  const std::vector<std::string> qdiscs{"drop-tail", "codel", "fq-codel",
+                                        "pie", "red+ecn"};
+  const std::vector<std::string> ccas{"newreno", "cubic", "bbr"};
+  const TimeDelta rtt20 = TimeDelta::millis(20);
+  const TimeDelta rtt80 = TimeDelta::millis(80);
+  std::vector<AqmCell> cells;
+
+  auto base_cell = [&](Setting setting, const std::string& qdisc) {
+    AqmCell cell;
+    cell.qdisc = qdisc;
+    cell.setting = setting == Setting::kEdgeScale ? "edge" : "core";
+    cell.spec.scenario = make_scenario(setting, durations, nullptr);
+    cell.spec.scenario.net.qdisc = qdisc_by_name(qdisc);
+    cell.spec.seed = 42;
+    return cell;
+  };
+
+  for (const std::string& qdisc : qdiscs) {
+    // Homogeneous grid: the Figure 4 analog (intra-CCA JFI) per regime.
+    for (const Setting setting : {Setting::kEdgeScale, Setting::kCoreScale}) {
+      const int flows = setting == Setting::kEdgeScale ? 4 : 8;
+      for (const std::string& cca : ccas) {
+        AqmCell cell = base_cell(setting, qdisc);
+        cell.spec.groups.push_back(FlowGroup{cca, flows, rtt20});
+        cell.flows_desc = cca + ":" + std::to_string(flows);
+        cell.name = "aqm/" + cell.setting + "/" + qdisc + "/" + cca;
+        cells.push_back(std::move(cell));
+      }
+    }
+    // The inter-CCA question (Figures 6/7 analog): cubic vs bbr.
+    {
+      AqmCell cell = base_cell(Setting::kEdgeScale, qdisc);
+      cell.spec.groups.push_back(FlowGroup{"cubic", 2, rtt20});
+      cell.spec.groups.push_back(FlowGroup{"bbr", 2, rtt20});
+      cell.mixed = true;
+      cell.flows_desc = "cubic:2+bbr:2";
+      cell.name = "aqm/edge/" + qdisc + "/cubic-vs-bbr";
+      cells.push_back(std::move(cell));
+    }
+    // The RTT-unfairness question: same CCA, 20 ms vs 80 ms base RTT.
+    {
+      AqmCell cell = base_cell(Setting::kEdgeScale, qdisc);
+      cell.spec.groups.push_back(FlowGroup{"cubic", 2, rtt20});
+      cell.spec.groups.push_back(FlowGroup{"cubic", 2, rtt80});
+      cell.mixed = true;
+      cell.flows_desc = "cubic:2@20+2@80";
+      cell.name = "aqm/edge/" + qdisc + "/rtt-unfair";
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+int run(int argc, char** argv) {
+  SweepBench bench("bench_aqm_grid", argc, argv);
+  const std::vector<AqmCell> cells = make_grid();
+  for (const AqmCell& cell : cells) bench.add(cell.name, cell.spec);
+  const auto& outcomes = bench.run();
+
+  ResultLog log("bench_aqm_grid",
+                {"setting", "qdisc", "flows", "goodput_mbps", "util", "JFI",
+                 "g0_share", "loss_rate", "mark_rate", "mean_rtt_ms"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ExperimentResult& r = outcomes[i].result;
+    uint64_t sent = 0;
+    uint64_t drops = 0;
+    uint64_t marks = 0;
+    double rtt_sum_ms = 0.0;
+    for (const FlowMeasurement& f : r.flows) {
+      sent += f.segments_sent;
+      drops += f.queue_drops;
+      marks += f.queue_marks;
+      rtt_sum_ms += f.mean_rtt.ms();
+    }
+    const double denom = sent > 0 ? static_cast<double>(sent) : 1.0;
+    log.add_row(
+        {cells[i].setting, cells[i].qdisc, cells[i].flows_desc,
+         fmt(r.aggregate_goodput_bps / 1e6, 1), fmt(r.utilization, 3),
+         fmt(r.jfi_all(), 3),
+         cells[i].mixed ? fmt_pct(r.groups[0].throughput_share) : "-",
+         fmt(static_cast<double>(drops) / denom, 5),
+         fmt(static_cast<double>(marks) / denom, 5),
+         fmt(r.flows.empty() ? 0.0
+                             : rtt_sum_ms / static_cast<double>(r.flows.size()),
+             1)});
+  }
+  log.finish(
+      "Paper fairness questions re-asked per qdisc (Figures 4/6/7 analogs).\n"
+      "JFI over all flows; g0_share = first group's throughput share in the\n"
+      "mixed cells (cubic in cubic-vs-bbr, short-RTT pair in rtt-unfair).\n"
+      "loss/mark rates are bottleneck drops/CE marks per segment sent.\n"
+      "See EXPERIMENTS.md for the per-qdisc survive/invert table.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ccas::bench
+
+int main(int argc, char** argv) { return ccas::bench::run(argc, argv); }

@@ -52,7 +52,7 @@ void InvariantAuditor::watch_impairment(const ImpairedLink& link) {
   impairments_.push_back(&link);
 }
 
-InvariantAuditor::QueueShadow& InvariantAuditor::shadow_of(const DropTailQueue& q) {
+InvariantAuditor::QueueShadow& InvariantAuditor::shadow_of(const QueueDisc& q) {
   for (QueueShadow& s : queues_) {
     if (s.queue == &q) return s;
   }
@@ -64,11 +64,12 @@ InvariantAuditor::QueueShadow& InvariantAuditor::shadow_of(const DropTailQueue& 
   s.queue = &q;
   s.packets = static_cast<int64_t>(q.queued_packets());
   s.bytes = q.queued_bytes();
+  s.resident_at_reset = s.packets;
   queues_.push_back(std::move(s));
   return queues_.back();
 }
 
-bool InvariantAuditor::knows_queue(const DropTailQueue& q) const {
+bool InvariantAuditor::knows_queue(const QueueDisc& q) const {
   for (const QueueShadow& s : queues_) {
     if (s.queue == &q) return true;
   }
@@ -103,7 +104,7 @@ void InvariantAuditor::on_event_dispatched(Time now, Time event_time) {
   }
 }
 
-void InvariantAuditor::on_enqueue(const DropTailQueue& q, const Packet& pkt,
+void InvariantAuditor::on_enqueue(const QueueDisc& q, const Packet& pkt,
                                   bool dropped) {
   // The hook fires after the enqueue, so a first-sight baseline must not
   // already include the packet we are about to count.
@@ -112,6 +113,7 @@ void InvariantAuditor::on_enqueue(const DropTailQueue& q, const Packet& pkt,
   if (first_sight && !dropped) {
     s.packets -= 1;
     s.bytes -= pkt.size_bytes;
+    s.resident_at_reset -= 1;
   }
   if (dropped) {
     ++s.dropped_since_reset;
@@ -130,11 +132,13 @@ void InvariantAuditor::on_enqueue(const DropTailQueue& q, const Packet& pkt,
                   static_cast<long long>(s.bytes), q.queued_packets(),
                   static_cast<long long>(q.queued_bytes())));
   }
-  // The upper bound only applies when this enqueue was admitted: after a
-  // kBuffer fault shrinks capacity below the current occupancy, the queue
-  // legally stays over capacity (drop-tail only refuses new arrivals)
-  // until it drains.
-  if (q.queued_bytes() < 0 || (!dropped && q.queued_bytes() > q.capacity_bytes())) {
+  // Over-capacity occupancy is legal only in the window a kBuffer fault
+  // opened by shrinking capacity below the live occupancy (the queue only
+  // refuses new arrivals until it drains back under). The qdisc tracks
+  // that window explicitly, so any other over-capacity state — admitted
+  // or not — is a real conservation violation, not shrink fallout.
+  if (q.queued_bytes() < 0 ||
+      (q.queued_bytes() > q.capacity_bytes() && !q.shrunk_below_occupancy())) {
     violation("queue.capacity", pkt.flow_id, sim_.now(),
               fmt("occupancy %lld B outside [0, %lld B]",
                   static_cast<long long>(q.queued_bytes()),
@@ -142,7 +146,7 @@ void InvariantAuditor::on_enqueue(const DropTailQueue& q, const Packet& pkt,
   }
 }
 
-void InvariantAuditor::on_dequeue(const DropTailQueue& q, const Packet& pkt) {
+void InvariantAuditor::on_dequeue(const QueueDisc& q, const Packet& pkt) {
   // Fires after the pop: a first-sight baseline must re-include the packet
   // we are about to subtract.
   const bool first_sight = !knows_queue(q);
@@ -150,6 +154,7 @@ void InvariantAuditor::on_dequeue(const DropTailQueue& q, const Packet& pkt) {
   if (first_sight) {
     s.packets += 1;
     s.bytes += pkt.size_bytes;
+    s.resident_at_reset += 1;
   }
   ++s.dequeued_since_reset;
   s.packets -= 1;
@@ -163,11 +168,51 @@ void InvariantAuditor::on_dequeue(const DropTailQueue& q, const Packet& pkt) {
   }
 }
 
-void InvariantAuditor::on_queue_reset(const DropTailQueue& q) {
+void InvariantAuditor::on_head_drop(const QueueDisc& q, const Packet& pkt) {
+  // Leaves the queue like a dequeue (fires after the removal, so a
+  // first-sight baseline must re-include the packet), but counts as a
+  // drop for network-wide conservation.
+  const bool first_sight = !knows_queue(q);
+  QueueShadow& s = shadow_of(q);
+  if (first_sight) {
+    s.packets += 1;
+    s.bytes += pkt.size_bytes;
+    s.resident_at_reset += 1;
+  }
+  ++s.head_dropped_since_reset;
+  s.packets -= 1;
+  s.bytes -= pkt.size_bytes;
+  ++dropped_packets_;
+  dropped_bytes_ += pkt.size_bytes;
+  if (s.packets != static_cast<int64_t>(q.queued_packets()) ||
+      s.bytes != q.queued_bytes()) {
+    violation("queue.occupancy", pkt.flow_id, sim_.now(),
+              fmt("after head drop: shadow %lld pkts/%lld B vs queue %zu pkts/%lld B",
+                  static_cast<long long>(s.packets), static_cast<long long>(s.bytes),
+                  q.queued_packets(), static_cast<long long>(q.queued_bytes())));
+  }
+}
+
+void InvariantAuditor::on_mark(const QueueDisc& q, const Packet& pkt) {
+  QueueShadow& s = shadow_of(q);
+  ++s.marked_since_reset;
+  // A CE mark on a non-ECT packet would be silently dropped congestion
+  // signal: the non-ECN endpoint never echoes it, so the qdisc believes
+  // it signaled when it did not.
+  if ((pkt.ecn & kEcnEct) == 0) {
+    violation("qdisc.mark-without-ect", pkt.flow_id, sim_.now(),
+              fmt("CE mark on packet with ecn=0x%02x (no ECT)", pkt.ecn));
+  }
+}
+
+void InvariantAuditor::on_queue_reset(const QueueDisc& q) {
   QueueShadow& s = shadow_of(q);
   s.enqueued_since_reset = 0;
   s.dequeued_since_reset = 0;
   s.dropped_since_reset = 0;
+  s.head_dropped_since_reset = 0;
+  s.marked_since_reset = 0;
+  s.resident_at_reset = static_cast<int64_t>(q.queued_packets());
 }
 
 void InvariantAuditor::on_packet_injected(const Packet& pkt) {
@@ -240,39 +285,78 @@ void InvariantAuditor::on_transmit(uint32_t flow_id, bool prr_active,
 }
 
 void InvariantAuditor::check_queue(const QueueShadow& s, Time now) {
-  const DropTailQueue& q = *s.queue;
+  const QueueDisc& q = *s.queue;
   const QueueStats& st = q.stats();
   // Occupancy accounting vs the queue's own counters since the last
   // reset_accounting (the queue may have held packets across the reset,
   // so compare deltas, not absolutes).
   if (st.enqueued_packets != s.enqueued_since_reset ||
       st.dropped_packets != s.dropped_since_reset ||
-      st.dequeued_packets != s.dequeued_since_reset) {
+      st.dequeued_packets != s.dequeued_since_reset ||
+      st.head_dropped_packets != s.head_dropped_since_reset ||
+      st.marked_packets != s.marked_since_reset) {
     violation("queue.stats", kNoFlow, now,
-              fmt("queue stats enq/deq/drop %llu/%llu/%llu vs audited "
-                  "%llu/%llu/%llu",
+              fmt("queue stats enq/deq/drop/hdrop/mark %llu/%llu/%llu/%llu/%llu "
+                  "vs audited %llu/%llu/%llu/%llu/%llu",
                   static_cast<unsigned long long>(st.enqueued_packets),
                   static_cast<unsigned long long>(st.dequeued_packets),
                   static_cast<unsigned long long>(st.dropped_packets),
+                  static_cast<unsigned long long>(st.head_dropped_packets),
+                  static_cast<unsigned long long>(st.marked_packets),
                   static_cast<unsigned long long>(s.enqueued_since_reset),
                   static_cast<unsigned long long>(s.dequeued_since_reset),
-                  static_cast<unsigned long long>(s.dropped_since_reset)));
+                  static_cast<unsigned long long>(s.dropped_since_reset),
+                  static_cast<unsigned long long>(s.head_dropped_since_reset),
+                  static_cast<unsigned long long>(s.marked_since_reset)));
   }
+  // Conservation through mark-vs-drop: everything admitted since the last
+  // reset (plus what was already resident then) either left through the
+  // link, was head-dropped by the AQM, or is still resident. Marks do not
+  // appear: a marked packet is still delivered.
+  const uint64_t carried = static_cast<uint64_t>(s.resident_at_reset);
+  if (st.enqueued_packets + carried !=
+      st.dequeued_packets + st.head_dropped_packets +
+          static_cast<uint64_t>(q.queued_packets())) {
+    violation("queue.conservation", kNoFlow, now,
+              fmt("enqueued %llu + carried %llu != dequeued %llu + "
+                  "head-dropped %llu + resident %zu",
+                  static_cast<unsigned long long>(st.enqueued_packets),
+                  static_cast<unsigned long long>(carried),
+                  static_cast<unsigned long long>(st.dequeued_packets),
+                  static_cast<unsigned long long>(st.head_dropped_packets),
+                  q.queued_packets()));
+  }
+  const uint64_t total_drops = st.dropped_packets + st.head_dropped_packets;
   if (q.drop_log_enabled() &&
-      q.drop_log().size() != static_cast<size_t>(st.dropped_packets)) {
+      q.drop_log().size() != static_cast<size_t>(total_drops)) {
     violation("queue.drop-log", kNoFlow, now,
               fmt("drop log has %zu records but %llu drops counted",
                   q.drop_log().size(),
-                  static_cast<unsigned long long>(st.dropped_packets)));
+                  static_cast<unsigned long long>(total_drops)));
   }
   uint64_t per_flow_total = 0;
   for (const uint64_t d : q.per_flow_drops()) per_flow_total += d;
   // <= because flows beyond reserve_flows() are not counted per flow.
-  if (per_flow_total > st.dropped_packets) {
+  if (per_flow_total > total_drops) {
     violation("queue.per-flow-drops", kNoFlow, now,
               fmt("per-flow drop counters sum to %llu > %llu total drops",
                   static_cast<unsigned long long>(per_flow_total),
-                  static_cast<unsigned long long>(st.dropped_packets)));
+                  static_cast<unsigned long long>(total_drops)));
+  }
+  uint64_t per_flow_marks = 0;
+  for (const uint64_t m : q.per_flow_marks()) per_flow_marks += m;
+  if (per_flow_marks > st.marked_packets) {
+    violation("queue.per-flow-marks", kNoFlow, now,
+              fmt("per-flow mark counters sum to %llu > %llu total marks",
+                  static_cast<unsigned long long>(per_flow_marks),
+                  static_cast<unsigned long long>(st.marked_packets)));
+  }
+  // Sojourn samples only come from dequeues that timestamped the packet.
+  if (st.sojourn_samples > st.dequeued_packets) {
+    violation("queue.sojourn-samples", kNoFlow, now,
+              fmt("%llu sojourn samples from %llu dequeues",
+                  static_cast<unsigned long long>(st.sojourn_samples),
+                  static_cast<unsigned long long>(st.dequeued_packets)));
   }
 }
 

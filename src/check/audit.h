@@ -36,8 +36,8 @@
 #include "src/sim/simulator.h"
 
 namespace ccas {
-class DropTailQueue;
 class ImpairedLink;
+class QueueDisc;
 class TcpSender;
 }  // namespace ccas
 
@@ -94,12 +94,17 @@ class InvariantAuditor {
   // ---- hot-path hooks (called through Simulator::auditor()) ---------
   // Simulator::dispatch, before now() advances to `event_time`.
   void on_event_dispatched(Time now, Time event_time);
-  // DropTailQueue::accept — either enqueued or dropped.
-  void on_enqueue(const DropTailQueue& q, const Packet& pkt, bool dropped);
-  // DropTailQueue::pop.
-  void on_dequeue(const DropTailQueue& q, const Packet& pkt);
-  // DropTailQueue::reset_accounting (warm-up boundary).
-  void on_queue_reset(const DropTailQueue& q);
+  // QueueDisc arrival — either enqueued or refused (tail drop).
+  void on_enqueue(const QueueDisc& q, const Packet& pkt, bool dropped);
+  // QueueDisc dequeue handed to the link.
+  void on_dequeue(const QueueDisc& q, const Packet& pkt);
+  // An AQM dropped an already-admitted packet (CoDel/FQ-CoDel head drop):
+  // leaves the queue like a dequeue, counts like a drop network-wide.
+  void on_head_drop(const QueueDisc& q, const Packet& pkt);
+  // An AQM set CE instead of dropping; the packet must be ECT.
+  void on_mark(const QueueDisc& q, const Packet& pkt);
+  // QueueDisc::reset_accounting (warm-up boundary).
+  void on_queue_reset(const QueueDisc& q);
   // A packet entered the network at an endpoint (sender data / receiver ACK).
   void on_packet_injected(const Packet& pkt);
   // A packet reached its endpoint (receiver data / sender ACK).
@@ -142,12 +147,17 @@ class InvariantAuditor {
 
  private:
   struct QueueShadow {
-    const DropTailQueue* queue = nullptr;
+    const QueueDisc* queue = nullptr;
     int64_t packets = 0;  // our own occupancy count
     int64_t bytes = 0;
     uint64_t enqueued_since_reset = 0;
     uint64_t dequeued_since_reset = 0;
     uint64_t dropped_since_reset = 0;
+    uint64_t head_dropped_since_reset = 0;
+    uint64_t marked_since_reset = 0;
+    // Occupancy at the last reset_accounting (or at shadow adoption):
+    // closes the conservation equation for packets carried across a reset.
+    int64_t resident_at_reset = 0;
   };
   struct FlowShadow {
     const TcpSender* sender = nullptr;  // null until watch_sender
@@ -155,8 +165,8 @@ class InvariantAuditor {
     int64_t last_delivered_time_ns = 0;
   };
 
-  QueueShadow& shadow_of(const DropTailQueue& q);
-  [[nodiscard]] bool knows_queue(const DropTailQueue& q) const;
+  QueueShadow& shadow_of(const QueueDisc& q);
+  [[nodiscard]] bool knows_queue(const QueueDisc& q) const;
   FlowShadow& flow_shadow(uint32_t flow_id);
   void check_queue(const QueueShadow& s, Time now);
   void check_sender(uint32_t flow_id, const TcpSender& sender, Time now);

@@ -101,6 +101,27 @@ std::vector<GoldenCell> golden_grid() {
     cells.push_back(
         cell("core-jitter-reorder", std::move(spec), {{"cubic", 8, rtt20}}));
   }
+  // AQM cells: pin the qdisc subsystem. Both leave qdisc.seed at 0, so the
+  // recorded digests also pin the derive_qdisc_seed path in run_experiment.
+  {
+    // FQ-CoDel in the Edge regime over an RTT-unfair mix: the per-flow DRR
+    // scheduler plus per-flow CoDel should pull JFI toward 1 where plain
+    // drop-tail lets the short-RTT pair dominate — the digest pins the
+    // bucket hash, the DRR rotation order, and the CoDel control law.
+    ExperimentSpec spec = edge_spec();
+    spec.scenario.net.qdisc.kind = QdiscKind::kFqCoDel;
+    cells.push_back(cell("edge-fqcodel", std::move(spec),
+                         {{"cubic", 2, rtt20}, {"cubic", 2, rtt80}}));
+  }
+  {
+    // RED with ECN marking in the Core regime: pins the EWMA average, the
+    // probability ladder (count correction + gentle ramp), the dedicated
+    // Rng stream, and the full ECN loop (CE -> ECE -> cwnd cut -> CWR).
+    ExperimentSpec spec = core_spec();
+    spec.scenario.net.qdisc.kind = QdiscKind::kRed;
+    spec.scenario.net.qdisc.ecn = true;
+    cells.push_back(cell("core-red-ecn", std::move(spec), {{"cubic", 8, rtt20}}));
+  }
   return cells;
 }
 

@@ -107,6 +107,13 @@ std::string cli_usage() {
          "  --setting=edge|core   scenario preset (default core)\n"
          "  --rate=<mbps>         bottleneck rate override\n"
          "  --buffer=<bytes>      buffer size override\n"
+         "  --qdisc=<name>        bottleneck queue discipline: drop-tail\n"
+         "                        (default), codel, fq-codel, pie, red\n"
+         "  --ecn                 mark instead of drop (AQM qdiscs only)\n"
+         "  --codel=<target_ms>:<interval_ms>  CoDel / FQ-CoDel knobs\n"
+         "  --fq=<flows>:<quantum_bytes>       FQ-CoDel flow table and quantum\n"
+         "  --pie=<target_ms>:<tupdate_ms>     PIE knobs\n"
+         "  --red=<min_bytes>:<max_bytes>[:<max_p>]  RED thresholds (0:0 = auto)\n"
          "  --stagger=<sec> --warmup=<sec> --measure=<sec>\n"
          "  --seed=<n>            RNG seed (default 1)\n"
          "  --jitter=<microsec>   forward-path jitter (default 500)\n"
@@ -182,6 +189,76 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       need_value();
       have_buffer = true;
       buffer_value = value;
+    } else if (key == "--qdisc") {
+      need_value();
+      opts.spec.scenario.net.qdisc.kind = qdisc_kind_from_name(value);
+    } else if (key == "--ecn") {
+      if (!value.empty()) throw std::invalid_argument("--ecn takes no value");
+      opts.spec.scenario.net.qdisc.ecn = true;
+    } else if (key == "--codel") {
+      need_value();
+      const auto parts = split(value, ':');
+      if (parts.size() != 2) {
+        throw std::invalid_argument("bad --codel '" + value +
+                                    "' (want target_ms:interval_ms)");
+      }
+      QdiscConfig& qd = opts.spec.scenario.net.qdisc;
+      const double target_ms = parse_number("--codel target", parts[0]);
+      const double interval_ms = parse_number("--codel interval", parts[1]);
+      if (target_ms <= 0.0 || interval_ms <= 0.0) {
+        throw std::invalid_argument("--codel target and interval must be positive");
+      }
+      qd.codel_target = TimeDelta::seconds_f(target_ms / 1e3);
+      qd.codel_interval = TimeDelta::seconds_f(interval_ms / 1e3);
+    } else if (key == "--fq") {
+      need_value();
+      const auto parts = split(value, ':');
+      if (parts.size() != 2) {
+        throw std::invalid_argument("bad --fq '" + value +
+                                    "' (want flows:quantum_bytes)");
+      }
+      QdiscConfig& qd = opts.spec.scenario.net.qdisc;
+      const int64_t flows = parse_integer("--fq flows", parts[0]);
+      const int64_t quantum = parse_integer("--fq quantum", parts[1]);
+      if (flows <= 0) throw std::invalid_argument("--fq flows must be positive");
+      if (quantum <= 0) throw std::invalid_argument("--fq quantum must be positive");
+      qd.fq_flows = static_cast<uint32_t>(flows);
+      qd.fq_quantum = static_cast<int64_t>(quantum);
+    } else if (key == "--pie") {
+      need_value();
+      const auto parts = split(value, ':');
+      if (parts.size() != 2) {
+        throw std::invalid_argument("bad --pie '" + value +
+                                    "' (want target_ms:tupdate_ms)");
+      }
+      QdiscConfig& qd = opts.spec.scenario.net.qdisc;
+      const double target_ms = parse_number("--pie target", parts[0]);
+      const double tupdate_ms = parse_number("--pie tupdate", parts[1]);
+      if (target_ms <= 0.0) {
+        throw std::invalid_argument("--pie target must be positive");
+      }
+      qd.pie_target = TimeDelta::seconds_f(target_ms / 1e3);
+      // Non-positive tupdate flows into QdiscConfig::validate(), which
+      // rejects it only when the PIE qdisc is actually selected.
+      qd.pie_tupdate = TimeDelta::seconds_f(tupdate_ms / 1e3);
+    } else if (key == "--red") {
+      need_value();
+      const auto parts = split(value, ':');
+      if (parts.size() != 2 && parts.size() != 3) {
+        throw std::invalid_argument("bad --red '" + value +
+                                    "' (want min_bytes:max_bytes[:max_p])");
+      }
+      QdiscConfig& qd = opts.spec.scenario.net.qdisc;
+      const int64_t min_b = parse_integer("--red min", parts[0]);
+      const int64_t max_b = parse_integer("--red max", parts[1]);
+      if (min_b < 0 || max_b < 0) {
+        throw std::invalid_argument("--red thresholds must be >= 0");
+      }
+      qd.red_min_bytes = min_b;
+      qd.red_max_bytes = max_b;
+      if (parts.size() == 3) {
+        qd.red_max_p = parse_probability("--red max_p", parts[2]);
+      }
     } else if (key == "--groups") {
       need_value();
       for (const auto& g : split(value, ',')) {
@@ -455,6 +532,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   std::stable_sort(faults.begin(), faults.end(),
                    [](const LinkFault& a, const LinkFault& b) { return a.at < b.at; });
   opts.spec.scenario.net.impairments.validate();
+  opts.spec.scenario.net.qdisc.validate();
   return opts;
 }
 
@@ -545,6 +623,53 @@ SpecCliRendering spec_to_cli(const ExperimentSpec& spec) {
   flag("--seed", std::to_string(spec.seed));
   if (sc.net.jitter != preset.net.jitter) {
     flag("--jitter", render_flag_scaled(sc.net.jitter, 1e6));
+  }
+
+  const QdiscConfig& qd = sc.net.qdisc;
+  const QdiscConfig qd_defaults;
+  if (qd.enabled()) {
+    flag("--qdisc", qdisc_kind_name(qd.kind));
+    if (qd.ecn) out.args.emplace_back("--ecn");
+    const bool codel_like =
+        qd.kind == QdiscKind::kCoDel || qd.kind == QdiscKind::kFqCoDel;
+    if (codel_like && (qd.codel_target != qd_defaults.codel_target ||
+                       qd.codel_interval != qd_defaults.codel_interval)) {
+      flag("--codel", render_flag_scaled(qd.codel_target, 1e3) + ":" +
+                          render_flag_scaled(qd.codel_interval, 1e3));
+    }
+    if (qd.kind == QdiscKind::kFqCoDel &&
+        (qd.fq_flows != qd_defaults.fq_flows ||
+         qd.fq_quantum != qd_defaults.fq_quantum)) {
+      flag("--fq", std::to_string(qd.fq_flows) + ":" +
+                       std::to_string(qd.fq_quantum));
+    }
+    if (qd.kind == QdiscKind::kPie && (qd.pie_target != qd_defaults.pie_target ||
+                                       qd.pie_tupdate != qd_defaults.pie_tupdate)) {
+      flag("--pie", render_flag_scaled(qd.pie_target, 1e3) + ":" +
+                        render_flag_scaled(qd.pie_tupdate, 1e3));
+    }
+    if (qd.kind == QdiscKind::kPie &&
+        (qd.pie_alpha != qd_defaults.pie_alpha ||
+         qd.pie_beta != qd_defaults.pie_beta ||
+         qd.pie_mark_ecnth != qd_defaults.pie_mark_ecnth)) {
+      note("pie alpha/beta/mark_ecnth overrides have no flag");
+    }
+    if (qd.kind == QdiscKind::kRed &&
+        (qd.red_min_bytes != qd_defaults.red_min_bytes ||
+         qd.red_max_bytes != qd_defaults.red_max_bytes ||
+         qd.red_max_p != qd_defaults.red_max_p)) {
+      std::string red = std::to_string(qd.red_min_bytes) + ":" +
+                        std::to_string(qd.red_max_bytes);
+      if (qd.red_max_p != qd_defaults.red_max_p) {
+        red += ":" + render_value(qd.red_max_p);
+      }
+      flag("--red", red);
+    }
+    if (qd.kind == QdiscKind::kRed &&
+        (qd.red_wq != qd_defaults.red_wq || qd.red_gentle != qd_defaults.red_gentle)) {
+      note("red wq/gentle overrides have no flag");
+    }
+    if (qd.seed != 0) note("qdisc seed override has no flag");
   }
 
   const ImpairmentConfig& imp = sc.net.impairments;

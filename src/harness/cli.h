@@ -21,6 +21,12 @@
 //   --flap=<down_s>:<up_s>[,...]       link down/up fault windows
 //   --rate-change=<sec>:<mbps>[,...]   scheduled rate faults
 //   --buffer-change=<sec>:<bytes>[,...] scheduled buffer faults
+//   --qdisc=drop-tail|codel|fq-codel|pie|red   bottleneck scheduler
+//   --ecn                      CE-mark instead of drop (AQM qdiscs only)
+//   --codel=<target_ms>:<interval_ms>   CoDel / FQ-CoDel control law
+//   --fq=<flows>:<quantum_bytes>        FQ-CoDel buckets and DRR quantum
+//   --pie=<target_ms>:<tupdate_ms>      PIE latency target and update period
+//   --red=<min_bytes>:<max_bytes>[:<max_p>]   RED thresholds
 //   --no-sack / --no-delack / --no-gro
 //   --rto-slack=<microsec>     coalesce RTO re-arms within this slack
 //   --perf                     print the kernel profiler summary per cell

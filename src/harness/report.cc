@@ -112,6 +112,24 @@ std::string summarize(const ExperimentResult& result) {
                 result.measured_for.sec(),
                 result.converged_early ? " (converged early)" : "");
   out += buf;
+  // AQM line only when a qdisc produced AQM events, so drop-tail output
+  // is unchanged character for character.
+  if (result.queue.head_dropped_packets > 0 || result.queue.marked_packets > 0 ||
+      result.queue.sojourn_samples > 0) {
+    const double mean_sojourn_ms =
+        result.queue.sojourn_samples > 0
+            ? static_cast<double>(result.queue.sojourn_ns_sum) /
+                  static_cast<double>(result.queue.sojourn_samples) / 1e6
+            : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "qdisc: head drops %llu, ECN marks %llu, sojourn mean %.3fms "
+                  "max %.3fms\n",
+                  static_cast<unsigned long long>(result.queue.head_dropped_packets),
+                  static_cast<unsigned long long>(result.queue.marked_packets),
+                  mean_sojourn_ms,
+                  static_cast<double>(result.queue.max_sojourn_ns) / 1e6);
+    out += buf;
+  }
   return out;
 }
 

@@ -27,7 +27,7 @@ struct Flow {
   int group = 0;
 };
 
-FlowCounters snapshot(Time now, const Flow& flow, const DropTailQueue& queue,
+FlowCounters snapshot(Time now, const Flow& flow, const QueueDisc& queue,
                       uint32_t flow_id) {
   FlowCounters c;
   c.at = now;
@@ -37,8 +37,12 @@ FlowCounters snapshot(Time now, const Flow& flow, const DropTailQueue& queue,
   c.delivered = s.delivered;
   c.congestion_events = s.congestion_events;
   c.rto_events = s.rto_events;
+  c.ecn_reductions = s.ecn_reductions;
   c.queue_drops = flow_id < queue.per_flow_drops().size()
                       ? queue.per_flow_drops()[flow_id]
+                      : 0;
+  c.queue_marks = flow_id < queue.per_flow_marks().size()
+                      ? queue.per_flow_marks()[flow_id]
                       : 0;
   c.rcv_in_order = flow.receiver->rcv_nxt();
   c.rtt_sample_sum_ns = s.rtt_sample_sum_ns;
@@ -58,6 +62,7 @@ void validate(const ExperimentSpec& spec) {
     throw std::invalid_argument("non-positive measurement window");
   }
   spec.scenario.net.impairments.validate();
+  spec.scenario.net.qdisc.validate();
 }
 
 }  // namespace
@@ -90,8 +95,14 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
       net.impairments.seed == 0) {
     net.impairments.seed = derive_impairment_seed(spec.seed);
   }
+  // Qdisc seed: same pattern under its own salt, so RED/PIE probability
+  // draws are independent of both the master stream and the impairment
+  // stream (drop-tail and the deterministic AQMs never draw from it).
+  if (net.qdisc.enabled() && net.qdisc.seed == 0) {
+    net.qdisc.seed = derive_qdisc_seed(spec.seed);
+  }
   DumbbellTopology topo(sim, net);
-  DropTailQueue& queue = topo.bottleneck_queue();
+  QueueDisc& queue = topo.bottleneck_queue();
   queue.set_drop_log_enabled(spec.record_drop_log);
 
   // Build flows: ids are assigned in group order, so flows of one group
@@ -104,6 +115,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
   }
   std::vector<Flow> flows;
   flows.reserve(static_cast<size_t>(spec.total_flows()));
+  // ECN negotiation: senders mark ECT (and react to ECE) exactly when the
+  // bottleneck qdisc marks. Derived from the qdisc block, so it is not a
+  // separate spec knob.
+  TcpSenderConfig tcp = spec.tcp;
+  tcp.ecn_enabled = net.qdisc.enabled() && net.qdisc.ecn;
   uint32_t flow_id = 0;
   for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
     const FlowGroup& g = spec.groups[gi];
@@ -114,7 +130,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
       f.receiver = std::make_unique<TcpReceiver>(sim, flow_id, &topo.ack_entry(),
                                                  spec.receiver);
       f.sender = std::make_unique<TcpSender>(sim, flow_id, make_cca(g.cca, *f.rng),
-                                             &topo.data_entry(flow_id), spec.tcp);
+                                             &topo.data_entry(flow_id), tcp);
       topo.register_flow(flow_id, g.rtt, f.sender.get(), f.receiver.get());
       if (spec.record_congestion_log) {
         std::vector<Time>& log = congestion_log[flow_id];

@@ -80,7 +80,7 @@ ImpairedLink::ImpairedLink(Simulator& sim, const ImpairmentConfig& config,
   }
 }
 
-void ImpairedLink::attach_fault_targets(Link* link, DropTailQueue* queue) {
+void ImpairedLink::attach_fault_targets(Link* link, QueueDisc* queue) {
   fault_link_ = link;
   fault_queue_ = queue;
 }

@@ -26,7 +26,7 @@
 namespace ccas {
 
 class Link;
-class DropTailQueue;
+class QueueDisc;
 
 // Two-state Gilbert-Elliott loss chain: per-packet transitions between a
 // good and a bad (bursty-loss) state, each with its own drop probability.
@@ -48,7 +48,7 @@ struct LinkFault {
     kDown,    // drop every packet until the next kUp
     kUp,      // restore delivery
     kRate,    // retarget the attached Link's rate (next transmission on)
-    kBuffer,  // retarget the attached DropTailQueue's capacity
+    kBuffer,  // retarget the attached QueueDisc's capacity
   };
   Time at = Time::zero();
   Kind kind = Kind::kDown;
@@ -121,7 +121,7 @@ class ImpairedLink final : public PacketSink, public EventHandler {
 
   // Attaches the components that kRate/kBuffer faults retarget. Optional:
   // faults of those kinds without a target are ignored.
-  void attach_fault_targets(Link* link, DropTailQueue* queue);
+  void attach_fault_targets(Link* link, QueueDisc* queue);
 
   void accept(Packet&& pkt) override;
   void on_event(uint32_t tag, uint64_t arg) override;
@@ -143,7 +143,7 @@ class ImpairedLink final : public PacketSink, public EventHandler {
   PacketSink* dest_;
   Rng rng_;
   Link* fault_link_ = nullptr;
-  DropTailQueue* fault_queue_ = nullptr;
+  QueueDisc* fault_queue_ = nullptr;
 
   bool down_ = false;
   bool ge_bad_ = false;  // Gilbert-Elliott chain state

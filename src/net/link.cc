@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/net/queue.h"
+
 namespace ccas {
 
 namespace {
@@ -25,10 +27,27 @@ void Link::set_rate(DataRate rate) {
 }
 
 void Link::start_transmission() {
-  if (queue_ == nullptr || !queue_->has_packet()) return;
-  in_flight_ = queue_->pop();
-  busy_ = true;
-  sim_.schedule_in(rate_.transfer_time(in_flight_.size_bytes), this, kTxComplete);
+  if (drop_tail_ != nullptr) {
+    // Devirtualized default path: DropTailQueue is final, so these calls
+    // resolve concretely and the packet moves exactly once — the same
+    // per-packet cost as before the qdisc layer existed.
+    if (!drop_tail_->has_packet()) return;
+    in_flight_ = drop_tail_->pop();
+    busy_ = true;
+    sim_.schedule_in(rate_.transfer_time(in_flight_.size_bytes), this, kTxComplete);
+    return;
+  }
+  if (queue_ == nullptr) return;
+  // An AQM dequeue may drop everything it inspects and come back empty;
+  // keep asking while the qdisc reports queued packets.
+  while (queue_->has_packet()) {
+    std::optional<Packet> p = queue_->dequeue();
+    if (!p.has_value()) continue;
+    in_flight_ = std::move(*p);
+    busy_ = true;
+    sim_.schedule_in(rate_.transfer_time(in_flight_.size_bytes), this, kTxComplete);
+    return;
+  }
 }
 
 void Link::on_event(uint32_t tag, uint64_t /*arg*/) {

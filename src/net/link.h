@@ -1,11 +1,11 @@
-// A serializing link: drains a DropTailQueue at a fixed rate and hands each
+// A serializing link: drains a QueueDisc at a fixed rate and hands each
 // packet to the downstream sink when its transmission completes. Propagation
 // delay is modelled separately (DelayLine / NetemDelay), which keeps the
 // link fully pipelined with exactly one pending event per link.
 #pragma once
 
 #include "src/net/packet.h"
-#include "src/net/queue.h"
+#include "src/net/qdisc/qdisc.h"
 #include "src/sim/simulator.h"
 
 namespace ccas {
@@ -27,7 +27,10 @@ class Link final : public EventHandler {
     return busy_ ? in_flight_.size_bytes : 0;
   }
 
-  void set_source(DropTailQueue* queue) { queue_ = queue; }
+  void set_source(QueueDisc* queue) {
+    queue_ = queue;
+    drop_tail_ = queue != nullptr ? queue->as_drop_tail() : nullptr;
+  }
 
   // Retargets the drain rate (scheduled link faults). Takes effect from
   // the next transmission; the packet currently serializing keeps the
@@ -42,7 +45,8 @@ class Link final : public EventHandler {
   Simulator& sim_;
   DataRate rate_;
   PacketSink* dest_;
-  DropTailQueue* queue_ = nullptr;
+  QueueDisc* queue_ = nullptr;
+  DropTailQueue* drop_tail_ = nullptr;  // fast path (see as_drop_tail)
   bool busy_ = false;
   Packet in_flight_{};
   uint64_t delivered_packets_ = 0;

@@ -33,12 +33,23 @@ struct SackBlock {
 
 inline constexpr int kMaxSackBlocks = 3;
 
+// ECN bits carried in the packet "header" (RFC 3168). The transport marks
+// data packets ECT when ECN is negotiated; an AQM qdisc sets CE instead of
+// dropping; the receiver echoes ECE on ACKs until the sender confirms the
+// window reduction with CWR on a data packet. Stored as a flag byte in
+// what used to be struct padding, so sizeof(Packet) is unchanged.
+inline constexpr uint8_t kEcnEct = 0x1;  // ECN-capable transport (ECT(0))
+inline constexpr uint8_t kEcnCe = 0x2;   // congestion experienced (qdisc mark)
+inline constexpr uint8_t kEcnEce = 0x4;  // ACK: echo of a CE arrival
+inline constexpr uint8_t kEcnCwr = 0x8;  // data: congestion window reduced
+
 struct Packet {
   uint32_t flow_id = 0;
   uint32_t dst = 0;  // destination node id, used by Switch forwarding
   PacketType type = PacketType::kData;
   bool retransmit = false;
   uint8_t num_sacks = 0;
+  uint8_t ecn = 0;  // kEcn* flag bits; 0 = not ECN-capable
   uint32_t size_bytes = 0;
 
   // Data packets: segment number being carried.

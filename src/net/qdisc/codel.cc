@@ -1,0 +1,121 @@
+#include "src/net/qdisc/codel.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+CoDelQueue::CoDelQueue(Simulator& sim, int64_t capacity_bytes,
+                       const QdiscConfig& config)
+    : QueueDisc(sim, capacity_bytes),
+      target_(config.codel_target),
+      interval_(config.codel_interval),
+      ecn_(config.ecn) {}
+
+void CoDelQueue::accept(Packet&& pkt) {
+  if (would_overflow(pkt)) {
+    count_tail_drop(pkt);
+    return;
+  }
+  fifo_.push_back(Entry{std::move(pkt), sim_.now()});
+  count_enqueue(fifo_.back().pkt);
+  notify_downstream();
+}
+
+Time CoDelQueue::control_law(Time t) const {
+  // interval / sqrt(count): the drop spacing shrinks as the standing queue
+  // persists. std::sqrt is correctly rounded under IEEE-754, so the spacing
+  // is bit-identical across platforms.
+  const double spacing = static_cast<double>(interval_.ns()) /
+                         std::sqrt(static_cast<double>(count_));
+  return t + TimeDelta::nanos(static_cast<int64_t>(spacing));
+}
+
+CoDelQueue::Head CoDelQueue::dodequeue(Time now) {
+  Head h;
+  if (fifo_.empty()) {
+    first_above_time_ = Time::zero();
+    return h;
+  }
+  h.valid = true;
+  h.entry = fifo_.pop_front();
+  h.sojourn = now - h.entry.enqueued_at;
+  // Backlog once this packet leaves (the base counters still include it;
+  // the caller settles them with count_dequeue/count_head_drop).
+  const int64_t backlog = queued_bytes() - h.entry.pkt.size_bytes;
+  if (h.sojourn < target_ || backlog <= kDataPacketBytes) {
+    // Out of the danger zone: a standing queue below target (or too short
+    // to be worth controlling) resets the above-target clock.
+    first_above_time_ = Time::zero();
+  } else if (first_above_time_ == Time::zero()) {
+    first_above_time_ = now + interval_;
+  } else if (now >= first_above_time_) {
+    h.ok_to_drop = true;
+  }
+  return h;
+}
+
+std::optional<Packet> CoDelQueue::dequeue() {
+  const Time now = sim_.now();
+  Head h = dodequeue(now);
+  if (!h.valid) {
+    dropping_ = false;
+    return std::nullopt;
+  }
+  if (dropping_) {
+    if (!h.ok_to_drop) {
+      dropping_ = false;
+    } else {
+      while (dropping_ && now >= drop_next_) {
+        ++count_;
+        if (ecn_ && (h.entry.pkt.ecn & kEcnEct) != 0) {
+          // Mark instead of dropping; the control law still advances so
+          // marks are paced exactly like drops would have been.
+          count_mark(h.entry.pkt);
+          drop_next_ = control_law(drop_next_);
+          break;
+        }
+        count_head_drop(h.entry.pkt);
+        h = dodequeue(now);
+        if (!h.valid) {
+          dropping_ = false;
+          return std::nullopt;
+        }
+        if (!h.ok_to_drop) {
+          dropping_ = false;
+        } else {
+          drop_next_ = control_law(drop_next_);
+        }
+      }
+    }
+  } else if (h.ok_to_drop) {
+    // Enter the dropping state with one drop (or mark) now.
+    if (ecn_ && (h.entry.pkt.ecn & kEcnEct) != 0) {
+      count_mark(h.entry.pkt);
+    } else {
+      count_head_drop(h.entry.pkt);
+      h = dodequeue(now);
+      if (!h.valid) {
+        dropping_ = false;
+        return std::nullopt;
+      }
+    }
+    dropping_ = true;
+    // If we were dropping recently, resume near the prior drop rate rather
+    // than restarting from 1 (RFC 8289 §5.4's count decay heuristic).
+    const uint32_t delta = count_ - lastcount_;
+    if (delta > 1 && now - drop_next_ < interval_ * 16) {
+      count_ = delta;
+    } else {
+      count_ = 1;
+    }
+    lastcount_ = count_;
+    drop_next_ = control_law(now);
+  }
+  count_dequeue(h.entry.pkt, h.sojourn);
+  return std::move(h.entry.pkt);
+}
+
+}  // namespace ccas

@@ -1,0 +1,57 @@
+// CoDel (Controlled Delay, RFC 8289): drops — or CE-marks, when ECN is on
+// and the packet is ECT — at dequeue time based on how long the head-of-line
+// packet actually sojourned in the buffer, with the sqrt-interval control
+// law spacing successive drops while the standing queue persists.
+//
+// Everything is driven by the simulated clock and the queue's own state, so
+// CoDel needs no Rng and is trivially deterministic.
+#pragma once
+
+#include "src/net/qdisc/qdisc.h"
+#include "src/util/ring_buffer.h"
+
+namespace ccas {
+
+class CoDelQueue final : public QueueDisc {
+ public:
+  CoDelQueue(Simulator& sim, int64_t capacity_bytes, const QdiscConfig& config);
+
+  void accept(Packet&& pkt) override;
+  [[nodiscard]] bool has_packet() const override { return !fifo_.empty(); }
+  std::optional<Packet> dequeue() override;
+
+  [[nodiscard]] uint32_t drop_count() const { return count_; }
+  [[nodiscard]] bool dropping() const { return dropping_; }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    Time enqueued_at;
+  };
+  struct Head {
+    bool valid = false;
+    Entry entry;
+    TimeDelta sojourn = TimeDelta::zero();
+    bool ok_to_drop = false;
+  };
+
+  // RFC 8289's dodequeue(): raw-pops the head and decides whether the
+  // sojourn time has stayed above target for a full interval. The caller
+  // settles the accounting (count_dequeue vs count_head_drop).
+  Head dodequeue(Time now);
+  [[nodiscard]] Time control_law(Time t) const;
+
+  TimeDelta target_;
+  TimeDelta interval_;
+  bool ecn_;
+  RingBuffer<Entry> fifo_;
+  // Time::zero() = sojourn not currently above target (the sim cannot
+  // schedule `now + interval` at 0 because interval > 0).
+  Time first_above_time_ = Time::zero();
+  Time drop_next_ = Time::zero();
+  uint32_t count_ = 0;      // drops in the current dropping state
+  uint32_t lastcount_ = 0;  // count when dropping state last ended
+  bool dropping_ = false;
+};
+
+}  // namespace ccas

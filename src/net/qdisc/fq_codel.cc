@@ -1,0 +1,185 @@
+#include "src/net/qdisc/fq_codel.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+FqCoDelQueue::FqCoDelQueue(Simulator& sim, int64_t capacity_bytes,
+                           const QdiscConfig& config)
+    : QueueDisc(sim, capacity_bytes),
+      target_(config.codel_target),
+      interval_(config.codel_interval),
+      ecn_(config.ecn),
+      quantum_(config.fq_quantum),
+      hash_seed_(config.seed),
+      flows_(config.fq_flows) {}
+
+uint32_t FqCoDelQueue::bucket_of(uint32_t flow_id) const {
+  uint64_t z = static_cast<uint64_t>(flow_id) ^ hash_seed_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<uint32_t>(z % flows_.size());
+}
+
+void FqCoDelQueue::drop_from_fattest() {
+  // Evict from the head of the flow with the largest backlog (RFC 8290
+  // §4.1.2); lowest bucket index breaks ties, keeping eviction order a
+  // pure function of queue state.
+  size_t fattest = 0;
+  int64_t fattest_backlog = -1;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].backlog_bytes > fattest_backlog) {
+      fattest = i;
+      fattest_backlog = flows_[i].backlog_bytes;
+    }
+  }
+  FlowQueue& f = flows_[fattest];
+  Entry victim = f.fifo.pop_front();
+  f.backlog_bytes -= victim.pkt.size_bytes;
+  count_head_drop(victim.pkt);
+}
+
+void FqCoDelQueue::accept(Packet&& pkt) {
+  // Overflow evicts already-queued packets from the fattest flow to make
+  // room; only a packet that cannot fit in an empty buffer is tail-dropped.
+  while (would_overflow(pkt) && queued_packets() > 0) drop_from_fattest();
+  if (would_overflow(pkt)) {
+    count_tail_drop(pkt);
+    return;
+  }
+  const uint32_t idx = bucket_of(pkt.flow_id);
+  FlowQueue& f = flows_[idx];
+  f.fifo.push_back(Entry{std::move(pkt), sim_.now()});
+  f.backlog_bytes += f.fifo.back().pkt.size_bytes;
+  count_enqueue(f.fifo.back().pkt);
+  if (f.on_list == ListId::kNone) {
+    f.deficit = quantum_;
+    f.on_list = ListId::kNew;
+    new_list_.push_back(idx);
+  }
+  notify_downstream();
+}
+
+Time FqCoDelQueue::control_law(Time t, uint32_t count) const {
+  const double spacing = static_cast<double>(interval_.ns()) /
+                         std::sqrt(static_cast<double>(count));
+  return t + TimeDelta::nanos(static_cast<int64_t>(spacing));
+}
+
+FqCoDelQueue::Head FqCoDelQueue::dodequeue(FlowQueue& f, Time now) {
+  Head h;
+  if (f.fifo.empty()) {
+    f.first_above_time = Time::zero();
+    return h;
+  }
+  h.valid = true;
+  h.entry = f.fifo.pop_front();
+  f.backlog_bytes -= h.entry.pkt.size_bytes;
+  h.sojourn = now - h.entry.enqueued_at;
+  // RFC 8290 runs the backlog check against the whole qdisc, not the
+  // single flow: a sparse flow inside a busy qdisc still gets controlled.
+  const int64_t backlog = queued_bytes() - h.entry.pkt.size_bytes;
+  if (h.sojourn < target_ || backlog <= kDataPacketBytes) {
+    f.first_above_time = Time::zero();
+  } else if (f.first_above_time == Time::zero()) {
+    f.first_above_time = now + interval_;
+  } else if (now >= f.first_above_time) {
+    h.ok_to_drop = true;
+  }
+  return h;
+}
+
+std::optional<Packet> FqCoDelQueue::codel_dequeue(FlowQueue& f, Time now) {
+  Head h = dodequeue(f, now);
+  if (!h.valid) {
+    f.dropping = false;
+    return std::nullopt;
+  }
+  if (f.dropping) {
+    if (!h.ok_to_drop) {
+      f.dropping = false;
+    } else {
+      while (f.dropping && now >= f.drop_next) {
+        ++f.count;
+        if (ecn_ && (h.entry.pkt.ecn & kEcnEct) != 0) {
+          count_mark(h.entry.pkt);
+          f.drop_next = control_law(f.drop_next, f.count);
+          break;
+        }
+        count_head_drop(h.entry.pkt);
+        h = dodequeue(f, now);
+        if (!h.valid) {
+          f.dropping = false;
+          return std::nullopt;
+        }
+        if (!h.ok_to_drop) {
+          f.dropping = false;
+        } else {
+          f.drop_next = control_law(f.drop_next, f.count);
+        }
+      }
+    }
+  } else if (h.ok_to_drop) {
+    if (ecn_ && (h.entry.pkt.ecn & kEcnEct) != 0) {
+      count_mark(h.entry.pkt);
+    } else {
+      count_head_drop(h.entry.pkt);
+      h = dodequeue(f, now);
+      if (!h.valid) {
+        f.dropping = false;
+        return std::nullopt;
+      }
+    }
+    f.dropping = true;
+    const uint32_t delta = f.count - f.lastcount;
+    if (delta > 1 && now - f.drop_next < interval_ * 16) {
+      f.count = delta;
+    } else {
+      f.count = 1;
+    }
+    f.lastcount = f.count;
+    f.drop_next = control_law(now, f.count);
+  }
+  count_dequeue(h.entry.pkt, h.sojourn);
+  return std::move(h.entry.pkt);
+}
+
+std::optional<Packet> FqCoDelQueue::dequeue() {
+  const Time now = sim_.now();
+  for (;;) {
+    RingBuffer<uint32_t>* list = !new_list_.empty() ? &new_list_ : &old_list_;
+    if (list->empty()) return std::nullopt;
+    const uint32_t idx = list->front();
+    FlowQueue& f = flows_[idx];
+    if (f.deficit <= 0) {
+      // Quantum exhausted: recharge and rotate to the back of the old list.
+      f.deficit += quantum_;
+      list->drop_front();
+      f.on_list = ListId::kOld;
+      old_list_.push_back(idx);
+      continue;
+    }
+    std::optional<Packet> pkt = codel_dequeue(f, now);
+    if (!pkt.has_value()) {
+      // Flow drained (or CoDel dropped its tail). A new flow that empties
+      // moves to the old list — it keeps its spot in the round if it
+      // refills quickly — while an empty old flow leaves the schedule.
+      list->drop_front();
+      if (list == &new_list_ || !f.fifo.empty()) {
+        f.on_list = ListId::kOld;
+        old_list_.push_back(idx);
+      } else {
+        f.on_list = ListId::kNone;
+      }
+      continue;
+    }
+    f.deficit -= pkt->size_bytes;
+    return pkt;
+  }
+}
+
+}  // namespace ccas

@@ -1,0 +1,70 @@
+// FQ-CoDel (RFC 8290): flow-hashed deficit-round-robin scheduling over
+// per-flow queues, each running its own CoDel control law. New flows get
+// scheduling priority (the new-flows list drains before the old-flows
+// list), which is what gives FQ-CoDel its low latency for sparse flows;
+// buffer overflow evicts from the head of the fattest flow instead of
+// refusing the arrival.
+//
+// Flow-to-bucket hashing is a SplitMix64 finalizer over (flow_id XOR
+// seed): a pure function of the config seed, so bucket placement — and
+// with it every schedule decision — is byte-reproducible per cell.
+#pragma once
+
+#include "src/net/qdisc/qdisc.h"
+#include "src/util/ring_buffer.h"
+
+namespace ccas {
+
+class FqCoDelQueue final : public QueueDisc {
+ public:
+  FqCoDelQueue(Simulator& sim, int64_t capacity_bytes,
+               const QdiscConfig& config);
+
+  void accept(Packet&& pkt) override;
+  std::optional<Packet> dequeue() override;
+
+  // Bucket a flow id hashes into (exposed for tests).
+  [[nodiscard]] uint32_t bucket_of(uint32_t flow_id) const;
+
+ private:
+  struct Entry {
+    Packet pkt;
+    Time enqueued_at;
+  };
+  enum class ListId : uint8_t { kNone, kNew, kOld };
+  struct FlowQueue {
+    RingBuffer<Entry> fifo;
+    int64_t backlog_bytes = 0;
+    int64_t deficit = 0;
+    ListId on_list = ListId::kNone;
+    // Per-flow CoDel state (same control law as CoDelQueue).
+    Time first_above_time = Time::zero();
+    Time drop_next = Time::zero();
+    uint32_t count = 0;
+    uint32_t lastcount = 0;
+    bool dropping = false;
+  };
+  struct Head {
+    bool valid = false;
+    Entry entry;
+    TimeDelta sojourn = TimeDelta::zero();
+    bool ok_to_drop = false;
+  };
+
+  Head dodequeue(FlowQueue& f, Time now);
+  // Runs the CoDel machine on flow `f`; nullopt when the flow drained.
+  std::optional<Packet> codel_dequeue(FlowQueue& f, Time now);
+  [[nodiscard]] Time control_law(Time t, uint32_t count) const;
+  void drop_from_fattest();
+
+  TimeDelta target_;
+  TimeDelta interval_;
+  bool ecn_;
+  int64_t quantum_;
+  uint64_t hash_seed_;
+  std::vector<FlowQueue> flows_;
+  RingBuffer<uint32_t> new_list_;  // bucket indices, FIFO
+  RingBuffer<uint32_t> old_list_;
+};
+
+}  // namespace ccas

@@ -1,0 +1,104 @@
+#include "src/net/qdisc/pie.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/net/link.h"
+
+namespace ccas {
+
+namespace {
+constexpr uint32_t kTupdate = 1;
+// RFC 8033 §4.1: suppress early drops while the queue is short.
+constexpr int64_t kMinBacklogBytes = 2 * kDataPacketBytes;
+}  // namespace
+
+PieQueue::PieQueue(Simulator& sim, int64_t capacity_bytes,
+                   const QdiscConfig& config)
+    : QueueDisc(sim, capacity_bytes),
+      target_(config.pie_target),
+      tupdate_(config.pie_tupdate),
+      alpha_(config.pie_alpha),
+      beta_(config.pie_beta),
+      mark_ecnth_(config.pie_mark_ecnth),
+      ecn_(config.ecn),
+      rng_(config.seed) {
+  // The recurring probability update. Only PIE cells pay these events, so
+  // default runs keep their historical event streams.
+  sim_.schedule_in(tupdate_, this, kTupdate);
+}
+
+TimeDelta PieQueue::queue_delay() const {
+  const Link* link = downstream();
+  if (link == nullptr || link->rate().is_zero()) return TimeDelta::zero();
+  return link->rate().transfer_time(queued_bytes());
+}
+
+bool PieQueue::decide_drop(const Packet& pkt) {
+  if (drop_prob_ <= 0.0) return false;
+  // RFC 8033 §4.1 safeguards: no early drops while the delay is clearly
+  // under half the target at small p, or while the backlog is tiny.
+  if (qdelay_old_ < target_ / 2 && drop_prob_ < 0.2) return false;
+  if (queued_bytes() < kMinBacklogBytes) return false;
+  (void)pkt;
+  return rng_.next_double() < drop_prob_;
+}
+
+void PieQueue::accept(Packet&& pkt) {
+  if (would_overflow(pkt)) {
+    count_tail_drop(pkt);
+    return;
+  }
+  if (decide_drop(pkt)) {
+    if (ecn_ && drop_prob_ <= mark_ecnth_ && (pkt.ecn & kEcnEct) != 0) {
+      // Below the mark threshold an ECT packet is marked and admitted.
+      count_mark(pkt);
+    } else {
+      count_tail_drop(pkt);
+      return;
+    }
+  }
+  fifo_.push_back(Entry{std::move(pkt), sim_.now()});
+  count_enqueue(fifo_.back().pkt);
+  notify_downstream();
+}
+
+std::optional<Packet> PieQueue::dequeue() {
+  if (fifo_.empty()) return std::nullopt;
+  Entry e = fifo_.pop_front();
+  count_dequeue(e.pkt, sim_.now() - e.enqueued_at);
+  return std::move(e.pkt);
+}
+
+void PieQueue::update_probability() {
+  const TimeDelta qdelay = queue_delay();
+  double p = alpha_ * (qdelay - target_).sec() +
+             beta_ * (qdelay - qdelay_old_).sec();
+  // Auto-scaling ladder (RFC 8033 §4.2): damp adjustments while p is
+  // small so the controller does not oscillate through zero.
+  if (drop_prob_ < 0.000001) {
+    p /= 2048.0;
+  } else if (drop_prob_ < 0.00001) {
+    p /= 256.0;
+  } else if (drop_prob_ < 0.0001) {
+    p /= 64.0;
+  } else if (drop_prob_ < 0.001) {
+    p /= 16.0;
+  } else if (drop_prob_ < 0.01) {
+    p /= 8.0;
+  } else if (drop_prob_ < 0.1) {
+    p /= 2.0;
+  }
+  drop_prob_ = std::clamp(drop_prob_ + p, 0.0, 1.0);
+  // Exponentially decay p when the queue is idle (RFC 8033 §4.2 step 3).
+  if (qdelay.is_zero() && qdelay_old_.is_zero()) drop_prob_ *= 0.98;
+  qdelay_old_ = qdelay;
+}
+
+void PieQueue::on_event(uint32_t tag, uint64_t /*arg*/) {
+  if (tag != kTupdate) return;
+  update_probability();
+  sim_.schedule_in(tupdate_, this, kTupdate);
+}
+
+}  // namespace ccas

@@ -1,0 +1,62 @@
+// PIE (Proportional Integral controller Enhanced, RFC 8033): drops — or
+// CE-marks while the drop probability is small — at enqueue time with a
+// probability updated every tupdate by a PI controller on the queueing
+// delay:
+//
+//   p += alpha * (delay - target) + beta * (delay - delay_old)
+//
+// with RFC 8033 §4.2's auto-scaling ladder so the controller stays stable
+// across orders of magnitude of p. Queueing delay is estimated as
+// backlog / link-rate (the draining link's configured rate), which in this
+// simulator is exact, not an estimate — the departure-rate measurement
+// machinery of RFC 8033 §4.3 exists to approximate precisely this number.
+//
+// Randomness comes only from the qdisc's own Rng (seeded per cell), drawn
+// once per admission decision while p > 0, so runs replay byte-identically.
+#pragma once
+
+#include "src/net/qdisc/qdisc.h"
+#include "src/sim/simulator.h"
+#include "src/util/ring_buffer.h"
+#include "src/util/rng.h"
+
+namespace ccas {
+
+class PieQueue final : public QueueDisc, public EventHandler {
+ public:
+  PieQueue(Simulator& sim, int64_t capacity_bytes, const QdiscConfig& config);
+
+  void accept(Packet&& pkt) override;
+  [[nodiscard]] bool has_packet() const override { return !fifo_.empty(); }
+  std::optional<Packet> dequeue() override;
+
+  // Recurring tupdate timer.
+  void on_event(uint32_t tag, uint64_t arg) override;
+
+  [[nodiscard]] double drop_probability() const { return drop_prob_; }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    Time enqueued_at;
+  };
+
+  [[nodiscard]] TimeDelta queue_delay() const;
+  // True when the PI controller says this arrival should be dropped (or
+  // marked); false admits unconditionally.
+  bool decide_drop(const Packet& pkt);
+  void update_probability();
+
+  TimeDelta target_;
+  TimeDelta tupdate_;
+  double alpha_;
+  double beta_;
+  double mark_ecnth_;
+  bool ecn_;
+  Rng rng_;
+  RingBuffer<Entry> fifo_;
+  double drop_prob_ = 0.0;
+  TimeDelta qdelay_old_ = TimeDelta::zero();
+};
+
+}  // namespace ccas

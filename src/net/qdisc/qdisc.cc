@@ -1,0 +1,177 @@
+#include "src/net/qdisc/qdisc.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/check/audit.h"
+#include "src/net/link.h"
+#include "src/net/qdisc/codel.h"
+#include "src/net/qdisc/fq_codel.h"
+#include "src/net/qdisc/pie.h"
+#include "src/net/qdisc/red.h"
+#include "src/net/queue.h"
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+void QdiscConfig::validate() const {
+  if (ecn && !enabled()) {
+    throw std::invalid_argument(
+        "ECN marking requires an AQM qdisc (codel, fq-codel, pie, red)");
+  }
+  switch (kind) {
+    case QdiscKind::kDropTail:
+      break;
+    case QdiscKind::kFqCoDel:
+      if (fq_flows == 0) {
+        throw std::invalid_argument("fq-codel flow count must be positive");
+      }
+      if (fq_quantum <= 0) {
+        throw std::invalid_argument("fq-codel quantum must be positive");
+      }
+      [[fallthrough]];  // FQ-CoDel also runs the CoDel control law
+    case QdiscKind::kCoDel:
+      if (codel_target <= TimeDelta::zero()) {
+        throw std::invalid_argument("codel target must be positive");
+      }
+      if (codel_interval <= TimeDelta::zero()) {
+        throw std::invalid_argument("codel interval must be positive");
+      }
+      if (codel_target >= codel_interval) {
+        throw std::invalid_argument("codel target must be below the interval");
+      }
+      break;
+    case QdiscKind::kPie:
+      if (pie_target <= TimeDelta::zero()) {
+        throw std::invalid_argument("pie target delay must be positive");
+      }
+      if (pie_tupdate <= TimeDelta::zero()) {
+        throw std::invalid_argument("pie tupdate must be positive");
+      }
+      if (pie_alpha <= 0.0 || pie_beta <= 0.0) {
+        throw std::invalid_argument("pie alpha/beta must be positive");
+      }
+      if (pie_mark_ecnth <= 0.0 || pie_mark_ecnth > 1.0) {
+        throw std::invalid_argument("pie mark threshold must be in (0, 1]");
+      }
+      break;
+    case QdiscKind::kRed:
+      if (red_wq <= 0.0 || red_wq > 1.0) {
+        throw std::invalid_argument("red weight must be in (0, 1]");
+      }
+      if (red_min_bytes < 0 || red_max_bytes < 0) {
+        throw std::invalid_argument("red thresholds must be non-negative");
+      }
+      if (red_min_bytes != 0 && red_max_bytes != 0 &&
+          red_min_bytes >= red_max_bytes) {
+        throw std::invalid_argument("red min threshold must be below max");
+      }
+      if (red_max_p <= 0.0 || red_max_p > 1.0) {
+        throw std::invalid_argument("red max_p must be in (0, 1]");
+      }
+      break;
+  }
+}
+
+QdiscKind qdisc_kind_from_name(const std::string& name) {
+  if (name == "drop-tail") return QdiscKind::kDropTail;
+  if (name == "codel") return QdiscKind::kCoDel;
+  if (name == "fq-codel") return QdiscKind::kFqCoDel;
+  if (name == "pie") return QdiscKind::kPie;
+  if (name == "red") return QdiscKind::kRed;
+  throw std::invalid_argument(
+      "unknown qdisc '" + name +
+      "' (expected drop-tail, codel, fq-codel, pie, or red)");
+}
+
+const char* qdisc_kind_name(QdiscKind kind) {
+  switch (kind) {
+    case QdiscKind::kDropTail: return "drop-tail";
+    case QdiscKind::kCoDel: return "codel";
+    case QdiscKind::kFqCoDel: return "fq-codel";
+    case QdiscKind::kPie: return "pie";
+    case QdiscKind::kRed: return "red";
+  }
+  return "drop-tail";
+}
+
+uint64_t derive_qdisc_seed(uint64_t cell_seed) {
+  // SplitMix64 finalizer under a qdisc-specific salt (distinct from the
+  // impairment stage's 0x1B873593CC9E2D51), so the qdisc stream never
+  // aliases the master Rng, its forks, or the impairment stream.
+  uint64_t z = cell_seed ^ 0xA0761D6478BD642FULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z;
+}
+
+QueueDisc::QueueDisc(Simulator& sim, int64_t capacity_bytes)
+    : sim_(sim), capacity_bytes_(capacity_bytes) {
+  if (capacity_bytes <= 0) {
+    throw std::invalid_argument("queue capacity must be positive");
+  }
+}
+
+void QueueDisc::set_capacity(int64_t capacity_bytes) {
+  if (capacity_bytes <= 0) {
+    throw std::invalid_argument("queue capacity must be positive");
+  }
+  capacity_bytes_ = capacity_bytes;
+  shrunk_below_occupancy_ = queued_bytes_ > capacity_bytes_;
+}
+
+void QueueDisc::count_head_drop(const Packet& pkt) {
+  queued_bytes_ -= pkt.size_bytes;
+  --queued_packets_;
+  ++stats_.head_dropped_packets;
+  stats_.head_dropped_bytes += pkt.size_bytes;
+  if (pkt.flow_id < per_flow_drops_.size()) ++per_flow_drops_[pkt.flow_id];
+  if (drop_log_enabled_) drop_log_.push_back(DropRecord{sim_.now(), pkt.flow_id});
+  if (shrunk_below_occupancy_ && queued_bytes_ <= capacity_bytes_) {
+    shrunk_below_occupancy_ = false;
+  }
+  ++sim_.mutable_profile().qdisc_head_drops;
+  if (auto* a = sim_.auditor()) a->on_head_drop(*this, pkt);
+}
+
+void QueueDisc::count_mark(Packet& pkt) {
+  pkt.ecn |= kEcnCe;
+  ++stats_.marked_packets;
+  if (pkt.flow_id < per_flow_marks_.size()) ++per_flow_marks_[pkt.flow_id];
+  ++sim_.mutable_profile().qdisc_marks;
+  if (auto* a = sim_.auditor()) a->on_mark(*this, pkt);
+}
+
+void QueueDisc::notify_downstream() {
+  if (downstream_ != nullptr) downstream_->notify_pending();
+}
+
+void QueueDisc::reset_accounting() {
+  stats_ = QueueStats{};
+  stats_.max_queued_bytes = queued_bytes_;
+  std::fill(per_flow_drops_.begin(), per_flow_drops_.end(), 0);
+  std::fill(per_flow_marks_.begin(), per_flow_marks_.end(), 0);
+  drop_log_.clear();
+  if (auto* a = sim_.auditor()) a->on_queue_reset(*this);
+}
+
+std::unique_ptr<QueueDisc> make_qdisc(Simulator& sim, const QdiscConfig& config,
+                                      int64_t capacity_bytes) {
+  config.validate();
+  switch (config.kind) {
+    case QdiscKind::kDropTail:
+      return std::make_unique<DropTailQueue>(sim, capacity_bytes);
+    case QdiscKind::kCoDel:
+      return std::make_unique<CoDelQueue>(sim, capacity_bytes, config);
+    case QdiscKind::kFqCoDel:
+      return std::make_unique<FqCoDelQueue>(sim, capacity_bytes, config);
+    case QdiscKind::kPie:
+      return std::make_unique<PieQueue>(sim, capacity_bytes, config);
+    case QdiscKind::kRed:
+      return std::make_unique<RedQueue>(sim, capacity_bytes, config);
+  }
+  throw std::invalid_argument("unknown qdisc kind");
+}
+
+}  // namespace ccas

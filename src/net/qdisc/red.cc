@@ -1,0 +1,123 @@
+#include "src/net/qdisc/red.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/net/link.h"
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+namespace {
+
+// (1 - wq)^m by binary exponentiation: every step is a single IEEE-754
+// multiplication, so the result is bit-identical on every platform —
+// unlike libm pow(), which is only faithfully rounded.
+double decay_pow(double base, uint64_t exp) {
+  double r = 1.0;
+  while (exp != 0) {
+    if ((exp & 1) != 0) r *= base;
+    base *= base;
+    exp >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+RedQueue::RedQueue(Simulator& sim, int64_t capacity_bytes,
+                   const QdiscConfig& config)
+    : QueueDisc(sim, capacity_bytes),
+      wq_(config.red_wq),
+      min_bytes_(config.red_min_bytes),
+      max_bytes_(config.red_max_bytes),
+      max_p_(config.red_max_p),
+      gentle_(config.red_gentle),
+      ecn_(config.ecn),
+      rng_(config.seed) {
+  // Auto thresholds: min at a sixth of the buffer, max at half (the
+  // conventional max ≈ 3 * min rule of thumb, scaled to the capacity).
+  if (min_bytes_ == 0) min_bytes_ = std::max<int64_t>(capacity_bytes / 6, 1);
+  if (max_bytes_ == 0) {
+    max_bytes_ = std::max<int64_t>(capacity_bytes / 2, min_bytes_ + 1);
+  }
+}
+
+void RedQueue::update_avg(Time now) {
+  if (fifo_.empty()) {
+    // Arrival to an idle queue: decay the average as if m small packets had
+    // drained during the idle period (Floyd & Jacobson §4).
+    const Link* link = downstream();
+    if (link != nullptr && !link->rate().is_zero()) {
+      const int64_t slot_ns = link->rate().transfer_time(kDataPacketBytes).ns();
+      const int64_t idle_ns = (now - idle_since_).ns();
+      if (slot_ns > 0 && idle_ns > 0) {
+        avg_ *= decay_pow(1.0 - wq_, static_cast<uint64_t>(idle_ns / slot_ns));
+      }
+    }
+    idle_since_ = now;
+  } else {
+    avg_ += wq_ * (static_cast<double>(queued_bytes()) - avg_);
+  }
+}
+
+void RedQueue::accept(Packet&& pkt) {
+  const Time now = sim_.now();
+  update_avg(now);
+  if (would_overflow(pkt)) {
+    count_tail_drop(pkt);
+    count_ = 0;
+    return;
+  }
+  const int64_t hard_limit = gentle_ ? 2 * max_bytes_ : max_bytes_;
+  double pb = 0.0;
+  bool forced = false;
+  if (avg_ >= static_cast<double>(hard_limit)) {
+    forced = true;
+  } else if (avg_ >= static_cast<double>(max_bytes_)) {
+    // Gentle region: ramp p_b from max_p at max to 1 at 2*max.
+    pb = max_p_ + (1.0 - max_p_) * (avg_ - static_cast<double>(max_bytes_)) /
+                      static_cast<double>(max_bytes_);
+  } else if (avg_ > static_cast<double>(min_bytes_)) {
+    pb = max_p_ * (avg_ - static_cast<double>(min_bytes_)) /
+         static_cast<double>(max_bytes_ - min_bytes_);
+  } else {
+    count_ = -1;
+  }
+  if (forced) {
+    // Above the hard limit ECN gives no cover: RFC 3168 §6.1.1 requires
+    // real drops once the average shows the control loop has lost.
+    count_tail_drop(pkt);
+    count_ = 0;
+    return;
+  }
+  if (pb > 0.0) {
+    ++count_;
+    // Count correction p_a = p_b / (1 - count * p_b) spaces early drops
+    // uniformly in packet counts instead of geometrically.
+    const double denom = 1.0 - static_cast<double>(count_) * pb;
+    const double pa = denom <= 0.0 ? 1.0 : std::min(pb / denom, 1.0);
+    if (rng_.next_double() < pa) {
+      count_ = 0;
+      if (ecn_ && (pkt.ecn & kEcnEct) != 0) {
+        count_mark(pkt);  // marked and admitted below
+      } else {
+        count_tail_drop(pkt);
+        return;
+      }
+    }
+  }
+  fifo_.push_back(Entry{std::move(pkt), now});
+  count_enqueue(fifo_.back().pkt);
+  notify_downstream();
+}
+
+std::optional<Packet> RedQueue::dequeue() {
+  if (fifo_.empty()) return std::nullopt;
+  Entry e = fifo_.pop_front();
+  count_dequeue(e.pkt, sim_.now() - e.enqueued_at);
+  if (fifo_.empty()) idle_since_ = sim_.now();
+  return std::move(e.pkt);
+}
+
+}  // namespace ccas

@@ -1,0 +1,56 @@
+// RED (Random Early Detection, Floyd & Jacobson 1993) with gentle mode and
+// ECN-capable marking (RFC 3168). The average queue is an EWMA over the
+// instantaneous byte occupancy sampled at each arrival; between min and max
+// thresholds arrivals are dropped (or CE-marked when ECN-capable) with the
+// count-corrected probability p_a = p_b / (1 - count * p_b), which spaces
+// drops uniformly instead of geometrically. Gentle mode ramps p_b from
+// max_p to 1 over (max, 2*max] instead of jumping to forced drops at max.
+//
+// The idle-period decay (1 - wq)^m is computed with integer binary
+// exponentiation — not libm pow(), whose last-ulp rounding is not
+// guaranteed across platforms — so the EWMA is byte-reproducible.
+#pragma once
+
+#include "src/net/qdisc/qdisc.h"
+#include "src/util/ring_buffer.h"
+#include "src/util/rng.h"
+
+namespace ccas {
+
+class RedQueue final : public QueueDisc {
+ public:
+  RedQueue(Simulator& sim, int64_t capacity_bytes, const QdiscConfig& config);
+
+  void accept(Packet&& pkt) override;
+  [[nodiscard]] bool has_packet() const override { return !fifo_.empty(); }
+  std::optional<Packet> dequeue() override;
+
+  [[nodiscard]] double avg_bytes() const { return avg_; }
+  [[nodiscard]] int64_t min_bytes() const { return min_bytes_; }
+  [[nodiscard]] int64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    Time enqueued_at;
+  };
+
+  void update_avg(Time now);
+
+  double wq_;
+  int64_t min_bytes_;
+  int64_t max_bytes_;
+  double max_p_;
+  bool gentle_;
+  bool ecn_;
+  Rng rng_;
+  RingBuffer<Entry> fifo_;
+  double avg_ = 0.0;
+  // Arrivals since the last early drop/mark; -1 while the average sits
+  // below the min threshold (the original paper's initialization).
+  int64_t count_ = -1;
+  // Start of the current idle period; infinite() while non-empty.
+  Time idle_since_ = Time::zero();
+};
+
+}  // namespace ccas

@@ -1,61 +1,33 @@
 #include "src/net/queue.h"
 
-#include <algorithm>
-#include <stdexcept>
 #include <utility>
 
-#include "src/check/audit.h"
 #include "src/net/link.h"
-#include "src/sim/simulator.h"
 
 namespace ccas {
 
 DropTailQueue::DropTailQueue(Simulator& sim, int64_t capacity_bytes)
-    : sim_(sim), capacity_bytes_(capacity_bytes) {
-  if (capacity_bytes <= 0) {
-    throw std::invalid_argument("DropTailQueue capacity must be positive");
-  }
-}
-
-void DropTailQueue::set_capacity(int64_t capacity_bytes) {
-  if (capacity_bytes <= 0) {
-    throw std::invalid_argument("DropTailQueue capacity must be positive");
-  }
-  capacity_bytes_ = capacity_bytes;
-}
+    : QueueDisc(sim, capacity_bytes) {}
 
 void DropTailQueue::accept(Packet&& pkt) {
-  if (queued_bytes_ + pkt.size_bytes > capacity_bytes_) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += pkt.size_bytes;
-    if (pkt.flow_id < per_flow_drops_.size()) ++per_flow_drops_[pkt.flow_id];
-    if (drop_log_enabled_) drop_log_.push_back(DropRecord{sim_.now(), pkt.flow_id});
-    if (auto* a = sim_.auditor()) a->on_enqueue(*this, pkt, /*dropped=*/true);
+  if (would_overflow(pkt)) {
+    count_tail_drop(pkt);
     return;
   }
-  queued_bytes_ += pkt.size_bytes;
-  ++stats_.enqueued_packets;
-  stats_.enqueued_bytes += pkt.size_bytes;
-  stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
   fifo_.push_back(std::move(pkt));
-  if (auto* a = sim_.auditor()) a->on_enqueue(*this, fifo_.back(), /*dropped=*/false);
-  if (downstream_ != nullptr) downstream_->notify_pending();
+  count_enqueue(fifo_.back());
+  // Direct notify (link.h is includable here, unlike from qdisc.h): one
+  // out-of-line call per enqueue, matching the pre-qdisc queue exactly.
+  if (Link* link = downstream()) link->notify_pending();
 }
 
 Packet DropTailQueue::pop() {
   Packet p = fifo_.pop_front();
-  queued_bytes_ -= p.size_bytes;
-  ++stats_.dequeued_packets;
-  if (auto* a = sim_.auditor()) a->on_dequeue(*this, p);
+  // Negative sojourn = untracked: drop-tail does not timestamp arrivals,
+  // keeping its per-packet cost and stats exactly as before the qdisc
+  // layer existed.
+  count_dequeue(p, TimeDelta::nanos(-1));
   return p;
-}
-
-void DropTailQueue::reset_accounting() {
-  stats_ = QueueStats{};
-  stats_.max_queued_bytes = queued_bytes_;
-  std::fill(per_flow_drops_.begin(), per_flow_drops_.end(), 0);
-  drop_log_.clear();
-  if (auto* a = sim_.auditor()) a->on_queue_reset(*this);
 }
 
 }  // namespace ccas

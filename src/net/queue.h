@@ -2,80 +2,32 @@
 //
 // This is the BESS-switch-analog bottleneck buffer: the paper logs every
 // packet drop here to compute per-flow loss rates and the Goh-Barabasi
-// burstiness of the drop process.
+// burstiness of the drop process. It is the default QueueDisc — the AQM
+// disciplines live in src/net/qdisc/ — and deliberately does not timestamp
+// packets, so its accounting (and every pre-qdisc golden digest) is
+// byte-identical to the original standalone implementation.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "src/net/packet.h"
+#include "src/net/qdisc/qdisc.h"
 #include "src/util/ring_buffer.h"
 
 namespace ccas {
 
-class Link;
-class Simulator;
-
-struct DropRecord {
-  Time at;
-  uint32_t flow_id = 0;
-};
-
-struct QueueStats {
-  uint64_t enqueued_packets = 0;
-  uint64_t enqueued_bytes = 0;
-  uint64_t dequeued_packets = 0;
-  uint64_t dropped_packets = 0;
-  uint64_t dropped_bytes = 0;
-  int64_t max_queued_bytes = 0;
-};
-
-class DropTailQueue final : public PacketSink {
+class DropTailQueue final : public QueueDisc {
  public:
   // `capacity_bytes` is the buffer size (paper: 1 BDP at 200 ms max RTT).
   DropTailQueue(Simulator& sim, int64_t capacity_bytes);
 
-  // The link that drains this queue; must be set before packets arrive.
-  void set_downstream(Link* link) { downstream_ = link; }
-
   void accept(Packet&& pkt) override;
 
-  [[nodiscard]] bool has_packet() const { return !fifo_.empty(); }
+  [[nodiscard]] bool has_packet() const override { return !fifo_.empty(); }
   // Removes and returns the head-of-line packet (called by the Link).
   Packet pop();
-
-  [[nodiscard]] int64_t queued_bytes() const { return queued_bytes_; }
-  [[nodiscard]] size_t queued_packets() const { return fifo_.size(); }
-  [[nodiscard]] int64_t capacity_bytes() const { return capacity_bytes_; }
-  // Retargets the buffer capacity (scheduled link faults). Packets already
-  // queued beyond a shrunken capacity stay queued — drop-tail only refuses
-  // new arrivals — which keeps occupancy accounting trivially consistent.
-  void set_capacity(int64_t capacity_bytes);
-  [[nodiscard]] const QueueStats& stats() const { return stats_; }
-
-  // Per-flow drop counters (indexed by flow id) and the full drop log.
-  void reserve_flows(size_t n) { per_flow_drops_.resize(n, 0); }
-  [[nodiscard]] const std::vector<uint64_t>& per_flow_drops() const {
-    return per_flow_drops_;
-  }
-  [[nodiscard]] const std::vector<DropRecord>& drop_log() const { return drop_log_; }
-  void set_drop_log_enabled(bool enabled) { drop_log_enabled_ = enabled; }
-  [[nodiscard]] bool drop_log_enabled() const { return drop_log_enabled_; }
-
-  // Clears counters and the drop log (used at the end of the warm-up
-  // period so measurements cover only steady state).
-  void reset_accounting();
+  std::optional<Packet> dequeue() override { return pop(); }
+  DropTailQueue* as_drop_tail() override { return this; }
 
  private:
-  Simulator& sim_;
-  int64_t capacity_bytes_;
-  int64_t queued_bytes_ = 0;
   RingBuffer<Packet> fifo_;
-  Link* downstream_ = nullptr;
-  QueueStats stats_;
-  std::vector<uint64_t> per_flow_drops_;
-  std::vector<DropRecord> drop_log_;
-  bool drop_log_enabled_ = true;
 };
 
 }  // namespace ccas

@@ -18,7 +18,7 @@ DumbbellTopology::DumbbellTopology(Simulator& sim, const DumbbellConfig& config)
   // the historical wiring and event stream byte-for-byte.
   forward_netem_ = std::make_unique<NetemDelay>(sim_, &receiver_demux_);
   forward_netem_->set_jitter(config.jitter, config.jitter_seed);
-  queue_ = std::make_unique<DropTailQueue>(sim_, config.buffer_bytes);
+  queue_ = make_qdisc(sim_, config.qdisc, config.buffer_bytes);
   PacketSink* link_dest = forward_netem_.get();
   if (config.impairments.enabled() || config.impairments.force_stage) {
     impaired_ = std::make_unique<ImpairedLink>(sim_, config.impairments,

@@ -49,6 +49,11 @@ struct DumbbellConfig {
   // stage is only constructed when enabled() (or force_stage), so default
   // configs keep the pre-impairment wiring byte-for-byte.
   ImpairmentConfig impairments;
+
+  // Bottleneck queue discipline (src/net/qdisc/). The default kDropTail
+  // constructs the exact historical DropTailQueue, so default configs keep
+  // the pre-qdisc event stream and golden digests byte-for-byte.
+  QdiscConfig qdisc;
 };
 
 class DumbbellTopology {
@@ -70,8 +75,8 @@ class DumbbellTopology {
   // Where a receiver's ACKs enter the (uncongested) return path.
   [[nodiscard]] PacketSink& ack_entry();
 
-  [[nodiscard]] DropTailQueue& bottleneck_queue() { return *queue_; }
-  [[nodiscard]] const DropTailQueue& bottleneck_queue() const { return *queue_; }
+  [[nodiscard]] QueueDisc& bottleneck_queue() { return *queue_; }
+  [[nodiscard]] const QueueDisc& bottleneck_queue() const { return *queue_; }
   [[nodiscard]] Link& bottleneck_link() { return *link_; }
   // Null when the impairment config is inert (stage not constructed).
   [[nodiscard]] ImpairedLink* impaired_link() { return impaired_.get(); }
@@ -86,7 +91,7 @@ class DumbbellTopology {
   DumbbellConfig config_;
 
   SoftwareSwitch switch_;
-  std::unique_ptr<DropTailQueue> queue_;
+  std::unique_ptr<QueueDisc> queue_;
   std::unique_ptr<Link> link_;
   std::unique_ptr<ImpairedLink> impaired_;
   std::unique_ptr<NetemDelay> forward_netem_;

@@ -54,6 +54,11 @@ std::string SimProfile::summary() const {
             static_cast<unsigned long long>(impair_dups),
             static_cast<unsigned long long>(impair_delays));
   }
+  if (qdisc_head_drops != 0 || qdisc_marks != 0) {
+    appendf(out, "  qdisc: head drops=%llu ECN marks=%llu\n",
+            static_cast<unsigned long long>(qdisc_head_drops),
+            static_cast<unsigned long long>(qdisc_marks));
+  }
   return out;
 }
 

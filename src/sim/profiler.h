@@ -45,6 +45,12 @@ struct SimProfile {
   uint64_t impair_dups = 0;
   uint64_t impair_delays = 0;
 
+  // AQM qdisc activity (src/net/qdisc/): packets dropped after admission
+  // (CoDel-family head drops, FQ-CoDel fat-flow eviction) and ECN CE
+  // marks set instead of drops. Zero under plain drop-tail.
+  uint64_t qdisc_head_drops = 0;
+  uint64_t qdisc_marks = 0;
+
   // Wall clock, accumulated across run()/run_until() calls.
   double wall_seconds = 0.0;
   double sim_seconds = 0.0;

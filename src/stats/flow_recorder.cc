@@ -16,6 +16,8 @@ FlowMeasurement measure_flow(uint32_t flow_id, const FlowCounters& begin,
   m.congestion_events = end.congestion_events - begin.congestion_events;
   m.rto_events = end.rto_events - begin.rto_events;
   m.queue_drops = end.queue_drops - begin.queue_drops;
+  m.queue_marks = end.queue_marks - begin.queue_marks;
+  m.ecn_reductions = end.ecn_reductions - begin.ecn_reductions;
 
   const uint64_t in_order = end.rcv_in_order - begin.rcv_in_order;
   if (m.window > TimeDelta::zero()) {

@@ -20,6 +20,8 @@ struct FlowCounters {
   uint64_t congestion_events = 0;   // sender: fast-recovery entries
   uint64_t rto_events = 0;          // sender
   uint64_t queue_drops = 0;         // bottleneck queue, this flow
+  uint64_t queue_marks = 0;         // bottleneck qdisc ECN CE marks, this flow
+  uint64_t ecn_reductions = 0;      // sender: ECE-triggered cwnd reductions
   uint64_t rcv_in_order = 0;        // receiver: rcv_nxt (goodput)
   int64_t rtt_sample_sum_ns = 0;    // sender RTT-sample accumulator
   uint64_t rtt_sample_count = 0;
@@ -36,6 +38,8 @@ struct FlowMeasurement {
   uint64_t congestion_events = 0;
   uint64_t rto_events = 0;
   uint64_t queue_drops = 0;
+  uint64_t queue_marks = 0;
+  uint64_t ecn_reductions = 0;
 
   // The two interpretations of Mathis `p` (Section 4 of the paper):
   // packet loss rate = drops at the bottleneck / segments sent;

@@ -93,6 +93,30 @@ std::string serialize_result(const ExperimentResult& result) {
     put_u64(out, flow_log.size());
     for (const Time t : flow_log) put_i64(out, t.ns());
   }
+
+  // Qdisc trailer, appended only when an AQM actually produced content:
+  // drop-tail results keep their historical v2 bytes (and stay readable by
+  // older binaries), and an AQM result with all-zero extras loses nothing
+  // by omitting it. The reader detects it by non-exhaustion.
+  bool qdisc_active = result.queue.head_dropped_packets > 0 ||
+                      result.queue.marked_packets > 0 ||
+                      result.queue.sojourn_samples > 0;
+  for (const FlowMeasurement& f : result.flows) {
+    qdisc_active = qdisc_active || f.queue_marks > 0 || f.ecn_reductions > 0;
+  }
+  if (qdisc_active) {
+    put_u64(out, result.queue.head_dropped_packets);
+    put_u64(out, result.queue.head_dropped_bytes);
+    put_u64(out, result.queue.marked_packets);
+    put_u64(out, result.queue.sojourn_ns_sum);
+    put_u64(out, result.queue.sojourn_samples);
+    put_i64(out, result.queue.max_sojourn_ns);
+    put_u64(out, result.flows.size());
+    for (const FlowMeasurement& f : result.flows) {
+      put_u64(out, f.queue_marks);
+      put_u64(out, f.ecn_reductions);
+    }
+  }
   return out;
 }
 
@@ -164,6 +188,24 @@ std::optional<ExperimentResult> deserialize_result(const std::string& payload) {
       int64_t t = 0;
       if (!r.get_i64(t)) return std::nullopt;
       flow_log.push_back(Time::nanos(t));
+    }
+  }
+  // Optional qdisc trailer (see serialize_result): absent for drop-tail
+  // results, so plain v2 payloads decode exactly as before.
+  if (!r.exhausted()) {
+    if (!r.get_u64(result.queue.head_dropped_packets) ||
+        !r.get_u64(result.queue.head_dropped_bytes) ||
+        !r.get_u64(result.queue.marked_packets) ||
+        !r.get_u64(result.queue.sojourn_ns_sum) ||
+        !r.get_u64(result.queue.sojourn_samples) ||
+        !r.get_i64(result.queue.max_sojourn_ns)) {
+      return std::nullopt;
+    }
+    if (!r.get_count(n, 2 * 8) || n != result.flows.size()) return std::nullopt;
+    for (FlowMeasurement& f : result.flows) {
+      if (!r.get_u64(f.queue_marks) || !r.get_u64(f.ecn_reductions)) {
+        return std::nullopt;
+      }
     }
   }
   if (!r.exhausted()) return std::nullopt;  // trailing garbage

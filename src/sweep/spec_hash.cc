@@ -75,6 +75,29 @@ std::string canonical_spec_bytes(const ExperimentSpec& spec) {
       tagged_i64(out, "imp.f.buffer", f.buffer_bytes);
     }
   }
+  // Same append-only pattern for the qdisc block: drop-tail (the default)
+  // encodes nothing, so every pre-qdisc spec keeps its historical byte
+  // encoding, cache keys and golden digests.
+  const QdiscConfig& qd = sc.net.qdisc;
+  if (qd.enabled()) {
+    tagged_string(out, "qd.kind", qdisc_kind_name(qd.kind));
+    tagged_bool(out, "qd.ecn", qd.ecn);
+    tagged_i64(out, "qd.codel_target_ns", qd.codel_target.ns());
+    tagged_i64(out, "qd.codel_interval_ns", qd.codel_interval.ns());
+    tagged_u64(out, "qd.fq_flows", qd.fq_flows);
+    tagged_i64(out, "qd.fq_quantum", qd.fq_quantum);
+    tagged_i64(out, "qd.pie_target_ns", qd.pie_target.ns());
+    tagged_i64(out, "qd.pie_tupdate_ns", qd.pie_tupdate.ns());
+    tagged_double(out, "qd.pie_alpha", qd.pie_alpha);
+    tagged_double(out, "qd.pie_beta", qd.pie_beta);
+    tagged_double(out, "qd.pie_mark_ecnth", qd.pie_mark_ecnth);
+    tagged_double(out, "qd.red_wq", qd.red_wq);
+    tagged_i64(out, "qd.red_min", qd.red_min_bytes);
+    tagged_i64(out, "qd.red_max", qd.red_max_bytes);
+    tagged_double(out, "qd.red_max_p", qd.red_max_p);
+    tagged_bool(out, "qd.red_gentle", qd.red_gentle);
+    tagged_u64(out, "qd.seed", qd.seed);
+  }
   tagged_i64(out, "stagger_ns", sc.stagger.ns());
   tagged_i64(out, "warmup_ns", sc.warmup.ns());
   tagged_i64(out, "measure_ns", sc.measure.ns());

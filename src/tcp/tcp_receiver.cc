@@ -47,6 +47,16 @@ void TcpReceiver::accept(Packet&& pkt) {
   if (pkt.type != PacketType::kData) return;  // receivers only consume data
   if (auto* a = sim_.auditor()) a->on_packet_delivered(pkt);
   ++segments_received_;
+  // ECN (RFC 3168): CWR on data confirms the sender reacted — stop echoing
+  // ECE. A CE mark (possibly on the same packet, CWR first) restarts the
+  // echo and demands an immediate ACK so the signal reaches the sender
+  // within one RTT.
+  if ((pkt.ecn & kEcnCwr) != 0) ece_pending_ = false;
+  const bool ce_marked = (pkt.ecn & kEcnCe) != 0;
+  if (ce_marked) {
+    ++ce_received_;
+    ece_pending_ = true;
+  }
   const uint64_t seq = pkt.seq;
   const bool in_order = (seq == rcv_nxt_);
 
@@ -58,8 +68,8 @@ void TcpReceiver::accept(Packet&& pkt) {
   // RFC 5681: immediate ACK for out-of-order data (generates dupacks), for
   // data that fills a hole, and for duplicates; delayed ACK only for plain
   // in-order data. Any such event also flushes a pending GRO batch.
-  const bool immediate =
-      !config_.delayed_ack || !in_order || filled_hole || was_duplicate || !ooo_.empty();
+  const bool immediate = !config_.delayed_ack || !in_order || filled_hole ||
+                         was_duplicate || !ooo_.empty() || ce_marked;
   if (immediate) {
     gro_pending_ = 0;
     gro_timer_.cancel();
@@ -130,6 +140,7 @@ void TcpReceiver::send_ack_now(uint64_t trigger_seq) {
   delack_timer_.cancel();
   Packet ack = Packet::make_ack(flow_id_, DumbbellTopology::kToSenders, rcv_nxt_);
   fill_sack_blocks(ack, trigger_seq);
+  if (ece_pending_) ack.ecn |= kEcnEce;
   ++acks_sent_;
   if (auto* a = sim_.auditor()) a->on_packet_injected(ack);
   ack_path_->accept(std::move(ack));

@@ -53,6 +53,10 @@ class TcpReceiver final : public PacketSink {
   [[nodiscard]] uint64_t duplicate_segments() const { return duplicate_segments_; }
   [[nodiscard]] uint64_t acks_sent() const { return acks_sent_; }
   [[nodiscard]] size_t out_of_order_ranges() const { return ooo_.run_count(); }
+  // ECN: data packets that arrived with CE set, and whether ECE is
+  // currently being echoed (cleared by the sender's CWR).
+  [[nodiscard]] uint64_t ce_received() const { return ce_received_; }
+  [[nodiscard]] bool ece_pending() const { return ece_pending_; }
 
  private:
   void deliver_segment(uint64_t seq, bool& was_duplicate, bool& filled_hole);
@@ -84,6 +88,10 @@ class TcpReceiver final : public PacketSink {
   uint64_t segments_received_ = 0;
   uint64_t duplicate_segments_ = 0;
   uint64_t acks_sent_ = 0;
+
+  // ECN echo state (RFC 3168 §6.1.3).
+  bool ece_pending_ = false;
+  uint64_t ce_received_ = 0;
 };
 
 }  // namespace ccas

@@ -141,6 +141,22 @@ void TcpSender::process_ack(const Packet& ack) {
     // The fast retransmit goes out immediately (RFC 5681), without
     // waiting for the pipe to deflate below the reduced cwnd.
     force_retransmit = true;
+    // The loss reduction covers any ECN mark echoed from the same window.
+    ecn_cwr_point_ = sb_.snd_nxt();
+  }
+  // ECN response (RFC 3168 §6.1.2): an echoed ECE is a congestion event
+  // without loss — reduce cwnd exactly as recovery entry does, but with
+  // nothing to retransmit and no recovery episode. At most one reduction
+  // per window of data: ECE on ACKs that do not reach ecn_cwr_point_
+  // echoes a mark this sender already reacted to.
+  if (config_.ecn_enabled && (ack.ecn & kEcnEce) != 0 && state_ == State::kOpen &&
+      ack.ack_seq >= ecn_cwr_point_) {
+    ++stats_.congestion_events;
+    ++stats_.ecn_reductions;
+    if (congestion_event_cb_) congestion_event_cb_(now);
+    cca_->on_congestion_event(now, pipe_);
+    ecn_cwr_point_ = sb_.snd_nxt();
+    cwr_pending_ = true;
   }
   if (state_ == State::kRecovery && !cca_->owns_recovery_cwnd()) {
     // PRR: earn transmission credit proportional to deliveries.
@@ -238,6 +254,7 @@ void TcpSender::on_rto_fire() {
   pipe_ = 0;
   state_ = State::kLoss;
   recovery_point_ = sb_.snd_nxt();
+  ecn_cwr_point_ = sb_.snd_nxt();  // the RTO reduction covers pending marks
   retx_hint_ = sb_.snd_una();
   dupack_count_ = 0;
   // Pacing credit is stale after an idle RTO period.
@@ -319,6 +336,13 @@ void TcpSender::transmit_segment(Time now, uint64_t seq, bool retransmit,
 
   Packet pkt =
       Packet::make_data(flow_id_, DumbbellTopology::kToReceivers, seq, retransmit);
+  if (config_.ecn_enabled) {
+    pkt.ecn = kEcnEct;
+    if (cwr_pending_) {
+      pkt.ecn |= kEcnCwr;
+      cwr_pending_ = false;
+    }
+  }
   if (auto* a = sim_.auditor()) a->on_packet_injected(pkt);
   data_path_->accept(std::move(pkt));
 }

@@ -37,6 +37,11 @@ struct TcpSenderConfig {
   // late. Zero (the default) keeps exact timing — golden-traced
   // configurations rely on that.
   TimeDelta rto_rearm_slack = TimeDelta::zero();
+  // ECN (RFC 3168): data segments carry ECT, an echoed ECE triggers one
+  // cwnd reduction per RTT (without retransmission), and the next data
+  // segment carries CWR. Enabled by the runner when the bottleneck qdisc
+  // has ECN marking on.
+  bool ecn_enabled = false;
   RttEstimator::Config rtt;
 };
 
@@ -49,6 +54,9 @@ struct TcpSenderStats {
   // decrease, i.e. one "CWND halving" in the paper's tcpprobe terminology.
   uint64_t congestion_events = 0;
   uint64_t rto_events = 0;
+  // Subset of congestion_events triggered by an echoed ECN mark rather
+  // than by loss detection (no retransmission accompanies these).
+  uint64_t ecn_reductions = 0;
   uint64_t delivered = 0;  // segments cum-ACKed or SACKed
   // Accumulated RTT samples, for the mean RTT over a measurement window
   // (the Mathis model wants the RTT the flow actually experienced,
@@ -133,6 +141,13 @@ class TcpSender final : public PacketSink {
   uint64_t dupack_count_ = 0;
   uint64_t retx_hint_ = 0;  // scan cursor for lost-segment retransmission
   uint64_t reno_deflate_hint_ = 0;  // scan cursor for dupack pipe deflation
+
+  // ECN response state (RFC 3168 §6.1.2): at most one cwnd reduction per
+  // window of data — ECE on ACKs below ecn_cwr_point_ echoes a mark the
+  // sender already reacted to. cwr_pending_ makes the next data segment
+  // carry CWR so the receiver stops echoing.
+  uint64_t ecn_cwr_point_ = 0;
+  bool cwr_pending_ = false;
 
   // Proportional Rate Reduction (RFC 6937) state, active in kRecovery:
   // transmissions are clocked against deliveries so the reduction to

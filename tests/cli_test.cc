@@ -4,6 +4,8 @@
 
 #include <cstdlib>
 
+#include "src/sweep/spec_hash.h"
+
 namespace ccas {
 namespace {
 
@@ -351,6 +353,93 @@ TEST(Cli, FailFastRejectsResume) {
     // The error steers toward the supported equivalent.
     EXPECT_NE(std::string(e.what()).find("--max-failures=1"),
               std::string::npos);
+  }
+}
+
+TEST(Cli, QdiscFlagsParse) {
+  const CliOptions o = parse_cli(
+      {"--groups=cubic:2:20", "--qdisc=fq-codel", "--ecn", "--codel=7:140",
+       "--fq=128:3028"});
+  const QdiscConfig& qd = o.spec.scenario.net.qdisc;
+  EXPECT_EQ(qd.kind, QdiscKind::kFqCoDel);
+  EXPECT_TRUE(qd.ecn);
+  EXPECT_EQ(qd.codel_target, TimeDelta::millis(7));
+  EXPECT_EQ(qd.codel_interval, TimeDelta::millis(140));
+  EXPECT_EQ(qd.fq_flows, 128u);
+  EXPECT_EQ(qd.fq_quantum, 3028);
+
+  const CliOptions pie = parse_cli(
+      {"--groups=cubic:2:20", "--qdisc=pie", "--pie=20:30"});
+  EXPECT_EQ(pie.spec.scenario.net.qdisc.kind, QdiscKind::kPie);
+  EXPECT_EQ(pie.spec.scenario.net.qdisc.pie_target, TimeDelta::millis(20));
+  EXPECT_EQ(pie.spec.scenario.net.qdisc.pie_tupdate, TimeDelta::millis(30));
+
+  const CliOptions red = parse_cli(
+      {"--groups=cubic:2:20", "--qdisc=red", "--red=100000:400000:0.2"});
+  EXPECT_EQ(red.spec.scenario.net.qdisc.kind, QdiscKind::kRed);
+  EXPECT_EQ(red.spec.scenario.net.qdisc.red_min_bytes, 100'000);
+  EXPECT_EQ(red.spec.scenario.net.qdisc.red_max_bytes, 400'000);
+  EXPECT_DOUBLE_EQ(red.spec.scenario.net.qdisc.red_max_p, 0.2);
+
+  // Default stays drop-tail with ECN off.
+  const CliOptions plain = parse_cli({"--groups=cubic:2:20"});
+  EXPECT_EQ(plain.spec.scenario.net.qdisc.kind, QdiscKind::kDropTail);
+  EXPECT_FALSE(plain.spec.scenario.net.qdisc.ecn);
+}
+
+TEST(Cli, QdiscRejections) {
+  // Unknown scheduler name.
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--qdisc=banana"}),
+               std::invalid_argument);
+  // ECN requires an AQM qdisc (and takes no value).
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--ecn"}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_cli({"--groups=cubic:1:20", "--qdisc=codel", "--ecn=1"}),
+      std::invalid_argument);
+  // CoDel target must stay below the interval.
+  EXPECT_THROW(
+      parse_cli({"--groups=cubic:1:20", "--qdisc=codel", "--codel=100:5"}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_cli({"--groups=cubic:1:20", "--qdisc=codel", "--codel=0:100"}),
+      std::invalid_argument);
+  // RED min threshold must stay below max.
+  EXPECT_THROW(parse_cli({"--groups=cubic:1:20", "--qdisc=red",
+                          "--red=2000000:1000000"}),
+               std::invalid_argument);
+  // PIE tupdate must be positive (caught by QdiscConfig::validate()).
+  EXPECT_THROW(
+      parse_cli({"--groups=cubic:1:20", "--qdisc=pie", "--pie=15:0"}),
+      std::invalid_argument);
+  // Malformed pair syntax and bad FQ sizes.
+  EXPECT_THROW(
+      parse_cli({"--groups=cubic:1:20", "--qdisc=codel", "--codel=5"}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_cli({"--groups=cubic:1:20", "--qdisc=fq-codel", "--fq=0:1514"}),
+      std::invalid_argument);
+}
+
+TEST(Cli, QdiscSpecCliRoundTrip) {
+  // Every AQM kind (with non-default knobs) renders to flags that parse
+  // back to the identical canonical spec.
+  std::vector<std::vector<std::string>> cases = {
+      {"--groups=cubic:2:20", "--qdisc=codel", "--ecn", "--codel=3:60"},
+      {"--groups=cubic:2:20,bbr:2:80", "--qdisc=fq-codel", "--fq=32:1000"},
+      {"--groups=newreno:4:20", "--qdisc=pie", "--ecn", "--pie=10:12"},
+      {"--groups=cubic:8:20", "--qdisc=red", "--red=50000:150000:0.05"},
+      {"--groups=cubic:8:20", "--qdisc=drop-tail"},
+  };
+  for (const auto& args : cases) {
+    const CliOptions original = parse_cli(args);
+    const SpecCliRendering rendering = spec_to_cli(original.spec);
+    EXPECT_TRUE(rendering.notes.empty());
+    const CliOptions reparsed = parse_cli(rendering.args);
+    EXPECT_EQ(sweep::spec_cache_key(original.spec),
+              sweep::spec_cache_key(reparsed.spec));
+    EXPECT_EQ(sweep::canonical_spec_bytes(original.spec),
+              sweep::canonical_spec_bytes(reparsed.spec));
   }
 }
 

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "src/harness/runner.h"
+#include "src/sweep/spec_hash.h"
 
 namespace ccas::check {
 namespace {
@@ -107,6 +108,45 @@ TEST(golden, GridMatchesCheckedInDigests) {
   EXPECT_TRUE(diff.ok) << diff.report
                        << "re-record with `tools/ccas_check record` if this "
                           "behavior change is intended";
+}
+
+// Differential check for the qdisc refactor: routing a pre-qdisc cell
+// through an explicit `--qdisc drop-tail` must be a perfect no-op — same
+// canonical spec bytes (the hash gates the qdisc block on an AQM being
+// selected) and the same digest as the checked-in golden. This pins the
+// DropTailQueue-under-QueueDisc path to the historical byte stream.
+TEST(golden, ExplicitDropTailMatchesPreQdiscDigests) {
+  const std::vector<GoldenRecord> expected = load_goldens(CCAS_GOLDENS_FILE);
+  auto find = [&](const std::string& name) -> const GoldenRecord* {
+    for (const GoldenRecord& r : expected) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  };
+  size_t checked = 0;
+  for (const GoldenCell& cell : golden_grid()) {
+    if (cell.spec.scenario.net.qdisc.enabled()) continue;  // AQM cells
+    // Pin the drop-tail config explicitly — including a qdisc seed, which
+    // must be inert while the scheduler is drop-tail — and check the
+    // canonical spec bytes (what `--qdisc drop-tail` parses to) are
+    // unchanged from the implicit default.
+    ExperimentSpec spec = cell.spec;
+    spec.scenario.net.qdisc.kind = QdiscKind::kDropTail;
+    spec.scenario.net.qdisc.seed = 0xFEEDFACE;  // ignored: qdisc disabled
+    ASSERT_EQ(sweep::canonical_spec_bytes(spec),
+              sweep::canonical_spec_bytes(cell.spec))
+        << cell.name << ": explicit drop-tail changed the canonical spec";
+    // And the run itself must reproduce the checked-in digest.
+    const GoldenRecord* exp = find(cell.name);
+    ASSERT_NE(exp, nullptr) << cell.name;
+    spec.audit = true;
+    const ExperimentResult result = run_experiment(spec);
+    EXPECT_EQ(make_golden_record(cell.name, cell.spec, result).digest,
+              exp->digest)
+        << cell.name << ": --qdisc drop-tail drifted from the pre-qdisc digest";
+    ++checked;
+  }
+  EXPECT_EQ(checked, 10u) << "expected the 10 pre-qdisc golden cells";
 }
 
 }  // namespace
