@@ -7,7 +7,10 @@
 
 #include "src/cca/cca.h"
 #include "src/net/topology.h"
+#include "src/sim/parallel/fabric.h"
+#include "src/sim/parallel/shard_plan.h"
 #include "src/sim/simulator.h"
+#include "src/util/arena.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -52,6 +55,27 @@ struct ChurnFlow {
   bool done = false;
 };
 
+// Arena-resident variant for the sharded path (the arena owns the
+// objects; churn arrivals allocate from the caller's thread during the
+// core phase, when every domain worker is parked).
+struct ShardChurnFlow {
+  Rng* rng = nullptr;
+  TcpSender* sender = nullptr;
+  TcpReceiver* receiver = nullptr;
+  Time started = Time::zero();
+  uint64_t size = 0;
+  bool is_background = false;
+  bool done = false;
+};
+
+[[nodiscard]] int background_count(const ChurnSpec& spec) {
+  int n = 0;
+  for (const FlowGroup& g : spec.background) n += g.count;
+  return n;
+}
+
+ChurnResult run_churn_sharded(const ChurnSpec& spec);
+
 }  // namespace
 
 ChurnResult run_churn_experiment(const ChurnSpec& spec) {
@@ -64,6 +88,16 @@ ChurnResult run_churn_experiment(const ChurnSpec& spec) {
     Rng probe(0);
     (void)make_cca(spec.cca, probe);
   }
+  if (spec.shards < 1) throw std::invalid_argument("shards must be >= 1");
+  const int n_bg = background_count(spec);
+  if (spec.shards > 1 && n_bg > 0 && spec.shards > n_bg) {
+    throw std::invalid_argument(
+        "shards exceed background flow count: every domain needs at least "
+        "one flow");
+  }
+  // Only background flows shard (header comment); with none, the sharded
+  // run would be the serial run with idle domains, so run it serially.
+  if (spec.shards > 1 && n_bg > 0) return run_churn_sharded(spec);
 
   Simulator sim;
   Rng rng(spec.seed);
@@ -178,5 +212,146 @@ ChurnResult run_churn_experiment(const ChurnSpec& spec) {
            result.utilization);
   return result;
 }
+
+namespace {
+
+// Sharded churn: background flows live on edge domains, dynamic flows on
+// the core. Mirrors the serial path statement for statement — same master
+// RNG draw order (background forks + stagger draws at setup, fork +
+// size + gap draws inside core-resident arrival events) — so the results
+// are byte-identical to the serial run.
+ChurnResult run_churn_sharded(const ChurnSpec& spec) {
+  Simulator sim;
+  Rng rng(spec.seed);
+  DumbbellTopology topo(sim, spec.scenario.net);
+  topo.bottleneck_queue().set_drop_log_enabled(false);
+
+  TimeDelta lookahead = TimeDelta::infinite();
+  for (const FlowGroup& g : spec.background) {
+    lookahead = std::min(lookahead, g.rtt / 2);
+  }
+  if (lookahead < TimeDelta::nanos(2)) {
+    throw std::invalid_argument(
+        "shards > 1 needs a minimum background RTT of at least 4ns");
+  }
+  ShardPlan plan;
+  plan.shards = spec.shards;
+  plan.sharded_flows = static_cast<uint32_t>(background_count(spec));
+  ShardFabric fabric(sim, plan, lookahead);
+  topo.forward_netem().set_relay(&fabric);
+  topo.reverse_netem().set_relay(&fabric);
+  fabric.set_core_ack_entry(&topo.ack_entry());
+
+  ChurnResult result;
+  MonotonicArena arena;
+  std::vector<ShardChurnFlow*> flows;
+  uint32_t next_flow_id = 0;
+  int active_churn = 0;
+
+  const Time end_time = Time::zero() + spec.scenario.stagger +
+                        spec.scenario.warmup + spec.scenario.measure;
+
+  for (const FlowGroup& g : spec.background) {
+    for (int i = 0; i < g.count; ++i) {
+      auto* f = arena.make<ShardChurnFlow>();
+      f->rng = arena.make<Rng>(rng.fork());
+      f->is_background = true;
+      const uint32_t id = next_flow_id++;
+      const int d = plan.domain_of(id);
+      Simulator& fsim = fabric.domain_sim(d);
+      f->receiver = arena.make<TcpReceiver>(fsim, id, &fabric.ack_gate(d),
+                                            spec.receiver);
+      f->sender = arena.make<TcpSender>(fsim, id, make_cca(g.cca, *f->rng),
+                                        &fabric.data_gate(d), spec.tcp);
+      topo.register_flow(id, g.rtt, f->sender, f->receiver);
+      fabric.delivery(d).register_flow(id, f->sender, f->receiver);
+      fabric.set_core_data_entry(id, &topo.data_entry(id));
+      TcpSender* sender = f->sender;
+      fsim.schedule_fn_at(
+          Time::seconds_f(rng.next_double() * spec.scenario.stagger.sec()),
+          [sender] { sender->start(); });
+      flows.push_back(f);
+    }
+  }
+
+  auto sample_size = [&rng, &spec] {
+    const double a = spec.pareto_alpha;
+    const auto lo = static_cast<double>(spec.min_size_segments);
+    const auto hi = static_cast<double>(spec.max_size_segments);
+    const double u = rng.next_double();
+    const double x =
+        std::pow(-(u * std::pow(hi, a) - u * std::pow(lo, a) - std::pow(hi, a)) /
+                     (std::pow(hi, a) * std::pow(lo, a)),
+                 -1.0 / a);
+    return static_cast<uint64_t>(std::clamp(x, lo, hi));
+  };
+
+  // Dynamic flows: core-resident, wired straight into the topology — the
+  // relay only claims flows below plan.sharded_flows.
+  std::function<void()> arrival = [&] {
+    if (sim.now() >= end_time) return;
+    if (active_churn >= spec.max_concurrent) {
+      ++result.arrivals_rejected;
+    } else {
+      auto* f = arena.make<ShardChurnFlow>();
+      f->rng = arena.make<Rng>(rng.fork());
+      const uint32_t id = next_flow_id++;
+      f->size = sample_size();
+      f->started = sim.now();
+      f->receiver =
+          arena.make<TcpReceiver>(sim, id, &topo.ack_entry(), spec.receiver);
+      TcpSenderConfig cfg = spec.tcp;
+      cfg.data_segments = f->size;
+      f->sender = arena.make<TcpSender>(sim, id, make_cca(spec.cca, *f->rng),
+                                        &topo.data_entry(id), cfg);
+      topo.register_flow(id, spec.rtt, f->sender, f->receiver);
+      ShardChurnFlow* raw = f;
+      f->sender->set_completion_callback([&result, &sim, &active_churn, raw] {
+        if (raw->done) return;
+        raw->done = true;
+        --active_churn;
+        ++result.flows_completed;
+        result.completed_sizes.push_back(raw->size);
+        result.fct_seconds.push_back((sim.now() - raw->started).sec());
+      });
+      ++active_churn;
+      ++result.flows_started;
+      f->sender->start();
+      flows.push_back(f);
+    }
+    if (spec.arrivals_per_sec > 0.0) {
+      const double gap =
+          -std::log(1.0 - rng.next_double()) / spec.arrivals_per_sec;
+      const Time next = sim.now() + TimeDelta::seconds_f(gap);
+      if (next < end_time) sim.schedule_fn_at(next, arrival);
+    }
+  };
+  if (spec.arrivals_per_sec > 0.0) sim.schedule_fn_at(Time::zero(), arrival);
+
+  fabric.run_to(end_time);
+
+  double total_in_order = 0.0;
+  double background_in_order = 0.0;
+  for (const ShardChurnFlow* f : flows) {
+    const auto bytes = static_cast<double>(f->receiver->goodput_bytes());
+    total_in_order += bytes;
+    if (f->is_background) background_in_order += bytes;
+  }
+  const double duration = end_time.sec();
+  const double payload_capacity =
+      static_cast<double>(spec.scenario.net.bottleneck_rate.bits_per_sec()) *
+      static_cast<double>(kMssBytes) / static_cast<double>(kDataPacketBytes);
+  result.utilization = total_in_order * 8.0 / duration / payload_capacity;
+  result.background_goodput_bps = background_in_order * 8.0 / duration;
+  result.queue = topo.bottleneck_queue().stats();
+
+  log_info("churn done (%d shards): %llu started, %llu completed, util %.3f",
+           spec.shards, static_cast<unsigned long long>(result.flows_started),
+           static_cast<unsigned long long>(result.flows_completed),
+           result.utilization);
+  return result;
+}
+
+}  // namespace
 
 }  // namespace ccas

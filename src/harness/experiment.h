@@ -29,6 +29,14 @@ struct ExperimentSpec {
   std::vector<FlowGroup> groups;
   uint64_t seed = 1;
 
+  // Event-domain count for the conservative parallel engine (src/sim/
+  // parallel/): 1 = the historical single-threaded path, N > 1 shards the
+  // flows over N domains synchronized at the bottleneck. Results are
+  // byte-identical across shard counts (the differential test wall pins
+  // this), so `shards` only enters the canonical spec encoding when
+  // non-default — golden digests and cache keys keep their bytes.
+  int shards = 1;
+
   TcpSenderConfig tcp;
   TcpReceiverConfig receiver;
 

@@ -7,10 +7,12 @@
 
 #include "src/cca/cca.h"
 #include "src/check/audit.h"
+#include "src/harness/shard_runner.h"
 #include "src/stats/fairness.h"
 #include "src/net/topology.h"
 #include "src/sim/simulator.h"
 #include "src/stats/convergence.h"
+#include "src/util/arena.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -18,12 +20,15 @@ namespace ccas {
 
 namespace {
 
+// Per-flow state lives in a MonotonicArena (contiguous blocks, destroyed
+// together at teardown); this struct only aggregates the pointers. The
+// flow's Rng must outlive its sender — CCAs (e.g. BBR's randomized
+// ProbeBW phase) keep a reference to it — which the arena's
+// reverse-construction-order destruction guarantees.
 struct Flow {
-  // Owns the flow's RNG: CCAs (e.g. BBR's randomized ProbeBW phase) keep a
-  // reference to it, so it must live exactly as long as the sender.
-  std::unique_ptr<Rng> rng;
-  std::unique_ptr<TcpSender> sender;
-  std::unique_ptr<TcpReceiver> receiver;
+  Rng* rng = nullptr;
+  TcpSender* sender = nullptr;
+  TcpReceiver* receiver = nullptr;
   int group = 0;
 };
 
@@ -61,6 +66,13 @@ void validate(const ExperimentSpec& spec) {
   if (spec.scenario.measure <= TimeDelta::zero()) {
     throw std::invalid_argument("non-positive measurement window");
   }
+  if (spec.shards < 1) {
+    throw std::invalid_argument("shards must be >= 1");
+  }
+  if (spec.shards > 1 && spec.shards > spec.total_flows()) {
+    throw std::invalid_argument(
+        "shards exceed flow count: every domain needs at least one flow");
+  }
   spec.scenario.net.impairments.validate();
   spec.scenario.net.qdisc.validate();
 }
@@ -73,6 +85,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
 ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* budget) {
   validate(spec);
+  if (spec.shards > 1) return run_experiment_sharded(spec, budget);
 
   Simulator sim;
   Rng rng(spec.seed);
@@ -113,6 +126,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
   if (spec.record_congestion_log) {
     congestion_log.resize(static_cast<size_t>(spec.total_flows()));
   }
+  MonotonicArena arena;
   std::vector<Flow> flows;
   flows.reserve(static_cast<size_t>(spec.total_flows()));
   // ECN negotiation: senders mark ECT (and react to ECE) exactly when the
@@ -125,20 +139,20 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
     const FlowGroup& g = spec.groups[gi];
     for (int i = 0; i < g.count; ++i, ++flow_id) {
       Flow f;
-      f.rng = std::make_unique<Rng>(rng.fork());
+      f.rng = arena.make<Rng>(rng.fork());
       f.group = static_cast<int>(gi);
-      f.receiver = std::make_unique<TcpReceiver>(sim, flow_id, &topo.ack_entry(),
-                                                 spec.receiver);
-      f.sender = std::make_unique<TcpSender>(sim, flow_id, make_cca(g.cca, *f.rng),
-                                             &topo.data_entry(flow_id), tcp);
-      topo.register_flow(flow_id, g.rtt, f.sender.get(), f.receiver.get());
+      f.receiver = arena.make<TcpReceiver>(sim, flow_id, &topo.ack_entry(),
+                                           spec.receiver);
+      f.sender = arena.make<TcpSender>(sim, flow_id, make_cca(g.cca, *f.rng),
+                                       &topo.data_entry(flow_id), tcp);
+      topo.register_flow(flow_id, g.rtt, f.sender, f.receiver);
       if (spec.record_congestion_log) {
         std::vector<Time>& log = congestion_log[flow_id];
         f.sender->set_congestion_event_callback(
             [&log](Time at) { log.push_back(at); });
       }
       if (auditor) auditor->watch_sender(flow_id, *f.sender);
-      flows.push_back(std::move(f));
+      flows.push_back(f);
     }
   }
   if (auditor) {
@@ -211,7 +225,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
   for (auto& f : flows) {
     const double offset =
         rng.next_double() * std::max(spec.scenario.stagger.sec(), 0.0);
-    TcpSender* sender = f.sender.get();
+    TcpSender* sender = f.sender;
     sim.schedule_fn_at(Time::seconds_f(offset), [sender] { sender->start(); });
   }
 

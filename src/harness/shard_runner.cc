@@ -1,0 +1,387 @@
+#include "src/harness/shard_runner.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cca/cca.h"
+#include "src/check/audit.h"
+#include "src/net/topology.h"
+#include "src/sim/parallel/fabric.h"
+#include "src/sim/parallel/shard_plan.h"
+#include "src/sim/simulator.h"
+#include "src/stats/convergence.h"
+#include "src/stats/fairness.h"
+#include "src/util/arena.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace ccas {
+
+namespace {
+
+// Arena-resident per-flow state (the objects live in the MonotonicArena;
+// this struct only aggregates the pointers).
+struct ShardedFlow {
+  Rng* rng = nullptr;
+  TcpSender* sender = nullptr;
+  TcpReceiver* receiver = nullptr;
+  int group = 0;
+  int domain = 0;
+};
+
+FlowCounters snapshot(Time now, const ShardedFlow& flow, const QueueDisc& queue,
+                      uint32_t flow_id) {
+  FlowCounters c;
+  c.at = now;
+  const TcpSenderStats& s = flow.sender->stats();
+  c.segments_sent = s.segments_sent;
+  c.retransmits = s.retransmits;
+  c.delivered = s.delivered;
+  c.congestion_events = s.congestion_events;
+  c.rto_events = s.rto_events;
+  c.ecn_reductions = s.ecn_reductions;
+  c.queue_drops = flow_id < queue.per_flow_drops().size()
+                      ? queue.per_flow_drops()[flow_id]
+                      : 0;
+  c.queue_marks = flow_id < queue.per_flow_marks().size()
+                      ? queue.per_flow_marks()[flow_id]
+                      : 0;
+  c.rcv_in_order = flow.receiver->rcv_nxt();
+  c.rtt_sample_sum_ns = s.rtt_sample_sum_ns;
+  c.rtt_sample_count = s.rtt_sample_count;
+  return c;
+}
+
+// Conservative lookahead: the minimum one-way propagation delay of any
+// sharded flow. register_flow splits base_rtt as floor/ceil halves, and
+// forward jitter only adds, so the forward floor half is the minimum.
+TimeDelta min_lookahead(const ExperimentSpec& spec) {
+  TimeDelta lookahead = TimeDelta::infinite();
+  for (const FlowGroup& g : spec.groups) {
+    lookahead = std::min(lookahead, g.rtt / 2);
+  }
+  return lookahead;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
+                                        const SimBudget* budget) {
+  const TimeDelta lookahead = min_lookahead(spec);
+  if (lookahead < TimeDelta::nanos(2)) {
+    throw std::invalid_argument(
+        "--shards > 1 needs a minimum flow RTT of at least 4ns: the "
+        "conservative window is half the smallest RTT");
+  }
+
+  Simulator sim;  // the core: switch, qdisc, link, impairments, netems
+  Rng rng(spec.seed);
+
+  ShardPlan plan;
+  plan.shards = spec.shards;
+  plan.sharded_flows = static_cast<uint32_t>(spec.total_flows());
+
+  // Auditors attach before the topology/fabric build so components
+  // register their packet holders. One auditor per simulator; each skips
+  // the local conservation equation (packets legally cross domains) and
+  // the global equation is checked here at the final audit.
+  const bool audit_on = check::kAuditHooksCompiled &&
+                        (spec.audit || check::check_enabled_from_env());
+  std::unique_ptr<check::InvariantAuditor> core_auditor;
+  if (audit_on) {
+    core_auditor = std::make_unique<check::InvariantAuditor>(sim);
+    core_auditor->set_conservation_external(true);
+  }
+
+  // Seed derivation, exactly as the serial path (pure functions of the
+  // cell seed, independent of the master stream).
+  DumbbellConfig net = spec.scenario.net;
+  if ((net.impairments.enabled() || net.impairments.force_stage) &&
+      net.impairments.seed == 0) {
+    net.impairments.seed = derive_impairment_seed(spec.seed);
+  }
+  if (net.qdisc.enabled() && net.qdisc.seed == 0) {
+    net.qdisc.seed = derive_qdisc_seed(spec.seed);
+  }
+  DumbbellTopology topo(sim, net);
+  QueueDisc& queue = topo.bottleneck_queue();
+  queue.set_drop_log_enabled(spec.record_drop_log);
+
+  ShardFabric fabric(sim, plan, lookahead);
+  topo.forward_netem().set_relay(&fabric);
+  topo.reverse_netem().set_relay(&fabric);
+  fabric.set_core_ack_entry(&topo.ack_entry());
+
+  std::vector<std::unique_ptr<check::InvariantAuditor>> domain_auditors;
+  if (audit_on) {
+    domain_auditors.reserve(static_cast<size_t>(plan.shards));
+    for (int d = 0; d < plan.shards; ++d) {
+      auto a = std::make_unique<check::InvariantAuditor>(fabric.domain_sim(d));
+      a->set_conservation_external(true);
+      DeliveryStage* stage = &fabric.delivery(d);
+      a->register_holder("shard-delivery", [stage](int64_t& pkts, int64_t& bytes) {
+        pkts += static_cast<int64_t>(stage->in_transit());
+        bytes += stage->in_transit_bytes();
+      });
+      domain_auditors.push_back(std::move(a));
+    }
+  }
+
+  // Flow construction mirrors the serial runner exactly: same group
+  // order, same master-RNG fork order, same per-flow construction order —
+  // only the simulator each endpoint lives on differs.
+  std::vector<std::vector<Time>> congestion_log;
+  if (spec.record_congestion_log) {
+    congestion_log.resize(static_cast<size_t>(spec.total_flows()));
+  }
+  MonotonicArena arena;
+  std::vector<ShardedFlow> flows;
+  flows.reserve(static_cast<size_t>(spec.total_flows()));
+  TcpSenderConfig tcp = spec.tcp;
+  tcp.ecn_enabled = net.qdisc.enabled() && net.qdisc.ecn;
+  uint32_t flow_id = 0;
+  for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+    const FlowGroup& g = spec.groups[gi];
+    for (int i = 0; i < g.count; ++i, ++flow_id) {
+      ShardedFlow f;
+      f.rng = arena.make<Rng>(rng.fork());
+      f.group = static_cast<int>(gi);
+      f.domain = plan.domain_of(flow_id);
+      Simulator& fsim = fabric.domain_sim(f.domain);
+      f.receiver = arena.make<TcpReceiver>(fsim, flow_id,
+                                           &fabric.ack_gate(f.domain),
+                                           spec.receiver);
+      f.sender = arena.make<TcpSender>(fsim, flow_id, make_cca(g.cca, *f.rng),
+                                       &fabric.data_gate(f.domain), tcp);
+      topo.register_flow(flow_id, g.rtt, f.sender, f.receiver);
+      fabric.delivery(f.domain).register_flow(flow_id, f.sender, f.receiver);
+      fabric.set_core_data_entry(flow_id, &topo.data_entry(flow_id));
+      if (spec.record_congestion_log) {
+        std::vector<Time>& log = congestion_log[flow_id];
+        f.sender->set_congestion_event_callback(
+            [&log](Time at) { log.push_back(at); });
+      }
+      if (audit_on) {
+        domain_auditors[static_cast<size_t>(f.domain)]->watch_sender(flow_id,
+                                                                     *f.sender);
+      }
+      flows.push_back(f);
+    }
+  }
+  if (audit_on) {
+    core_auditor->schedule_periodic(TimeDelta::millis(250));
+    for (auto& a : domain_auditors) a->schedule_periodic(TimeDelta::millis(250));
+  }
+
+  // Time-series tracing: the tick stays a core event (event-count parity
+  // with the serial path). It runs during the core phase, when every
+  // domain thread is parked at the window barrier, so reading edge-side
+  // sender state is race-free — but that state is the end-of-window
+  // state, so a sharded trace may lead the serial trace by up to one
+  // lookahead. Traces are observational (never serialized or digested).
+  ExperimentResult result;
+  std::function<void()> trace_tick;
+  if (spec.trace_interval > TimeDelta::zero()) {
+    trace_tick = [&] {
+      QueueTraceSample qs;
+      qs.at = sim.now();
+      qs.queued_bytes = queue.queued_bytes();
+      qs.dropped_packets = queue.stats().dropped_packets;
+      result.trace.add_queue_sample(qs);
+      auto sample_flow = [&](uint32_t id) {
+        if (id >= flows.size()) return;
+        const ShardedFlow& f = flows[id];
+        FlowTraceSample ts;
+        ts.at = sim.now();
+        ts.cwnd = f.sender->cca().cwnd();
+        ts.inflight = f.sender->inflight();
+        ts.delivered = f.sender->stats().delivered;
+        ts.congestion_events = f.sender->stats().congestion_events;
+        ts.rto_events = f.sender->stats().rto_events;
+        const DataRate pr = f.sender->cca().pacing_rate();
+        ts.pacing_bps = pr.is_infinite() ? 0.0
+                                         : static_cast<double>(pr.bits_per_sec());
+        ts.in_recovery = f.sender->in_recovery();
+        result.trace.add_flow_sample(id, ts);
+      };
+      if (spec.trace_flows.empty()) {
+        for (uint32_t id = 0; id < flows.size(); ++id) sample_flow(id);
+      } else {
+        for (const uint32_t id : spec.trace_flows) sample_flow(id);
+      }
+      sim.schedule_fn_in(spec.trace_interval, trace_tick);
+    };
+    sim.schedule_fn_in(spec.trace_interval, trace_tick);
+  }
+
+  // Cooperative budget: same harness RSS augmentation as the serial path;
+  // the fabric enforces the ceilings at barriers on summed counts.
+  SimBudget budget_local;
+  if (budget != nullptr && budget->any()) {
+    budget_local = *budget;
+    auto caller_extra = budget->extra_rss_bytes;
+    budget_local.extra_rss_bytes = [&flows, &queue, &congestion_log,
+                                    caller_extra]() {
+      int64_t est = static_cast<int64_t>(flows.size()) * 4096;
+      est += static_cast<int64_t>(queue.drop_log().size()) *
+             static_cast<int64_t>(sizeof(DropRecord));
+      for (const std::vector<Time>& log : congestion_log) {
+        est += static_cast<int64_t>(log.size()) * static_cast<int64_t>(sizeof(Time));
+      }
+      if (caller_extra) est += caller_extra();
+      return est;
+    };
+    fabric.set_budget(&budget_local);
+  }
+
+  // Staggered starts: same master-RNG draw order; the start event runs on
+  // the flow's own domain (one fn event per flow, as in the serial path).
+  for (ShardedFlow& f : flows) {
+    const double offset =
+        rng.next_double() * std::max(spec.scenario.stagger.sec(), 0.0);
+    TcpSender* sender = f.sender;
+    fabric.domain_sim(f.domain).schedule_fn_at(Time::seconds_f(offset),
+                                               [sender] { sender->start(); });
+  }
+
+  const Time warmup_end =
+      Time::zero() + spec.scenario.stagger + spec.scenario.warmup;
+  fabric.run_to(warmup_end);
+  queue.reset_accounting();
+  std::vector<FlowCounters> begin;
+  begin.reserve(flows.size());
+  for (uint32_t i = 0; i < flows.size(); ++i) {
+    begin.push_back(snapshot(fabric.now(), flows[i], queue, i));
+  }
+
+  bool converged_early = false;
+  const Time measure_end = warmup_end + spec.scenario.measure;
+  if (spec.convergence_window > TimeDelta::zero()) {
+    ConvergenceDetector detector(spec.convergence_window, spec.convergence_tolerance);
+    while (fabric.now() < measure_end) {
+      const Time next = std::min(fabric.now() + spec.convergence_poll, measure_end);
+      fabric.run_to(next);
+      uint64_t in_order = 0;
+      for (uint32_t i = 0; i < flows.size(); ++i) {
+        in_order += flows[i].receiver->rcv_nxt() - begin[i].rcv_in_order;
+      }
+      const double elapsed = (fabric.now() - warmup_end).sec();
+      if (elapsed > 0.0) {
+        detector.add_sample(fabric.now(), static_cast<double>(in_order) / elapsed);
+      }
+      if (detector.converged()) {
+        converged_early = true;
+        break;
+      }
+    }
+  } else {
+    fabric.run_to(measure_end);
+  }
+
+  // Final audit: per-simulator checks, then the global conservation
+  // equation over the summed counters (every packet injected anywhere is
+  // delivered, dropped, or held somewhere — the delivery stages register
+  // as holders, and all exchange buffers are empty at a barrier).
+  if (audit_on) {
+    core_auditor->run_checks(sim.now());
+    for (int d = 0; d < plan.shards; ++d) {
+      domain_auditors[static_cast<size_t>(d)]->run_checks(
+          fabric.domain_sim(d).now());
+    }
+    int64_t inj_p = 0, inj_b = 0, del_p = 0, del_b = 0;
+    int64_t drop_p = 0, drop_b = 0, held_p = 0, held_b = 0;
+    auto fold = [&](const check::InvariantAuditor& a) {
+      inj_p += a.injected_packets();
+      inj_b += a.injected_bytes();
+      del_p += a.delivered_packets();
+      del_b += a.delivered_bytes();
+      drop_p += a.dropped_packets();
+      drop_b += a.dropped_bytes();
+      a.held_totals(held_p, held_b);
+    };
+    fold(*core_auditor);
+    for (const auto& a : domain_auditors) fold(*a);
+    if (inj_p != del_p + drop_p + held_p || inj_b != del_b + drop_b + held_b) {
+      core_auditor->record_external_violation(
+          "conservation", fabric.now(),
+          "global (cross-domain): injected " + std::to_string(inj_p) + " pkts/" +
+              std::to_string(inj_b) + " B != delivered " + std::to_string(del_p) +
+              "/" + std::to_string(del_b) + " + dropped " + std::to_string(drop_p) +
+              "/" + std::to_string(drop_b) + " + in-flight " +
+              std::to_string(held_p) + "/" + std::to_string(held_b));
+    }
+    uint64_t total = core_auditor->total_violations();
+    for (const auto& a : domain_auditors) total += a->total_violations();
+    if (total > 0) {
+      std::string report = core_auditor->report();
+      for (int d = 0; d < plan.shards; ++d) {
+        const auto& a = *domain_auditors[static_cast<size_t>(d)];
+        if (a.total_violations() > 0) {
+          report += "\ndomain " + std::to_string(d) + ": " + a.report();
+        }
+      }
+      throw check::AuditViolationError(report);
+    }
+  }
+
+  // Result assembly, identical to the serial path except the event count
+  // and profile are summed over the core + every domain.
+  result.converged_early = converged_early;
+  result.measured_for = fabric.now() - warmup_end;
+  result.sim_events = fabric.total_events();
+  result.sim_profile = fabric.aggregate_profile();
+  result.queue = queue.stats();
+  result.drop_times.reserve(queue.drop_log().size());
+  for (const DropRecord& d : queue.drop_log()) result.drop_times.push_back(d.at);
+
+  result.flows.reserve(flows.size());
+  result.flow_group.reserve(flows.size());
+  double total_goodput = 0.0;
+  for (uint32_t i = 0; i < flows.size(); ++i) {
+    const FlowCounters end = snapshot(fabric.now(), flows[i], queue, i);
+    FlowMeasurement m = measure_flow(i, begin[i], end, kMssBytes);
+    total_goodput += m.goodput_bps;
+    result.flows.push_back(m);
+    result.flow_group.push_back(flows[i].group);
+  }
+  result.aggregate_goodput_bps = total_goodput;
+  result.congestion_log = std::move(congestion_log);
+  const double payload_capacity =
+      static_cast<double>(spec.scenario.net.bottleneck_rate.bits_per_sec()) *
+      static_cast<double>(kMssBytes) / static_cast<double>(kDataPacketBytes);
+  result.utilization = total_goodput / payload_capacity;
+
+  result.groups.reserve(spec.groups.size());
+  for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+    GroupResult gr;
+    gr.cca = spec.groups[gi].cca;
+    gr.count = spec.groups[gi].count;
+    gr.rtt = spec.groups[gi].rtt;
+    const auto goodputs = [&] {
+      std::vector<double> v;
+      for (size_t i = 0; i < result.flows.size(); ++i) {
+        if (result.flow_group[i] == static_cast<int>(gi)) {
+          v.push_back(result.flows[i].goodput_bps);
+        }
+      }
+      return v;
+    }();
+    for (const double g : goodputs) gr.aggregate_goodput_bps += g;
+    gr.throughput_share =
+        total_goodput > 0.0 ? gr.aggregate_goodput_bps / total_goodput : 0.0;
+    gr.jfi = goodputs.empty() ? 1.0 : jain_fairness_index(goodputs);
+    result.groups.push_back(gr);
+  }
+
+  log_info("experiment done (%d shards): %zu flows, %.2f Gbps aggregate, "
+           "util %.3f, %llu events",
+           spec.shards, flows.size(), total_goodput / 1e9, result.utilization,
+           static_cast<unsigned long long>(result.sim_events));
+  return result;
+}
+
+}  // namespace ccas

@@ -1,0 +1,19 @@
+// Sharded experiment execution: the same end-to-end harness as runner.cc,
+// but with every flow's endpoints placed on one of spec.shards edge
+// domains and the run driven by the conservative parallel fabric
+// (src/sim/parallel/fabric.h). Byte-identical to the serial path for any
+// shard count — the golden differential and property tests pin that.
+#pragma once
+
+#include "src/harness/experiment.h"
+#include "src/sim/budget.h"
+
+namespace ccas {
+
+// Called by run_experiment when spec.shards > 1 (after validation).
+// Identical contract to run_experiment(spec, budget); the budget's event
+// and RSS ceilings are enforced at window barriers on summed counts.
+[[nodiscard]] ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
+                                                      const SimBudget* budget);
+
+}  // namespace ccas

@@ -41,6 +41,26 @@ void NetemDelay::set_jitter(TimeDelta jitter, uint64_t seed) {
 }
 
 void NetemDelay::accept(Packet&& pkt) {
+  // The release time (including the jitter draw and the per-flow ordering
+  // clamp) is computed up front, in accept order, so the RNG stream and the
+  // clamp state are identical whether the delivery is scheduled here or
+  // handed to a relay. The relay must see the final release time: it is the
+  // cross-domain deliver_at.
+  const uint32_t flow = pkt.flow_id;
+  TimeDelta delay = flow_delay(flow);
+  Time release = sim_.now() + delay;
+  if (jitter_rng_ != nullptr) {
+    release = release + jitter_ * jitter_rng_->next_double();
+    // Clamp so packets of one flow never reorder.
+    if (flow >= last_release_.size()) last_release_.resize(flow + 1, Time::zero());
+    if (release < last_release_[flow]) release = last_release_[flow];
+    last_release_[flow] = release;
+  }
+  if (relay_ != nullptr && relay_->offload(flow, release, std::move(pkt))) {
+    // Offloaded packets are accounted by the receiving domain's delivery
+    // stage, not here: in_transit_ tracks only locally scheduled packets.
+    return;
+  }
   uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -52,19 +72,7 @@ void NetemDelay::accept(Packet&& pkt) {
   }
   ++in_transit_;
   in_transit_bytes_ += slots_[slot].size_bytes;
-  const uint32_t flow = slots_[slot].flow_id;
-  TimeDelta delay = flow_delay(flow);
-  if (jitter_rng_ != nullptr) {
-    delay += jitter_ * jitter_rng_->next_double();
-    // Clamp so packets of one flow never reorder.
-    if (flow >= last_release_.size()) last_release_.resize(flow + 1, Time::zero());
-    Time release = sim_.now() + delay;
-    if (release < last_release_[flow]) release = last_release_[flow];
-    last_release_[flow] = release;
-    sim_.schedule_at(release, this, 0, slot);
-    return;
-  }
-  sim_.schedule_in(delay, this, 0, slot);
+  sim_.schedule_at(release, this, 0, slot);
 }
 
 void NetemDelay::on_event(uint32_t /*tag*/, uint64_t arg) {

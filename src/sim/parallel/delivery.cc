@@ -1,0 +1,51 @@
+#include "src/sim/parallel/delivery.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ccas {
+
+void DeliveryStage::register_flow(uint32_t flow_id, PacketSink* sender,
+                                  PacketSink* receiver) {
+  if (sender == nullptr || receiver == nullptr) {
+    throw std::invalid_argument("DeliveryStage: null endpoint");
+  }
+  if (flow_id >= senders_.size()) {
+    senders_.resize(flow_id + 1, nullptr);
+    receivers_.resize(flow_id + 1, nullptr);
+  }
+  senders_[flow_id] = sender;
+  receivers_[flow_id] = receiver;
+}
+
+void DeliveryStage::deliver_at(Time at, CausalKey key, Packet&& pkt) {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(pkt);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(pkt));
+  }
+  ++in_transit_;
+  in_transit_bytes_ += slots_[slot].size_bytes;
+  sim_.schedule_at_keyed(at, key, this, 0, slot);
+}
+
+void DeliveryStage::on_event(uint32_t /*tag*/, uint64_t arg) {
+  const auto slot = static_cast<uint32_t>(arg);
+  Packet p = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
+  --in_transit_;
+  in_transit_bytes_ -= p.size_bytes;
+  const uint32_t flow = p.flow_id;
+  if (flow >= senders_.size()) {
+    throw std::logic_error("DeliveryStage: handoff for unregistered flow");
+  }
+  PacketSink* sink =
+      p.type == PacketType::kAck ? senders_[flow] : receivers_[flow];
+  sink->accept(std::move(p));
+}
+
+}  // namespace ccas

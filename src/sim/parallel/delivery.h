@@ -1,0 +1,48 @@
+// Per-domain delivery stage: the edge-side terminus of core->edge
+// handoffs. Plays the role the netem event + flow demux play in the
+// serial path — it schedules exactly one event per packet (tag 0, like
+// NetemDelay), so the total event count of a sharded run matches the
+// serial run event for event — but keeps its own per-flow sink registry
+// instead of sharing the topology's FlowDemux, whose counters would be
+// written from several threads at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+class DeliveryStage final : public EventHandler {
+ public:
+  explicit DeliveryStage(Simulator& sim) : sim_(sim) {}
+
+  // Registers the two endpoints of a flow homed on this domain. Data
+  // packets go to the receiver, ACKs to the sender (the only two packet
+  // types the core ever hands over).
+  void register_flow(uint32_t flow_id, PacketSink* sender, PacketSink* receiver);
+
+  // Schedules one delivery event at `at`, carrying the causal key of the
+  // serial push that would have created it (the core netem's accept).
+  // Called by the fabric at window barriers (the domain is parked).
+  void deliver_at(Time at, CausalKey key, Packet&& pkt);
+
+  void on_event(uint32_t tag, uint64_t arg) override;
+
+  // Packets scheduled but not yet delivered (auditor holder accounting).
+  [[nodiscard]] size_t in_transit() const { return in_transit_; }
+  [[nodiscard]] int64_t in_transit_bytes() const { return in_transit_bytes_; }
+
+ private:
+  Simulator& sim_;
+  std::vector<PacketSink*> senders_;
+  std::vector<PacketSink*> receivers_;
+  std::vector<Packet> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t in_transit_ = 0;
+  int64_t in_transit_bytes_ = 0;
+};
+
+}  // namespace ccas

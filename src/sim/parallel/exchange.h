@@ -1,0 +1,79 @@
+// Cross-domain exchange records for the conservative parallel engine.
+//
+// Two directions, two shapes:
+//
+//   edge -> core (IngressEntry): an endpoint emitted a packet at domain
+//   time `at`. The edge->core hop is zero-delay (switch and netems are
+//   attached directly to the endpoints in the serial topology), so the
+//   fabric replays the packet into the core at exactly `at`, placed among
+//   the core's same-timestamp events by the root event's causal key: the
+//   serial FIFO dispatched the emitting timer/delivery at position
+//   (at, armed_at, ctr) among the events at `at`, and the injection takes
+//   exactly that position (see event.h). Entries from all domains are
+//   merged and stably sorted by (at, root key, flow_id); entries with
+//   fully equal keys keep their capture order, so the replay order is
+//   deterministic and independent of the shard count and of thread
+//   interleaving.
+//
+//   core -> edge (HandoffEntry): a netem computed a packet's release time
+//   `deliver_at` for a flow homed on an edge domain. The core->edge hop
+//   carries the flow's one-way propagation delay, so deliver_at is at
+//   least one lookahead beyond the current window and the entry can be
+//   scheduled into the target domain at the window barrier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace ccas {
+
+struct IngressEntry {
+  Time at = Time::zero();
+  // Key of the domain event whose handler emitted the packet: the serial
+  // position of this injection among the core's events at `at`. Core
+  // pushes made while replaying the injection allocate plain core slots —
+  // injections interleave with core dispatches in serial order, so the
+  // synchronous send chain's pushes land in serial relative order too.
+  CausalKey root;
+  uint32_t flow_id = 0;
+  bool is_data = false;  // data enters at data_entry(flow); ACKs at ack_entry()
+  Packet pkt;
+};
+
+struct HandoffEntry {
+  Time deliver_at = Time::zero();
+  // Key the serial push (netem -> event queue) would have carried; the
+  // delivery stage schedules the domain event with exactly this key.
+  CausalKey key;
+  Packet pkt;
+};
+
+// The endpoint-facing capture sink: senders of a domain point their data
+// path at the domain's data gate, receivers their ACK path at its ACK
+// gate. Both gates of one domain append to the same buffer, so two
+// same-timestamp emissions of one flow (a data segment and an ACK) keep
+// the order the domain actually dispatched them in — the stable sort at
+// the merge cannot see past its (at, flow_id) key. The buffer is drained
+// by the fabric at window barriers; between barriers only the owning
+// domain's thread touches it.
+class GateSink final : public PacketSink {
+ public:
+  GateSink(Simulator& sim, bool is_data, std::vector<IngressEntry>& buf)
+      : sim_(sim), is_data_(is_data), buf_(buf) {}
+
+  void accept(Packet&& pkt) override {
+    buf_.push_back(IngressEntry{sim_.now(),
+                                CausalKey{sim_.current_armed_at(), sim_.current_ctr()},
+                                pkt.flow_id, is_data_, std::move(pkt)});
+  }
+
+ private:
+  Simulator& sim_;
+  bool is_data_;
+  std::vector<IngressEntry>& buf_;
+};
+
+}  // namespace ccas

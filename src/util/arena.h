@@ -1,0 +1,90 @@
+// Monotonic arena for per-flow simulation state.
+//
+// Experiments allocate thousands of sender/receiver/Rng triples whose
+// lifetimes all end together when the run tears down. A MonotonicArena
+// packs them into large contiguous blocks — one bump-pointer per
+// allocation instead of one malloc per object, and flow state that is
+// iterated together (snapshots, convergence polls, shard domains) stays
+// cache-adjacent. Objects are destroyed in reverse construction order
+// when the arena is destroyed; nothing is freed early.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ccas {
+
+class MonotonicArena {
+ public:
+  explicit MonotonicArena(size_t block_bytes = 1 << 20)
+      : block_bytes_(block_bytes) {}
+  ~MonotonicArena() { clear(); }
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  // Constructs a T in the arena; destroyed (in reverse order) by clear()
+  // or the arena's destructor.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    T* obj = new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      dtors_.push_back(Dtor{obj, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return obj;
+  }
+
+  // Raw aligned storage with no registered destructor.
+  void* allocate(size_t bytes, size_t align) {
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + bytes > block_end_) {
+      new_block(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Destroys every object (reverse construction order) and releases all
+  // blocks.
+  void clear() {
+    for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+      it->destroy(it->obj);
+    }
+    dtors_.clear();
+    blocks_.clear();
+    cursor_ = 0;
+    block_end_ = 0;
+    bytes_used_ = 0;
+  }
+
+  [[nodiscard]] size_t bytes_used() const { return bytes_used_; }
+  [[nodiscard]] size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Dtor {
+    void* obj;
+    void (*destroy)(void*);
+  };
+
+  void new_block(size_t min_bytes) {
+    const size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+    blocks_.push_back(std::make_unique<std::byte[]>(size));
+    cursor_ = reinterpret_cast<uintptr_t>(blocks_.back().get());
+    block_end_ = cursor_ + size;
+  }
+
+  size_t block_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::vector<Dtor> dtors_;
+  uintptr_t cursor_ = 0;
+  uintptr_t block_end_ = 0;
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace ccas
