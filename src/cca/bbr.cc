@@ -1,6 +1,7 @@
 #include "src/cca/bbr.h"
 
 #include <algorithm>
+#include <new>
 
 #include "src/net/packet.h"
 
@@ -242,9 +243,12 @@ void Bbr::on_rto(Time /*now*/) {
 }
 
 void register_bbr(CcaRegistry& registry) {
-  registry.register_cca("bbr", [](Rng& rng) {
-    return std::make_unique<Bbr>(BbrConfig{}, rng);
-  });
+  registry.register_cca(
+      "bbr", [](Rng& rng) { return std::make_unique<Bbr>(BbrConfig{}, rng); },
+      CcaPlacement{sizeof(Bbr), alignof(Bbr),
+                   [](void* mem, Rng& rng) -> CongestionController* {
+                     return new (mem) Bbr(BbrConfig{}, rng);
+                   }});
 }
 
 }  // namespace ccas

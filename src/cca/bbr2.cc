@@ -1,6 +1,7 @@
 #include "src/cca/bbr2.h"
 
 #include <algorithm>
+#include <new>
 
 #include "src/net/packet.h"
 
@@ -241,9 +242,13 @@ void Bbr2::on_rto(Time /*now*/) {
 }
 
 void register_bbr2(CcaRegistry& registry) {
-  registry.register_cca("bbr2", [](Rng& rng) {
-    return std::make_unique<Bbr2>(Bbr2Config{}, rng);
-  });
+  registry.register_cca(
+      "bbr2",
+      [](Rng& rng) { return std::make_unique<Bbr2>(Bbr2Config{}, rng); },
+      CcaPlacement{sizeof(Bbr2), alignof(Bbr2),
+                   [](void* mem, Rng& rng) -> CongestionController* {
+                     return new (mem) Bbr2(Bbr2Config{}, rng);
+                   }});
 }
 
 }  // namespace ccas

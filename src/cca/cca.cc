@@ -30,6 +30,18 @@ CcaRegistry& CcaRegistry::instance() {
 
 void CcaRegistry::register_cca(const std::string& name, Factory factory) {
   factories_[name] = std::move(factory);
+  placements_.erase(name);  // a re-registration may drop its placement
+}
+
+void CcaRegistry::register_cca(const std::string& name, Factory factory,
+                               const CcaPlacement& placement) {
+  factories_[name] = std::move(factory);
+  placements_[name] = placement;
+}
+
+const CcaPlacement* CcaRegistry::placement(const std::string& name) const {
+  auto it = placements_.find(name);
+  return it == placements_.end() ? nullptr : &it->second;
 }
 
 std::unique_ptr<CongestionController> CcaRegistry::create(const std::string& name,

@@ -77,6 +77,18 @@ class CongestionController {
   [[nodiscard]] virtual bool owns_recovery_cwnd() const { return false; }
 };
 
+// Placement-construction recipe for a registered CCA: the concrete type's
+// footprint plus a constructor that builds it into caller-provided storage.
+// This is what lets the harness FlowTable lay a flow's controller inside
+// the flow's own slab instead of a separate heap island (DESIGN.md §12).
+// Optional: CCAs registered without one (external/test controllers) fall
+// back to the heap factory path.
+struct CcaPlacement {
+  size_t size = 0;
+  size_t align = 0;
+  CongestionController* (*construct)(void* mem, Rng& rng) = nullptr;
+};
+
 // Registry so the harness/examples can construct CCAs by name
 // ("newreno", "cubic", "bbr"). Factories get the flow's deterministic RNG.
 class CcaRegistry {
@@ -87,13 +99,22 @@ class CcaRegistry {
   static CcaRegistry& instance();
 
   void register_cca(const std::string& name, Factory factory);
+  // Registers both the heap factory and a placement recipe. The two must
+  // construct identically-behaving controllers (the factory remains the
+  // source of truth for external callers holding unique_ptrs).
+  void register_cca(const std::string& name, Factory factory,
+                    const CcaPlacement& placement);
   [[nodiscard]] std::unique_ptr<CongestionController> create(const std::string& name,
                                                              Rng& rng) const;
+  // Placement recipe for `name`, or nullptr when the CCA was registered
+  // factory-only. The pointer stays valid for the registry's lifetime.
+  [[nodiscard]] const CcaPlacement* placement(const std::string& name) const;
   [[nodiscard]] bool contains(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
   std::map<std::string, Factory> factories_;
+  std::map<std::string, CcaPlacement> placements_;
 };
 
 // Convenience: create by name or throw with the list of known CCAs.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 
 #include "src/net/packet.h"
 
@@ -119,8 +120,12 @@ void Copa::on_rto(Time /*now*/) {
 }
 
 void register_copa(CcaRegistry& registry) {
-  registry.register_cca("copa",
-                        [](Rng& /*rng*/) { return std::make_unique<Copa>(); });
+  registry.register_cca(
+      "copa", [](Rng& /*rng*/) { return std::make_unique<Copa>(); },
+      CcaPlacement{sizeof(Copa), alignof(Copa),
+                   [](void* mem, Rng&) -> CongestionController* {
+                     return new (mem) Copa();
+                   }});
 }
 
 }  // namespace ccas

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <new>
 
 namespace ccas {
 
@@ -99,9 +100,12 @@ void Cubic::on_rto(Time /*now*/) {
 }
 
 void register_cubic(CcaRegistry& registry) {
-  registry.register_cca("cubic", [](Rng& /*rng*/) {
-    return std::make_unique<Cubic>();
-  });
+  registry.register_cca(
+      "cubic", [](Rng& /*rng*/) { return std::make_unique<Cubic>(); },
+      CcaPlacement{sizeof(Cubic), alignof(Cubic),
+                   [](void* mem, Rng&) -> CongestionController* {
+                     return new (mem) Cubic();
+                   }});
 }
 
 }  // namespace ccas

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <new>
 
 namespace ccas {
 
@@ -45,9 +46,12 @@ void NewReno::on_rto(Time /*now*/) {
 }
 
 void register_new_reno(CcaRegistry& registry) {
-  registry.register_cca("newreno", [](Rng& /*rng*/) {
-    return std::make_unique<NewReno>();
-  });
+  registry.register_cca(
+      "newreno", [](Rng& /*rng*/) { return std::make_unique<NewReno>(); },
+      CcaPlacement{sizeof(NewReno), alignof(NewReno),
+                   [](void* mem, Rng&) -> CongestionController* {
+                     return new (mem) NewReno();
+                   }});
 }
 
 }  // namespace ccas

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <new>
 
 namespace ccas {
 
@@ -73,8 +74,12 @@ void Vegas::on_rto(Time /*now*/) {
 }
 
 void register_vegas(CcaRegistry& registry) {
-  registry.register_cca("vegas",
-                        [](Rng& /*rng*/) { return std::make_unique<Vegas>(); });
+  registry.register_cca(
+      "vegas", [](Rng& /*rng*/) { return std::make_unique<Vegas>(); },
+      CcaPlacement{sizeof(Vegas), alignof(Vegas),
+                   [](void* mem, Rng&) -> CongestionController* {
+                     return new (mem) Vegas();
+                   }});
 }
 
 }  // namespace ccas

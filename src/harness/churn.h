@@ -61,6 +61,13 @@ struct ChurnResult {
   double background_goodput_bps = 0.0;
   QueueStats queue;
 
+  // Memory-path observability (DESIGN.md §12): departed churn flows are
+  // torn down by a grace-period reaper and their slabs parked for reuse;
+  // a long steady-state churn run re-serves nearly every arrival from a
+  // recycled slab instead of the heap.
+  uint64_t slots_recycled = 0;  // flow slots reaped and parked
+  uint64_t slab_reuses = 0;     // arrivals served from a parked slab
+
   [[nodiscard]] double mean_fct() const;
   [[nodiscard]] double median_fct() const;
   // Mean FCT restricted to flows with size <= limit (or > limit).

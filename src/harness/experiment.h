@@ -99,6 +99,12 @@ struct ExperimentResult {
   // Like `trace`, this is per-run observational output: it is not part of
   // the serialized result, so cached cells come back with an empty profile.
   SimProfile sim_profile;
+  // Measurement-window deltas (warm-up excluded) of dispatched events and
+  // the in-loop heap-allocation counter (SimProfile::heap_allocs). Their
+  // ratio is the steady-state allocations-per-event gate in tools/ccas_perf.
+  // Observational, like sim_profile: not serialized, empty on cache hits.
+  uint64_t measure_sim_events = 0;
+  uint64_t measure_heap_allocs = 0;
   TraceLog trace;  // empty unless trace_interval was set
   // Per-flow congestion-event (fast-recovery entry) timestamps, covering
   // the whole run; empty unless record_congestion_log was set.

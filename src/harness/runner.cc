@@ -7,12 +7,12 @@
 
 #include "src/cca/cca.h"
 #include "src/check/audit.h"
+#include "src/harness/flow_table.h"
 #include "src/harness/shard_runner.h"
 #include "src/stats/fairness.h"
 #include "src/net/topology.h"
 #include "src/sim/simulator.h"
 #include "src/stats/convergence.h"
-#include "src/util/arena.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -20,11 +20,11 @@ namespace ccas {
 
 namespace {
 
-// Per-flow state lives in a MonotonicArena (contiguous blocks, destroyed
-// together at teardown); this struct only aggregates the pointers. The
-// flow's Rng must outlive its sender — CCAs (e.g. BBR's randomized
-// ProbeBW phase) keep a reference to it — which the arena's
-// reverse-construction-order destruction guarantees.
+// Per-flow state lives in one FlowTable slab per flow (rng, receiver,
+// sender, CCA packed contiguously — DESIGN.md §12); this struct only
+// aggregates the pointers. The flow's Rng must outlive its sender — CCAs
+// (e.g. BBR's randomized ProbeBW phase) keep a reference to it — which the
+// table's reverse-construction-order teardown guarantees.
 struct Flow {
   Rng* rng = nullptr;
   TcpSender* sender = nullptr;
@@ -115,6 +115,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
     net.qdisc.seed = derive_qdisc_seed(spec.seed);
   }
   DumbbellTopology topo(sim, net);
+  topo.reserve_flows(static_cast<uint32_t>(spec.total_flows()));
   QueueDisc& queue = topo.bottleneck_queue();
   queue.set_drop_log_enabled(spec.record_drop_log);
 
@@ -126,7 +127,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
   if (spec.record_congestion_log) {
     congestion_log.resize(static_cast<size_t>(spec.total_flows()));
   }
-  MonotonicArena arena;
+  FlowTable table;
   std::vector<Flow> flows;
   flows.reserve(static_cast<size_t>(spec.total_flows()));
   // ECN negotiation: senders mark ECT (and react to ECE) exactly when the
@@ -138,13 +139,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
   for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
     const FlowGroup& g = spec.groups[gi];
     for (int i = 0; i < g.count; ++i, ++flow_id) {
+      const FlowTable::Slot slot =
+          table.create(sim, flow_id, rng.fork(), g.cca,
+                       &topo.data_entry(flow_id), &topo.ack_entry(), tcp,
+                       spec.receiver);
       Flow f;
-      f.rng = arena.make<Rng>(rng.fork());
+      f.rng = slot.rng;
       f.group = static_cast<int>(gi);
-      f.receiver = arena.make<TcpReceiver>(sim, flow_id, &topo.ack_entry(),
-                                           spec.receiver);
-      f.sender = arena.make<TcpSender>(sim, flow_id, make_cca(g.cca, *f.rng),
-                                       &topo.data_entry(flow_id), tcp);
+      f.receiver = slot.receiver;
+      f.sender = slot.sender;
       topo.register_flow(flow_id, g.rtt, f.sender, f.receiver);
       if (spec.record_congestion_log) {
         std::vector<Time>& log = congestion_log[flow_id];
@@ -234,6 +237,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
       Time::zero() + spec.scenario.stagger + spec.scenario.warmup;
   sim.run_until(warmup_end);
   queue.reset_accounting();
+  // Steady-state allocation accounting starts here: warm-up covers all
+  // one-time growth (scoreboard spills, queue high-water marks), so the
+  // measurement-window delta is the per-event steady-state rate.
+  const uint64_t warm_events = sim.events_processed();
+  const uint64_t warm_allocs = sim.profile().heap_allocs;
   std::vector<FlowCounters> begin;
   begin.reserve(flows.size());
   for (uint32_t i = 0; i < flows.size(); ++i) {
@@ -280,6 +288,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
   result.measured_for = sim.now() - warmup_end;
   result.sim_events = sim.events_processed();
   result.sim_profile = sim.profile();
+  result.measure_sim_events = result.sim_events - warm_events;
+  result.measure_heap_allocs = result.sim_profile.heap_allocs - warm_allocs;
   result.queue = queue.stats();
   result.drop_times.reserve(queue.drop_log().size());
   for (const DropRecord& d : queue.drop_log()) result.drop_times.push_back(d.at);

@@ -9,13 +9,13 @@
 
 #include "src/cca/cca.h"
 #include "src/check/audit.h"
+#include "src/harness/flow_table.h"
 #include "src/net/topology.h"
 #include "src/sim/parallel/fabric.h"
 #include "src/sim/parallel/shard_plan.h"
 #include "src/sim/simulator.h"
 #include "src/stats/convergence.h"
 #include "src/stats/fairness.h"
-#include "src/util/arena.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -23,8 +23,8 @@ namespace ccas {
 
 namespace {
 
-// Arena-resident per-flow state (the objects live in the MonotonicArena;
-// this struct only aggregates the pointers).
+// Slab-resident per-flow state (the objects live in one FlowTable slab
+// per flow; this struct only aggregates the pointers).
 struct ShardedFlow {
   Rng* rng = nullptr;
   TcpSender* sender = nullptr;
@@ -108,6 +108,7 @@ ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
     net.qdisc.seed = derive_qdisc_seed(spec.seed);
   }
   DumbbellTopology topo(sim, net);
+  topo.reserve_flows(static_cast<uint32_t>(spec.total_flows()));
   QueueDisc& queue = topo.bottleneck_queue();
   queue.set_drop_log_enabled(spec.record_drop_log);
 
@@ -138,7 +139,7 @@ ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
   if (spec.record_congestion_log) {
     congestion_log.resize(static_cast<size_t>(spec.total_flows()));
   }
-  MonotonicArena arena;
+  FlowTable table;
   std::vector<ShardedFlow> flows;
   flows.reserve(static_cast<size_t>(spec.total_flows()));
   TcpSenderConfig tcp = spec.tcp;
@@ -148,15 +149,16 @@ ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
     const FlowGroup& g = spec.groups[gi];
     for (int i = 0; i < g.count; ++i, ++flow_id) {
       ShardedFlow f;
-      f.rng = arena.make<Rng>(rng.fork());
       f.group = static_cast<int>(gi);
       f.domain = plan.domain_of(flow_id);
       Simulator& fsim = fabric.domain_sim(f.domain);
-      f.receiver = arena.make<TcpReceiver>(fsim, flow_id,
-                                           &fabric.ack_gate(f.domain),
-                                           spec.receiver);
-      f.sender = arena.make<TcpSender>(fsim, flow_id, make_cca(g.cca, *f.rng),
-                                       &fabric.data_gate(f.domain), tcp);
+      const FlowTable::Slot slot =
+          table.create(fsim, flow_id, rng.fork(), g.cca,
+                       &fabric.data_gate(f.domain), &fabric.ack_gate(f.domain),
+                       tcp, spec.receiver);
+      f.rng = slot.rng;
+      f.receiver = slot.receiver;
+      f.sender = slot.sender;
       topo.register_flow(flow_id, g.rtt, f.sender, f.receiver);
       fabric.delivery(f.domain).register_flow(flow_id, f.sender, f.receiver);
       fabric.set_core_data_entry(flow_id, &topo.data_entry(flow_id));
@@ -252,6 +254,10 @@ ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
       Time::zero() + spec.scenario.stagger + spec.scenario.warmup;
   fabric.run_to(warmup_end);
   queue.reset_accounting();
+  // Steady-state allocation accounting, as in the serial runner: the
+  // measurement-window delta over all simulators (core + domains).
+  const uint64_t warm_events = fabric.total_events();
+  const uint64_t warm_allocs = fabric.aggregate_profile().heap_allocs;
   std::vector<FlowCounters> begin;
   begin.reserve(flows.size());
   for (uint32_t i = 0; i < flows.size(); ++i) {
@@ -334,6 +340,8 @@ ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
   result.measured_for = fabric.now() - warmup_end;
   result.sim_events = fabric.total_events();
   result.sim_profile = fabric.aggregate_profile();
+  result.measure_sim_events = result.sim_events - warm_events;
+  result.measure_heap_allocs = result.sim_profile.heap_allocs - warm_allocs;
   result.queue = queue.stats();
   result.drop_times.reserve(queue.drop_log().size());
   for (const DropRecord& d : queue.drop_log()) result.drop_times.push_back(d.at);

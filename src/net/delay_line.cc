@@ -25,13 +25,13 @@ NetemDelay::NetemDelay(Simulator& sim, PacketSink* dest) : sim_(sim), dest_(dest
 
 void NetemDelay::set_flow_delay(uint32_t flow_id, TimeDelta delay) {
   if (delay < TimeDelta::zero()) throw std::invalid_argument("negative delay");
-  if (flow_id >= delays_.size()) delays_.resize(flow_id + 1, TimeDelta::zero());
-  delays_[flow_id] = delay;
+  if (flow_id >= lanes_.size()) lanes_.resize(flow_id + 1);
+  lanes_[flow_id].delay = delay;
 }
 
 TimeDelta NetemDelay::flow_delay(uint32_t flow_id) const {
-  if (flow_id >= delays_.size()) return TimeDelta::zero();
-  return delays_[flow_id];
+  if (flow_id >= lanes_.size()) return TimeDelta::zero();
+  return lanes_[flow_id].delay;
 }
 
 void NetemDelay::set_jitter(TimeDelta jitter, uint64_t seed) {
@@ -47,14 +47,14 @@ void NetemDelay::accept(Packet&& pkt) {
   // handed to a relay. The relay must see the final release time: it is the
   // cross-domain deliver_at.
   const uint32_t flow = pkt.flow_id;
-  TimeDelta delay = flow_delay(flow);
-  Time release = sim_.now() + delay;
+  if (flow >= lanes_.size()) lanes_.resize(flow + 1);
+  FlowLane& lane = lanes_[flow];
+  Time release = sim_.now() + lane.delay;
   if (jitter_rng_ != nullptr) {
     release = release + jitter_ * jitter_rng_->next_double();
     // Clamp so packets of one flow never reorder.
-    if (flow >= last_release_.size()) last_release_.resize(flow + 1, Time::zero());
-    if (release < last_release_[flow]) release = last_release_[flow];
-    last_release_[flow] = release;
+    if (release < lane.last_release) release = lane.last_release;
+    lane.last_release = release;
   }
   if (relay_ != nullptr && relay_->offload(flow, release, std::move(pkt))) {
     // Offloaded packets are accounted by the receiving domain's delivery

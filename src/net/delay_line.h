@@ -72,17 +72,35 @@ class NetemDelay final : public PacketSink, public EventHandler {
   // RNG stream is identical with or without a relay installed.
   void set_relay(NetemRelay* relay) { relay_ = relay; }
 
+  // Capacity hints (no observable effect): size the per-flow lane table
+  // for `flows` flows, and the in-flight slot pool for `packets` packets,
+  // so steady-state operation never grows either (the harness calls these
+  // up front; the zero-allocation gate in tools/ccas_perf watches the
+  // result).
+  void reserve_flows(uint32_t flows) { lanes_.reserve(flows); }
+  void reserve_in_flight(size_t packets) {
+    slots_.reserve(packets);
+    free_slots_.reserve(packets);
+  }
+
   [[nodiscard]] size_t in_transit() const { return in_transit_; }
   [[nodiscard]] int64_t in_transit_bytes() const { return in_transit_bytes_; }
 
  private:
+  // Per-flow state, one cache-adjacent record per flow: the configured
+  // delay and the jitter ordering clamp live on the same line, so the hot
+  // path takes one indexed load where two parallel vectors took two.
+  struct FlowLane {
+    TimeDelta delay = TimeDelta::zero();
+    Time last_release = Time::zero();
+  };
+
   Simulator& sim_;
   PacketSink* dest_;
   NetemRelay* relay_ = nullptr;
-  std::vector<TimeDelta> delays_;
+  std::vector<FlowLane> lanes_;
   TimeDelta jitter_ = TimeDelta::zero();
   std::unique_ptr<Rng> jitter_rng_;
-  std::vector<Time> last_release_;  // per-flow ordering clamp
   // Packets in flight live in a slot pool; the scheduled event carries the
   // slot index (flows with different delays can overtake each other, so a
   // FIFO would deliver out of order).

@@ -126,6 +126,13 @@ class ImpairedLink final : public PacketSink, public EventHandler {
   void accept(Packet&& pkt) override;
   void on_event(uint32_t tag, uint64_t arg) override;
 
+  // Capacity hint (no observable effect): size the delayed-packet slot
+  // pool so reorder/jitter holds never grow it in steady state.
+  void reserve_in_flight(size_t packets) {
+    slots_.reserve(packets);
+    free_slots_.reserve(packets);
+  }
+
   [[nodiscard]] const ImpairmentStats& stats() const { return stats_; }
   [[nodiscard]] bool down() const { return down_; }
   // Packets currently held for reorder/jitter delays (auditor holder).

@@ -32,6 +32,13 @@ class SoftwareSwitch final : public PacketSink {
 class FlowDemux final : public PacketSink {
  public:
   void register_flow(uint32_t flow_id, PacketSink* sink);
+  // Drops the flow's sink so a stray packet for a torn-down endpoint is
+  // counted as an unknown-flow drop instead of dereferencing freed memory.
+  void deregister_flow(uint32_t flow_id) {
+    if (flow_id < sinks_.size()) sinks_[flow_id] = nullptr;
+  }
+  // Capacity hint for the flow-id table (no observable effect).
+  void reserve(uint32_t flows) { sinks_.reserve(flows); }
   void accept(Packet&& pkt) override;
 
   [[nodiscard]] uint64_t delivered() const { return delivered_; }

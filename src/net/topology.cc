@@ -98,6 +98,25 @@ void DumbbellTopology::register_flow(uint32_t flow_id, TimeDelta base_rtt,
   queue_->reserve_flows(flow_id + 1);
 }
 
+void DumbbellTopology::unregister_flow(uint32_t flow_id) {
+  receiver_demux_.deregister_flow(flow_id);
+  sender_demux_.deregister_flow(flow_id);
+}
+
+void DumbbellTopology::reserve_flows(uint32_t flows) {
+  forward_netem_->reserve_flows(flows);
+  reverse_netem_->reserve_flows(flows);
+  receiver_demux_.reserve(flows);
+  sender_demux_.reserve(flows);
+  queue_->reserve_flows(flows);
+  // In-flight slot pools: a few packets per flow covers typical pipes up
+  // front; warm-up growth (amortized, before measurement) covers the rest.
+  const size_t hint = static_cast<size_t>(flows) * 4 + 1024;
+  forward_netem_->reserve_in_flight(hint);
+  reverse_netem_->reserve_in_flight(hint);
+  if (impaired_ != nullptr) impaired_->reserve_in_flight(hint);
+}
+
 PacketSink& DumbbellTopology::data_entry(uint32_t flow_id) {
   if (host_queues_.empty()) return switch_;
   return *host_queues_[static_cast<size_t>(pair_of_flow(flow_id))];

@@ -69,6 +69,16 @@ class DumbbellTopology {
   void register_flow(uint32_t flow_id, TimeDelta base_rtt, PacketSink* sender_endpoint,
                      PacketSink* receiver_endpoint);
 
+  // Tears down a flow's demux routes after its endpoints are destroyed
+  // (churn slot recycling). Flow ids are never reused, so any packet still
+  // carrying this id after teardown is a bug surfaced as a counted drop.
+  void unregister_flow(uint32_t flow_id);
+
+  // Capacity hint (no observable effect): sizes every per-flow table —
+  // netem lanes, demux sinks, queue accounting — and the in-flight slot
+  // pools for `flows` flows, so a run's steady state never grows them.
+  void reserve_flows(uint32_t flows);
+
   // Where a sender's data packets enter the network. With rate-free edges
   // this is the switch itself; with finite edges it is the flow's host NIC.
   [[nodiscard]] PacketSink& data_entry(uint32_t flow_id);

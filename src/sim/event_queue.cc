@@ -40,7 +40,14 @@ void EventQueue::place(Event&& e) {
     const int page_shift = slot_shift + kSlotBits;
     if ((t >> page_shift) == (cursor_ >> page_shift)) {
       const size_t idx = (t >> slot_shift) & kSlotMask;
-      slots_[level][idx].push_back(e);
+      std::vector<Event>& v = slots_[level][idx];
+      // First touch of a cold slot reserves the level's high-water
+      // occupancy up front. The level-2 ring advances without wrapping
+      // within a run (one slot spans ~268 ms, the ring ~68 s), so without
+      // this every slot ahead of the cursor re-pays the full doubling
+      // chain of heap allocations as RTO entries accumulate in it.
+      if (v.capacity() == 0 && warm_[level] != 0) v.reserve(warm_[level]);
+      v.push_back(e);
       occ_[level][idx >> 6] |= uint64_t{1} << (idx & 63);
       if (profile_) ++profile_->pushes_wheel;
       return;
@@ -91,9 +98,16 @@ void EventQueue::settle() {
       cursor_ = (cursor_ & ~page_mask) | (static_cast<uint64_t>(s) << slot_shift);
       due_end_ = cursor_ + (uint64_t{1} << kShift0);
       occ_[level][s >> 6] &= ~(uint64_t{1} << (s & 63));
-      std::vector<Event> batch = std::move(slots_[level][s]);
-      slots_[level][s].clear();
-      for (Event& e : batch) place(std::move(e));
+      // Swap through a persistent scratch buffer instead of moving into a
+      // temporary: the drained slot inherits the scratch capacity and the
+      // scratch keeps the slot's, so cascades stop freeing and re-growing
+      // slot vectors once the queue reaches its high-water occupancy —
+      // this was the last steady-state heap-allocation source on the hot
+      // path (every propagation-delay push lands in a coarse level).
+      scratch_.clear();
+      std::swap(scratch_, slots_[level][s]);
+      if (scratch_.size() > warm_[level]) warm_[level] = scratch_.size();
+      for (Event& e : scratch_) place(std::move(e));
       if (profile_) ++profile_->wheel_cascades;
       cascaded = true;
     }
@@ -140,6 +154,7 @@ void EventQueue::clear() {
     for (auto& slot : level) slot.clear();
   }
   for (auto& level : occ_) level.fill(0);
+  warm_.fill(0);
   cursor_ = 0;
   due_end_ = uint64_t{1} << kShift0;
   size_ = 0;

@@ -53,6 +53,15 @@ class EventQueue {
   // heap_.front() of an empty vector — UB).
   Event pop();
 
+  // The next event already settled into the due heap, or nullptr when the
+  // current slot is drained (the true next event then still sits in a
+  // wheel slot). Never settles, so it is O(1) and has no observable effect
+  // on dispatch order — it exists purely so the run loop can issue a
+  // prefetch for event N+1 while event N executes.
+  [[nodiscard]] const Event* peek_due() const {
+    return due_.empty() ? nullptr : due_.data();
+  }
+
   void clear();
 
  private:
@@ -75,6 +84,10 @@ class EventQueue {
   // (time, seq) min-heaps via std::push_heap/pop_heap with EventAfter.
   std::vector<Event> due_;       // events of the slot being consumed
   std::vector<Event> overflow_;  // beyond the wheels' horizon
+  std::vector<Event> scratch_;   // cascade staging; capacity recycled
+  // Per-level high-water slot occupancy: cold slots reserve this on first
+  // touch instead of re-growing from zero as the coarse rings advance.
+  std::array<size_t, kLevels> warm_{};
 
   std::array<std::array<std::vector<Event>, kSlots>, kLevels> slots_;
   std::array<std::array<uint64_t, 4>, kLevels> occ_{};  // per-level bitmaps

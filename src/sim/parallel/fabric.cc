@@ -81,9 +81,22 @@ ShardFabric::ShardFabric(Simulator& core, const ShardPlan& plan,
   }
   win_ = lookahead - TimeDelta::nanos(1);
   domains_.reserve(static_cast<size_t>(plan.shards));
+  // Exchange buffers (gate captures, core->edge staging, the merge
+  // scratch) are drained with clear() every window, so their capacity is
+  // the high-water mark and is reused for the rest of the run. Seed that
+  // capacity proportional to the sharded flow population up front: a few
+  // in-flight packets per flow covers typical windows, and warm-up growth
+  // (before any measurement window) absorbs the tail.
+  const size_t per_domain =
+      static_cast<size_t>(plan.sharded_flows) /
+          static_cast<size_t>(plan.shards > 0 ? plan.shards : 1) * 4 + 256;
   for (int d = 0; d < plan.shards; ++d) {
     domains_.push_back(std::make_unique<Domain>());
+    domains_.back()->ingress.reserve(per_domain);
+    domains_.back()->staging.reserve(per_domain);
   }
+  core_data_entries_.reserve(plan.sharded_flows);
+  merged_.reserve(static_cast<size_t>(plan.sharded_flows) * 4 + 1024);
   // Causal keys reconstruct the serial same-nanosecond dispatch order
   // across engines (event.h). Topology construction precedes the fabric,
   // so its setup pushes carry zero keys and sort first — exactly their
@@ -285,6 +298,7 @@ SimProfile ShardFabric::aggregate_profile() const {
     agg.impair_delays += p.impair_delays;
     agg.qdisc_head_drops += p.qdisc_head_drops;
     agg.qdisc_marks += p.qdisc_marks;
+    agg.heap_allocs += p.heap_allocs;
   }
   // Per-sim wall clocks overlap across threads; the honest number for
   // events/s is the fabric's own end-to-end clock.

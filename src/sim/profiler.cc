@@ -41,6 +41,8 @@ std::string SimProfile::summary() const {
           static_cast<unsigned long long>(pushes_overflow),
           static_cast<unsigned long long>(wheel_cascades),
           static_cast<unsigned long long>(overflow_drains));
+  appendf(out, "  heap: %llu allocations in-loop (%.6f per event)\n",
+          static_cast<unsigned long long>(heap_allocs), allocs_per_event());
   appendf(out,
           "  timers: wasted wakeups=%llu (stale=%llu chase=%llu), "
           "coalesced re-arms=%llu\n",

@@ -51,6 +51,13 @@ struct SimProfile {
   uint64_t qdisc_head_drops = 0;
   uint64_t qdisc_marks = 0;
 
+  // Global heap allocations (operator new, counted by
+  // src/util/alloc_counter.cc) performed while inside run()/run_until().
+  // Steady-state bulk transfer and churn arrivals are designed to keep the
+  // per-event rate at zero once pools/rings reach their high-water sets;
+  // the perf gate enforces that (DESIGN.md §12).
+  uint64_t heap_allocs = 0;
+
   // Wall clock, accumulated across run()/run_until() calls.
   double wall_seconds = 0.0;
   double sim_seconds = 0.0;
@@ -74,6 +81,12 @@ struct SimProfile {
   }
   [[nodiscard]] double wall_sec_per_sim_sec() const {
     return sim_seconds > 0.0 ? wall_seconds / sim_seconds : 0.0;
+  }
+  [[nodiscard]] double allocs_per_event() const {
+    return events_dispatched > 0
+               ? static_cast<double>(heap_allocs) /
+                     static_cast<double>(events_dispatched)
+               : 0.0;
   }
 
   // Multi-line human-readable report (the `--perf` output).

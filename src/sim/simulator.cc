@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/check/audit.h"
+#include "src/util/alloc_counter.h"
 
 namespace ccas {
 
@@ -56,6 +57,13 @@ void Simulator::FnDispatcher::on_event(uint32_t /*tag*/, uint64_t arg) {
 }
 
 void Simulator::dispatch(const Event& e) {
+  // Overlap the next handler's cache miss with this event's execution. At
+  // 20k flows the handler (often a Timer embedded in a flow slab) is cold;
+  // a prefetch hint never faults, even if the object was since destroyed
+  // (lazily cancelled timer entries), and cannot alter dispatch order.
+  if (const Event* n = queue_.peek_due()) {
+    __builtin_prefetch(static_cast<const void*>(n->handler));
+  }
   if (auto* a = auditor()) a->on_event_dispatched(now_, e.at);
   now_ = e.at;
   if (causal_) {
@@ -105,9 +113,11 @@ void Simulator::run() {
   stopped_ = false;
   const auto wall_start = std::chrono::steady_clock::now();
   const Time sim_start = now_;
+  const uint64_t allocs_start = thread_heap_allocs();
   while (!stopped_ && !queue_.empty()) {
     dispatch(queue_.pop());
   }
+  profile_.heap_allocs += thread_heap_allocs() - allocs_start;
   profile_.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
@@ -125,10 +135,12 @@ void Simulator::run_until_excl(Time bound) {
   }
   const auto wall_start = std::chrono::steady_clock::now();
   const Time sim_start = now_;
+  const uint64_t allocs_start = thread_heap_allocs();
   while (!stopped_ && !queue_.empty() && queue_.top().at < bound) {
     dispatch(queue_.pop());
   }
   if (!stopped_ && now_ < bound) now_ = bound;
+  profile_.heap_allocs += thread_heap_allocs() - allocs_start;
   profile_.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
@@ -150,10 +162,12 @@ void Simulator::run_until_before(Time at, CausalKey key) {
   }
   const auto wall_start = std::chrono::steady_clock::now();
   const Time sim_start = now_;
+  const uint64_t allocs_start = thread_heap_allocs();
   while (!stopped_ && !queue_.empty() && before(queue_.top())) {
     dispatch(queue_.pop());
   }
   if (!stopped_ && now_ < at) now_ = at;
+  profile_.heap_allocs += thread_heap_allocs() - allocs_start;
   profile_.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
@@ -164,10 +178,12 @@ void Simulator::run_until(Time deadline) {
   stopped_ = false;
   const auto wall_start = std::chrono::steady_clock::now();
   const Time sim_start = now_;
+  const uint64_t allocs_start = thread_heap_allocs();
   while (!stopped_ && !queue_.empty() && queue_.top().at <= deadline) {
     dispatch(queue_.pop());
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
+  profile_.heap_allocs += thread_heap_allocs() - allocs_start;
   profile_.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();

@@ -14,6 +14,7 @@
 #include "src/sim/budget.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/profiler.h"
+#include "src/util/node_pool.h"
 
 namespace ccas {
 
@@ -31,6 +32,12 @@ class Simulator {
   // wall-clock accumulated over run()/run_until()).
   [[nodiscard]] const SimProfile& profile() const { return profile_; }
   [[nodiscard]] SimProfile& mutable_profile() { return profile_; }
+
+  // Spill-node pool shared by every per-flow container in this simulation
+  // (RunList runs, and anything else with inline-first storage). One pool
+  // per Simulator: the pool is single-threaded by construction, since a
+  // Simulator only ever runs on one thread at a time.
+  [[nodiscard]] NodePool& node_pool() { return node_pool_; }
 
   // Fast-path scheduling: handler/tag/arg, no allocation.
   void schedule_at(Time at, EventHandler* handler, uint32_t tag, uint64_t arg = 0);
@@ -149,6 +156,7 @@ class Simulator {
   uint32_t cur_ctr_ = 0;
   check::InvariantAuditor* auditor_ = nullptr;
   const SimBudget* budget_ = nullptr;
+  NodePool node_pool_;
   FnDispatcher fn_dispatcher_{*this};
 };
 

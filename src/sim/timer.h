@@ -52,6 +52,7 @@ class Timer final : public EventHandler {
     ++generation_;
     scheduled_ = true;
     scheduled_at_ = at;
+    note_push(at);
     sim_.schedule_at(at, this, 0, generation_);
   }
   void arm_in(TimeDelta delay) { arm_at(sim_.now() + delay); }
@@ -66,7 +67,21 @@ class Timer final : public EventHandler {
   [[nodiscard]] bool is_armed() const { return armed_; }
   [[nodiscard]] Time expiry() const { return expiry_; }
 
+  // Whether any queue entry pointing at this timer is still pending — even
+  // a cancelled or superseded timer keeps each pushed entry until it fires
+  // (removal is lazy), and a re-arm-earlier can leave two entries live at
+  // once. The owner of a Timer must not be destroyed while an entry is
+  // pending, or the dispatch would be a use-after-free; the churn
+  // harness's slot reaper polls these before recycling a flow slab
+  // (DESIGN.md §12).
+  [[nodiscard]] bool has_pending_entry() const { return pending_entries_ > 0; }
+  // Timestamp of the last pending entry to fire; Time::zero() when none is
+  // pending.
+  [[nodiscard]] Time pending_entry_at() const { return latest_pending_at_; }
+
   void on_event(uint32_t /*tag*/, uint64_t arg) override {
+    --pending_entries_;
+    if (pending_entries_ == 0) latest_pending_at_ = Time::zero();
     if (arg != generation_) {
       // Superseded by an earlier re-arm.
       ++sim_.mutable_profile().timer_stale_wakeups;
@@ -80,6 +95,7 @@ class Timer final : public EventHandler {
       ++generation_;
       scheduled_ = true;
       scheduled_at_ = expiry_;
+      note_push(expiry_);
       sim_.schedule_at(expiry_, this, 0, generation_);
       return;
     }
@@ -88,12 +104,19 @@ class Timer final : public EventHandler {
   }
 
  private:
+  void note_push(Time at) {
+    ++pending_entries_;
+    if (at > latest_pending_at_) latest_pending_at_ = at;
+  }
+
   Simulator& sim_;
   std::function<void()> callback_;
   uint64_t generation_ = 0;
   Time expiry_ = Time::zero();
   Time scheduled_at_ = Time::zero();
+  Time latest_pending_at_ = Time::zero();
   TimeDelta rearm_slack_ = TimeDelta::zero();
+  uint32_t pending_entries_ = 0;
   bool armed_ = false;
   bool scheduled_ = false;
 };

@@ -49,6 +49,19 @@ struct SegmentState {
 
 class SackScoreboard {
  public:
+  // Inline segment-ring capacity: at CoreScale cells the average window is
+  // ~14 segments, so most flows never leave their own cache lines.
+  static constexpr size_t kInlineSegs = 16;
+
+  // Attach the owning Simulator's NodePool to the run lists so spill
+  // storage recycles through the pool instead of the heap. Call before
+  // first use (the sender constructor does).
+  void set_pool(NodePool* pool) {
+    sacked_runs_.set_pool(pool);
+    lost_runs_.set_pool(pool);
+    outstanding_runs_.set_pool(pool);
+  }
+
   [[nodiscard]] uint64_t snd_una() const { return una_; }
   [[nodiscard]] uint64_t snd_nxt() const { return una_ + segs_.size(); }
   [[nodiscard]] bool empty() const { return segs_.empty(); }
@@ -262,7 +275,7 @@ class SackScoreboard {
 
  private:
   uint64_t una_ = 0;
-  RingBuffer<SegmentState> segs_;
+  RingBuffer<SegmentState, kInlineSegs> segs_;
   uint64_t sacked_count_ = 0;
   uint64_t lost_count_ = 0;
   uint64_t highest_sacked_end_ = 0;

@@ -10,12 +10,13 @@ namespace ccas {
 TcpReceiver::TcpReceiver(Simulator& sim, uint32_t flow_id, PacketSink* ack_path,
                          const TcpReceiverConfig& config)
     : sim_(sim),
-      flow_id_(flow_id),
       ack_path_(ack_path),
-      config_(config),
+      flow_id_(flow_id),
       delack_timer_(sim, [this] { on_delack_timeout(); }),
       gro_timer_(sim, [this] { on_gro_timeout(); }) {
   if (ack_path == nullptr) throw std::invalid_argument("TcpReceiver: null ack path");
+  cold_.config = config;
+  ooo_.set_pool(&sim.node_pool());
 }
 
 void TcpReceiver::deliver_segment(uint64_t seq, bool& was_duplicate, bool& filled_hole) {
@@ -46,7 +47,7 @@ void TcpReceiver::deliver_segment(uint64_t seq, bool& was_duplicate, bool& fille
 void TcpReceiver::accept(Packet&& pkt) {
   if (pkt.type != PacketType::kData) return;  // receivers only consume data
   if (auto* a = sim_.auditor()) a->on_packet_delivered(pkt);
-  ++segments_received_;
+  ++cold_.segments_received;
   // ECN (RFC 3168): CWR on data confirms the sender reacted — stop echoing
   // ECE. A CE mark (possibly on the same packet, CWR first) restarts the
   // echo and demands an immediate ACK so the signal reaches the sender
@@ -54,7 +55,7 @@ void TcpReceiver::accept(Packet&& pkt) {
   if ((pkt.ecn & kEcnCwr) != 0) ece_pending_ = false;
   const bool ce_marked = (pkt.ecn & kEcnCe) != 0;
   if (ce_marked) {
-    ++ce_received_;
+    ++cold_.ce_received;
     ece_pending_ = true;
   }
   const uint64_t seq = pkt.seq;
@@ -63,12 +64,12 @@ void TcpReceiver::accept(Packet&& pkt) {
   bool was_duplicate = false;
   bool filled_hole = false;
   deliver_segment(seq, was_duplicate, filled_hole);
-  if (was_duplicate) ++duplicate_segments_;
+  if (was_duplicate) ++cold_.duplicate_segments;
 
   // RFC 5681: immediate ACK for out-of-order data (generates dupacks), for
   // data that fills a hole, and for duplicates; delayed ACK only for plain
   // in-order data. Any such event also flushes a pending GRO batch.
-  const bool immediate = !config_.delayed_ack || !in_order || filled_hole ||
+  const bool immediate = !cold_.config.delayed_ack || !in_order || filled_hole ||
                          was_duplicate || !ooo_.empty() || ce_marked;
   if (immediate) {
     gro_pending_ = 0;
@@ -77,12 +78,12 @@ void TcpReceiver::accept(Packet&& pkt) {
     return;
   }
 
-  if (!config_.gro_enabled) {
+  if (!cold_.config.gro_enabled) {
     ++unacked_in_order_;
-    if (unacked_in_order_ >= config_.delack_segment_threshold) {
+    if (unacked_in_order_ >= cold_.config.delack_segment_threshold) {
       send_ack_now(seq);
     } else {
-      delack_timer_.arm_in_if_idle(config_.delack_timeout);
+      delack_timer_.arm_in_if_idle(cold_.config.delack_timeout);
     }
     return;
   }
@@ -91,15 +92,15 @@ void TcpReceiver::accept(Packet&& pkt) {
   // previous one; otherwise close the old batch first.
   const Time now = sim_.now();
   const bool back_to_back = gro_pending_ > 0 && seq == gro_last_seq_ + 1 &&
-                            now - gro_last_arrival_ <= config_.gro_flush_timeout;
+                            now - gro_last_arrival_ <= cold_.config.gro_flush_timeout;
   if (gro_pending_ > 0 && !back_to_back) flush_gro_batch();
   ++gro_pending_;
   gro_last_arrival_ = now;
   gro_last_seq_ = seq;
-  if (gro_pending_ >= config_.gro_max_segments) {
+  if (gro_pending_ >= cold_.config.gro_max_segments) {
     flush_gro_batch();
   } else {
-    gro_timer_.arm_in(config_.gro_flush_timeout);
+    gro_timer_.arm_in(cold_.config.gro_flush_timeout);
   }
 }
 
@@ -111,10 +112,10 @@ void TcpReceiver::flush_gro_batch() {
   // Linux ACK policy over a coalesced super-segment: >= 2 MSS of new data
   // is ACKed immediately; a single segment goes through delayed ACK.
   unacked_in_order_ += batch;
-  if (unacked_in_order_ >= config_.delack_segment_threshold) {
+  if (unacked_in_order_ >= cold_.config.delack_segment_threshold) {
     send_ack_now(gro_last_seq_);
   } else {
-    delack_timer_.arm_in_if_idle(config_.delack_timeout);
+    delack_timer_.arm_in_if_idle(cold_.config.delack_timeout);
   }
 }
 
@@ -141,7 +142,7 @@ void TcpReceiver::send_ack_now(uint64_t trigger_seq) {
   Packet ack = Packet::make_ack(flow_id_, DumbbellTopology::kToSenders, rcv_nxt_);
   fill_sack_blocks(ack, trigger_seq);
   if (ece_pending_) ack.ecn |= kEcnEce;
-  ++acks_sent_;
+  ++cold_.acks_sent;
   if (auto* a = sim_.auditor()) a->on_packet_injected(ack);
   ack_path_->accept(std::move(ack));
 }

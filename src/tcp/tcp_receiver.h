@@ -49,14 +49,27 @@ class TcpReceiver final : public PacketSink {
   [[nodiscard]] int64_t goodput_bytes() const {
     return static_cast<int64_t>(rcv_nxt_) * kMssBytes;
   }
-  [[nodiscard]] uint64_t segments_received() const { return segments_received_; }
-  [[nodiscard]] uint64_t duplicate_segments() const { return duplicate_segments_; }
-  [[nodiscard]] uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] uint64_t segments_received() const {
+    return cold_.segments_received;
+  }
+  [[nodiscard]] uint64_t duplicate_segments() const {
+    return cold_.duplicate_segments;
+  }
+  [[nodiscard]] uint64_t acks_sent() const { return cold_.acks_sent; }
   [[nodiscard]] size_t out_of_order_ranges() const { return ooo_.run_count(); }
   // ECN: data packets that arrived with CE set, and whether ECE is
   // currently being echoed (cleared by the sender's CWR).
-  [[nodiscard]] uint64_t ce_received() const { return ce_received_; }
+  [[nodiscard]] uint64_t ce_received() const { return cold_.ce_received; }
   [[nodiscard]] bool ece_pending() const { return ece_pending_; }
+
+  // Timestamp of the last pending timer queue entry (delack or GRO) still
+  // referencing this receiver; Time::zero() when none. See
+  // TcpSender::latest_timer_entry().
+  [[nodiscard]] Time latest_timer_entry() const {
+    const Time a = delack_timer_.pending_entry_at();
+    const Time b = gro_timer_.pending_entry_at();
+    return a > b ? a : b;
+  }
 
  private:
   void deliver_segment(uint64_t seq, bool& was_duplicate, bool& filled_hole);
@@ -67,31 +80,38 @@ class TcpReceiver final : public PacketSink {
   void flush_gro_batch();
   void on_gro_timeout();
 
+  // --- Hot state: the per-segment receive path (deliver, ACK policy, GRO
+  // batching), packed first so it shares the flow slab's leading cache
+  // lines (DESIGN.md §12). ---
   Simulator& sim_;
-  uint32_t flow_id_;
   PacketSink* ack_path_;
-  TcpReceiverConfig config_;
-
-  uint64_t rcv_nxt_ = 0;
-  // Out-of-order ranges [start, end), disjoint and non-adjacent, all > rcv_nxt_.
-  RunList ooo_;
-
+  uint32_t flow_id_;
   uint32_t unacked_in_order_ = 0;  // delayed-ACK counter (in batches)
-  Timer delack_timer_;
+  uint64_t rcv_nxt_ = 0;
 
   // GRO batch state.
   uint32_t gro_pending_ = 0;
-  Time gro_last_arrival_ = Time::zero();
-  uint64_t gro_last_seq_ = 0;
-  Timer gro_timer_;
-
-  uint64_t segments_received_ = 0;
-  uint64_t duplicate_segments_ = 0;
-  uint64_t acks_sent_ = 0;
-
   // ECN echo state (RFC 3168 §6.1.3).
   bool ece_pending_ = false;
-  uint64_t ce_received_ = 0;
+  Time gro_last_arrival_ = Time::zero();
+  uint64_t gro_last_seq_ = 0;
+
+  // Out-of-order ranges [start, end), disjoint and non-adjacent, all > rcv_nxt_.
+  RunList ooo_;  // inline runs, pool-spilled
+
+  Timer delack_timer_;
+  Timer gro_timer_;
+
+  // --- Cold state: configuration and statistics, never read per segment
+  // except the config mirrors below. ---
+  struct Cold {
+    TcpReceiverConfig config;
+    uint64_t segments_received = 0;
+    uint64_t duplicate_segments = 0;
+    uint64_t acks_sent = 0;
+    uint64_t ce_received = 0;
+  };
+  Cold cold_;
 };
 
 }  // namespace ccas

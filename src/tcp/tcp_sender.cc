@@ -12,17 +12,29 @@ namespace ccas {
 TcpSender::TcpSender(Simulator& sim, uint32_t flow_id,
                      std::unique_ptr<CongestionController> cca, PacketSink* data_path,
                      const TcpSenderConfig& config)
+    : TcpSender(sim, flow_id, cca.get(), data_path, config) {
+  cold_.owned_cca = std::move(cca);
+}
+
+TcpSender::TcpSender(Simulator& sim, uint32_t flow_id, CongestionController* cca,
+                     PacketSink* data_path, const TcpSenderConfig& config)
     : sim_(sim),
-      flow_id_(flow_id),
-      cca_(std::move(cca)),
+      cca_(cca),
       data_path_(data_path),
-      config_(config),
-      rtt_(config.rtt),
+      flow_id_(flow_id),
+      sack_enabled_(config.sack_enabled),
+      ecn_enabled_(config.ecn_enabled),
+      dup_thresh_(config.dup_thresh),
+      data_segments_(config.data_segments),
+      max_window_(config.max_window),
       rto_timer_(sim, [this] { on_rto_fire(); }),
-      pacing_timer_(sim, [this] { try_send(); }) {
+      pacing_timer_(sim, [this] { try_send(); }),
+      rtt_(config.rtt) {
   if (cca_ == nullptr) throw std::invalid_argument("TcpSender: null CCA");
   if (data_path_ == nullptr) throw std::invalid_argument("TcpSender: null data path");
   if (config.dup_thresh == 0) throw std::invalid_argument("dup_thresh must be >= 1");
+  cold_.config = config;
+  sb_.set_pool(&sim.node_pool());
   rto_timer_.set_rearm_slack(config.rto_rearm_slack);
 }
 
@@ -40,7 +52,7 @@ void TcpSender::accept(Packet&& pkt) {
 
 void TcpSender::process_ack(const Packet& ack) {
   const Time now = sim_.now();
-  ++stats_.acks_received;
+  ++cold_.stats.acks_received;
   if (ack.ack_seq > sb_.snd_nxt()) throw std::logic_error("ACK beyond snd_nxt");
 
   const bool cum_advanced = ack.ack_seq > sb_.snd_una();
@@ -64,14 +76,14 @@ void TcpSender::process_ack(const Packet& ack) {
   };
 
   uint64_t newly_delivered = sb_.advance_una(ack.ack_seq, on_delivered);
-  if (config_.sack_enabled) {
+  if (sack_enabled_) {
     for (uint8_t i = 0; i < ack.num_sacks; ++i) {
       const SackBlock b = ack.sack(i);
       if (b.empty()) continue;
       newly_delivered += sb_.apply_sack(b.start, b.end, on_delivered);
     }
   }
-  stats_.delivered += newly_delivered;
+  cold_.stats.delivered += newly_delivered;
 
   // Duplicate-ACK accounting (drives loss detection when SACK is off, and
   // is reported either way).
@@ -80,8 +92,8 @@ void TcpSender::process_ack(const Packet& ack) {
     reno_deflate_hint_ = 0;
   } else if (!sb_.empty()) {
     ++dupack_count_;
-    ++stats_.dupacks;
-    if (!config_.sack_enabled) {
+    ++cold_.stats.dupacks;
+    if (!sack_enabled_) {
       // Without SACK, each dupack still proves one segment left the
       // network (RFC 5681's cwnd-inflation expressed as pipe deflation);
       // this is what lets recovery proceed instead of stalling into RTO.
@@ -106,10 +118,10 @@ void TcpSender::process_ack(const Packet& ack) {
     if (st.outstanding) --pipe_;
   };
   bool force_retransmit = false;
-  if (config_.sack_enabled) {
-    sb_.mark_lost_by_sack(config_.dup_thresh, on_lost);
+  if (sack_enabled_) {
+    sb_.mark_lost_by_sack(dup_thresh_, on_lost);
   } else {
-    if (state_ == State::kOpen && dupack_count_ >= config_.dup_thresh && !sb_.empty()) {
+    if (state_ == State::kOpen && dupack_count_ >= dup_thresh_ && !sb_.empty()) {
       sb_.mark_lost(sb_.snd_una(), on_lost);
       force_retransmit = true;
     }
@@ -130,8 +142,8 @@ void TcpSender::process_ack(const Packet& ack) {
   if (state_ == State::kOpen && sb_.lost_count() > 0) {
     state_ = State::kRecovery;
     recovery_point_ = sb_.snd_nxt();
-    ++stats_.congestion_events;
-    if (congestion_event_cb_) congestion_event_cb_(now);
+    ++cold_.stats.congestion_events;
+    if (cold_.congestion_event_cb) cold_.congestion_event_cb(now);
     // PRR (RFC 6937) epoch starts here.
     prr_delivered_ = 0;
     prr_out_ = 0;
@@ -149,11 +161,11 @@ void TcpSender::process_ack(const Packet& ack) {
   // nothing to retransmit and no recovery episode. At most one reduction
   // per window of data: ECE on ACKs that do not reach ecn_cwr_point_
   // echoes a mark this sender already reacted to.
-  if (config_.ecn_enabled && (ack.ecn & kEcnEce) != 0 && state_ == State::kOpen &&
+  if (ecn_enabled_ && (ack.ecn & kEcnEce) != 0 && state_ == State::kOpen &&
       ack.ack_seq >= ecn_cwr_point_) {
-    ++stats_.congestion_events;
-    ++stats_.ecn_reductions;
-    if (congestion_event_cb_) congestion_event_cb_(now);
+    ++cold_.stats.congestion_events;
+    ++cold_.stats.ecn_reductions;
+    if (cold_.congestion_event_cb) cold_.congestion_event_cb(now);
     cca_->on_congestion_event(now, pipe_);
     ecn_cwr_point_ = sb_.snd_nxt();
     cwr_pending_ = true;
@@ -182,8 +194,8 @@ void TcpSender::process_ack(const Packet& ack) {
   if (rtt_sample > TimeDelta::zero()) {
     rtt_.add_sample(rtt_sample);
     rto_backoff_shift_ = 0;
-    stats_.rtt_sample_sum_ns += rtt_sample.ns();
-    ++stats_.rtt_sample_count;
+    cold_.stats.rtt_sample_sum_ns += rtt_sample.ns();
+    ++cold_.stats.rtt_sample_count;
   }
 
   AckEvent ev;
@@ -227,7 +239,7 @@ void TcpSender::process_ack(const Packet& ack) {
     completion_fired_ = true;
     rto_timer_.cancel();
     pacing_timer_.cancel();
-    if (completion_cb_) completion_cb_();
+    if (cold_.completion_cb) cold_.completion_cb();
   }
 }
 
@@ -244,7 +256,7 @@ void TcpSender::arm_rto() { rto_timer_.arm_in(current_rto()); }
 
 void TcpSender::on_rto_fire() {
   if (pipe_ == 0 && sb_.empty()) return;  // nothing to recover
-  ++stats_.rto_events;
+  ++cold_.stats.rto_events;
   rto_backoff_shift_ = std::min<uint32_t>(rto_backoff_shift_ + 1, 10);
   cca_->on_rto(sim_.now());
   // Everything is presumed lost; mark_all_lost also clears every
@@ -295,9 +307,9 @@ bool TcpSender::send_one(Time now) {
       return true;
     }
   }
-  if (sb_.window_size() >= config_.max_window) return false;
+  if (sb_.window_size() >= max_window_) return false;
   // Finite source: no new data beyond the transfer size.
-  if (config_.data_segments > 0 && sb_.snd_nxt() >= config_.data_segments) {
+  if (data_segments_ > 0 && sb_.snd_nxt() >= data_segments_) {
     return false;
   }
   sb_.extend();
@@ -319,8 +331,8 @@ void TcpSender::transmit_segment(Time now, uint64_t seq, bool retransmit,
   ++st.tx_count;
   ++pipe_;
 
-  ++stats_.segments_sent;
-  if (retransmit) ++stats_.retransmits;
+  ++cold_.stats.segments_sent;
+  if (retransmit) ++cold_.stats.retransmits;
   if (state_ == State::kRecovery) {
     ++prr_out_;
     if (prr_budget_ > 0) --prr_budget_;
@@ -336,7 +348,7 @@ void TcpSender::transmit_segment(Time now, uint64_t seq, bool retransmit,
 
   Packet pkt =
       Packet::make_data(flow_id_, DumbbellTopology::kToReceivers, seq, retransmit);
-  if (config_.ecn_enabled) {
+  if (ecn_enabled_) {
     pkt.ecn = kEcnEct;
     if (cwr_pending_) {
       pkt.ecn |= kEcnCwr;

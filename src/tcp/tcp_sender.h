@@ -7,6 +7,7 @@
 // always available, so sending is limited purely by cwnd and pacing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -70,6 +71,11 @@ class TcpSender final : public PacketSink {
   TcpSender(Simulator& sim, uint32_t flow_id,
             std::unique_ptr<CongestionController> cca, PacketSink* data_path,
             const TcpSenderConfig& config = {});
+  // Non-owning variant: `cca` lives in external storage (the harness
+  // FlowTable constructs it into the flow's slab, right next to this
+  // sender) and must outlive the sender.
+  TcpSender(Simulator& sim, uint32_t flow_id, CongestionController* cca,
+            PacketSink* data_path, const TcpSenderConfig& config = {});
 
   // Begins transmitting (the flow's staggered start time in experiments).
   void start();
@@ -78,14 +84,14 @@ class TcpSender final : public PacketSink {
   // ACKs arrive here from the return path.
   void accept(Packet&& pkt) override;
 
-  [[nodiscard]] const TcpSenderStats& stats() const { return stats_; }
+  [[nodiscard]] const TcpSenderStats& stats() const { return cold_.stats; }
   [[nodiscard]] const CongestionController& cca() const { return *cca_; }
   [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
   [[nodiscard]] const SackScoreboard& scoreboard() const { return sb_; }
   [[nodiscard]] const DeliveryRateEstimator& rate_estimator() const {
     return rate_est_;
   }
-  [[nodiscard]] const TcpSenderConfig& config() const { return config_; }
+  [[nodiscard]] const TcpSenderConfig& config() const { return cold_.config; }
   [[nodiscard]] uint64_t inflight() const { return pipe_; }
   [[nodiscard]] uint64_t snd_una() const { return sb_.snd_una(); }
   [[nodiscard]] uint64_t snd_nxt() const { return sb_.snd_nxt(); }
@@ -93,21 +99,30 @@ class TcpSender final : public PacketSink {
 
   // Finite flows (config.data_segments > 0): all data cum-ACKed.
   [[nodiscard]] bool complete() const {
-    return config_.data_segments > 0 && sb_.snd_una() >= config_.data_segments;
+    return data_segments_ > 0 && sb_.snd_una() >= data_segments_;
   }
   // Invoked once when the flow completes (before the callback returns the
   // sender is fully quiescent: timers cancelled, nothing in flight).
   void set_completion_callback(std::function<void()> cb) {
-    completion_cb_ = std::move(cb);
+    cold_.completion_cb = std::move(cb);
   }
   // Invoked at every congestion event (fast-recovery entry) with the sim
   // time; the golden-trace harness records these per flow.
   void set_congestion_event_callback(std::function<void(Time)> cb) {
-    congestion_event_cb_ = std::move(cb);
+    cold_.congestion_event_cb = std::move(cb);
+  }
+
+  // Timestamp of the last pending timer queue entry (RTO or pacing) still
+  // referencing this sender; Time::zero() when none. The churn reaper must
+  // see zero (or a time in the past) before recycling the flow's slab —
+  // see Timer::has_pending_entry().
+  [[nodiscard]] Time latest_timer_entry() const {
+    return std::max(rto_timer_.pending_entry_at(),
+                    pacing_timer_.pending_entry_at());
   }
 
  private:
-  enum class State { kOpen, kRecovery, kLoss };
+  enum class State : uint8_t { kOpen, kRecovery, kLoss };
 
   void process_ack(const Packet& ack);
   void try_send();
@@ -123,19 +138,29 @@ class TcpSender final : public PacketSink {
     return !cca_->pacing_rate().is_infinite();
   }
 
+  // --- Hot state. Everything the per-ACK / per-transmit path touches sits
+  // at the front of the object, scalars packed first, so a flow's working
+  // set begins in the leading cache lines of its FlowTable slab and the
+  // cold configuration/stats/callbacks never share those lines
+  // (DESIGN.md §12). ---
   Simulator& sim_;
-  uint32_t flow_id_;
-  std::unique_ptr<CongestionController> cca_;
+  // Raw pointer on the hot path; ownership (if any) is cold state below.
+  CongestionController* cca_;
   PacketSink* data_path_;
-  TcpSenderConfig config_;
-
-  SackScoreboard sb_;
-  DeliveryRateEstimator rate_est_;
-  RttEstimator rtt_;
-  TcpSenderStats stats_;
-
-  bool started_ = false;
+  uint32_t flow_id_;
   State state_ = State::kOpen;
+  bool started_ = false;
+  bool in_try_send_ = false;  // re-entrancy guard
+  bool cwr_pending_ = false;
+  bool completion_fired_ = false;
+  // Immutable mirrors of the config fields the per-ACK path reads, so
+  // steady-state processing never dereferences into the cold struct.
+  bool sack_enabled_;
+  bool ecn_enabled_;
+  uint32_t rto_backoff_shift_ = 0;
+  uint64_t dup_thresh_;
+  uint64_t data_segments_;
+  uint64_t max_window_;
   uint64_t pipe_ = 0;            // segments presumed in flight (RFC 6675)
   uint64_t recovery_point_ = 0;  // snd_nxt at recovery entry
   uint64_t dupack_count_ = 0;
@@ -147,7 +172,6 @@ class TcpSender final : public PacketSink {
   // sender already reacted to. cwr_pending_ makes the next data segment
   // carry CWR so the receiver stops echoing.
   uint64_t ecn_cwr_point_ = 0;
-  bool cwr_pending_ = false;
 
   // Proportional Rate Reduction (RFC 6937) state, active in kRecovery:
   // transmissions are clocked against deliveries so the reduction to
@@ -157,16 +181,24 @@ class TcpSender final : public PacketSink {
   uint64_t prr_recover_fs_ = 1;  // pipe at recovery entry
   uint64_t prr_budget_ = 0;      // segments currently allowed out
 
-  Timer rto_timer_;
-  uint32_t rto_backoff_shift_ = 0;
-
-  Timer pacing_timer_;
   Time next_send_time_ = Time::zero();
-  bool in_try_send_ = false;  // re-entrancy guard
+  Timer rto_timer_;
+  Timer pacing_timer_;
+  RttEstimator rtt_;
+  DeliveryRateEstimator rate_est_;
+  SackScoreboard sb_;  // inline segment ring + run lists, pool-spilled
 
-  std::function<void()> completion_cb_;
-  bool completion_fired_ = false;
-  std::function<void(Time)> congestion_event_cb_;
+  // --- Cold state: configuration, statistics, ownership, callbacks —
+  // touched at setup, on stats reads, and at completion, never per ACK. ---
+  struct Cold {
+    TcpSenderConfig config;
+    TcpSenderStats stats;
+    // Set only by the owning constructor; the hot path uses cca_.
+    std::unique_ptr<CongestionController> owned_cca;
+    std::function<void()> completion_cb;
+    std::function<void(Time)> congestion_event_cb;
+  };
+  Cold cold_;
 };
 
 }  // namespace ccas

@@ -6,34 +6,45 @@
 // that overhead is measurable. A ring keeps everything in one contiguous
 // power-of-two allocation with mask-indexed access and only reallocates on
 // growth. Requires T to be default-constructible and movable.
+//
+// InlineCap > 0 (a power of two) embeds the first InlineCap slots directly
+// in the object, so small windows — the common case for a per-flow SACK
+// scoreboard — live in the owner's own cache lines and never allocate.
+// Growth beyond InlineCap spills to a heap vector as before.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <utility>
 #include <vector>
 
 namespace ccas {
 
-template <typename T>
+template <typename T, size_t InlineCap = 0>
 class RingBuffer {
+  static_assert(InlineCap == 0 || (InlineCap & (InlineCap - 1)) == 0,
+                "InlineCap must be zero or a power of two");
+
  public:
   [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] size_t size() const { return count_; }
 
-  [[nodiscard]] T& front() { return buf_[head_]; }
-  [[nodiscard]] const T& front() const { return buf_[head_]; }
-  [[nodiscard]] T& back() { return buf_[(head_ + count_ - 1) & mask_]; }
-  [[nodiscard]] const T& back() const { return buf_[(head_ + count_ - 1) & mask_]; }
+  [[nodiscard]] T& front() { return data()[head_]; }
+  [[nodiscard]] const T& front() const { return data()[head_]; }
+  [[nodiscard]] T& back() { return data()[(head_ + count_ - 1) & mask_]; }
+  [[nodiscard]] const T& back() const {
+    return data()[(head_ + count_ - 1) & mask_];
+  }
 
   // i-th element from the front, i < size().
-  [[nodiscard]] T& operator[](size_t i) { return buf_[(head_ + i) & mask_]; }
+  [[nodiscard]] T& operator[](size_t i) { return data()[(head_ + i) & mask_]; }
   [[nodiscard]] const T& operator[](size_t i) const {
-    return buf_[(head_ + i) & mask_];
+    return data()[(head_ + i) & mask_];
   }
 
   void push_back(T&& v) {
-    if (count_ == buf_.size()) grow();
-    buf_[(head_ + count_) & mask_] = std::move(v);
+    if (count_ == cap_) grow();
+    data()[(head_ + count_) & mask_] = std::move(v);
     ++count_;
   }
   void push_back(const T& v) { push_back(T(v)); }
@@ -45,7 +56,7 @@ class RingBuffer {
 
   // Removes and returns the front element.
   T pop_front() {
-    T v = std::move(buf_[head_]);
+    T v = std::move(front());
     drop_front();
     return v;
   }
@@ -61,21 +72,38 @@ class RingBuffer {
   }
 
  private:
-  void grow() {
-    const size_t new_cap = buf_.empty() ? 16 : buf_.size() * 2;
-    std::vector<T> next(new_cap);
-    for (size_t i = 0; i < count_; ++i) {
-      next[i] = std::move(buf_[(head_ + i) & mask_]);
+  [[nodiscard]] T* data() {
+    if constexpr (InlineCap > 0) {
+      if (cap_ == InlineCap) return inline_.data();
     }
-    buf_ = std::move(next);
+    return heap_.data();
+  }
+  [[nodiscard]] const T* data() const {
+    if constexpr (InlineCap > 0) {
+      if (cap_ == InlineCap) return inline_.data();
+    }
+    return heap_.data();
+  }
+
+  void grow() {
+    const size_t new_cap = cap_ == 0 ? 16 : cap_ * 2;
+    std::vector<T> next(new_cap);
+    T* src = data();
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(src[(head_ + i) & mask_]);
+    }
+    heap_ = std::move(next);
+    cap_ = new_cap;
     head_ = 0;
     mask_ = new_cap - 1;
   }
 
-  std::vector<T> buf_;
+  std::vector<T> heap_;
+  [[no_unique_address]] std::array<T, InlineCap> inline_{};
   size_t head_ = 0;
   size_t count_ = 0;
-  size_t mask_ = 0;
+  size_t mask_ = InlineCap > 0 ? InlineCap - 1 : 0;
+  size_t cap_ = InlineCap;
 };
 
 }  // namespace ccas

@@ -1,21 +1,32 @@
 // RunList: a sorted set of disjoint, non-adjacent half-open intervals
-// [start, end) over uint64_t, stored in a flat vector.
+// [start, end) over uint64_t, stored in a flat array of runs.
 //
 // This is the run-length backbone of the hot-path state trackers: the SACK
 // scoreboard's sacked/lost/outstanding sets and the receiver's out-of-order
 // reassembly map. The workloads share a shape — membership grows in long
 // contiguous runs (SACK blocks, in-order bursts) and is consumed from the
-// front (cumulative ACKs, rcv_nxt advances) — so a vector of runs with an
+// front (cumulative ACKs, rcv_nxt advances) — so a flat run array with an
 // eroding-front offset beats both std::map (pointer chasing) and per-element
 // flags (O(window) scans): membership queries are O(log R), front erosion is
 // O(1) amortized, and set operations touch only the runs they change.
+//
+// Storage lives inline in the owning object (kInlineRuns runs — enough for
+// the common case of zero-to-few concurrent loss/reassembly holes), so a
+// flow's trackers sit in the flow's own cache lines instead of heap islands.
+// Lists that outgrow the inline buffer spill to a NodePool (one per
+// Simulator) and return their storage to it on shrink-to-inline or
+// destruction; with a pool attached, no RunList operation ever touches the
+// global heap after the pool's high-water set is reached (DESIGN.md §12).
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <new>
 #include <optional>
-#include <vector>
+
+#include "src/util/node_pool.h"
 
 namespace ccas {
 
@@ -25,33 +36,58 @@ class RunList {
     uint64_t start = 0;
     uint64_t end = 0;  // exclusive
   };
+  static constexpr size_t kInlineRuns = 4;
 
-  [[nodiscard]] bool empty() const { return base_ == runs_.size(); }
-  [[nodiscard]] size_t run_count() const { return runs_.size() - base_; }
+  RunList() = default;
+  ~RunList() { release_storage(); }
+
+  RunList(const RunList& o) { copy_from(o); }
+  RunList& operator=(const RunList& o) {
+    if (this != &o) {
+      release_storage();
+      base_ = 0;
+      size_ = 0;
+      copy_from(o);
+    }
+    return *this;
+  }
+  // Inline storage is self-referential; moves degrade to copies.
+  RunList(RunList&& o) noexcept : RunList(static_cast<const RunList&>(o)) {}
+  RunList& operator=(RunList&& o) noexcept {
+    return *this = static_cast<const RunList&>(o);
+  }
+
+  // Attach the spill pool. Must be called before the list first outgrows its
+  // inline buffer (in practice: right after construction, by the owning
+  // endpoint). A list with no pool falls back to the global heap.
+  void set_pool(NodePool* pool) { pool_ = pool; }
+
+  [[nodiscard]] bool empty() const { return base_ == size_; }
+  [[nodiscard]] size_t run_count() const { return size_ - base_; }
   // i-th run in ascending order, i < run_count().
-  [[nodiscard]] const Run& run(size_t i) const { return runs_[base_ + i]; }
+  [[nodiscard]] const Run& run(size_t i) const { return data_[base_ + i]; }
 
   void clear() {
-    runs_.clear();
     base_ = 0;
+    size_ = 0;
   }
 
   [[nodiscard]] bool contains(uint64_t v) const {
-    const size_t i = first_run_ending_after(v);
-    return i < runs_.size() && runs_[i].start <= v;
+    const uint32_t i = first_run_ending_after(v);
+    return i < size_ && data_[i].start <= v;
   }
 
   // Smallest member >= v; nullopt if none.
   [[nodiscard]] std::optional<uint64_t> first_at_or_after(uint64_t v) const {
-    const size_t i = first_run_ending_after(v);
-    if (i == runs_.size()) return std::nullopt;
-    return std::max(v, runs_[i].start);
+    const uint32_t i = first_run_ending_after(v);
+    if (i == size_) return std::nullopt;
+    return std::max(v, data_[i].start);
   }
 
   // The run containing v, if any.
   [[nodiscard]] std::optional<Run> run_containing(uint64_t v) const {
-    const size_t i = first_run_ending_after(v);
-    if (i < runs_.size() && runs_[i].start <= v) return runs_[i];
+    const uint32_t i = first_run_ending_after(v);
+    if (i < size_ && data_[i].start <= v) return data_[i];
     return std::nullopt;
   }
 
@@ -60,13 +96,13 @@ class RunList {
   void add(uint64_t start, uint64_t end) {
     if (start >= end) return;
     // First run that overlaps or is right-adjacent: end >= start.
-    size_t i = base_;
+    uint32_t i = base_;
     {
-      size_t lo = base_;
-      size_t hi = runs_.size();
+      uint32_t lo = base_;
+      uint32_t hi = size_;
       while (lo < hi) {
-        const size_t mid = lo + (hi - lo) / 2;
-        if (runs_[mid].end >= start) {
+        const uint32_t mid = lo + (hi - lo) / 2;
+        if (data_[mid].end >= start) {
           hi = mid;
         } else {
           lo = mid + 1;
@@ -74,64 +110,64 @@ class RunList {
       }
       i = lo;
     }
-    if (i == runs_.size()) {
-      runs_.push_back(Run{start, end});
+    if (i == size_) {
+      push_back(Run{start, end});
       return;
     }
-    if (runs_[i].start > end) {
+    if (data_[i].start > end) {
       // Strictly before run i, not even adjacent: insert.
-      runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(i), Run{start, end});
+      insert_at(i, Run{start, end});
       return;
     }
     // Merge with runs [i, j) that overlap or touch [start, end).
-    uint64_t new_start = std::min(start, runs_[i].start);
+    const uint64_t new_start = std::min(start, data_[i].start);
     uint64_t new_end = end;
-    size_t j = i;
-    while (j < runs_.size() && runs_[j].start <= end) {
-      new_end = std::max(new_end, runs_[j].end);
+    uint32_t j = i;
+    while (j < size_ && data_[j].start <= end) {
+      new_end = std::max(new_end, data_[j].end);
       ++j;
     }
-    runs_[i] = Run{new_start, new_end};
-    runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(i + 1),
-                runs_.begin() + static_cast<ptrdiff_t>(j));
+    data_[i] = Run{new_start, new_end};
+    erase_range(i + 1, j);
   }
   void add_point(uint64_t v) { add(v, v + 1); }
 
   // Subtracts [start, end) from the set, splitting runs as needed.
   void remove(uint64_t start, uint64_t end) {
     if (start >= end) return;
-    size_t i = first_run_ending_after(start);
-    if (i == runs_.size()) return;
+    uint32_t i = first_run_ending_after(start);
+    if (i == size_) return;
     // A run split in the middle: handle fully-inside removal first.
-    if (runs_[i].start < start && runs_[i].end > end) {
-      const uint64_t tail = runs_[i].end;
-      runs_[i].end = start;
-      runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(i + 1), Run{end, tail});
+    if (data_[i].start < start && data_[i].end > end) {
+      const uint64_t tail = data_[i].end;
+      data_[i].end = start;
+      insert_at(i + 1, Run{end, tail});
       return;
     }
-    if (runs_[i].start < start) {
+    if (data_[i].start < start) {
       // Trim the right side of run i, then continue with the next run.
-      runs_[i].end = start;
+      data_[i].end = start;
       ++i;
     }
     // Drop runs fully covered by [start, end).
-    const size_t del_begin = i;
-    while (i < runs_.size() && runs_[i].end <= end) ++i;
-    if (i < runs_.size() && runs_[i].start < end) runs_[i].start = end;
-    runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(del_begin),
-                runs_.begin() + static_cast<ptrdiff_t>(i));
+    const uint32_t del_begin = i;
+    while (i < size_ && data_[i].end <= end) ++i;
+    if (i < size_ && data_[i].start < end) data_[i].start = end;
+    erase_range(del_begin, i);
   }
   void remove_point(uint64_t v) { remove(v, v + 1); }
 
   // Removes every member < bound. O(1) amortized: the front run erodes in
   // place and fully-erased runs are skipped via an offset, compacted lazily.
   void erase_below(uint64_t bound) {
-    while (base_ < runs_.size() && runs_[base_].end <= bound) ++base_;
-    if (base_ < runs_.size() && runs_[base_].start < bound) {
-      runs_[base_].start = bound;
+    while (base_ < size_ && data_[base_].end <= bound) ++base_;
+    if (base_ < size_ && data_[base_].start < bound) {
+      data_[base_].start = bound;
     }
-    if (base_ >= 32 && base_ * 2 >= runs_.size()) {
-      runs_.erase(runs_.begin(), runs_.begin() + static_cast<ptrdiff_t>(base_));
+    if (base_ >= 32 && base_ * 2 >= size_) {
+      std::memmove(data_, data_ + base_,
+                   static_cast<size_t>(size_ - base_) * sizeof(Run));
+      size_ -= base_;
       base_ = 0;
     }
   }
@@ -141,13 +177,13 @@ class RunList {
   template <typename F>
   void for_each_gap(uint64_t start, uint64_t end, F&& fn) const {
     uint64_t cur = start;
-    size_t i = first_run_ending_after(start);
+    uint32_t i = first_run_ending_after(start);
     while (cur < end) {
-      if (i == runs_.size() || runs_[i].start >= end) {
+      if (i == size_ || data_[i].start >= end) {
         fn(cur, end);
         return;
       }
-      const Run& r = runs_[i];
+      const Run& r = data_[i];
       if (r.start > cur) fn(cur, r.start);
       if (r.end >= end) return;
       cur = r.end;
@@ -157,13 +193,13 @@ class RunList {
 
  private:
   // Index of the first run with end > v (the run containing v, or the next
-  // one after it); runs_.size() if none.
-  [[nodiscard]] size_t first_run_ending_after(uint64_t v) const {
-    size_t lo = base_;
-    size_t hi = runs_.size();
+  // one after it); size_ if none.
+  [[nodiscard]] uint32_t first_run_ending_after(uint64_t v) const {
+    uint32_t lo = base_;
+    uint32_t hi = size_;
     while (lo < hi) {
-      const size_t mid = lo + (hi - lo) / 2;
-      if (runs_[mid].end > v) {
+      const uint32_t mid = lo + (hi - lo) / 2;
+      if (data_[mid].end > v) {
         hi = mid;
       } else {
         lo = mid + 1;
@@ -172,8 +208,65 @@ class RunList {
     return lo;
   }
 
-  std::vector<Run> runs_;
-  size_t base_ = 0;  // runs before base_ have been eroded by erase_below
+  void push_back(const Run& r) {
+    if (size_ == cap_) grow();
+    data_[size_++] = r;
+  }
+
+  void insert_at(uint32_t i, const Run& r) {
+    if (size_ == cap_) grow();
+    std::memmove(data_ + i + 1, data_ + i,
+                 static_cast<size_t>(size_ - i) * sizeof(Run));
+    data_[i] = r;
+    ++size_;
+  }
+
+  // Erases raw storage slots [i, j).
+  void erase_range(uint32_t i, uint32_t j) {
+    if (i == j) return;
+    std::memmove(data_ + i, data_ + j,
+                 static_cast<size_t>(size_ - j) * sizeof(Run));
+    size_ -= j - i;
+  }
+
+  void grow() {
+    const uint32_t new_cap = cap_ * 2;
+    Run* next = static_cast<Run*>(
+        pool_ != nullptr
+            ? pool_->allocate(static_cast<size_t>(new_cap) * sizeof(Run))
+            : ::operator new(static_cast<size_t>(new_cap) * sizeof(Run)));
+    std::memcpy(next, data_, static_cast<size_t>(size_) * sizeof(Run));
+    release_storage();
+    data_ = next;
+    cap_ = new_cap;
+  }
+
+  void release_storage() {
+    if (data_ == inline_) return;
+    if (pool_ != nullptr) {
+      pool_->deallocate(data_, static_cast<size_t>(cap_) * sizeof(Run));
+    } else {
+      ::operator delete(data_);
+    }
+    data_ = inline_;
+    cap_ = kInlineRuns;
+  }
+
+  void copy_from(const RunList& o) {
+    pool_ = o.pool_;
+    const uint32_t n = o.size_ - o.base_;
+    while (cap_ < n) grow();
+    std::memcpy(data_, o.data_ + o.base_, static_cast<size_t>(n) * sizeof(Run));
+    base_ = 0;
+    size_ = n;
+  }
+
+  Run* data_ = inline_;
+  uint32_t base_ = 0;  // runs before base_ have been eroded by erase_below
+  uint32_t size_ = 0;  // one past the last live run in raw storage
+  uint32_t cap_ = kInlineRuns;
+  NodePool* pool_ = nullptr;
+  Run inline_[kInlineRuns];
 };
 
 }  // namespace ccas

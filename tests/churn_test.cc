@@ -1,6 +1,7 @@
 // Tests for finite flows and the churn (arrival/departure) extension.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <memory>
 
 #include "src/cca/new_reno.h"
@@ -141,6 +142,100 @@ TEST(Churn, ConcurrencyCapRejectsArrivals) {
   spec.max_size_segments = 5000;
   const ChurnResult r = run_churn_experiment(spec);
   EXPECT_GT(r.arrivals_rejected, 0u);
+}
+
+// ------------------------------------------- memory-path invariance ----
+
+// FNV-1a over every observable ChurnResult field. The exact values below
+// were recorded from the heap-per-flow implementation that predates the
+// FlowTable/reaper memory path (DESIGN.md §12); the arena-backed,
+// slot-recycling runner must reproduce them bit for bit. A mismatch means
+// the memory refactor changed event order, an RNG stream, or teardown
+// accounting — behavior, not layout.
+struct ResultDigest {
+  uint64_t h = 1469598103934665603ull;
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<uint64_t>(v)); }
+};
+
+uint64_t churn_digest(const ChurnResult& r) {
+  ResultDigest f;
+  f.u64(r.flows_started);
+  f.u64(r.flows_completed);
+  f.u64(r.arrivals_rejected);
+  f.u64(r.completed_sizes.size());
+  for (uint64_t s : r.completed_sizes) f.u64(s);
+  for (double t : r.fct_seconds) f.f64(t);
+  f.f64(r.utilization);
+  f.f64(r.background_goodput_bps);
+  f.u64(r.queue.enqueued_packets);
+  f.u64(r.queue.enqueued_bytes);
+  f.u64(r.queue.dequeued_packets);
+  f.u64(r.queue.dropped_packets);
+  f.u64(r.queue.dropped_bytes);
+  f.u64(static_cast<uint64_t>(r.queue.max_queued_bytes));
+  return f.h;
+}
+
+TEST(ChurnDigest, PlainRunIsPinned) {
+  EXPECT_EQ(churn_digest(run_churn_experiment(small_churn())),
+            0x4374d2120b041bd4ull);
+}
+
+TEST(ChurnDigest, BackgroundRunIsPinned) {
+  ChurnSpec spec = small_churn();
+  spec.background.push_back(FlowGroup{"cubic", 2, TimeDelta::millis(20)});
+  EXPECT_EQ(churn_digest(run_churn_experiment(spec)), 0x2910d90d6a6347a7ull);
+}
+
+TEST(ChurnDigest, CappedRunIsPinned) {
+  ChurnSpec spec = small_churn();
+  spec.max_concurrent = 4;
+  spec.arrivals_per_sec = 120.0;
+  spec.cca = "cubic";
+  spec.seed = 7;
+  EXPECT_EQ(churn_digest(run_churn_experiment(spec)), 0x097be662f4db1be6ull);
+}
+
+TEST(ChurnDigest, ShardedRunsArePinned) {
+  ChurnSpec spec = small_churn();
+  spec.background.push_back(FlowGroup{"cubic", 2, TimeDelta::millis(20)});
+  spec.background.push_back(FlowGroup{"newreno", 2, TimeDelta::millis(40)});
+  spec.shards = 2;
+  EXPECT_EQ(churn_digest(run_churn_experiment(spec)), 0x6cfb801594901fffull);
+  spec.shards = 4;
+  EXPECT_EQ(churn_digest(run_churn_experiment(spec)), 0x6cfb801594901fffull);
+}
+
+TEST(Churn, RecyclesDepartedFlowSlots) {
+  // Steady-state churn must run on recycled slabs: most completed flows
+  // are reaped before the run ends (the rest completed within the final
+  // grace window), and most arrivals after warm-up reuse a parked slab.
+  // Under ASan this doubles as a use-after-free check on the reaper's
+  // grace/timer-entry safety argument.
+  const ChurnResult r = run_churn_experiment(small_churn());
+  EXPECT_GT(r.slots_recycled, r.flows_completed / 2);
+  EXPECT_LE(r.slots_recycled, r.flows_completed);
+  EXPECT_GT(r.slab_reuses, r.flows_started / 2);
+  EXPECT_LE(r.slab_reuses, r.slots_recycled);
+}
+
+TEST(Churn, RecyclingUnderImpairmentsAndBackground) {
+  // Harder teardown conditions: loss and reordering leave retransmission
+  // timers and stray duplicates behind departed flows; the reaper must
+  // still only recycle quiescent slots (ASan-visible if it does not).
+  ChurnSpec spec = small_churn();
+  spec.background.push_back(FlowGroup{"cubic", 1, TimeDelta::millis(30)});
+  spec.scenario.net.impairments.loss = 0.01;
+  spec.scenario.net.impairments.reorder = 0.01;
+  const ChurnResult r = run_churn_experiment(spec);
+  EXPECT_GT(r.flows_completed, 0u);
+  EXPECT_GT(r.slots_recycled, 0u);
 }
 
 TEST(Churn, Validation) {

@@ -113,24 +113,54 @@ struct CellResult {
   double wall_sec = 0.0;
   double sim_sec = 0.0;
   double events_per_sec = 0.0;
+  // Heap allocations per dispatched event inside the measurement window
+  // (warm-up excluded). Steady state is ~0: any sustained per-event
+  // allocation is a hot-path regression the events/sec number might absorb
+  // on a fast machine — the --alloc-gate catches it directly.
+  double allocs_per_event = 0.0;
 };
+
+// events/sec at the smallest flow count divided by events/sec at the
+// largest, from one grid run: the flow-count scaling cliff in one number
+// (1.0 = flat; the paper-scale gap this PR attacks was ~2.5x).
+std::optional<double> degradation_ratio(const std::vector<CellResult>& results) {
+  const CellResult* lo = nullptr;
+  const CellResult* hi = nullptr;
+  for (const CellResult& r : results) {
+    if (r.shards != 1) continue;  // compare like with like: serial cells
+    if (lo == nullptr || r.flows < lo->flows) lo = &r;
+    if (hi == nullptr || r.flows > hi->flows) hi = &r;
+  }
+  if (lo == nullptr || hi == nullptr || lo == hi || hi->events_per_sec <= 0.0) {
+    return std::nullopt;
+  }
+  return lo->events_per_sec / hi->events_per_sec;
+}
 
 std::string to_json(const std::vector<CellResult>& results) {
   std::ostringstream out;
-  out << "{\n  \"ccas_perf\": 1,\n  \"cells\": [\n";
+  out << "{\n  \"ccas_perf\": 1,\n";
+  if (const auto ratio = degradation_ratio(results)) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "  \"degradation_ratio\": %.3f,\n",
+                  *ratio);
+    out << line;
+  }
+  out << "  \"cells\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const CellResult& r = results[i];
-    char line[320];
+    char line[384];
     // wall_sec at full microsecond precision: the smoke cells finish in
     // tens of milliseconds, where three decimals used to round away most
     // of the measurement (and any hand math against events_per_sec).
     std::snprintf(line, sizeof(line),
                   "    {\"name\": \"%s\", \"flows\": %d, \"shards\": %d, "
                   "\"sim_events\": %llu, "
-                  "\"wall_sec\": %.6f, \"sim_sec\": %.3f, \"events_per_sec\": %.0f}",
+                  "\"wall_sec\": %.6f, \"sim_sec\": %.3f, \"events_per_sec\": %.0f, "
+                  "\"allocs_per_event\": %.6f}",
                   r.name.c_str(), r.flows, r.shards,
                   static_cast<unsigned long long>(r.sim_events), r.wall_sec,
-                  r.sim_sec, r.events_per_sec);
+                  r.sim_sec, r.events_per_sec, r.allocs_per_event);
     out << line << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -160,6 +190,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string baseline_path;
   double max_regress = 0.25;
+  double alloc_gate = -1.0;  // < 0 = off
   int repeat = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -171,10 +202,13 @@ int main(int argc, char** argv) {
       std::puts(
           "usage: ccas_perf [--cells=a,b] [--out=file.json] [--repeat=n]\n"
           "                 [--baseline=file.json] [--max-regress=frac]\n"
+          "                 [--alloc-gate=allocs_per_event]\n"
           "cells: edge50 core1000 smoke-edge smoke-core core5000\n"
           "       core5000-sh8 core20000 core20000-sh8 (default: all)\n"
           "exit 2 if any cell's events/sec falls more than max-regress\n"
-          "(default 0.25) below the baseline");
+          "(default 0.25) below the baseline, or if any cell's measured\n"
+          "heap allocations per event exceed the --alloc-gate threshold\n"
+          "(steady state is ~0; try 0.001)");
       return 0;
     } else if (key == "--cells") {
       size_t start = 0;
@@ -190,6 +224,8 @@ int main(int argc, char** argv) {
       baseline_path = value;
     } else if (key == "--max-regress") {
       max_regress = std::strtod(value.c_str(), nullptr);
+    } else if (key == "--alloc-gate") {
+      alloc_gate = std::strtod(value.c_str(), nullptr);
     } else if (key == "--repeat") {
       repeat = std::atoi(value.c_str());
       if (repeat < 1) repeat = 1;
@@ -230,12 +266,23 @@ int main(int argc, char** argv) {
         r.wall_sec = res.sim_profile.wall_seconds;
         r.sim_sec = res.sim_profile.sim_seconds;
         r.events_per_sec = res.sim_profile.events_per_wall_sec();
+        if (res.measure_sim_events > 0) {
+          r.allocs_per_event = static_cast<double>(res.measure_heap_allocs) /
+                               static_cast<double>(res.measure_sim_events);
+        }
         if (rep == 0 || r.events_per_sec > best.events_per_sec) best = r;
       }
-      std::printf("%-13s %6d flows  sh%-2d  %12llu events  %8.3fs wall  %11.0f events/sec\n",
+      std::printf("%-13s %6d flows  sh%-2d  %12llu events  %8.3fs wall  %11.0f events/sec  %.6f allocs/event\n",
                   best.name.c_str(), best.flows, best.shards,
                   static_cast<unsigned long long>(best.sim_events), best.wall_sec,
-                  best.events_per_sec);
+                  best.events_per_sec, best.allocs_per_event);
+      if (alloc_gate >= 0.0 && best.allocs_per_event > alloc_gate) {
+        std::fprintf(stderr,
+                     "ALLOC REGRESSION: %s at %.6f heap allocs/event exceeds "
+                     "the %.6f gate — something allocates on the hot path\n",
+                     best.name.c_str(), best.allocs_per_event, alloc_gate);
+        regressed = true;
+      }
       if (!baseline_json.empty()) {
         if (const auto base = baseline_events_per_sec(baseline_json, best.name)) {
           const double ratio = *base > 0.0 ? best.events_per_sec / *base : 1.0;
@@ -259,6 +306,10 @@ int main(int argc, char** argv) {
     if (results.empty()) {
       std::fprintf(stderr, "no cells selected\n");
       return 1;
+    }
+    if (const auto ratio = degradation_ratio(results)) {
+      std::printf("degradation_ratio (events/sec smallest / largest serial cell): %.3f\n",
+                  *ratio);
     }
     const std::string json = to_json(results);
     if (!out_path.empty()) {
