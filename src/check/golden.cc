@@ -122,6 +122,67 @@ std::vector<GoldenCell> golden_grid() {
     spec.scenario.net.qdisc.ecn = true;
     cells.push_back(cell("core-red-ecn", std::move(spec), {{"cubic", 8, rtt20}}));
   }
+  // Workload cells: pin the open-loop engine (src/workload/) — the
+  // derive_workload_seed stream, the fork/size/gap draw order, app-limited
+  // release timing, and the FCT-recorder sketch bytes in the serialized
+  // result. Both keep background groups so the sharded differential wall
+  // above also covers dynamic flows riding on a sharded fabric.
+  {
+    // Short web objects against heavy bulk transfers in the Edge regime:
+    // the paper's "millions of users" mix scaled to the golden timeline.
+    ExperimentSpec spec = edge_spec();
+    spec.workload.arrival = ArrivalKind::kPoisson;
+    spec.workload.arrivals_per_sec = 200.0;
+    WorkloadClass web;
+    web.name = "web";
+    web.weight = 0.9;
+    web.cca = "cubic";
+    web.rtt = rtt20;
+    web.size.kind = SizeDistKind::kPareto;
+    web.size.pareto_alpha = 1.2;
+    web.size.min_segments = 4;
+    web.size.max_segments = 400;
+    web.app = AppModel::kWebObject;
+    web.app_burst_segments = 8;
+    web.app_gap = TimeDelta::millis(5);
+    WorkloadClass bulk;
+    bulk.name = "bulk";
+    bulk.weight = 0.1;
+    bulk.cca = "cubic";
+    bulk.rtt = rtt80;
+    bulk.size.kind = SizeDistKind::kLognormal;
+    bulk.size.lognormal_mu = 5.0;
+    bulk.size.lognormal_sigma = 1.2;
+    bulk.size.min_segments = 10;
+    bulk.size.max_segments = 10000;
+    bulk.app = AppModel::kBulk;
+    spec.workload.classes = {web, bulk};
+    cells.push_back(cell("edge-web-mix", std::move(spec), {{"cubic", 2, rtt20}}));
+  }
+  {
+    // Open-loop video pacing in the Core regime: chunk releases keep every
+    // sender app-limited, pinning the is_app_limited delivery-rate path
+    // the BBR family filters on.
+    ExperimentSpec spec = core_spec();
+    spec.workload.arrival = ArrivalKind::kPoisson;
+    spec.workload.arrivals_per_sec = 400.0;
+    spec.workload.max_concurrent = 512;
+    WorkloadClass video;
+    video.name = "video";
+    video.weight = 1.0;
+    video.cca = "bbr";
+    video.rtt = rtt20;
+    video.size.kind = SizeDistKind::kFixed;
+    video.size.fixed_segments = 96;
+    video.size.min_segments = 96;
+    video.size.max_segments = 96;
+    video.app = AppModel::kVideoChunk;
+    video.app_burst_segments = 16;
+    video.app_gap = TimeDelta::millis(40);
+    spec.workload.classes = {video};
+    cells.push_back(
+        cell("core-userscale-poisson", std::move(spec), {{"cubic", 4, rtt20}}));
+  }
   return cells;
 }
 

@@ -100,10 +100,154 @@ FlowGroup parse_group(const std::string& text) {
   return g;
 }
 
+// Parses the size_spec field of --workload-class. '/' separates the
+// sub-fields so the class spec itself can keep ':' as its separator.
+SizeDist parse_size_spec(const std::string& text) {
+  const auto parts = split(text, '/');
+  SizeDist d;
+  if (parts[0] == "pareto") {
+    if (parts.size() != 4) {
+      throw std::invalid_argument("bad size spec '" + text +
+                                  "' (want pareto/<alpha>/<min_segs>/<max_segs>)");
+    }
+    d.kind = SizeDistKind::kPareto;
+    d.pareto_alpha = parse_number("--workload-class pareto alpha", parts[1]);
+    if (d.pareto_alpha <= 0.0) {
+      throw std::invalid_argument("--workload-class pareto alpha must be positive");
+    }
+    const int64_t lo = parse_integer("--workload-class size min", parts[2]);
+    const int64_t hi = parse_integer("--workload-class size max", parts[3]);
+    if (lo < 1 || hi < lo) {
+      throw std::invalid_argument(
+          "--workload-class size bounds need 1 <= min <= max");
+    }
+    d.min_segments = static_cast<uint64_t>(lo);
+    d.max_segments = static_cast<uint64_t>(hi);
+  } else if (parts[0] == "lognormal") {
+    if (parts.size() != 5) {
+      throw std::invalid_argument(
+          "bad size spec '" + text +
+          "' (want lognormal/<mu>/<sigma>/<min_segs>/<max_segs>)");
+    }
+    d.kind = SizeDistKind::kLognormal;
+    d.lognormal_mu = parse_number("--workload-class lognormal mu", parts[1]);
+    d.lognormal_sigma = parse_number("--workload-class lognormal sigma", parts[2]);
+    if (d.lognormal_sigma <= 0.0) {
+      throw std::invalid_argument(
+          "--workload-class lognormal sigma must be positive");
+    }
+    const int64_t lo = parse_integer("--workload-class size min", parts[3]);
+    const int64_t hi = parse_integer("--workload-class size max", parts[4]);
+    if (lo < 1 || hi < lo) {
+      throw std::invalid_argument(
+          "--workload-class size bounds need 1 <= min <= max");
+    }
+    d.min_segments = static_cast<uint64_t>(lo);
+    d.max_segments = static_cast<uint64_t>(hi);
+  } else if (parts[0] == "fixed") {
+    if (parts.size() != 2) {
+      throw std::invalid_argument("bad size spec '" + text +
+                                  "' (want fixed/<segments>)");
+    }
+    d.kind = SizeDistKind::kFixed;
+    const int64_t segs = parse_integer("--workload-class fixed size", parts[1]);
+    if (segs < 1) {
+      throw std::invalid_argument("--workload-class fixed size must be >= 1");
+    }
+    d.fixed_segments = static_cast<uint64_t>(segs);
+    d.min_segments = d.fixed_segments;
+    d.max_segments = d.fixed_segments;
+  } else if (parts[0] == "cdf") {
+    // The path may itself contain '/', so take everything after "cdf/".
+    if (parts.size() < 2 || text.size() <= 4) {
+      throw std::invalid_argument("bad size spec '" + text + "' (want cdf/<path>)");
+    }
+    d.kind = SizeDistKind::kEmpirical;
+    d.empirical_path = text.substr(4);
+    d.empirical = parse_empirical_cdf_file(d.empirical_path);
+  } else {
+    throw std::invalid_argument(
+        "bad size spec '" + text +
+        "' (want pareto/..., lognormal/..., fixed/... or cdf/<path>)");
+  }
+  return d;
+}
+
+// Parses the app_spec field of --workload-class into c.app / burst / gap.
+void parse_app_spec(const std::string& text, WorkloadClass& c) {
+  const auto parts = split(text, '/');
+  if (parts[0] == "bulk") {
+    if (parts.size() != 1) {
+      throw std::invalid_argument("bad app spec '" + text + "' (bulk takes no args)");
+    }
+    c.app = AppModel::kBulk;
+    return;
+  }
+  if (parts.size() != 3) {
+    throw std::invalid_argument(
+        "bad app spec '" + text +
+        "' (want bulk, rr/<burst>/<think_ms>, web/<burst>/<gap_ms> or "
+        "video/<chunk>/<interval_ms>)");
+  }
+  if (parts[0] == "rr") {
+    c.app = AppModel::kRequestResponse;
+  } else if (parts[0] == "web") {
+    c.app = AppModel::kWebObject;
+  } else if (parts[0] == "video") {
+    c.app = AppModel::kVideoChunk;
+  } else {
+    throw std::invalid_argument(
+        "bad app spec '" + text + "' (unknown model '" + parts[0] + "')");
+  }
+  const int64_t burst = parse_integer("--workload-class app burst", parts[1]);
+  if (burst < 1) {
+    throw std::invalid_argument("--workload-class app burst must be >= 1");
+  }
+  c.app_burst_segments = static_cast<uint64_t>(burst);
+  const double ms = parse_number("--workload-class app time", parts[2]);
+  if (ms < 0.0 || (parts[0] == "video" && ms <= 0.0)) {
+    throw std::invalid_argument(parts[0] == "video"
+                                    ? "--workload-class video interval must be positive"
+                                    : "--workload-class app time must be >= 0");
+  }
+  c.app_gap = TimeDelta::seconds_f(ms / 1e3);
+}
+
+WorkloadClass parse_workload_class(const std::string& text) {
+  const auto parts = split(text, ':');
+  if (parts.size() != 6) {
+    throw std::invalid_argument(
+        "bad --workload-class '" + text +
+        "' (want name:weight:cca:rtt_ms:size_spec:app_spec)");
+  }
+  WorkloadClass c;
+  c.name = parts[0];
+  if (c.name.empty()) {
+    throw std::invalid_argument("--workload-class name must be non-empty");
+  }
+  c.weight = parse_number("--workload-class weight", parts[1]);
+  if (!(c.weight > 0.0)) {
+    throw std::invalid_argument("--workload-class weight must be positive");
+  }
+  c.cca = parts[2];
+  Rng probe(0);
+  (void)make_cca(c.cca, probe);  // validate the name early
+  const double rtt_ms = parse_number("--workload-class rtt", parts[3]);
+  if (rtt_ms <= 0.0) {
+    throw std::invalid_argument("--workload-class RTT must be positive");
+  }
+  c.rtt = TimeDelta::seconds_f(rtt_ms / 1e3);
+  c.size = parse_size_spec(parts[4]);
+  parse_app_spec(parts[5], c);
+  return c;
+}
+
 }  // namespace
 
 std::string cli_usage() {
   return "usage: ccas_run --groups=cca:count:rtt_ms[,...] [options]\n"
+         "       ccas_run --workload=poisson:<per_sec> --workload-class=... "
+         "[options]\n"
          "  --setting=edge|core   scenario preset (default core)\n"
          "  --rate=<mbps>         bottleneck rate override\n"
          "  --buffer=<bytes>      buffer size override\n"
@@ -114,6 +258,18 @@ std::string cli_usage() {
          "  --fq=<flows>:<quantum_bytes>       FQ-CoDel flow table and quantum\n"
          "  --pie=<target_ms>:<tupdate_ms>     PIE knobs\n"
          "  --red=<min_bytes>:<max_bytes>[:<max_p>]  RED thresholds (0:0 = auto)\n"
+         "  --workload=poisson:<per_sec>|fixed:<per_sec>\n"
+         "                        open-loop session arrivals (with or without\n"
+         "                        --groups; groups then run as background flows)\n"
+         "  --workload-class=<name>:<weight>:<cca>:<rtt_ms>:<size>:<app>\n"
+         "                        repeatable; weights must sum to 1\n"
+         "                        size: pareto/<alpha>/<min>/<max> |\n"
+         "                              lognormal/<mu>/<sigma>/<min>/<max> |\n"
+         "                              fixed/<segments> | cdf/<path>\n"
+         "                        app:  bulk | rr/<burst>/<think_ms> |\n"
+         "                              web/<burst>/<gap_ms> |\n"
+         "                              video/<chunk>/<interval_ms>\n"
+         "  --workload-max=<n>    admission cap on concurrent workload flows\n"
          "  --stagger=<sec> --warmup=<sec> --measure=<sec>\n"
          "  --seed=<n>            RNG seed (default 1)\n"
          "  --jitter=<microsec>   forward-path jitter (default 500)\n"
@@ -273,6 +429,37 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         opts.spec.groups.push_back(parse_group(g));
       }
       have_groups = true;
+    } else if (key == "--workload") {
+      need_value();
+      const auto parts = split(value, ':');
+      if (parts.size() != 2) {
+        throw std::invalid_argument("bad --workload '" + value +
+                                    "' (want poisson:<per_sec> or fixed:<per_sec>)");
+      }
+      WorkloadSpec& wl = opts.spec.workload;
+      if (parts[0] == "poisson") {
+        wl.arrival = ArrivalKind::kPoisson;
+      } else if (parts[0] == "fixed") {
+        wl.arrival = ArrivalKind::kDeterministic;
+      } else {
+        throw std::invalid_argument("--workload arrival process must be poisson "
+                                    "or fixed");
+      }
+      wl.arrivals_per_sec = parse_number("--workload rate", parts[1]);
+      if (!(wl.arrivals_per_sec > 0.0) || !std::isfinite(wl.arrivals_per_sec)) {
+        throw std::invalid_argument(
+            "--workload arrival rate must be positive and finite");
+      }
+    } else if (key == "--workload-class") {
+      need_value();
+      opts.spec.workload.classes.push_back(parse_workload_class(value));
+    } else if (key == "--workload-max") {
+      need_value();
+      const int64_t v = parse_integer(key, value);
+      // 0 means "unlimited" internally; that's the *default* when the flag
+      // is absent. An explicit --workload-max=0 is a typo'd admission cap.
+      if (v <= 0) throw std::invalid_argument("--workload-max must be positive");
+      opts.spec.workload.max_concurrent = static_cast<uint64_t>(v);
     } else if (key == "--stagger") {
       need_value();
       opts.spec.scenario.stagger = TimeDelta::seconds_f(parse_number(key, value));
@@ -529,8 +716,19 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       throw std::invalid_argument("--buffer must be positive");
     }
   }
-  if (!have_groups) {
-    throw std::invalid_argument("--groups is required\n" + cli_usage());
+  if (!opts.spec.workload.classes.empty() &&
+      opts.spec.workload.arrivals_per_sec <= 0.0) {
+    throw std::invalid_argument(
+        "--workload-class requires --workload=<process>:<per_sec>");
+  }
+  if (opts.spec.workload.arrivals_per_sec > 0.0 &&
+      opts.spec.workload.classes.empty()) {
+    throw std::invalid_argument(
+        "--workload requires at least one --workload-class");
+  }
+  if (!have_groups && !opts.spec.workload.enabled()) {
+    throw std::invalid_argument("--groups or --workload is required\n" +
+                                cli_usage());
   }
   if (opts.sweep.fail_fast && opts.sweep.max_failures > 0) {
     throw std::invalid_argument(
@@ -549,6 +747,7 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
                    [](const LinkFault& a, const LinkFault& b) { return a.at < b.at; });
   opts.spec.scenario.net.impairments.validate();
   opts.spec.scenario.net.qdisc.validate();
+  opts.spec.workload.validate();  // weight sum, per-class params
   return opts;
 }
 
@@ -625,7 +824,8 @@ SpecCliRendering spec_to_cli(const ExperimentSpec& spec) {
     groups += g.cca + ":" + std::to_string(g.count) + ":" +
               render_flag_scaled(g.rtt, 1e3);
   }
-  flag("--groups", groups);
+  // Workload-only specs have no groups; "--groups=" would not re-parse.
+  if (!groups.empty()) flag("--groups", groups);
 
   if (sc.net.bottleneck_rate != preset.net.bottleneck_rate) {
     flag("--rate", render_flag_mbps(sc.net.bottleneck_rate));
@@ -770,6 +970,67 @@ SpecCliRendering spec_to_cli(const ExperimentSpec& spec) {
     flag("--trace", render_flag_seconds(spec.trace_interval));
   }
   if (spec.shards != 1) flag("--shards", std::to_string(spec.shards));
+
+  const WorkloadSpec& wl = spec.workload;
+  if (wl.enabled()) {
+    flag("--workload",
+         std::string(wl.arrival == ArrivalKind::kPoisson ? "poisson:" : "fixed:") +
+             render_value(wl.arrivals_per_sec));
+    for (const WorkloadClass& c : wl.classes) {
+      std::string size;
+      switch (c.size.kind) {
+        case SizeDistKind::kPareto:
+          size = "pareto/" + render_value(c.size.pareto_alpha) + "/" +
+                 std::to_string(c.size.min_segments) + "/" +
+                 std::to_string(c.size.max_segments);
+          break;
+        case SizeDistKind::kLognormal:
+          size = "lognormal/" + render_value(c.size.lognormal_mu) + "/" +
+                 render_value(c.size.lognormal_sigma) + "/" +
+                 std::to_string(c.size.min_segments) + "/" +
+                 std::to_string(c.size.max_segments);
+          break;
+        case SizeDistKind::kFixed:
+          size = "fixed/" + std::to_string(c.size.fixed_segments);
+          break;
+        case SizeDistKind::kEmpirical:
+          if (c.size.empirical_path.empty()) {
+            note("class '" + c.name +
+                 "' uses an in-memory empirical CDF (no flag); workload is "
+                 "not fully renderable");
+            continue;
+          }
+          size = "cdf/" + c.size.empirical_path;
+          note("class '" + c.name + "' replay re-reads " + c.size.empirical_path +
+               " (file content is not pinned by the flag)");
+          break;
+      }
+      std::string app;
+      switch (c.app) {
+        case AppModel::kBulk:
+          app = "bulk";
+          break;
+        case AppModel::kRequestResponse:
+          app = "rr/" + std::to_string(c.app_burst_segments) + "/" +
+                render_flag_scaled(c.app_gap, 1e3);
+          break;
+        case AppModel::kWebObject:
+          app = "web/" + std::to_string(c.app_burst_segments) + "/" +
+                render_flag_scaled(c.app_gap, 1e3);
+          break;
+        case AppModel::kVideoChunk:
+          app = "video/" + std::to_string(c.app_burst_segments) + "/" +
+                render_flag_scaled(c.app_gap, 1e3);
+          break;
+      }
+      flag("--workload-class", c.name + ":" + render_value(c.weight) + ":" +
+                                   c.cca + ":" + render_flag_scaled(c.rtt, 1e3) +
+                                   ":" + size + ":" + app);
+    }
+    if (wl.max_concurrent != 0) {
+      flag("--workload-max", std::to_string(wl.max_concurrent));
+    }
+  }
 
   // Spec fields with no flag are surfaced as notes, so quarantine .repro
   // files are honest about what their replay command cannot reproduce.

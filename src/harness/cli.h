@@ -9,7 +9,16 @@
 //   --setting=edge|core        scenario preset            (default core)
 //   --rate=<mbps>              override bottleneck rate
 //   --buffer=<bytes>           override buffer size
-//   --groups=cca:count:rtt_ms[,...]   flow groups         (required)
+//   --groups=cca:count:rtt_ms[,...]   flow groups (required unless an
+//                              open-loop --workload is given)
+//   --workload=poisson:<per_sec>|fixed:<per_sec>   open-loop arrivals
+//   --workload-class=<name>:<weight>:<cca>:<rtt_ms>:<size>:<app>
+//                              repeatable; size = pareto/<alpha>/<min>/<max>,
+//                              lognormal/<mu>/<sigma>/<min>/<max>,
+//                              fixed/<segments>, cdf/<path>; app = bulk,
+//                              rr/<burst>/<think_ms>, web/<burst>/<gap_ms>,
+//                              video/<chunk>/<interval_ms>
+//   --workload-max=<n>         admission cap on concurrent workload flows
 //   --stagger/--warmup/--measure=<sec>
 //   --seed=<n>
 //   --jitter=<microsec>        forward-path jitter

@@ -11,10 +11,12 @@
 #include "src/harness/scenario.h"
 #include "src/net/queue.h"
 #include "src/sim/profiler.h"
+#include "src/stats/fct.h"
 #include "src/stats/flow_recorder.h"
 #include "src/stats/trace.h"
 #include "src/tcp/tcp_receiver.h"
 #include "src/tcp/tcp_sender.h"
+#include "src/workload/spec.h"
 
 namespace ccas {
 
@@ -39,6 +41,15 @@ struct ExperimentSpec {
 
   TcpSenderConfig tcp;
   TcpReceiverConfig receiver;
+
+  // Open-loop workload riding on top of (or instead of) the fixed groups:
+  // session arrivals, heavy-tailed sizes, app-limited pacing models, FCT
+  // percentile stats per class (src/workload/). Disabled by default; like
+  // `shards`, its fields enter the canonical spec encoding only when
+  // enabled, so every pre-workload golden digest and cache key keeps its
+  // bytes. Workload flows draw from a dedicated derive_workload_seed
+  // stream and always live on the core simulator under --shards > 1.
+  WorkloadSpec workload;
 
   // Optional early stop: sample aggregate goodput every `convergence_poll`
   // and stop once it changed <1% over `convergence_window`. Disabled when
@@ -109,6 +120,13 @@ struct ExperimentResult {
   // Per-flow congestion-event (fast-recovery entry) timestamps, covering
   // the whole run; empty unless record_congestion_log was set.
   std::vector<std::vector<Time>> congestion_log;
+  // Per-class workload FCT summaries (spec order); empty unless the spec's
+  // workload block was enabled. Serialized (with workload_goodput_bps) in
+  // an appended result-cache block so pre-workload cache entries parse.
+  std::vector<WorkloadClassResult> workload_classes;
+  // Whole-run average goodput of the workload's dynamic flows (they start
+  // mid-run, so the fixed-flow measurement window does not apply).
+  double workload_goodput_bps = 0.0;
 
   // Jain fairness index over an arbitrary subset (by group, or all flows).
   [[nodiscard]] double jfi_all() const;

@@ -130,6 +130,39 @@ std::string summarize(const ExperimentResult& result) {
                   static_cast<double>(result.queue.max_sojourn_ns) / 1e6);
     out += buf;
   }
+  // Workload FCT block only when the open-loop workload ran, so fixed-flow
+  // output is unchanged character for character.
+  if (!result.workload_classes.empty()) {
+    Table w({"class", "cca", "arrived", "done", "p50(ms)", "p99(ms)", "p999(ms)",
+             "slowdown"});
+    for (const WorkloadClassResult& c : result.workload_classes) {
+      const double mean_slowdown =
+          c.completed > 0 ? c.mean_slowdown : 0.0;
+      w.row()
+          .col(c.name)
+          .col(c.cca)
+          .col(static_cast<int64_t>(c.arrivals))
+          .col(static_cast<int64_t>(c.completed))
+          .col(c.completed > 0 ? c.p50_fct_s * 1e3 : 0.0, 2)
+          .col(c.completed > 0 ? c.p99_fct_s * 1e3 : 0.0, 2)
+          .col(c.completed > 0 ? c.p999_fct_s * 1e3 : 0.0, 2)
+          .col(mean_slowdown, 2)
+          .done();
+    }
+    out += w.to_string();
+    uint64_t rejected = 0;
+    uint64_t abandoned = 0;
+    for (const WorkloadClassResult& c : result.workload_classes) {
+      rejected += c.rejected;
+      abandoned += c.abandoned;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "workload: goodput %s, rejected %llu, in flight at end %llu\n",
+                  format_rate(result.workload_goodput_bps).c_str(),
+                  static_cast<unsigned long long>(rejected),
+                  static_cast<unsigned long long>(abandoned));
+    out += buf;
+  }
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include "src/stats/convergence.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/workload/engine.h"
 
 namespace ccas {
 
@@ -56,7 +57,9 @@ FlowCounters snapshot(Time now, const Flow& flow, const QueueDisc& queue,
 }
 
 void validate(const ExperimentSpec& spec) {
-  if (spec.groups.empty()) throw std::invalid_argument("experiment has no flow groups");
+  if (spec.groups.empty() && !spec.workload.enabled()) {
+    throw std::invalid_argument("experiment has no flow groups");
+  }
   for (const auto& g : spec.groups) {
     if (g.count <= 0) throw std::invalid_argument("flow group with count <= 0");
     if (g.rtt <= TimeDelta::zero()) throw std::invalid_argument("non-positive RTT");
@@ -69,12 +72,27 @@ void validate(const ExperimentSpec& spec) {
   if (spec.shards < 1) {
     throw std::invalid_argument("shards must be >= 1");
   }
-  if (spec.shards > 1 && spec.shards > spec.total_flows()) {
+  // Only fixed groups shard; a workload-only spec runs serially at any
+  // shard count (dynamic flows are core-resident), so it has no minimum.
+  if (spec.shards > 1 && spec.total_flows() > 0 &&
+      spec.shards > spec.total_flows()) {
     throw std::invalid_argument(
         "shards exceed flow count: every domain needs at least one flow");
   }
   spec.scenario.net.impairments.validate();
   spec.scenario.net.qdisc.validate();
+  spec.workload.validate();
+}
+
+// Grace bound for the workload reaper: covers every class and every fixed
+// group (background ACKs share the same return path).
+TimeDelta workload_grace(const ExperimentSpec& spec, const DumbbellConfig& net) {
+  TimeDelta max_rtt = TimeDelta::zero();
+  for (const FlowGroup& g : spec.groups) max_rtt = std::max(max_rtt, g.rtt);
+  for (const WorkloadClass& c : spec.workload.classes) {
+    max_rtt = std::max(max_rtt, c.rtt);
+  }
+  return workload_reap_grace(net, max_rtt);
 }
 
 }  // namespace
@@ -85,7 +103,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
 ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* budget) {
   validate(spec);
-  if (spec.shards > 1) return run_experiment_sharded(spec, budget);
+  // Workload-only specs run serially at any shard count: dynamic flows are
+  // core-resident (see engine.h), so the sharded run would be the serial
+  // run with idle domains (the churn precedent).
+  if (spec.shards > 1 && spec.total_flows() > 0) {
+    return run_experiment_sharded(spec, budget);
+  }
 
   Simulator sim;
   Rng rng(spec.seed);
@@ -232,6 +255,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
     sim.schedule_fn_at(Time::seconds_f(offset), [sender] { sender->start(); });
   }
 
+  // Open-loop workload: arrivals from t = 0 until the end of the run,
+  // driven from a dedicated seed stream (never the master rng, whose draw
+  // order the pre-workload goldens pin). Dynamic flow ids continue after
+  // the fixed groups. Declared after `table` (teardown order) and started
+  // after the stagger draws, mirrored exactly in the sharded runner.
+  std::unique_ptr<WorkloadEngine> workload;
+  const Time run_end = Time::zero() + spec.scenario.stagger +
+                       spec.scenario.warmup + spec.scenario.measure;
+  if (spec.workload.enabled()) {
+    workload = std::make_unique<WorkloadEngine>(
+        sim, topo, table, spec.workload, tcp, spec.receiver,
+        net.bottleneck_rate, static_cast<uint32_t>(spec.total_flows()),
+        run_end, workload_grace(spec, net), derive_workload_seed(spec.seed));
+    workload->begin();
+  }
+
   // Warm-up: run, then reset measurement accounting.
   const Time warmup_end =
       Time::zero() + spec.scenario.stagger + spec.scenario.warmup;
@@ -306,6 +345,14 @@ ExperimentResult run_experiment(const ExperimentSpec& spec, const SimBudget* bud
   }
   result.aggregate_goodput_bps = total_goodput;
   result.congestion_log = std::move(congestion_log);
+  if (workload) {
+    workload->finalize(result.workload_classes);
+    const double elapsed = sim.now().sec();
+    if (elapsed > 0.0) {
+      result.workload_goodput_bps =
+          static_cast<double>(workload->goodput_bytes()) * 8.0 / elapsed;
+    }
+  }
   // Normalize by the payload efficiency (1448 MSS / 1500 wire bytes): a
   // saturated link carries payload at MSS/wire of its line rate.
   const double payload_capacity =

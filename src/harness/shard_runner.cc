@@ -18,6 +18,7 @@
 #include "src/stats/fairness.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/workload/engine.h"
 
 namespace ccas {
 
@@ -59,12 +60,24 @@ FlowCounters snapshot(Time now, const ShardedFlow& flow, const QueueDisc& queue,
 // Conservative lookahead: the minimum one-way propagation delay of any
 // sharded flow. register_flow splits base_rtt as floor/ceil halves, and
 // forward jitter only adds, so the forward floor half is the minimum.
+// Workload classes are deliberately absent: dynamic flows live on the
+// core simulator and never cross the conservative window.
 TimeDelta min_lookahead(const ExperimentSpec& spec) {
   TimeDelta lookahead = TimeDelta::infinite();
   for (const FlowGroup& g : spec.groups) {
     lookahead = std::min(lookahead, g.rtt / 2);
   }
   return lookahead;
+}
+
+// Same grace bound as the serial runner's workload_grace.
+TimeDelta workload_grace(const ExperimentSpec& spec, const DumbbellConfig& net) {
+  TimeDelta max_rtt = TimeDelta::zero();
+  for (const FlowGroup& g : spec.groups) max_rtt = std::max(max_rtt, g.rtt);
+  for (const WorkloadClass& c : spec.workload.classes) {
+    max_rtt = std::max(max_rtt, c.rtt);
+  }
+  return workload_reap_grace(net, max_rtt);
 }
 
 }  // namespace
@@ -250,6 +263,22 @@ ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
                                                [sender] { sender->start(); });
   }
 
+  // Open-loop workload: dynamic flows are core-resident, wired straight
+  // into the topology — the relay only claims ids below
+  // plan.sharded_flows, and the engine's dedicated seed stream makes the
+  // arrival schedule independent of domain interleaving, so results are
+  // byte-identical to the serial runner (the churn precedent).
+  std::unique_ptr<WorkloadEngine> workload;
+  const Time run_end = Time::zero() + spec.scenario.stagger +
+                       spec.scenario.warmup + spec.scenario.measure;
+  if (spec.workload.enabled()) {
+    workload = std::make_unique<WorkloadEngine>(
+        sim, topo, table, spec.workload, tcp, spec.receiver,
+        net.bottleneck_rate, static_cast<uint32_t>(spec.total_flows()),
+        run_end, workload_grace(spec, net), derive_workload_seed(spec.seed));
+    workload->begin();
+  }
+
   const Time warmup_end =
       Time::zero() + spec.scenario.stagger + spec.scenario.warmup;
   fabric.run_to(warmup_end);
@@ -358,6 +387,14 @@ ExperimentResult run_experiment_sharded(const ExperimentSpec& spec,
   }
   result.aggregate_goodput_bps = total_goodput;
   result.congestion_log = std::move(congestion_log);
+  if (workload) {
+    workload->finalize(result.workload_classes);
+    const double elapsed = fabric.now().sec();
+    if (elapsed > 0.0) {
+      result.workload_goodput_bps =
+          static_cast<double>(workload->goodput_bytes()) * 8.0 / elapsed;
+    }
+  }
   const double payload_capacity =
       static_cast<double>(spec.scenario.net.bottleneck_rate.bits_per_sec()) *
       static_cast<double>(kMssBytes) / static_cast<double>(kDataPacketBytes);

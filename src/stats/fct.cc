@@ -1,0 +1,49 @@
+#include "src/stats/fct.h"
+
+#include <utility>
+
+namespace ccas {
+
+void FctRecorder::on_complete(double fct_s, double ideal_fct_s,
+                              uint64_t segments) {
+  ++completed_;
+  completed_segments_ += segments;
+  fct_sum_s_ += fct_s;
+  slowdown_sum_ += ideal_fct_s > 0.0 ? fct_s / ideal_fct_s : 1.0;
+  fct_.insert(fct_s);
+}
+
+void FctRecorder::merge(const FctRecorder& other) {
+  arrivals_ += other.arrivals_;
+  rejected_ += other.rejected_;
+  completed_ += other.completed_;
+  abandoned_ += other.abandoned_;
+  completed_segments_ += other.completed_segments_;
+  fct_sum_s_ += other.fct_sum_s_;
+  slowdown_sum_ += other.slowdown_sum_;
+  fct_.merge(other.fct_);
+}
+
+WorkloadClassResult FctRecorder::summarize(std::string name,
+                                           std::string cca) const {
+  WorkloadClassResult r;
+  r.name = std::move(name);
+  r.cca = std::move(cca);
+  r.arrivals = arrivals_;
+  r.rejected = rejected_;
+  r.completed = completed_;
+  r.abandoned = abandoned_;
+  r.completed_segments = completed_segments_;
+  if (completed_ > 0) {
+    const auto n = static_cast<double>(completed_);
+    r.mean_fct_s = fct_sum_s_ / n;
+    r.mean_slowdown = slowdown_sum_ / n;
+    r.p50_fct_s = fct_.quantile(0.50);
+    r.p90_fct_s = fct_.quantile(0.90);
+    r.p99_fct_s = fct_.quantile(0.99);
+    r.p999_fct_s = fct_.quantile(0.999);
+  }
+  return r;
+}
+
+}  // namespace ccas

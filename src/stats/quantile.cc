@@ -1,0 +1,104 @@
+#include "src/stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+
+namespace ccas {
+
+QuantileSketch::QuantileSketch(double eps) : eps_(eps) {
+  if (!(eps > 0.0) || eps >= 0.5) {
+    throw std::invalid_argument("QuantileSketch: eps must be in (0, 0.5)");
+  }
+  tuples_.reserve(64);
+  scratch_.reserve(64);
+}
+
+void QuantileSketch::reserve(size_t tuples) {
+  tuples_.reserve(tuples);
+  scratch_.reserve(tuples);
+}
+
+void QuantileSketch::insert(double v) {
+  ++count_;
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), v,
+      [](double a, const Tuple& t) { return a < t.v; });
+  // New extrema must carry delta = 0 (their rank is known exactly);
+  // interior insertions get the standard floor(2 eps n) - 1 uncertainty.
+  uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    const double band = 2.0 * eps_ * static_cast<double>(count_);
+    if (band >= 2.0) delta = static_cast<uint64_t>(band) - 1;
+  }
+  tuples_.insert(it, Tuple{v, 1, delta});
+  if (++inserts_since_compress_ >= static_cast<uint64_t>(1.0 / (2.0 * eps_))) {
+    compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void QuantileSketch::compress() {
+  if (tuples_.size() < 3) return;
+  const double band = 2.0 * eps_ * static_cast<double>(count_);
+  const auto threshold = static_cast<uint64_t>(std::max(band, 1.0));
+  // Merge tuple i into its right neighbour when the combined coverage
+  // g_i + g_right + delta_right stays under 2 eps n. Scan right-to-left so
+  // each tuple is judged against its final (already compacted) neighbour;
+  // the first and last tuples are never removed (they pin min/max).
+  size_t right = tuples_.size() - 1;
+  for (size_t i = tuples_.size() - 1; i-- > 1;) {
+    if (tuples_[i].g + tuples_[right].g + tuples_[right].delta <= threshold) {
+      tuples_[right].g += tuples_[i].g;
+      tuples_[i].g = 0;  // mark absorbed (live tuples always have g >= 1)
+    } else {
+      right = i;
+    }
+  }
+  scratch_.clear();
+  for (const Tuple& t : tuples_) {
+    if (t.g != 0) scratch_.push_back(t);
+  }
+  tuples_.swap(scratch_);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    tuples_ = other.tuples_;
+    count_ = other.count_;
+    return;
+  }
+  scratch_.clear();
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+             other.tuples_.end(), std::back_inserter(scratch_),
+             [](const Tuple& a, const Tuple& b) { return a.v < b.v; });
+  tuples_.swap(scratch_);
+  count_ += other.count_;
+  compress();
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (tuples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (q <= 0.0) return tuples_.front().v;
+  if (q >= 1.0) return tuples_.back().v;
+  const auto rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  const double slack = eps_ * static_cast<double>(count_);
+  // Return the last tuple i whose successor could still overshoot the
+  // target rank by more than the error budget — the standard GK query:
+  // pick i with rmax(i+1) > rank + eps*n and report v_i.
+  uint64_t rmin = 0;
+  for (size_t i = 0; i + 1 < tuples_.size(); ++i) {
+    rmin += tuples_[i].g;
+    const uint64_t next_rmax = rmin + tuples_[i + 1].g + tuples_[i + 1].delta;
+    if (static_cast<double>(next_rmax) > static_cast<double>(rank) + slack) {
+      return tuples_[i].v;
+    }
+  }
+  return tuples_.back().v;
+}
+
+}  // namespace ccas

@@ -104,7 +104,11 @@ std::string serialize_result(const ExperimentResult& result) {
   for (const FlowMeasurement& f : result.flows) {
     qdisc_active = qdisc_active || f.queue_marks > 0 || f.ecn_reductions > 0;
   }
-  if (qdisc_active) {
+  // A workload block (below) can only follow a qdisc trailer — the reader
+  // distinguishes the two appended blocks by position, so force the (then
+  // all-zero) qdisc trailer whenever workload results are present.
+  const bool workload_active = !result.workload_classes.empty();
+  if (qdisc_active || workload_active) {
     put_u64(out, result.queue.head_dropped_packets);
     put_u64(out, result.queue.head_dropped_bytes);
     put_u64(out, result.queue.marked_packets);
@@ -116,6 +120,27 @@ std::string serialize_result(const ExperimentResult& result) {
       put_u64(out, f.queue_marks);
       put_u64(out, f.ecn_reductions);
     }
+  }
+  // Workload FCT block, appended only when the open-loop workload ran:
+  // pre-workload results keep their historical bytes.
+  if (workload_active) {
+    put_u64(out, result.workload_classes.size());
+    for (const WorkloadClassResult& c : result.workload_classes) {
+      put_string(out, c.name);
+      put_string(out, c.cca);
+      put_u64(out, c.arrivals);
+      put_u64(out, c.rejected);
+      put_u64(out, c.completed);
+      put_u64(out, c.abandoned);
+      put_u64(out, c.completed_segments);
+      put_double(out, c.mean_fct_s);
+      put_double(out, c.p50_fct_s);
+      put_double(out, c.p90_fct_s);
+      put_double(out, c.p99_fct_s);
+      put_double(out, c.p999_fct_s);
+      put_double(out, c.mean_slowdown);
+    }
+    put_double(out, result.workload_goodput_bps);
   }
   return out;
 }
@@ -206,6 +231,24 @@ std::optional<ExperimentResult> deserialize_result(const std::string& payload) {
       if (!r.get_u64(f.queue_marks) || !r.get_u64(f.ecn_reductions)) {
         return std::nullopt;
       }
+    }
+    // Optional workload FCT block, always preceded by a qdisc trailer (the
+    // serializer forces one when workload results are present).
+    if (!r.exhausted()) {
+      if (!r.get_count(n, 5 * 8 + 6 * 8)) return std::nullopt;
+      result.workload_classes.resize(n);
+      for (WorkloadClassResult& c : result.workload_classes) {
+        if (!r.get_string(c.name) || !r.get_string(c.cca) ||
+            !r.get_u64(c.arrivals) || !r.get_u64(c.rejected) ||
+            !r.get_u64(c.completed) || !r.get_u64(c.abandoned) ||
+            !r.get_u64(c.completed_segments) || !r.get_double(c.mean_fct_s) ||
+            !r.get_double(c.p50_fct_s) || !r.get_double(c.p90_fct_s) ||
+            !r.get_double(c.p99_fct_s) || !r.get_double(c.p999_fct_s) ||
+            !r.get_double(c.mean_slowdown)) {
+          return std::nullopt;
+        }
+      }
+      if (!r.get_double(result.workload_goodput_bps)) return std::nullopt;
     }
   }
   if (!r.exhausted()) return std::nullopt;  // trailing garbage

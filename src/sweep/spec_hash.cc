@@ -151,6 +151,39 @@ std::string canonical_spec_bytes(const ExperimentSpec& spec) {
   // so a cached result records which execution mode produced it.)
   if (spec.shards != 1) tagged_i64(out, "shards", spec.shards);
 
+  // Appended only when the open-loop workload is enabled, so every
+  // pre-workload spec keeps its historical byte encoding, cache keys and
+  // golden digests. Empirical CDFs are encoded by value (every point), not
+  // by path: two files with the same content share a cache entry.
+  const WorkloadSpec& wl = spec.workload;
+  if (wl.enabled()) {
+    tagged_i64(out, "wl.arrival", static_cast<int64_t>(wl.arrival));
+    tagged_double(out, "wl.rate", wl.arrivals_per_sec);
+    tagged_u64(out, "wl.max_concurrent", wl.max_concurrent);
+    tagged_u64(out, "wl.classes", wl.classes.size());
+    for (const WorkloadClass& c : wl.classes) {
+      tagged_string(out, "wl.c.name", c.name);
+      tagged_double(out, "wl.c.weight", c.weight);
+      tagged_string(out, "wl.c.cca", c.cca);
+      tagged_i64(out, "wl.c.rtt_ns", c.rtt.ns());
+      tagged_i64(out, "wl.c.size.kind", static_cast<int64_t>(c.size.kind));
+      tagged_u64(out, "wl.c.size.min", c.size.min_segments);
+      tagged_u64(out, "wl.c.size.max", c.size.max_segments);
+      tagged_double(out, "wl.c.size.alpha", c.size.pareto_alpha);
+      tagged_double(out, "wl.c.size.mu", c.size.lognormal_mu);
+      tagged_double(out, "wl.c.size.sigma", c.size.lognormal_sigma);
+      tagged_u64(out, "wl.c.size.fixed", c.size.fixed_segments);
+      tagged_u64(out, "wl.c.size.cdf", c.size.empirical.size());
+      for (const EmpiricalPoint& p : c.size.empirical) {
+        tagged_double(out, "wl.c.size.cdf.p", p.cum_prob);
+        tagged_u64(out, "wl.c.size.cdf.segs", p.segments);
+      }
+      tagged_i64(out, "wl.c.app", static_cast<int64_t>(c.app));
+      tagged_u64(out, "wl.c.app_burst", c.app_burst_segments);
+      tagged_i64(out, "wl.c.app_gap_ns", c.app_gap.ns());
+    }
+  }
+
   return out;
 }
 

@@ -32,10 +32,21 @@ class DeliveryRateEstimator {
     st.delivered_at_send = delivered_;
   }
 
+  // Called by the sender when it wants to send but the application has
+  // released no further data (tcp_rate_check_app_limited): samples taken
+  // until everything currently in flight is delivered are flagged
+  // app-limited, so they upper-bound the app's rate, not the path's.
+  void on_app_limited(uint64_t pipe) {
+    const uint64_t mark = delivered_ + pipe;
+    app_limited_ = mark > 0 ? mark : 1;
+  }
+  [[nodiscard]] bool app_limited() const { return app_limited_ != 0; }
+
   // Called once per newly delivered (cum-ACKed or SACKed) segment.
   void on_packet_delivered(Time now, const SegmentState& st) {
     ++delivered_;
     delivered_time_ = now;
+    if (app_limited_ != 0 && delivered_ > app_limited_) app_limited_ = 0;
     // Adopt the sample from the most recently sent segment (by delivered
     // count at send, as Linux's tcp_rate_skb_delivered does), and advance
     // the send-window anchor to that segment's transmit time so the next
@@ -67,6 +78,7 @@ class DeliveryRateEstimator {
         DataRate::bytes_per(static_cast<int64_t>(delivered_delta) * kMssBytes, interval);
     rs.prior_delivered = sample_prior_delivered_;
     rs.interval = interval;
+    rs.is_app_limited = app_limited_ != 0;
     return rs;
   }
 
@@ -74,6 +86,8 @@ class DeliveryRateEstimator {
   uint64_t delivered_ = 0;
   Time delivered_time_ = Time::zero();
   Time first_tx_time_ = Time::zero();
+
+  uint64_t app_limited_ = 0;  // delivered count that ends the limited spell
 
   bool sample_valid_ = false;
   TimeDelta sample_send_interval_ = TimeDelta::zero();

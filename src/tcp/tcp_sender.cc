@@ -44,6 +44,20 @@ void TcpSender::start() {
   try_send();
 }
 
+void TcpSender::enable_app_gate(uint64_t initial_segments) {
+  app_gated_ = true;
+  app_limit_ = initial_segments;
+  if (data_segments_ > 0) app_limit_ = std::min(app_limit_, data_segments_);
+}
+
+void TcpSender::app_release(uint64_t segments) {
+  if (!app_gated_) return;
+  app_limit_ += segments;
+  if (data_segments_ > 0) app_limit_ = std::min(app_limit_, data_segments_);
+  app_drained_notified_ = false;
+  if (started_) try_send();
+}
+
 void TcpSender::accept(Packet&& pkt) {
   if (pkt.type != PacketType::kAck) return;
   if (auto* a = sim_.auditor()) a->on_packet_delivered(pkt);
@@ -240,6 +254,13 @@ void TcpSender::process_ack(const Packet& ack) {
     rto_timer_.cancel();
     pacing_timer_.cancel();
     if (cold_.completion_cb) cold_.completion_cb();
+  } else if (app_gated_ && !app_drained_notified_ &&
+             sb_.snd_una() >= app_limit_ &&
+             (data_segments_ == 0 || app_limit_ < data_segments_)) {
+    // Everything the application released is delivered and acknowledged;
+    // tell the pacing model so it can think, then release the next burst.
+    app_drained_notified_ = true;
+    if (cold_.app_drained_cb) cold_.app_drained_cb();
   }
 }
 
@@ -310,6 +331,13 @@ bool TcpSender::send_one(Time now) {
   if (sb_.window_size() >= max_window_) return false;
   // Finite source: no new data beyond the transfer size.
   if (data_segments_ > 0 && sb_.snd_nxt() >= data_segments_) {
+    return false;
+  }
+  // Application-limited source: the app has released nothing further. Mark
+  // the estimator so subsequent rate samples carry is_app_limited and
+  // BBR-style CCAs do not treat application silence as path bandwidth.
+  if (app_gated_ && sb_.snd_nxt() >= app_limit_) {
+    rate_est_.on_app_limited(pipe_);
     return false;
   }
   sb_.extend();

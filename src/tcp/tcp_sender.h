@@ -112,6 +112,25 @@ class TcpSender final : public PacketSink {
     cold_.congestion_event_cb = std::move(cb);
   }
 
+  // --- Application-limited source (the workload engine's pacing models).
+  // By default the flow is a greedy source. enable_app_gate caps new data
+  // at `initial_segments` until the application releases more; while the
+  // released data is fully sent the delivery-rate estimator marks samples
+  // app-limited (RateSample::is_app_limited, which BBR/BBRv2 already
+  // consult), as Linux's tcp_rate_check_app_limited does. Never enabled by
+  // the fixed-flow experiment path, so golden behaviour is untouched.
+  void enable_app_gate(uint64_t initial_segments);
+  // Releases `segments` more to the sender (clamped to data_segments for
+  // finite flows) and tries to send immediately.
+  void app_release(uint64_t segments);
+  [[nodiscard]] uint64_t app_limit() const { return app_limit_; }
+  // Invoked once per drain when every released segment has been
+  // cumulatively acknowledged but the flow is not complete — the
+  // request-response / web-object models' "response delivered" signal.
+  void set_app_drained_callback(std::function<void()> cb) {
+    cold_.app_drained_cb = std::move(cb);
+  }
+
   // Timestamp of the last pending timer queue entry (RTO or pacing) still
   // referencing this sender; Time::zero() when none. The churn reaper must
   // see zero (or a time in the past) before recycling the flow's slab —
@@ -153,6 +172,8 @@ class TcpSender final : public PacketSink {
   bool in_try_send_ = false;  // re-entrancy guard
   bool cwr_pending_ = false;
   bool completion_fired_ = false;
+  bool app_gated_ = false;
+  bool app_drained_notified_ = false;
   // Immutable mirrors of the config fields the per-ACK path reads, so
   // steady-state processing never dereferences into the cold struct.
   bool sack_enabled_;
@@ -161,6 +182,7 @@ class TcpSender final : public PacketSink {
   uint64_t dup_thresh_;
   uint64_t data_segments_;
   uint64_t max_window_;
+  uint64_t app_limit_ = 0;  // segments released by the app (app_gated_)
   uint64_t pipe_ = 0;            // segments presumed in flight (RFC 6675)
   uint64_t recovery_point_ = 0;  // snd_nxt at recovery entry
   uint64_t dupack_count_ = 0;
@@ -197,6 +219,7 @@ class TcpSender final : public PacketSink {
     std::unique_ptr<CongestionController> owned_cca;
     std::function<void()> completion_cb;
     std::function<void(Time)> congestion_event_cb;
+    std::function<void()> app_drained_cb;
   };
   Cold cold_;
 };

@@ -163,5 +163,80 @@ TEST(check_stress, BenchGridRunsAuditCleanAtSmallScale) {
   }
 }
 
+// Tier-2 userscale workload stress: a high-rate open-loop mix (short web
+// objects, request-response, open-loop video) churning thousands of
+// app-limited dynamic flows through the arena/reaper path with the
+// auditor on. Under ASan this doubles as a use-after-free check on the
+// workload engine's slot recycling and stale-app-timer generation guard.
+TEST(check_stress, UserscaleWorkloadRunsAuditCleanAtScale) {
+  if (!kAuditHooksCompiled) {
+    GTEST_SKIP() << "audit hooks compiled out (CCAS_CHECK_HOOKS=OFF)";
+  }
+  if (!check_enabled_from_env()) {
+    GTEST_SKIP() << "tier-2 stress grid; set CCAS_CHECK=1 to run";
+  }
+  ExperimentSpec spec = base_spec(Setting::kEdgeScale);
+  spec.groups.push_back({"cubic", 2, TimeDelta::millis(20)});
+  spec.workload.arrival = ArrivalKind::kPoisson;
+  spec.workload.arrivals_per_sec = 2000.0;
+  spec.workload.max_concurrent = 4096;
+  WorkloadClass web;
+  web.name = "web";
+  web.weight = 0.8;
+  web.cca = "cubic";
+  web.rtt = TimeDelta::millis(20);
+  web.size.kind = SizeDistKind::kPareto;
+  web.size.pareto_alpha = 1.2;
+  web.size.min_segments = 2;
+  web.size.max_segments = 200;
+  web.app = AppModel::kWebObject;
+  web.app_burst_segments = 8;
+  web.app_gap = TimeDelta::millis(2);
+  WorkloadClass rr;
+  rr.name = "rr";
+  rr.weight = 0.1;
+  rr.cca = "newreno";
+  rr.rtt = TimeDelta::millis(40);
+  rr.size.kind = SizeDistKind::kFixed;
+  rr.size.fixed_segments = 24;
+  rr.size.min_segments = 24;
+  rr.size.max_segments = 24;
+  rr.app = AppModel::kRequestResponse;
+  rr.app_burst_segments = 4;
+  rr.app_gap = TimeDelta::millis(5);
+  WorkloadClass video;
+  video.name = "video";
+  video.weight = 0.1;
+  video.cca = "bbr";
+  video.rtt = TimeDelta::millis(30);
+  video.size.kind = SizeDistKind::kFixed;
+  video.size.fixed_segments = 64;
+  video.size.min_segments = 64;
+  video.size.max_segments = 64;
+  video.app = AppModel::kVideoChunk;
+  video.app_burst_segments = 16;
+  video.app_gap = TimeDelta::millis(20);
+  spec.workload.classes = {web, rr, video};
+  // Loss + reordering leave retransmission timers and stray duplicates
+  // behind departing flows: the reap-grace safety argument under fire.
+  spec.scenario.net.impairments.loss = 0.005;
+  spec.scenario.net.impairments.reorder = 0.005;
+  spec.scenario.net.impairments.reorder_delay = TimeDelta::millis(1);
+
+  ExperimentResult result;
+  ASSERT_NO_THROW(result = run_experiment(spec));
+  uint64_t arrivals = 0;
+  uint64_t completed = 0;
+  for (const WorkloadClassResult& c : result.workload_classes) {
+    arrivals += c.arrivals;
+    completed += c.completed;
+  }
+  EXPECT_GT(arrivals, 2000u);
+  // The mix deliberately overloads the 100 Mbps link (open-loop overload is
+  // the stressful regime); a third still completes within the horizon.
+  EXPECT_GT(completed, arrivals / 3);
+  EXPECT_GT(result.workload_goodput_bps, 0.0);
+}
+
 }  // namespace
 }  // namespace ccas::check

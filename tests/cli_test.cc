@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "src/harness/runner.h"
 #include "src/sweep/spec_hash.h"
@@ -517,6 +519,192 @@ TEST(Cli, ShardsSpecCliRoundTrip) {
     EXPECT_EQ(arg.find("--shards"), std::string::npos) << arg;
   }
   EXPECT_NE(cli_usage().find("--shards"), std::string::npos);
+}
+
+TEST(Cli, WorkloadParsesFullConfiguration) {
+  const CliOptions o = parse_cli(
+      {"--setting=edge", "--workload=poisson:500", "--workload-max=2000",
+       "--workload-class=web:0.9:cubic:20:pareto/1.3/4/400:web/8/5",
+       "--workload-class=bulk:0.1:bbr:40:lognormal/5/1.2/10/10000:bulk"});
+  const WorkloadSpec& wl = o.spec.workload;
+  EXPECT_TRUE(wl.enabled());
+  EXPECT_EQ(wl.arrival, ArrivalKind::kPoisson);
+  EXPECT_DOUBLE_EQ(wl.arrivals_per_sec, 500.0);
+  EXPECT_EQ(wl.max_concurrent, 2000u);
+  ASSERT_EQ(wl.classes.size(), 2u);
+  EXPECT_EQ(wl.classes[0].name, "web");
+  EXPECT_DOUBLE_EQ(wl.classes[0].weight, 0.9);
+  EXPECT_EQ(wl.classes[0].cca, "cubic");
+  EXPECT_EQ(wl.classes[0].rtt, TimeDelta::millis(20));
+  EXPECT_EQ(wl.classes[0].size.kind, SizeDistKind::kPareto);
+  EXPECT_DOUBLE_EQ(wl.classes[0].size.pareto_alpha, 1.3);
+  EXPECT_EQ(wl.classes[0].size.min_segments, 4u);
+  EXPECT_EQ(wl.classes[0].size.max_segments, 400u);
+  EXPECT_EQ(wl.classes[0].app, AppModel::kWebObject);
+  EXPECT_EQ(wl.classes[0].app_burst_segments, 8u);
+  EXPECT_EQ(wl.classes[0].app_gap, TimeDelta::millis(5));
+  EXPECT_EQ(wl.classes[1].size.kind, SizeDistKind::kLognormal);
+  EXPECT_DOUBLE_EQ(wl.classes[1].size.lognormal_mu, 5.0);
+  EXPECT_DOUBLE_EQ(wl.classes[1].size.lognormal_sigma, 1.2);
+  EXPECT_EQ(wl.classes[1].app, AppModel::kBulk);
+  // Workload-only specs need no --groups.
+  EXPECT_TRUE(o.spec.groups.empty());
+
+  const CliOptions det = parse_cli(
+      {"--workload=fixed:100",
+       "--workload-class=v:1:cubic:30:fixed/50:video/25/40"});
+  EXPECT_EQ(det.spec.workload.arrival, ArrivalKind::kDeterministic);
+  EXPECT_EQ(det.spec.workload.classes[0].size.kind, SizeDistKind::kFixed);
+  EXPECT_EQ(det.spec.workload.classes[0].size.fixed_segments, 50u);
+  EXPECT_EQ(det.spec.workload.classes[0].app, AppModel::kVideoChunk);
+  EXPECT_EQ(det.spec.workload.classes[0].app_gap, TimeDelta::millis(40));
+}
+
+TEST(Cli, WorkloadRejections) {
+  const std::string cls = "--workload-class=w:1:cubic:20:fixed/10:bulk";
+  // Arrival process and rate.
+  EXPECT_THROW(parse_cli({"--workload=uniform:100", cls}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson", cls}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:0", cls}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:-5", cls}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:inf", cls}), std::invalid_argument);
+  // Classes without a rate, and a rate without classes.
+  EXPECT_THROW(parse_cli({cls}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10"}), std::invalid_argument);
+  // Neither groups nor workload.
+  EXPECT_THROW(parse_cli({}), std::invalid_argument);
+  // Field count, empty name, bad weight, unknown CCA, bad RTT.
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:fixed/10"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=:1:cubic:20:fixed/10:bulk"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:0:cubic:20:fixed/10:bulk"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:-1:cubic:20:fixed/10:bulk"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:nosuchcca:20:fixed/10:bulk"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:0:fixed/10:bulk"}),
+               std::invalid_argument);
+  // Size-spec validation: alpha, bounds ordering, unknown kind.
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:pareto/0/4/400:bulk"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:pareto/1.2/400/4:bulk"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:pareto/1.2/0/4:bulk"}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_cli({"--workload=poisson:10",
+                 "--workload-class=w:1:cubic:20:lognormal/5/0/10/100:bulk"}),
+      std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:zipf/1.1/4/400:bulk"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:fixed/0:bulk"}),
+               std::invalid_argument);
+  // App-spec validation: burst, video interval, unknown model.
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:fixed/10:rr/0/5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:fixed/10:video/4/0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:fixed/10:ftp/4/5"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10",
+                          "--workload-class=w:1:cubic:20:fixed/10:bulk/4"}),
+               std::invalid_argument);
+  // Mix weights must sum to 1.
+  EXPECT_THROW(
+      parse_cli({"--workload=poisson:10",
+                 "--workload-class=a:0.5:cubic:20:fixed/10:bulk",
+                 "--workload-class=b:0.4:cubic:20:fixed/10:bulk"}),
+      std::invalid_argument);
+  // Admission cap: an explicit 0 is a typo, not "unlimited".
+  EXPECT_THROW(parse_cli({"--workload=poisson:10", cls, "--workload-max=0"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--workload=poisson:10", cls, "--workload-max=2.5"}),
+               std::invalid_argument);
+}
+
+TEST(Cli, WorkloadEmpiricalCdfFile) {
+  const std::string good = testing::TempDir() + "ccas_cli_cdf_good.txt";
+  {
+    std::ofstream f(good);
+    f << "# cumulative_prob segments\n\n0.5 10\n0.9 100\n1.0 4000\n";
+  }
+  const CliOptions o = parse_cli(
+      {"--workload=poisson:10",
+       "--workload-class=w:1:cubic:20:cdf/" + good + ":bulk"});
+  const SizeDist& d = o.spec.workload.classes[0].size;
+  EXPECT_EQ(d.kind, SizeDistKind::kEmpirical);
+  EXPECT_EQ(d.empirical_path, good);
+  ASSERT_EQ(d.empirical.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.empirical[0].cum_prob, 0.5);
+  EXPECT_EQ(d.empirical[2].segments, 4000u);
+
+  // Missing file, non-increasing cum_prob, last != 1, junk tokens.
+  EXPECT_THROW(
+      parse_cli({"--workload=poisson:10",
+                 "--workload-class=w:1:cubic:20:cdf//no/such/file:bulk"}),
+      std::invalid_argument);
+  const std::string bad = testing::TempDir() + "ccas_cli_cdf_bad.txt";
+  for (const char* content :
+       {"0.9 10\n0.5 100\n1.0 200\n", "0.5 10\n0.9 100\n", "0.5 ten\n1.0 20\n",
+        "0.5 10 extra\n1.0 20\n", ""}) {
+    std::ofstream(bad, std::ios::trunc) << content;
+    EXPECT_THROW(
+        parse_cli({"--workload=poisson:10",
+                   "--workload-class=w:1:cubic:20:cdf/" + bad + ":bulk"}),
+        std::invalid_argument)
+        << "content: " << content;
+  }
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(Cli, WorkloadSpecCliRoundTrip) {
+  // Every arrival process, size distribution and app model renders to
+  // flags that parse back to the identical canonical spec.
+  const std::string cdf = testing::TempDir() + "ccas_cli_cdf_rt.txt";
+  std::ofstream(cdf, std::ios::trunc) << "0.25 8\n0.75 80\n1.0 800\n";
+  std::vector<std::vector<std::string>> cases = {
+      {"--workload=poisson:250",
+       "--workload-class=web:0.9:cubic:20:pareto/1.2/4/400:web/8/5",
+       "--workload-class=bulk:0.1:bbr:40:lognormal/5.5/1.25/10/10000:bulk"},
+      {"--groups=cubic:4:20", "--workload=fixed:100", "--workload-max=500",
+       "--workload-class=rr:0.5:newreno:30:fixed/12:rr/4/20",
+       "--workload-class=video:0.5:bbr2:60:fixed/64:video/16/40"},
+      {"--workload=poisson:33.5",
+       "--workload-class=emp:1:cubic:25:cdf/" + cdf + ":bulk"},
+  };
+  for (const auto& args : cases) {
+    const CliOptions original = parse_cli(args);
+    const SpecCliRendering rendering = spec_to_cli(original.spec);
+    const CliOptions reparsed = parse_cli(rendering.args);
+    EXPECT_EQ(sweep::spec_cache_key(original.spec),
+              sweep::spec_cache_key(reparsed.spec));
+    EXPECT_EQ(sweep::canonical_spec_bytes(original.spec),
+              sweep::canonical_spec_bytes(reparsed.spec));
+  }
+  std::remove(cdf.c_str());
+  // A disabled workload renders to no workload flags at all.
+  const CliOptions plain = parse_cli({"--groups=cubic:8:20"});
+  for (const std::string& arg : spec_to_cli(plain.spec).args) {
+    EXPECT_EQ(arg.find("--workload"), std::string::npos) << arg;
+  }
+  EXPECT_NE(cli_usage().find("--workload"), std::string::npos);
 }
 
 }  // namespace

@@ -219,7 +219,44 @@ TEST(golden, ExplicitDropTailMatchesPreQdiscDigests) {
         << cell.name << ": --qdisc drop-tail drifted from the pre-qdisc digest";
     ++checked;
   }
-  EXPECT_EQ(checked, 10u) << "expected the 10 pre-qdisc golden cells";
+  EXPECT_EQ(checked, 12u) << "expected the 12 drop-tail golden cells";
+}
+
+// Differential check for the workload stage: stripping the (disabled-by-
+// default) workload block from every pre-workload cell is a perfect no-op
+// — identical canonical spec bytes and the checked-in digest. This pins
+// the invariant that a disabled WorkloadSpec leaves all pre-workload
+// golden digests byte-identical.
+TEST(golden, DisabledWorkloadMatchesPreWorkloadDigests) {
+  const std::vector<GoldenRecord> expected = load_goldens(CCAS_GOLDENS_FILE);
+  auto find = [&](const std::string& name) -> const GoldenRecord* {
+    for (const GoldenRecord& r : expected) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  };
+  size_t checked = 0;
+  for (const GoldenCell& cell : golden_grid()) {
+    if (cell.spec.workload.enabled()) continue;  // the workload cells
+    // An inert workload block (cap set, classes listed, but no arrival
+    // rate) must leave the canonical spec bytes unchanged...
+    ExperimentSpec spec = cell.spec;
+    spec.workload.max_concurrent = 4096;
+    spec.workload.classes.push_back(WorkloadClass{});
+    ASSERT_EQ(sweep::canonical_spec_bytes(spec),
+              sweep::canonical_spec_bytes(cell.spec))
+        << cell.name << ": disabled workload changed the canonical spec";
+    // ...and the run itself must reproduce the checked-in digest.
+    const GoldenRecord* exp = find(cell.name);
+    ASSERT_NE(exp, nullptr) << cell.name;
+    spec.audit = true;
+    const ExperimentResult result = run_experiment(spec);
+    EXPECT_EQ(make_golden_record(cell.name, cell.spec, result).digest,
+              exp->digest)
+        << cell.name << ": inert workload block drifted from the recorded digest";
+    ++checked;
+  }
+  EXPECT_EQ(checked, 12u) << "expected the 12 pre-workload golden cells";
 }
 
 }  // namespace

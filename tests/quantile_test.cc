@@ -1,0 +1,236 @@
+// Streaming quantile sketch (Greenwald-Khanna) against an exact sorted
+// reference: the epsilon-rank guarantee must hold on adversarial input
+// orders (sorted, reversed, duplicate-heavy, heavy-tailed) and survive
+// merging per-shard sketches into one.
+#include "src/stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/fct.h"
+#include "src/util/rng.h"
+
+namespace ccas {
+namespace {
+
+// Exact quantile by nearest-rank on a sorted copy.
+double exact_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  if (v.empty()) return std::nan("");
+  const size_t rank =
+      std::min(v.size() - 1,
+               static_cast<size_t>(std::ceil(q * static_cast<double>(v.size()))) -
+                   (q > 0.0 ? 1 : 0));
+  return v[rank];
+}
+
+// The GK guarantee is on *rank*, not value: the sketch's answer for q must
+// be a sample whose true rank is within eps*n of q*n.
+void expect_within_rank_eps(const std::vector<double>& data,
+                            const QuantileSketch& sk, double q, double eps) {
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const double got = sk.quantile(q);
+  // Position range of `got` in the sorted data (duplicates span a range).
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), got);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), got);
+  ASSERT_NE(lo, hi) << "sketch returned a value not in the data: " << got;
+  const double n = static_cast<double>(sorted.size());
+  const double target = q * n;
+  const double rank_lo = static_cast<double>(lo - sorted.begin()) + 1.0;
+  const double rank_hi = static_cast<double>(hi - sorted.begin());
+  // Practical-bound slack: merge composes error terms, and the textbook
+  // bound has an additive constant; 2*eps*n + 1 covers both.
+  const double slack = 2.0 * eps * n + 1.0;
+  EXPECT_LE(rank_lo - slack, target) << "q=" << q << " got=" << got;
+  EXPECT_GE(rank_hi + slack, target) << "q=" << q << " got=" << got;
+}
+
+TEST(Quantile, RejectsBadEpsilon) {
+  EXPECT_THROW(QuantileSketch(0.0), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(-0.1), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch(0.5), std::invalid_argument);
+  EXPECT_NO_THROW(QuantileSketch(0.001));
+}
+
+TEST(Quantile, EmptyAndSingleton) {
+  QuantileSketch sk(0.01);
+  EXPECT_EQ(sk.count(), 0u);
+  EXPECT_TRUE(std::isnan(sk.quantile(0.5)));
+  sk.insert(42.0);
+  EXPECT_EQ(sk.count(), 1u);
+  EXPECT_DOUBLE_EQ(sk.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(sk.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(sk.quantile(1.0), 42.0);
+}
+
+TEST(Quantile, ExtremesAreExact) {
+  QuantileSketch sk(0.01);
+  Rng rng(7);
+  double mn = 1e300;
+  double mx = -1e300;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.next_double() * 1000.0;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    sk.insert(v);
+  }
+  EXPECT_DOUBLE_EQ(sk.quantile(0.0), mn);
+  EXPECT_DOUBLE_EQ(sk.quantile(1.0), mx);
+}
+
+class QuantileAdversarial : public ::testing::TestWithParam<const char*> {};
+
+// Deterministic per-kind seed (no std::hash: its value is unspecified).
+uint64_t fnv_seed(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : s) h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  return h;
+}
+
+std::vector<double> make_sequence(const std::string& kind, size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  Rng rng(fnv_seed(kind));
+  if (kind == "sorted") {
+    for (size_t i = 0; i < n; ++i) v.push_back(static_cast<double>(i));
+  } else if (kind == "reversed") {
+    for (size_t i = 0; i < n; ++i) v.push_back(static_cast<double>(n - i));
+  } else if (kind == "duplicate-heavy") {
+    // 90% of mass on 8 distinct values.
+    for (size_t i = 0; i < n; ++i) {
+      const double u = rng.next_double();
+      v.push_back(u < 0.9 ? std::floor(u * 8.888889) : u * 1e4);
+    }
+  } else if (kind == "heavy-tailed") {
+    // Bounded Pareto alpha=1.1: the P999 lives far from the median.
+    for (size_t i = 0; i < n; ++i) {
+      const double u = rng.next_double();
+      v.push_back(1.0 / std::pow(1.0 - u * (1.0 - std::pow(1e-6, 1.1)), 1.0 / 1.1));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) v.push_back(rng.next_double());
+  }
+  return v;
+}
+
+TEST_P(QuantileAdversarial, RankGuaranteeHolds) {
+  const std::string kind = GetParam();
+  for (const double eps : {0.001, 0.01}) {
+    const std::vector<double> data = make_sequence(kind, 60000);
+    QuantileSketch sk(eps);
+    for (const double v : data) sk.insert(v);
+    EXPECT_EQ(sk.count(), data.size());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      expect_within_rank_eps(data, sk, q, eps);
+    }
+    // The sketch must stay sublinear: that's its entire reason to exist.
+    EXPECT_LT(sk.tuple_count(), data.size() / 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sequences, QuantileAdversarial,
+                         ::testing::Values("sorted", "reversed",
+                                           "duplicate-heavy", "heavy-tailed",
+                                           "uniform"));
+
+TEST(Quantile, MergeMatchesSingleSketchGuarantee) {
+  // Sharded accumulation: S shards each sketch a disjoint slice, the
+  // merged sketch must satisfy the (practical) rank bound on the union.
+  for (const int shards : {2, 4, 8}) {
+    const std::vector<double> data = make_sequence("heavy-tailed", 48000);
+    const double eps = 0.005;
+    QuantileSketch merged(eps);
+    for (int s = 0; s < shards; ++s) {
+      QuantileSketch part(eps);
+      for (size_t i = s; i < data.size(); i += static_cast<size_t>(shards)) {
+        part.insert(data[i]);
+      }
+      merged.merge(part);
+    }
+    EXPECT_EQ(merged.count(), data.size());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+      expect_within_rank_eps(data, merged, q, eps);
+    }
+  }
+}
+
+TEST(Quantile, MergeIntoEmptyAndOfEmpty) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.01);
+  for (int i = 0; i < 1000; ++i) b.insert(static_cast<double>(i));
+  a.merge(b);  // empty <- full: plain copy
+  EXPECT_EQ(a.count(), 1000u);
+  QuantileSketch empty(0.01);
+  a.merge(empty);  // full <- empty: no-op
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 999.0);
+}
+
+TEST(FctRecorder, MergeMatchesSingleRecorder) {
+  // Sharded workload accumulation path: two per-shard recorders merged
+  // must summarize like one recorder that saw every completion.
+  FctRecorder whole;
+  FctRecorder left;
+  FctRecorder right;
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    const double fct = 0.01 + rng.next_double() * 0.5;
+    FctRecorder& shard = (i % 2 == 0) ? left : right;
+    whole.on_arrival();
+    shard.on_arrival();
+    if (i % 17 == 0) {
+      whole.on_reject();
+      shard.on_reject();
+      continue;
+    }
+    whole.on_complete(fct, 0.01, 12);
+    shard.on_complete(fct, 0.01, 12);
+  }
+  left.merge(right);
+  const WorkloadClassResult a = whole.summarize("web", "cubic");
+  const WorkloadClassResult b = left.summarize("web", "cubic");
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.completed_segments, b.completed_segments);
+  // Means agree up to summation order (the shards accumulate their own
+  // partial sums before the merge adds them).
+  EXPECT_NEAR(a.mean_fct_s, b.mean_fct_s, 1e-12);
+  EXPECT_NEAR(a.mean_slowdown, b.mean_slowdown, 1e-9);
+  // Quantiles from the merged sketch obey the (composed) rank guarantee,
+  // so they must sit within a hair of the single-recorder answers.
+  EXPECT_NEAR(a.p50_fct_s, b.p50_fct_s, 0.01);
+  EXPECT_NEAR(a.p99_fct_s, b.p99_fct_s, 0.01);
+}
+
+TEST(FctRecorder, EmptySummarizeLeavesQuantilesZero) {
+  FctRecorder r;
+  r.on_arrival();
+  r.on_abandon();
+  const WorkloadClassResult out = r.summarize("idle", "bbr");
+  EXPECT_EQ(out.arrivals, 1u);
+  EXPECT_EQ(out.abandoned, 1u);
+  EXPECT_EQ(out.completed, 0u);
+  EXPECT_DOUBLE_EQ(out.p50_fct_s, 0.0);
+  EXPECT_DOUBLE_EQ(out.mean_slowdown, 0.0);
+}
+
+TEST(Quantile, MedianTracksExactOnUniform) {
+  // Value-space sanity on top of the rank bound: for uniform data the
+  // returned quantile values should be numerically close to exact ones.
+  const std::vector<double> data = make_sequence("uniform", 100000);
+  QuantileSketch sk(0.001);
+  for (const double v : data) sk.insert(v);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(sk.quantile(q), exact_quantile(data, q), 0.01) << q;
+  }
+}
+
+}  // namespace
+}  // namespace ccas

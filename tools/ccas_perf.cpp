@@ -102,6 +102,35 @@ std::vector<BenchCell> all_cells() {
     spec.shards = 8;
     cells.push_back({"core20000-sh8", spec});
   }
+  // Userscale workload churn (src/workload/): 2000 open-loop short-flow
+  // sessions/sec — 100k+ per simulated minute — pounding the dynamic
+  // flow-table arena, the reaper, and the FCT sketches instead of a fixed
+  // population. The alloc gate matters most here: every session creates
+  // and destroys a flow, so any per-churn allocation multiplies by the
+  // arrival rate rather than the flow count.
+  {
+    WorkloadClass web;
+    web.name = "web";
+    web.weight = 1.0;
+    web.cca = "cubic";
+    web.rtt = TimeDelta::millis(20);
+    web.size.kind = SizeDistKind::kPareto;
+    web.size.pareto_alpha = 1.2;
+    web.size.min_segments = 2;
+    web.size.max_segments = 200;
+    web.app = AppModel::kWebObject;
+    web.app_burst_segments = 8;
+    web.app_gap = TimeDelta::millis(2);
+    ExperimentSpec spec = pinned_spec(Scenario::core_scale(), {}, 0.0, 0.5, 30.0);
+    spec.workload.arrival = ArrivalKind::kPoisson;
+    spec.workload.arrivals_per_sec = 2000.0;
+    spec.workload.max_concurrent = 8192;
+    spec.workload.classes = {web};
+    cells.push_back({"userscale2000", spec});
+    // CI-sized twin: same churn rate, short window.
+    spec.scenario.measure = TimeDelta::seconds_f(5.0);
+    cells.push_back({"smoke-userscale", spec});
+  }
   return cells;
 }
 
@@ -204,7 +233,8 @@ int main(int argc, char** argv) {
           "                 [--baseline=file.json] [--max-regress=frac]\n"
           "                 [--alloc-gate=allocs_per_event]\n"
           "cells: edge50 core1000 smoke-edge smoke-core core5000\n"
-          "       core5000-sh8 core20000 core20000-sh8 (default: all)\n"
+          "       core5000-sh8 core20000 core20000-sh8 userscale2000\n"
+          "       smoke-userscale (default: all)\n"
           "exit 2 if any cell's events/sec falls more than max-regress\n"
           "(default 0.25) below the baseline, or if any cell's measured\n"
           "heap allocations per event exceed the --alloc-gate threshold\n"
