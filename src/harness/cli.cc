@@ -751,6 +751,136 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   return opts;
 }
 
+std::string fleet_cli_usage() {
+  return "usage: ccas_fleet --fleet-dir=<dir> --groups=... [options]\n"
+         "       ccas_fleet --fleet-dir=<dir> --report-only\n"
+         "Runs one fleet worker against a shared job store: independent\n"
+         "ccas_fleet processes pointed at the same --fleet-dir divide the\n"
+         "grid between them via per-cell leases and converge on results\n"
+         "byte-identical to a serial ccas_run of the same flags.\n"
+         "  --fleet-dir=<dir>     the shared job store (required)\n"
+         "  --lease-ttl=<sec>     per-cell lease TTL (default 30); a worker\n"
+         "                        killed mid-cell is reclaimed after this\n"
+         "  --heartbeat=<sec>     lease renewal interval (default TTL/3)\n"
+         "  --fleet-wait=<sec>    give up (exit 5) after this long without\n"
+         "                        any worker journaling progress (0 = wait\n"
+         "                        forever, the default)\n"
+         "  --worker-id=<id>      stable worker name (default w<pid>)\n"
+         "  --report-only         render the report from the store without\n"
+         "                        joining as a worker; takes no grid flags\n"
+         "All other flags describe the grid and are shared with ccas_run\n"
+         "(--groups, --seeds, --setting, budgets, --retries, ...); every\n"
+         "worker of one job must pass the same grid flags. --trace, --csv,\n"
+         "--resume, --quarantine and --fail-fast do not apply to fleet jobs\n"
+         "and are rejected.\n"
+         "Exit codes: 0 ok, 1 usage/config/salt mismatch, 2 deterministic\n"
+         "            cell failure, 3 budget exceeded, 4 transient failure\n"
+         "            after retries, 5 job incomplete (tools/EXIT_CODES.md)\n";
+}
+
+FleetCli parse_fleet_cli(const std::vector<std::string>& args) {
+  FleetCli cli;
+  std::vector<std::string> rest;
+  for (const std::string& arg : args) {
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    auto need_value = [&] {
+      if (value.empty()) throw std::invalid_argument(key + " needs a value");
+    };
+    auto positive_ms = [&]() -> uint64_t {
+      need_value();
+      const double sec = parse_number(key, value);
+      if (sec <= 0.0) throw std::invalid_argument(key + " must be positive");
+      const auto ms = static_cast<uint64_t>(sec * 1000.0);
+      if (ms == 0) {
+        throw std::invalid_argument(key + " rounds to zero milliseconds");
+      }
+      return ms;
+    };
+
+    if (key == "--fleet-dir") {
+      need_value();
+      cli.fleet.fleet_dir = value;
+    } else if (key == "--lease-ttl") {
+      cli.fleet.lease_ttl_ms = positive_ms();
+    } else if (key == "--heartbeat") {
+      cli.fleet.heartbeat_ms = positive_ms();
+    } else if (key == "--fleet-wait") {
+      need_value();
+      const double sec = parse_number(key, value);
+      if (sec < 0.0) throw std::invalid_argument("--fleet-wait must be >= 0");
+      cli.fleet.wait_ms = static_cast<uint64_t>(sec * 1000.0);
+    } else if (key == "--worker-id") {
+      need_value();
+      for (const char c : value) {
+        if (c == '/' || c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+          throw std::invalid_argument(
+              "--worker-id must not contain '/' or whitespace (it names "
+              "lease files and journal fields)");
+        }
+      }
+      cli.fleet.worker_id = value;
+    } else if (key == "--report-only") {
+      if (!value.empty()) {
+        throw std::invalid_argument("--report-only takes no value");
+      }
+      cli.fleet.report_only = true;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+
+  if (cli.fleet.fleet_dir.empty()) {
+    throw std::invalid_argument("--fleet-dir=<dir> is required\n" +
+                                fleet_cli_usage());
+  }
+  if (cli.fleet.heartbeat_ms != 0 &&
+      cli.fleet.heartbeat_ms >= cli.fleet.lease_ttl_ms) {
+    throw std::invalid_argument(
+        "--heartbeat must be shorter than --lease-ttl (a heartbeat that "
+        "fires after expiry cannot keep the lease)");
+  }
+  if (cli.fleet.report_only) {
+    if (!rest.empty()) {
+      throw std::invalid_argument(
+          "--report-only reads the grid from the store's job.spec and takes "
+          "no grid flags (got '" + rest.front() + "')");
+    }
+    return cli;
+  }
+
+  cli.run = parse_cli(rest);
+  // A fleet job must be a pure grid of cacheable cells: the store's
+  // results and journal ARE the output, so flags that add side outputs or
+  // a second manifest cannot mean anything coherent across N processes.
+  if (cli.run.spec.trace_interval > TimeDelta::zero()) {
+    throw std::invalid_argument(
+        "--trace does not apply to fleet jobs: traced cells are not "
+        "cacheable, and the shared results store is the fleet's output");
+  }
+  if (!cli.run.csv_prefix.empty()) {
+    throw std::invalid_argument("--csv does not apply to fleet jobs");
+  }
+  if (!cli.run.sweep.resume_dir.empty()) {
+    throw std::invalid_argument(
+        "--resume does not apply to fleet jobs: the fleet store is itself "
+        "the resumable manifest (point --fleet-dir at it again to resume)");
+  }
+  if (!cli.run.sweep.quarantine_dir.empty()) {
+    throw std::invalid_argument(
+        "--quarantine does not apply to fleet jobs: failed cells write "
+        ".repro files into <fleet-dir>/quarantine/");
+  }
+  if (cli.run.sweep.fail_fast) {
+    throw std::invalid_argument(
+        "--fail-fast does not apply to fleet jobs: one worker cannot abort "
+        "the others (use --fleet-wait to bound a stalled job)");
+  }
+  return cli;
+}
+
 namespace {
 
 std::string render_value(double v) {

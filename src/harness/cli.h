@@ -83,6 +83,46 @@ struct CliOptions {
 // The --help text.
 [[nodiscard]] std::string cli_usage();
 
+// ---- ccas_fleet ----------------------------------------------------------
+//
+// Fleet-specific flags (DESIGN.md §14); everything not listed here is
+// handed to parse_cli and describes the grid, exactly as for ccas_run:
+//
+//   --fleet-dir=<dir>      the shared job store (required)
+//   --lease-ttl=<sec>      per-cell lease TTL (default 30)
+//   --heartbeat=<sec>      lease renewal interval (default TTL/3)
+//   --fleet-wait=<sec>     give up (exit 5) after this long without any
+//                          worker journaling progress; 0 = wait forever
+//   --worker-id=<id>       stable worker name (default w<pid>)
+//   --report-only          render the final report from the store without
+//                          joining as a worker (takes no grid flags)
+struct FleetCliOptions {
+  std::string fleet_dir;
+  uint64_t lease_ttl_ms = 30'000;
+  uint64_t heartbeat_ms = 0;  // 0 → lease_ttl_ms / 3
+  uint64_t wait_ms = 0;       // 0 → wait forever
+  std::string worker_id;      // "" → w<pid>
+  bool report_only = false;
+};
+
+struct FleetCli {
+  FleetCliOptions fleet;
+  // The grid and supervision flags (unset in --report-only mode, which
+  // reads the grid from the store's frozen job.spec).
+  CliOptions run;
+};
+
+// Splits fleet flags from grid flags and validates both. Throws
+// std::invalid_argument on: a missing/empty --fleet-dir, a non-positive
+// --lease-ttl or --heartbeat (or one that rounds to zero ms), a heartbeat
+// not shorter than the TTL, a malformed --worker-id, grid flags combined
+// with --report-only, or grid flags that cannot describe a fleet job
+// (--trace, --csv, --resume, --quarantine, --fail-fast).
+[[nodiscard]] FleetCli parse_fleet_cli(const std::vector<std::string>& args);
+
+// The ccas_fleet --help text.
+[[nodiscard]] std::string fleet_cli_usage();
+
 // Inverse of parse_cli for a single cell: `args` reproduces `spec` exactly
 // — spec_cache_key-identical after a parse_cli round trip — despite the
 // truncating double→int64 casts in TimeDelta::seconds_f / DataRate::bps_f

@@ -15,6 +15,7 @@
 #include "src/sim/budget.h"
 #include "src/sweep/manifest.h"
 #include "src/sweep/progress.h"
+#include "src/sweep/wire.h"
 #include "src/util/logging.h"
 
 namespace ccas::sweep {
@@ -188,7 +189,16 @@ std::vector<CellOutcome> SweepExecutor::run(const SweepSpec& sweep) {
                                  manifest->results_dir());
             }
           }
-          if (manifest) manifest->record_ok(out.cache_key, attempt);
+          if (manifest && cacheable) {
+            // The digest lets a later multi-worker (fleet) run — or a
+            // resume on another host — verify byte-identity instead of
+            // trusting it: divergent duplicates surface as structured
+            // determinism-violation failures on replay.
+            manifest->record_ok(out.cache_key, attempt,
+                                fnv1a64(serialize_result(out.result)));
+          } else if (manifest) {
+            manifest->record_ok(out.cache_key, attempt);
+          }
         } catch (const BudgetExceeded& e) {
           eptr = std::current_exception();
           failure = CellFailure{cell.name, budget_failure_class(e.kind()),

@@ -1,0 +1,221 @@
+#include "src/sweep/fleet/store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/sweep/spec_hash.h"
+#include "src/util/logging.h"
+
+namespace ccas::sweep::fleet {
+
+namespace {
+
+constexpr std::string_view kJobHeaderPrefix = "ccas-fleet-job v1 salt=";
+constexpr int kCreateAttempts = 3;
+
+bool parse_hex16(const std::string& text, uint64_t& value) {
+  if (text.size() != 16) return false;
+  value = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else return false;
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return true;
+}
+
+}  // namespace
+
+FleetStore::FleetStore(std::string dir, const SweepSpec& sweep,
+                       std::string salt)
+    : dir_(std::move(dir)), salt_(std::move(salt)) {
+  std::vector<JobCell> expected;
+  expected.reserve(sweep.cells.size());
+  for (const SweepCell& cell : sweep.cells) {
+    expected.push_back({spec_cache_key(cell.spec, salt_), cell.name});
+  }
+  open_or_create(&expected);
+}
+
+FleetStore::FleetStore(std::string dir, std::string salt)
+    : dir_(std::move(dir)), salt_(std::move(salt)) {
+  open_or_create(nullptr);
+}
+
+void FleetStore::open_or_create(const std::vector<JobCell>* expected) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec && !std::filesystem::is_directory(dir_)) {
+    throw std::runtime_error("cannot create fleet store dir '" + dir_ +
+                             "': " + ec.message());
+  }
+
+  for (int attempt = 0; attempt < kCreateAttempts; ++attempt) {
+    if (!std::filesystem::exists(job_path())) {
+      if (expected == nullptr) {
+        throw std::runtime_error("fleet store " + dir_ +
+                                 " has no job.spec — nothing to report on "
+                                 "(start a worker with a grid first)");
+      }
+      // Publication may lose a race (EEXIST): fall through to the parse,
+      // which verifies whatever the winner froze.
+      (void)try_create(*expected);
+    }
+    if (!parse_job_file()) {
+      // Torn trailer: the freezing host crashed before the file's bytes
+      // were durable. With a grid in hand, repair by re-freezing; a
+      // report-only open cannot.
+      if (expected == nullptr) {
+        throw std::runtime_error("fleet store " + dir_ +
+                                 " has a torn job.spec (missing `end` "
+                                 "trailer) and no worker has repaired it");
+      }
+      log_warn("fleet store: repairing torn %s", job_path().c_str());
+      ::unlink(job_path().c_str());
+      continue;
+    }
+    if (expected != nullptr) {
+      if (grid_.size() != expected->size()) {
+        throw std::invalid_argument(
+            "fleet store " + dir_ + " was frozen with " +
+            std::to_string(grid_.size()) + " cells but this invocation asks "
+            "for " + std::to_string(expected->size()) +
+            " — all workers of one job must be launched with the same grid");
+      }
+      for (size_t i = 0; i < grid_.size(); ++i) {
+        if (grid_[i].spec_hash != (*expected)[i].spec_hash) {
+          throw std::invalid_argument(
+              "fleet store " + dir_ + " grid mismatch at cell " +
+              std::to_string(i) + " ('" + grid_[i].name + "'): frozen hash " +
+              cache_key_hex(grid_[i].spec_hash) + " vs this invocation's " +
+              cache_key_hex((*expected)[i].spec_hash) +
+              " — all workers of one job must be launched with the same "
+              "flags and binary version");
+        }
+      }
+    }
+    // Manifest construction re-checks the salt (throws invalid_argument)
+    // and creates the shared journal; ResultCache creates results/.
+    manifest_ = std::make_unique<SweepManifest>(dir_, salt_);
+    results_ = std::make_unique<ResultCache>(manifest_->results_dir());
+    return;
+  }
+  throw std::runtime_error("fleet store " + dir_ +
+                           ": could not freeze job.spec after " +
+                           std::to_string(kCreateAttempts) + " attempts");
+}
+
+bool FleetStore::try_create(const std::vector<JobCell>& grid) {
+  std::string text(kJobHeaderPrefix);
+  text += salt_;
+  text += "\n";
+  for (const JobCell& cell : grid) {
+    text += "cell " + cache_key_hex(cell.spec_hash) + " " + cell.name + "\n";
+  }
+  text += "end " + std::to_string(grid.size()) + "\n";
+
+  // The temp name must be unique per creator, not just per process: fleet
+  // workers can share this directory from different hosts (colliding
+  // pids) or — in tests — from threads of one process, and a shared temp
+  // name lets one racer unlink the file another is about to link().
+  static std::atomic<uint64_t> tmp_counter{0};
+  const std::string tmp = job_path() + ".tmp." +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_counter.fetch_add(1));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("fleet store: cannot write " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  const bool written =
+      ::write(fd, text.data(), text.size()) ==
+          static_cast<ssize_t>(text.size()) &&
+      ::fsync(fd) == 0;
+  ::close(fd);
+  if (!written) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("fleet store: short write to " + tmp);
+  }
+  // link(), not rename(): first-wins atomic publication. A loser keeps
+  // the frozen winner's file intact and verifies against it instead.
+  const bool published = ::link(tmp.c_str(), job_path().c_str()) == 0;
+  if (!published && errno != EEXIST) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("fleet store: cannot publish " + job_path() +
+                             ": " + std::strerror(errno));
+  }
+  ::unlink(tmp.c_str());
+  return published;
+}
+
+bool FleetStore::parse_job_file() {
+  grid_.clear();
+  std::ifstream in(job_path());
+  if (!in) {
+    throw std::runtime_error("fleet store: cannot read " + job_path());
+  }
+  std::string line;
+  if (!std::getline(in, line)) return false;  // empty = torn
+  if (line.rfind(kJobHeaderPrefix, 0) != 0) {
+    throw std::invalid_argument("fleet store " + job_path() +
+                                " has an unrecognized header; refusing "
+                                "to join");
+  }
+  const std::string file_salt(line.substr(kJobHeaderPrefix.size()));
+  if (file_salt != salt_) {
+    throw std::invalid_argument(
+        "fleet store " + job_path() + " was frozen under salt '" + file_salt +
+        "' but this build uses salt '" + salt_ +
+        "'; its grid was hashed by different simulator code — start a "
+        "fresh store");
+  }
+  bool saw_end = false;
+  size_t declared = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "cell") {
+      std::string hash_text;
+      JobCell cell;
+      if (!(fields >> hash_text) || !parse_hex16(hash_text, cell.spec_hash)) {
+        return false;  // torn mid-line
+      }
+      std::getline(fields, cell.name);
+      if (!cell.name.empty() && cell.name.front() == ' ') {
+        cell.name.erase(0, 1);
+      }
+      grid_.push_back(std::move(cell));
+    } else if (tag == "end") {
+      if (!(fields >> declared)) return false;
+      saw_end = true;
+      break;
+    } else {
+      return false;
+    }
+  }
+  return saw_end && declared == grid_.size();
+}
+
+std::vector<JobCell> FleetStore::uncovered() const {
+  std::vector<JobCell> out;
+  for (const JobCell& cell : grid_) {
+    if (!manifest_->lookup(cell.spec_hash)) out.push_back(cell);
+  }
+  return out;
+}
+
+}  // namespace ccas::sweep::fleet

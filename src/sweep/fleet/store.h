@@ -1,0 +1,99 @@
+// The fleet job store (DESIGN.md §14): one directory that fully describes
+// a sweep job shared by N ccas_fleet worker processes —
+//
+//   <dir>/job.spec      the frozen grid (below)
+//   <dir>/manifest.log  shared multi-writer journal   (manifest.h)
+//   <dir>/results/      shared ResultCache            (result_cache.h)
+//   <dir>/quarantine/   .repro replay files for failed cells
+//   <dir>/leases/       per-cell claim leases         (lease.h)
+//
+// job.spec format (version 1):
+//
+//   ccas-fleet-job v1 salt=<cache salt>
+//   cell <16-hex spec hash> <cell name>
+//   ...
+//   end <cell count>
+//
+// The first worker to arrive freezes the grid: the file is rendered to a
+// private temp, fsync'd, and published with link(2), whose first-wins
+// atomicity means concurrent creators cannot interleave and a published
+// job.spec is never torn by a racing writer. Every later joiner re-derives
+// the grid from its own CLI and verifies hash-for-hash agreement with the
+// frozen file; a mismatch (different flags, or a binary whose spec hashing
+// changed without a salt bump) is refused with std::invalid_argument —
+// mixed grids in one store would journal results nobody asked for. The
+// salt line carries kSweepCodeSalt (unless overridden), so binaries from
+// different simulator versions refuse to join each other's stores the
+// same way resume refuses mismatched manifests.
+//
+// A torn job.spec (`end` trailer missing or wrong — possible only after a
+// host crash un-fsync'd the creator's work) is repaired by the next
+// arriving worker: unlink and re-freeze from its own grid. Join-only
+// opens (ccas_fleet --report-only) have no grid to re-freeze from and
+// refuse instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sweep/manifest.h"
+#include "src/sweep/result_cache.h"
+#include "src/sweep/sweep_spec.h"
+
+namespace ccas::sweep::fleet {
+
+struct JobCell {
+  uint64_t spec_hash = 0;
+  std::string name;
+};
+
+class FleetStore {
+ public:
+  // Create-or-join: freezes `sweep`'s grid into <dir>/job.spec if absent,
+  // verifies it hash-for-hash otherwise. Throws std::invalid_argument on
+  // a salt or grid mismatch, std::runtime_error when the store cannot be
+  // created or repaired.
+  FleetStore(std::string dir, const SweepSpec& sweep, std::string salt);
+
+  // Join-only (--report-only): parses the existing job.spec. Throws
+  // std::runtime_error when it is absent or torn, std::invalid_argument
+  // on a salt mismatch.
+  FleetStore(std::string dir, std::string salt);
+
+  // The frozen grid, in job.spec order.
+  [[nodiscard]] const std::vector<JobCell>& grid() const { return grid_; }
+
+  [[nodiscard]] SweepManifest& manifest() { return *manifest_; }
+  [[nodiscard]] ResultCache& results() { return *results_; }
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] const std::string& salt() const { return salt_; }
+  [[nodiscard]] std::string job_path() const { return dir_ + "/job.spec"; }
+  [[nodiscard]] std::string lease_dir() const { return dir_ + "/leases"; }
+  [[nodiscard]] std::string quarantine_dir() const {
+    return dir_ + "/quarantine";
+  }
+
+  // Grid cells the (reloaded) manifest holds no record for. The job is
+  // complete when this is empty — the coordinator-less completion rule:
+  // any worker observing full coverage may render the final report and
+  // exit, no handshake required.
+  [[nodiscard]] std::vector<JobCell> uncovered() const;
+
+ private:
+  void open_or_create(const std::vector<JobCell>* expected);
+  [[nodiscard]] bool try_create(const std::vector<JobCell>& grid);
+  // Parses job.spec into grid_. Returns false when the file is torn;
+  // throws on salt mismatch or an unrecognized header.
+  [[nodiscard]] bool parse_job_file();
+
+  std::string dir_;
+  std::string salt_;
+  std::vector<JobCell> grid_;
+  std::unique_ptr<SweepManifest> manifest_;
+  std::unique_ptr<ResultCache> results_;
+};
+
+}  // namespace ccas::sweep::fleet

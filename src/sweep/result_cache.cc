@@ -1,5 +1,8 @@
 #include "src/sweep/result_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -312,9 +315,16 @@ bool ResultCache::store(uint64_t key, const ExperimentResult& result) const {
   put_string(file, payload);
   put_u64(file, fnv1a64(payload));
 
-  // Unique temp name per key+thread is unnecessary: rename is atomic and
-  // any two writers of the same key write identical bytes.
-  const std::string tmp = entry_path(key) + ".tmp";
+  // The temp name is unique per process AND per store() call (pid +
+  // process-wide counter): two workers — or two threads — racing the same
+  // key must never share a temp file, or one writer's truncate tears the
+  // other's half-written bytes just before its rename. With unique temps,
+  // concurrent writers are last-writer-wins at the rename, and every
+  // rename publishes a complete entry.
+  static std::atomic<uint64_t> tmp_counter{0};
+  const std::string tmp =
+      entry_path(key) + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
   for (int attempt = 0; attempt < kStoreAttempts; ++attempt) {
     if (attempt > 0) {
       // Deterministic backoff: transient conditions (ENOSPC window, a
@@ -327,11 +337,21 @@ bool ResultCache::store(uint64_t key, const ExperimentResult& result) const {
       write_len /= 2;  // injected torn write
     }
     {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) continue;
-      out.write(file.data(), static_cast<std::streamsize>(write_len));
-      out.flush();
-      if (!out.good()) continue;
+      // POSIX write path so the data can be fsync'd before the rename: a
+      // host crash after the rename must not leave a published entry
+      // whose bytes never reached the disk.
+      const int fd = ::open(tmp.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+      if (fd < 0) continue;
+      const ssize_t written =
+          ::write(fd, file.data(), static_cast<size_t>(write_len));
+      const bool ok = written == static_cast<ssize_t>(write_len) &&
+                      ::fsync(fd) == 0;
+      ::close(fd);
+      if (!ok) {
+        ::unlink(tmp.c_str());
+        continue;
+      }
     }
     std::error_code ec;
     std::filesystem::rename(tmp, entry_path(key), ec);
@@ -339,14 +359,27 @@ bool ResultCache::store(uint64_t key, const ExperimentResult& result) const {
       std::filesystem::remove(tmp, ec);
       continue;
     }
+    // Commit the rename itself: fsync the directory so the entry's name
+    // survives a host crash (data was fsync'd above; without the
+    // directory sync the file could vanish, which is only a cache miss —
+    // but the fleet's manifest journals "ok" right after this store, and
+    // a journaled-ok cell whose entry vanished costs a recompute on
+    // every resume).
+    sync_dir();
     // Verify after rename: read the entry back and byte-compare. A torn
     // or bit-flipped write is removed (load() would only warn and
     // recompute later — better to pay one retry now) and re-attempted.
+    // A mismatch that is itself a complete, verifiable entry (a
+    // concurrent writer of the same key won the rename race) counts as
+    // success: entries for one key are equal bytes under the determinism
+    // contract, and a divergent winner is caught by the manifest's
+    // digest check, not here.
     std::ifstream in(entry_path(key), std::ios::binary);
     std::string readback((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
     if (in.good() || in.eof()) {
       if (readback == file) return true;
+      if (write_len == file.size() && load(key).has_value()) return true;
     }
     log_warn("sweep cache: verify-after-rename mismatch in %s (attempt %d), "
              "rewriting",
@@ -354,6 +387,13 @@ bool ResultCache::store(uint64_t key, const ExperimentResult& result) const {
     std::filesystem::remove(entry_path(key), ec);
   }
   return false;
+}
+
+void ResultCache::sync_dir() const {
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return;  // best-effort: an unsyncable dir degrades to cache-off semantics
+  ::fsync(dfd);
+  ::close(dfd);
 }
 
 }  // namespace ccas::sweep

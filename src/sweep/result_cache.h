@@ -9,12 +9,15 @@
 // from another format version fail to load and are recomputed — a corrupt
 // cache can cost time, never correctness.
 //
-// Writes go to a temp file in the same directory and are renamed into
-// place, so concurrent sweeps sharing a cache directory see only complete
-// entries; each write is verified after the rename (read back and
-// byte-compared) and retried with a short backoff, so a transient write
-// error (ENOSPC window, flaky network FS) costs milliseconds instead of
-// leaving a torn entry behind. Results carrying a time-series trace are
+// Writes go to a uniquely named temp file (pid + counter, so concurrent
+// worker processes racing the same key never tear each other's temp) in
+// the same directory, are fsync'd, and renamed into place; the directory
+// is fsync'd after the rename so the committed name survives a host
+// crash. Concurrent sweeps sharing a cache directory therefore see only
+// complete entries; each write is verified after the rename (read back
+// and byte-compared) and retried with a short backoff, so a transient
+// write error (ENOSPC window, flaky network FS) costs milliseconds
+// instead of leaving a torn entry behind. Results carrying a time-series trace are
 // not cached (the trace is unbounded; the executor bypasses the cache
 // for traced specs).
 #pragma once
@@ -60,6 +63,10 @@ class ResultCache {
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
  private:
+  // fsync the cache directory so a just-renamed entry's name survives a
+  // host crash. Best-effort: failure degrades to cache-off semantics.
+  void sync_dir() const;
+
   std::string dir_;
   mutable std::atomic<int> fail_next_writes_{0};
 };

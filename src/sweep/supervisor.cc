@@ -32,6 +32,7 @@ const char* failure_class_name(FailureClass cls) {
     case FailureClass::kBudgetEvents: return "budget-events";
     case FailureClass::kBudgetRss: return "budget-rss";
     case FailureClass::kCacheIo: return "cache-io";
+    case FailureClass::kDeterminism: return "determinism-violation";
   }
   return "unknown";
 }
@@ -40,7 +41,8 @@ std::optional<FailureClass> failure_class_from_name(std::string_view name) {
   for (const FailureClass cls :
        {FailureClass::kException, FailureClass::kAuditViolation,
         FailureClass::kBudgetWall, FailureClass::kBudgetEvents,
-        FailureClass::kBudgetRss, FailureClass::kCacheIo}) {
+        FailureClass::kBudgetRss, FailureClass::kCacheIo,
+        FailureClass::kDeterminism}) {
     if (name == failure_class_name(cls)) return cls;
   }
   return std::nullopt;

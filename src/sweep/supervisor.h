@@ -43,6 +43,9 @@ enum class FailureClass {
   kBudgetEvents,    // budget: simulated-event ceiling
   kBudgetRss,       // budget: estimated peak RSS ceiling
   kCacheIo,         // transient: result-cache/manifest I/O (ENOSPC, ...)
+  kDeterminism,     // deterministic: two workers journaled the same spec
+                    // hash with different result digests — the simulator
+                    // is nondeterministic or the binaries differ
 };
 
 [[nodiscard]] const char* failure_class_name(FailureClass cls);

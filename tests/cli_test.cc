@@ -707,5 +707,106 @@ TEST(Cli, WorkloadSpecCliRoundTrip) {
   EXPECT_NE(cli_usage().find("--workload"), std::string::npos);
 }
 
+TEST(FleetCli, ParsesFlagsAndResolvesDefaults) {
+  const FleetCli cli = parse_fleet_cli(
+      {"--fleet-dir=/tmp/job", "--lease-ttl=12", "--heartbeat=3",
+       "--fleet-wait=60", "--worker-id=host1-w0", "--groups=newreno:2:20",
+       "--seeds=1,2,3"});
+  EXPECT_EQ(cli.fleet.fleet_dir, "/tmp/job");
+  EXPECT_EQ(cli.fleet.lease_ttl_ms, 12'000u);
+  EXPECT_EQ(cli.fleet.heartbeat_ms, 3'000u);
+  EXPECT_EQ(cli.fleet.wait_ms, 60'000u);
+  EXPECT_EQ(cli.fleet.worker_id, "host1-w0");
+  EXPECT_FALSE(cli.fleet.report_only);
+  EXPECT_EQ(cli.run.seeds.size(), 3u);
+  ASSERT_EQ(cli.run.spec.groups.size(), 1u);
+  EXPECT_EQ(cli.run.spec.groups[0].cca, "newreno");
+
+  // Defaults: TTL 30s, heartbeat deferred to the worker (TTL/3), wait
+  // forever, pid-derived worker id.
+  const FleetCli defaults =
+      parse_fleet_cli({"--fleet-dir=d", "--groups=newreno:1:20"});
+  EXPECT_EQ(defaults.fleet.lease_ttl_ms, 30'000u);
+  EXPECT_EQ(defaults.fleet.heartbeat_ms, 0u);
+  EXPECT_EQ(defaults.fleet.wait_ms, 0u);
+  EXPECT_TRUE(defaults.fleet.worker_id.empty());
+}
+
+TEST(FleetCli, RejectsMissingOrMalformedFleetFlags) {
+  // --fleet-dir is required (and must carry a value).
+  EXPECT_THROW(parse_fleet_cli({"--groups=newreno:1:20"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fleet_cli({"--fleet-dir=", "--groups=newreno:1:20"}),
+               std::invalid_argument);
+  // Non-positive or to-zero-rounding timing flags.
+  for (const char* bad :
+       {"--lease-ttl=0", "--lease-ttl=-5", "--lease-ttl=0.0001",
+        "--heartbeat=0", "--heartbeat=-1", "--heartbeat=0.0002"}) {
+    EXPECT_THROW(
+        parse_fleet_cli({"--fleet-dir=d", bad, "--groups=newreno:1:20"}),
+        std::invalid_argument)
+        << bad;
+  }
+  EXPECT_THROW(parse_fleet_cli({"--fleet-dir=d", "--fleet-wait=-1",
+                                "--groups=newreno:1:20"}),
+               std::invalid_argument);
+  // A heartbeat that could never renew in time.
+  EXPECT_THROW(parse_fleet_cli({"--fleet-dir=d", "--lease-ttl=5",
+                                "--heartbeat=5", "--groups=newreno:1:20"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fleet_cli({"--fleet-dir=d", "--lease-ttl=5",
+                                "--heartbeat=9", "--groups=newreno:1:20"}),
+               std::invalid_argument);
+  // Worker ids name lease files and journal fields.
+  for (const char* bad : {"--worker-id=a/b", "--worker-id=a b"}) {
+    EXPECT_THROW(
+        parse_fleet_cli({"--fleet-dir=d", bad, "--groups=newreno:1:20"}),
+        std::invalid_argument)
+        << bad;
+  }
+  // --report-only takes no value and no grid flags.
+  EXPECT_THROW(parse_fleet_cli({"--fleet-dir=d", "--report-only=yes"}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_fleet_cli({"--fleet-dir=d", "--report-only", "--seed=3"}),
+      std::invalid_argument);
+  // Bare --report-only is fine.
+  EXPECT_TRUE(
+      parse_fleet_cli({"--fleet-dir=d", "--report-only"}).fleet.report_only);
+}
+
+TEST(FleetCli, RejectsGridFlagsThatCannotDescribeAFleetJob) {
+  const std::vector<std::string> base = {"--fleet-dir=d",
+                                         "--groups=newreno:1:20"};
+  for (const char* bad : {"--trace=0.5", "--csv=out", "--resume=r",
+                          "--quarantine=q", "--fail-fast"}) {
+    std::vector<std::string> args = base;
+    args.emplace_back(bad);
+    EXPECT_THROW(parse_fleet_cli(args), std::invalid_argument) << bad;
+  }
+  // Unknown grid flags surface parse_cli's own rejection.
+  EXPECT_THROW(parse_fleet_cli({"--fleet-dir=d", "--no-such-flag=1"}),
+               std::invalid_argument);
+  EXPECT_NE(fleet_cli_usage().find("--fleet-dir"), std::string::npos);
+}
+
+TEST(FleetCli, SpecToCliRoundTripsThroughFleetParsing) {
+  // The .repro renderer's output must survive parse_fleet_cli's
+  // splitter: fleet flags peel off, the rendered grid flags reproduce
+  // the spec hash exactly.
+  const CliOptions original = parse_cli(
+      {"--setting=edge", "--groups=bbr:2:20,newreno:3:40", "--rate=25",
+       "--buffer=200000", "--stagger=0.25", "--warmup=1", "--measure=2",
+       "--seed=11", "--qdisc=codel", "--ecn"});
+  std::vector<std::string> args = {"--fleet-dir=d", "--lease-ttl=10",
+                                   "--worker-id=w7"};
+  const SpecCliRendering rendering = spec_to_cli(original.spec);
+  args.insert(args.end(), rendering.args.begin(), rendering.args.end());
+  const FleetCli cli = parse_fleet_cli(args);
+  EXPECT_EQ(sweep::spec_cache_key(cli.run.spec),
+            sweep::spec_cache_key(original.spec));
+  EXPECT_EQ(cli.fleet.worker_id, "w7");
+}
+
 }  // namespace
 }  // namespace ccas

@@ -5,16 +5,24 @@
 # .repro replay, transient retry, resume-after-abort byte identity, and
 # manifest salt pinning. Run from the repo root:
 #
-#   tools/sweep_fault_ci.sh [path/to/ccas_run]
+#   tools/sweep_fault_ci.sh [path/to/ccas_run] [path/to/ccas_fleet]
 #
 # CI runs it against the ASan build so every injected failure path is
 # also leak/UB-checked. Uses only the CCAS_FAIL_CELL test hook; no cell
-# here simulates more than a second of virtual time.
+# here simulates more than a second of virtual time. The fleet scenarios
+# (ccas_fleet, DESIGN.md §14) run three local workers against one shared
+# store — one SIGKILLed mid-cell, one joining late — and gate the result
+# on byte-identity with a serial sweep of the same grid.
 set -u
 
 RUN="${1:-./build/tools/ccas_run}"
+FLEET="${2:-$(dirname "$RUN")/ccas_fleet}"
 if [ ! -x "$RUN" ]; then
   echo "error: ccas_run binary not found at $RUN" >&2
+  exit 1
+fi
+if [ ! -x "$FLEET" ]; then
+  echo "error: ccas_fleet binary not found at $FLEET" >&2
   exit 1
 fi
 
@@ -153,6 +161,117 @@ printf 'ccas-sweep-manifest v1 salt=some-older-simulator\n' \
   >"$WORK/stale/manifest.log"
 run_case salt-mismatch 1 "$WORK/salt.out" \
   "$RUN" "${BASE_FLAGS[@]}" --seeds=1 --resume="$WORK/stale"
+
+# --- 8. Fleet: 3 workers, one SIGKILLed mid-cell, one late joiner ----------
+# A 24-cell grid worked by three local ccas_fleet processes sharing one
+# store. Worker A hangs on seed=4 (CCAS_FAIL_CELL) and is SIGKILLed while
+# holding its lease; after --lease-ttl the survivors reclaim the cell.
+# Worker C joins a second late. The job must complete (B and C exit 0)
+# and the store must be byte-identical to a serial --jobs=1 sweep of the
+# same flags: same canonical manifest records, same results-file bytes.
+FLEET_SEEDS=$(seq -s, 1 24)
+run_case fleet-serial-ref 0 "$WORK/fleet_serial.out" \
+  "$RUN" "${BASE_FLAGS[@]}" --seeds="$FLEET_SEEDS" --resume="$WORK/serial"
+
+FLEET_FLAGS=("${BASE_FLAGS[@]}" --seeds="$FLEET_SEEDS"
+             --fleet-dir="$WORK/fleet" --lease-ttl=2 --heartbeat=0.5
+             --fleet-wait=120)
+CCAS_FAIL_CELL='seed=4:hang' "$FLEET" "${FLEET_FLAGS[@]}" --worker-id=wA \
+  >"$WORK/fleet_a.out" 2>"$WORK/fleet_a.err" &
+PID_A=$!
+"$FLEET" "${FLEET_FLAGS[@]}" --worker-id=wB \
+  >"$WORK/fleet_b.out" 2>"$WORK/fleet_b.err" &
+PID_B=$!
+sleep 1
+"$FLEET" "${FLEET_FLAGS[@]}" --worker-id=wC \
+  >"$WORK/fleet_c.out" 2>"$WORK/fleet_c.err" &
+PID_C=$!
+sleep 1
+kill -9 "$PID_A" 2>/dev/null
+wait "$PID_A" 2>/dev/null
+wait "$PID_B"; GOT_B=$?
+wait "$PID_C"; GOT_C=$?
+if [ "$GOT_B" -ne 0 ] || [ "$GOT_C" -ne 0 ]; then
+  echo "FAIL [fleet-kill]: surviving workers exited $GOT_B/$GOT_C (want 0/0)" >&2
+  sed 's/^/    /' "$WORK/fleet_b.err" "$WORK/fleet_c.err" >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok   [fleet-kill] (exit 0/0 after SIGKILL of wA)"
+fi
+
+# Both survivors rendered the identical final report.
+if ! cmp -s "$WORK/fleet_b.out" "$WORK/fleet_c.out"; then
+  echo "FAIL [fleet-report]: workers rendered different final reports" >&2
+  diff "$WORK/fleet_b.out" "$WORK/fleet_c.out" | sed 's/^/    /' >&2
+  FAILURES=$((FAILURES + 1))
+fi
+# --report-only renders the same bytes from the store alone.
+run_case fleet-report-only 0 "$WORK/fleet_ro.out" \
+  "$FLEET" --fleet-dir="$WORK/fleet" --report-only
+if ! cmp -s "$WORK/fleet_ro.out" "$WORK/fleet_b.out"; then
+  echo "FAIL [fleet-report-only]: report differs from the workers'" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Byte-identity with the serial sweep: canonical manifest records (strip
+# the per-run attempts/worker/fence fields, sort, dedup — a cell another
+# worker finished between a reload and a claim is legitimately committed
+# twice with identical bytes) and every results file. A determinism
+# violation would surface as a `fail class=determinism-violation` line
+# that no dedup can hide.
+canonical_manifest() {
+  sed -e 's/ attempts=[0-9]*//' -e 's/ worker=[^ ]*//' \
+      -e 's/ fence=[0-9]*//' "$1" | sort -u
+}
+canonical_manifest "$WORK/serial/manifest.log" >"$WORK/serial.canon"
+canonical_manifest "$WORK/fleet/manifest.log" >"$WORK/fleet.canon"
+if ! cmp -s "$WORK/serial.canon" "$WORK/fleet.canon"; then
+  echo "FAIL [fleet-identity]: fleet manifest diverges from serial sweep" >&2
+  diff "$WORK/serial.canon" "$WORK/fleet.canon" | sed 's/^/    /' >&2
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok   [fleet-identity] (manifest canonical match, 24 cells)"
+fi
+for ref in "$WORK"/serial/results/*.ccres; do
+  if ! cmp -s "$ref" "$WORK/fleet/results/$(basename "$ref")"; then
+    echo "FAIL [fleet-identity]: results file $(basename "$ref") differs" >&2
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+# No lease litter after a clean finish.
+if ls "$WORK"/fleet/leases/*.lease >/dev/null 2>&1; then
+  echo "FAIL [fleet-identity]: leftover lease files after completion" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- 9. Fleet: transient cache-io faults are absorbed by retries -----------
+run_case fleet-cacheio 0 "$WORK/fleet_io.out" \
+  env CCAS_FAIL_CELL='seed=2:cacheio:2' \
+  "$FLEET" "${BASE_FLAGS[@]}" --seeds=1,2,3 --retries=2 \
+  --fleet-dir="$WORK/fleet_io" --lease-ttl=2 --heartbeat=0.5 --fleet-wait=60
+# Each of its three cells matches the serial sweep's record for the same
+# spec hash (seeds 1-3 are a subset of the 24-seed reference grid).
+canonical_manifest "$WORK/fleet_io/manifest.log" >"$WORK/fleet_io.canon"
+IO_CELLS=$(grep -c '^cell ' "$WORK/fleet_io.canon")
+if [ "$IO_CELLS" -ne 3 ]; then
+  echo "FAIL [fleet-cacheio]: expected 3 cell records, got $IO_CELLS" >&2
+  FAILURES=$((FAILURES + 1))
+fi
+grep '^cell ' "$WORK/fleet_io.canon" | while IFS= read -r line; do
+  if ! grep -qF "$line" "$WORK/serial.canon"; then
+    echo "FAIL [fleet-cacheio]: record not in serial reference: $line" >&2
+    exit 1
+  fi
+done || FAILURES=$((FAILURES + 1))
+
+# --- 10. Fleet: mismatched stores are refused with exit 1 ------------------
+mkdir -p "$WORK/fleet_stale"
+printf 'ccas-fleet-job v1 salt=some-older-simulator\nend 0\n' \
+  >"$WORK/fleet_stale/job.spec"
+run_case fleet-salt-mismatch 1 "$WORK/fleet_salt.out" \
+  "$FLEET" "${BASE_FLAGS[@]}" --seeds=1 --fleet-dir="$WORK/fleet_stale"
+run_case fleet-grid-mismatch 1 "$WORK/fleet_grid.out" \
+  "$FLEET" "${BASE_FLAGS[@]}" --seeds=1,2,4 --fleet-dir="$WORK/fleet_io"
 
 echo
 if [ "$FAILURES" -ne 0 ]; then
